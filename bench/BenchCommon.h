@@ -1,0 +1,111 @@
+//===- bench/BenchCommon.h - shared bench harness helpers --------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared infrastructure of the figure/table reproduction binaries:
+/// the measurement protocol (paper §4: variance below 5%, median
+/// reported), scheduler construction, database seeding, and table
+/// printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_BENCH_BENCHCOMMON_H
+#define DAISY_BENCH_BENCHCOMMON_H
+
+#include "frontends/PolyBench.h"
+#include "machine/Simulator.h"
+#include "sched/FrameworkModels.h"
+#include "sched/Schedulers.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+namespace daisy {
+namespace bench {
+
+/// The simulated machine of all experiments (12 cores available, like the
+/// paper's E5-2680v3).
+inline SimOptions machineOptions(int Threads = 1) {
+  SimOptions Options;
+  Options.Threads = Threads;
+  return Options;
+}
+
+/// Search budget of the seeding/MCTS runs (scaled to the bench runtime
+/// budget; the structure of the searches follows the paper exactly).
+inline SearchBudget benchBudget() {
+  SearchBudget Budget;
+  Budget.MctsRollouts = 24;
+  Budget.PopulationSize = 4;
+  Budget.IterationsPerEpoch = 2;
+  Budget.Epochs = 3;
+  return Budget;
+}
+
+/// Measures one scheduled program: the simulator is deterministic, so the
+/// Hoefler-Belli loop (variance < 5%, median) converges immediately; it
+/// is kept to mirror the paper's protocol.
+inline double measureSeconds(const Program &Prog, const SimOptions &Options) {
+  MeasurementResult Result = measureUntilStable(
+      [&]() { return simulateProgram(Prog, Options).Seconds; });
+  return Result.Median;
+}
+
+/// Schedules and measures; returns std::nullopt for inapplicable (X).
+inline std::optional<double> scheduleAndMeasure(Scheduler &S,
+                                                const Program &Prog,
+                                                const SimOptions &Options) {
+  std::optional<Program> Scheduled = S.schedule(Prog);
+  if (!Scheduled)
+    return std::nullopt;
+  return measureSeconds(*Scheduled, Options);
+}
+
+/// Seeds the transfer-tuning database from all 15 PolyBench A variants
+/// (paper §4, "Seeding a Scheduling Database").
+inline std::shared_ptr<TransferTuningDatabase>
+seedPolyBenchDatabase(const SimOptions &Options) {
+  auto Db = std::make_shared<TransferTuningDatabase>();
+  Rng Rand(0xDA15Eull);
+  for (PolyBenchKernel Kernel : allPolyBenchKernels()) {
+    Program A = buildPolyBench(Kernel, VariantKind::A);
+    DaisyScheduler::seedDatabase(*Db, A, Options, benchBudget(), Rand);
+  }
+  return Db;
+}
+
+/// Prints one row of a normalized-runtime table.
+inline void printRow(const std::string &Label,
+                     const std::vector<std::optional<double>> &Values,
+                     double Baseline) {
+  std::printf("%-14s", Label.c_str());
+  for (const std::optional<double> &Value : Values) {
+    if (Value)
+      std::printf("  %8.3f", *Value / Baseline);
+    else
+      std::printf("  %8s", "X");
+  }
+  std::printf("\n");
+}
+
+/// Geometric-mean speedup of \p Reference over \p Other across rows where
+/// both are present.
+inline double geomeanSpeedup(const std::vector<std::optional<double>> &Other,
+                             const std::vector<double> &Reference) {
+  std::vector<double> Ratios;
+  for (size_t I = 0; I < Other.size() && I < Reference.size(); ++I)
+    if (Other[I] && Reference[I] > 0)
+      Ratios.push_back(*Other[I] / Reference[I]);
+  return Ratios.empty() ? 0.0 : geometricMean(Ratios);
+}
+
+} // namespace bench
+} // namespace daisy
+
+#endif // DAISY_BENCH_BENCHCOMMON_H

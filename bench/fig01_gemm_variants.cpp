@@ -1,0 +1,80 @@
+//===- bench/fig01_gemm_variants.cpp - Figure 1 reproduction --------------==//
+//
+// Part of the daisy project. MIT license.
+//
+// Figure 1: "Structurally different GEMM kernels yield significantly
+// different performance." Six loop orders of GEMM under the baseline
+// compiler and Polly vary by large factors; daisy maps them all to the
+// same canonical form and performance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "ir/Builder.h"
+
+using namespace daisy;
+using namespace daisy::bench;
+
+namespace {
+
+Program makeGemmOrder(const std::string &O1, const std::string &O2,
+                      const std::string &O3) {
+  int N = 64;
+  Program Prog("gemm_" + O1 + O2 + O3);
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      O1, 0, N,
+      {forLoop(O2, 0, N,
+               {forLoop(O3, 0, N,
+                        {assign("S0", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    lit(1.5) * read("A", {ax("i"), ax("k")}) *
+                                        read("B", {ax("k"), ax("j")}))})})}));
+  return Prog;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Figure 1: GEMM loop-order variants ===\n");
+  std::printf("Normalized runtime per loop order (relative to the fastest "
+              "clang variant).\n\n");
+  SimOptions Seq = machineOptions(1);
+
+  std::vector<std::array<const char *, 3>> Orders = {
+      {"i", "j", "k"}, {"i", "k", "j"}, {"j", "i", "k"},
+      {"j", "k", "i"}, {"k", "i", "j"}, {"k", "j", "i"}};
+
+  ClangScheduler Clang;
+  PollyScheduler Polly;
+  auto Db = std::make_shared<TransferTuningDatabase>();
+  DaisyScheduler Daisy(Db); // idiom detection needs no seeded recipes here
+
+  std::vector<double> ClangTimes, PollyTimes, DaisyTimes;
+  for (const auto &Order : Orders) {
+    Program Prog = makeGemmOrder(Order[0], Order[1], Order[2]);
+    ClangTimes.push_back(*scheduleAndMeasure(Clang, Prog, Seq));
+    PollyTimes.push_back(*scheduleAndMeasure(Polly, Prog, Seq));
+    DaisyTimes.push_back(*scheduleAndMeasure(Daisy, Prog, Seq));
+  }
+  double Best = *std::min_element(ClangTimes.begin(), ClangTimes.end());
+
+  std::printf("%-8s  %10s  %10s  %10s\n", "order", "clang", "Polly",
+              "daisy");
+  for (size_t I = 0; I < Orders.size(); ++I)
+    std::printf("%c%c%c       %10.2f  %10.2f  %10.2f\n", Orders[I][0][0],
+                Orders[I][1][0], Orders[I][2][0], ClangTimes[I] / Best,
+                PollyTimes[I] / Best, DaisyTimes[I] / Best);
+
+  auto Spread = [](const std::vector<double> &Times) {
+    return *std::max_element(Times.begin(), Times.end()) /
+           *std::min_element(Times.begin(), Times.end());
+  };
+  std::printf("\nmax/min spread: clang %.2fx, Polly %.2fx, daisy %.2fx\n",
+              Spread(ClangTimes), Spread(PollyTimes), Spread(DaisyTimes));
+  std::printf("(paper: baseline compilers vary by 3x-10x across orders; "
+              "daisy is flat)\n");
+  return 0;
+}

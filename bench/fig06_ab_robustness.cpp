@@ -1,0 +1,100 @@
+//===- bench/fig06_ab_robustness.cpp - Figure 6 reproduction --------------==//
+//
+// Part of the daisy project. MIT license.
+//
+// Figure 6: A/B robustness of daisy vs Polly, icc, and the Tiramisu
+// auto-scheduler across the 15 PolyBench benchmarks. Runtimes are
+// normalized to daisy's A variant per benchmark (lower is better);
+// inapplicable configurations print X.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cmath>
+
+using namespace daisy;
+using namespace daisy::bench;
+
+int main() {
+  std::printf("=== Figure 6: same semantics, same performance? ===\n");
+  SimOptions Par = machineOptions(8);
+
+  std::printf("Seeding the transfer-tuning database from the normalized A "
+              "variants...\n");
+  auto Db = seedPolyBenchDatabase(Par);
+  std::printf("database entries: %zu\n\n", Db->size());
+
+  DaisyScheduler Daisy(Db);
+  PollyScheduler Polly;
+  IccScheduler Icc;
+  TiramisuScheduler Tiramisu(Par, benchBudget());
+
+  std::printf("%-14s  %8s  %8s  %8s  %8s  %8s  %8s  %8s  %8s\n", "bench",
+              "daisyA", "daisyB", "PollyA", "PollyB", "iccA", "iccB",
+              "TiramA", "TiramB");
+
+  std::vector<double> DaisyA, DaisyB;
+  std::vector<std::optional<double>> PollyAll, IccAll, TiramisuAll;
+  std::vector<double> DaisyAll;
+  double MaxAbDiff = 0.0, SumAbDiff = 0.0;
+
+  for (PolyBenchKernel Kernel : allPolyBenchKernels()) {
+    Program A = buildPolyBench(Kernel, VariantKind::A);
+    Program B = buildPolyBench(Kernel, VariantKind::B);
+
+    double TDaisyA = *scheduleAndMeasure(Daisy, A, Par);
+    double TDaisyB = *scheduleAndMeasure(Daisy, B, Par);
+    auto TPollyA = scheduleAndMeasure(Polly, A, Par);
+    auto TPollyB = scheduleAndMeasure(Polly, B, Par);
+    auto TIccA = scheduleAndMeasure(Icc, A, Par);
+    auto TIccB = scheduleAndMeasure(Icc, B, Par);
+    auto TTirA = scheduleAndMeasure(Tiramisu, A, Par);
+    auto TTirB = scheduleAndMeasure(Tiramisu, B, Par);
+
+    printRow(polyBenchName(Kernel),
+             {TDaisyA, TDaisyB, TPollyA, TPollyB, TIccA, TIccB, TTirA,
+              TTirB},
+             TDaisyA);
+
+    DaisyA.push_back(TDaisyA);
+    DaisyB.push_back(TDaisyB);
+    DaisyAll.push_back(TDaisyA);
+    DaisyAll.push_back(TDaisyB);
+    PollyAll.push_back(TPollyA);
+    PollyAll.push_back(TPollyB);
+    IccAll.push_back(TIccA);
+    IccAll.push_back(TIccB);
+    TiramisuAll.push_back(TTirA);
+    TiramisuAll.push_back(TTirB);
+
+    double Diff = std::fabs(TDaisyA - TDaisyB) / TDaisyA;
+    MaxAbDiff = std::max(MaxAbDiff, Diff);
+    SumAbDiff += Diff;
+  }
+
+  std::printf("\n--- robustness (daisy) ---\n");
+  std::printf("max A/B difference:  %.1f%%   (paper: 14%%)\n",
+              100.0 * MaxAbDiff);
+  std::printf("mean A/B difference: %.1f%%   (paper: 5%%)\n",
+              100.0 * SumAbDiff / static_cast<double>(DaisyA.size()));
+
+  auto Split = [](const std::vector<std::optional<double>> &All,
+                  bool WantA) {
+    std::vector<std::optional<double>> Result;
+    for (size_t I = WantA ? 0 : 1; I < All.size(); I += 2)
+      Result.push_back(All[I]);
+    return Result;
+  };
+  std::printf("\n--- geometric-mean speedup of daisy ---\n");
+  std::printf("over Polly:    A %.2fx (paper 2.31), B %.2fx (paper 2.97)\n",
+              geomeanSpeedup(Split(PollyAll, true), DaisyA),
+              geomeanSpeedup(Split(PollyAll, false), DaisyB));
+  std::printf("over icc:      A %.2fx (paper 1.58), B %.2fx (paper 2.51)\n",
+              geomeanSpeedup(Split(IccAll, true), DaisyA),
+              geomeanSpeedup(Split(IccAll, false), DaisyB));
+  std::printf("over Tiramisu: A %.2fx (paper 2.89), B %.2fx (paper 7.03)\n",
+              geomeanSpeedup(Split(TiramisuAll, true), DaisyA),
+              geomeanSpeedup(Split(TiramisuAll, false), DaisyB));
+  return 0;
+}

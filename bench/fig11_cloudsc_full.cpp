@@ -1,0 +1,75 @@
+//===- bench/fig11_cloudsc_full.cpp - Figure 11 reproduction --------------==//
+//
+// Part of the daisy project. MIT license.
+//
+// Figure 11: sequential runtime of the full CLOUDSC proxy for the
+// Fortran, C, DaCe, and daisy versions, normalized to Fortran, plus the
+// §5.2 FLOP/s accounting. Blocks are independent and identical, so a few
+// are simulated and results scale linearly to the paper's NBLOCKS=512
+// (DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "cloudsc/Cloudsc.h"
+#include "transform/Parallelize.h"
+
+using namespace daisy;
+using namespace daisy::bench;
+
+int main() {
+  std::printf("=== Figure 11: CLOUDSC sequential runtime ===\n\n");
+  CloudscConfig Config;
+  Config.Nproma = 128;
+  Config.Klev = 137;
+  Config.Nblocks = 2;
+  double BlockScale = 512.0 / Config.Nblocks;
+  SimOptions Seq = machineOptions(1);
+
+  auto CompiledBaseline = [&](CloudscVariant V) {
+    Program P = buildCloudsc(Config, V);
+    // Baseline compilers vectorize what their heuristics accept.
+    for (const NodePtr &Node : P.topLevel())
+      vectorizeInnermostUnitStride(Node, P);
+    return P;
+  };
+
+  Program Fortran = CompiledBaseline(CloudscVariant::Fortran);
+  Program C = CompiledBaseline(CloudscVariant::C);
+  Program DaCe = CompiledBaseline(CloudscVariant::DaCe);
+  Program Daisy =
+      optimizeCloudsc(buildCloudsc(Config, CloudscVariant::Fortran));
+
+  SimReport RFortran = simulateProgram(Fortran, Seq);
+  SimReport RC = simulateProgram(C, Seq);
+  SimReport RDaCe = simulateProgram(DaCe, Seq);
+  SimReport RDaisy = simulateProgram(Daisy, Seq);
+
+  double Base = RFortran.Seconds;
+  std::printf("Fortran baseline: %.3f s (scaled to NBLOCKS=512)\n\n",
+              Base * BlockScale);
+  std::printf("%-18s  %14s  %10s\n", "version", "runtime [s]",
+              "normalized");
+  auto Print = [&](const char *Name, const SimReport &R) {
+    std::printf("%-18s  %14.3f  %10.3f\n", Name, R.Seconds * BlockScale,
+                R.Seconds / Base);
+  };
+  Print("CloudSC Fortran", RFortran);
+  Print("CloudSC C", RC);
+  Print("DaCe", RDaCe);
+  Print("daisy", RDaisy);
+
+  std::printf("\ndaisy speedup over Fortran: %.2fx (paper: 1.08x)\n",
+              RFortran.Seconds / RDaisy.Seconds);
+
+  double Peak = machinePeakMflops(Seq.Cpu, 1);
+  std::printf("\n--- FLOP/s (sequential, one core) ---\n");
+  std::printf("machine peak: %.2f MFLOP/s\n", Peak);
+  std::printf("Fortran: %.2f MFLOP/s (%.2f%% of peak; paper: 13634, "
+              "25.96%%)\n",
+              RFortran.mflops(), 100.0 * RFortran.mflops() / Peak);
+  std::printf("daisy:   %.2f MFLOP/s (%.2f%% of peak; paper: 14792, "
+              "28.16%%)\n",
+              RDaisy.mflops(), 100.0 * RDaisy.mflops() / Peak);
+  return 0;
+}

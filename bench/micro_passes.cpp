@@ -1,0 +1,59 @@
+//===- bench/micro_passes.cpp - compiler-pass microbenchmarks -------------==//
+//
+// Part of the daisy project. MIT license.
+//
+// google-benchmark microbenchmarks of the compiler passes themselves
+// (normalization, dependence analysis, simulation): the compile-time cost
+// of a priori normalization, which the paper argues is negligible next to
+// auto-scheduler search.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+#include "frontends/PolyBench.h"
+#include "machine/Simulator.h"
+#include "normalize/Pipeline.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace daisy;
+
+static void BM_Normalize(benchmark::State &State) {
+  Program Prog = buildPolyBench(PolyBenchKernel::Gemm, VariantKind::B);
+  for (auto _ : State) {
+    Program Norm = normalize(Prog);
+    benchmark::DoNotOptimize(Norm);
+  }
+}
+BENCHMARK(BM_Normalize);
+
+static void BM_NormalizeCloudscScale(benchmark::State &State) {
+  Program Prog =
+      buildPolyBench(PolyBenchKernel::Gemver, VariantKind::B);
+  for (auto _ : State) {
+    Program Norm = normalize(Prog);
+    benchmark::DoNotOptimize(Norm);
+  }
+}
+BENCHMARK(BM_NormalizeCloudscScale);
+
+static void BM_DependenceAnalysis(benchmark::State &State) {
+  Program Prog = buildPolyBench(PolyBenchKernel::Fdtd2d, VariantKind::A);
+  for (auto _ : State) {
+    auto Deps = computeDependences(Prog.topLevel(), Prog.params());
+    benchmark::DoNotOptimize(Deps);
+  }
+}
+BENCHMARK(BM_DependenceAnalysis);
+
+static void BM_SimulateGemm(benchmark::State &State) {
+  Program Prog = buildPolyBench(PolyBenchKernel::Gemm, VariantKind::A);
+  SimOptions Options;
+  for (auto _ : State) {
+    SimReport Report = simulateProgram(Prog, Options);
+    benchmark::DoNotOptimize(Report);
+  }
+}
+BENCHMARK(BM_SimulateGemm);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+//===- examples/cloudsc_tour.cpp - the CLOUDSC case study -----------------==//
+//
+// Part of the daisy project. MIT license.
+//
+// Walks through the paper's §5.1 case study: the erosion-of-clouds loop
+// nest before and after normalization-driven optimization (maximal
+// fission with scalar expansion, nest-level CSE of the duplicated FOEEWM
+// saturation chain, bounded producer-consumer fusion, vectorization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cloudsc/Cloudsc.h"
+#include "ir/Printer.h"
+#include "machine/Simulator.h"
+
+#include <cstdio>
+
+using namespace daisy;
+
+int main() {
+  CloudscConfig Config;
+  Config.Nproma = 128;
+  Config.Klev = 4; // a few levels keep the printout readable
+
+  Program Erosion = buildErosionKernel(Config);
+  std::printf("--- erosion of clouds, as compiled from the inlined "
+              "Fortran (Fig. 10a) ---\n%s\n",
+              printProgram(Erosion).c_str());
+
+  Program Optimized = optimizeCloudsc(Erosion);
+  std::printf("--- after fission + CSE + producer-consumer fusion "
+              "(Fig. 10b) ---\n%s\n",
+              printProgram(Optimized).c_str());
+
+  SimOptions Seq;
+  SimReport Before = simulateProgram(Erosion, Seq);
+  SimReport After = simulateProgram(Optimized, Seq);
+  std::printf("runtime:  %.4f ms -> %.4f ms (%.2fx)\n",
+              Before.Seconds * 1e3, After.Seconds * 1e3,
+              Before.Seconds / After.Seconds);
+  std::printf("flops:    %lld -> %lld (duplicated FOEEWM chain merged)\n",
+              static_cast<long long>(Before.Flops),
+              static_cast<long long>(After.Flops));
+  std::printf("L1 loads: %lld -> %lld\n",
+              static_cast<long long>(Before.Cache[0].Loads),
+              static_cast<long long>(After.Cache[0].Loads));
+  return 0;
+}

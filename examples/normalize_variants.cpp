@@ -1,0 +1,90 @@
+//===- examples/normalize_variants.cpp - canonical forms ------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+// Demonstrates the core claim of the paper: structurally different but
+// semantically equivalent loop nests map to the *same* canonical form.
+// All six GEMM loop orders and the fused Fig. 3a example are normalized
+// and their canonical structural hashes compared.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Stride.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "ir/StructuralHash.h"
+#include "normalize/Pipeline.h"
+
+#include <cstdio>
+
+using namespace daisy;
+
+namespace {
+
+Program makeGemmOrder(const std::string &O1, const std::string &O2,
+                      const std::string &O3) {
+  int N = 32;
+  Program Prog("gemm_" + O1 + O2 + O3);
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      O1, 0, N,
+      {forLoop(O2, 0, N,
+               {forLoop(O3, 0, N,
+                        {assign("S0", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    read("A", {ax("i"), ax("k")}) *
+                                        read("B", {ax("k"), ax("j")}))})})}));
+  return Prog;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== one canonical form for all GEMM loop orders ===\n\n");
+  std::printf("%-10s  %18s  %18s  %12s\n", "order", "input hash",
+              "canonical hash", "stride cost");
+  const char *Orders[6][3] = {{"i", "j", "k"}, {"i", "k", "j"},
+                              {"j", "i", "k"}, {"j", "k", "i"},
+                              {"k", "i", "j"}, {"k", "j", "i"}};
+  uint64_t FirstHash = 0;
+  for (const auto &Order : Orders) {
+    Program Prog = makeGemmOrder(Order[0], Order[1], Order[2]);
+    Program Norm = normalize(Prog);
+    uint64_t H = structuralHash(Norm);
+    if (!FirstHash)
+      FirstHash = H;
+    std::printf("%s%s%s         %18llx  %18llx  %12.0f\n", Order[0],
+                Order[1], Order[2],
+                static_cast<unsigned long long>(structuralHash(Prog)),
+                static_cast<unsigned long long>(H),
+                sumOfStridesCost(Norm.topLevel()[0], Norm));
+    if (H != FirstHash)
+      std::printf("  ^^ MISMATCH (unexpected)\n");
+  }
+  std::printf("\nAll six canonical hashes agree: one optimization recipe "
+              "now covers every variant.\n\n");
+
+  // The paper's Fig. 3 walkthrough: fission, then stride minimization.
+  std::printf("=== Fig. 3 walkthrough ===\n\n");
+  int N = 16;
+  Program Fig3("fig3");
+  Fig3.addArray("A", {N, N});
+  Fig3.addArray("B", {N, N});
+  Fig3.append(forLoop(
+      "i", 0, N,
+      {forLoop("j", 0, N,
+               {assign("S1", "A", {ax("i"), ax("j")},
+                       read("A", {ax("i"), ax("j")}) + lit(1.0)),
+                assign("S2", "B", {ax("j"), ax("i")},
+                       read("B", {ax("j"), ax("i")}) * lit(2.0))})}));
+  std::printf("-- input (Fig. 3a): one nest, contiguous + strided "
+              "accesses --\n%s\n",
+              printProgram(Fig3).c_str());
+  Program Norm = normalize(Fig3);
+  std::printf("-- normalized (Fig. 3b + 3c): fissioned, second nest "
+              "permuted --\n%s\n",
+              printProgram(Norm).c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- examples/quickstart.cpp - build, normalize, schedule, measure ------==//
+//
+// Part of the daisy project. MIT license.
+//
+// The five-minute tour: construct a loop nest in the IR, normalize it,
+// let the daisy auto-scheduler optimize it, and compare simulated
+// runtimes. Build and run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "machine/Simulator.h"
+#include "normalize/Pipeline.h"
+#include "sched/Schedulers.h"
+
+#include <cstdio>
+
+using namespace daisy;
+
+int main() {
+  // 1. Build a program: GEMM written with the worst loop order (j, k, i),
+  //    the kind of variant a developer might innocently produce.
+  int N = 64;
+  Program Prog("my_gemm");
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      "j", 0, N,
+      {forLoop("k", 0, N,
+               {forLoop("i", 0, N,
+                        {assign("S0", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    read("A", {ax("i"), ax("k")}) *
+                                        read("B", {ax("k"), ax("j")}))})})}));
+  std::printf("--- input program ---\n%s\n", printProgram(Prog).c_str());
+
+  // 2. Normalize: maximal fission + stride minimization (paper Fig. 5).
+  NormalizationStats Stats;
+  Program Norm = normalize(Prog, {}, &Stats);
+  std::printf("--- after a priori normalization ---\n%s\n",
+              printProgram(Norm).c_str());
+  std::printf("(nests permuted: %d, permutations enumerated: %d)\n\n",
+              Stats.StrideMin.NestsPermuted,
+              Stats.StrideMin.EnumeratedPermutations);
+
+  // 3. Schedule with daisy: the canonical form matches the BLAS-3 GEMM
+  //    idiom, so the nest becomes a library call.
+  auto Db = std::make_shared<TransferTuningDatabase>();
+  DaisyScheduler Daisy(Db);
+  Program Scheduled = *Daisy.schedule(Prog);
+  std::printf("--- after daisy scheduling ---\n%s\n",
+              printProgram(Scheduled).c_str());
+
+  // 4. Measure on the simulated machine.
+  SimOptions Options;
+  double Before = simulateProgram(Prog, Options).Seconds;
+  double After = simulateProgram(Scheduled, Options).Seconds;
+  std::printf("simulated runtime: %.6f s -> %.6f s  (%.1fx)\n", Before,
+              After, Before / After);
+  return 0;
+}

@@ -1,0 +1,114 @@
+//===- analysis/Accesses.cpp ----------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Accesses.h"
+
+#include <cassert>
+
+using namespace daisy;
+
+namespace {
+
+void collectImpl(const NodePtr &Node,
+                 std::vector<std::shared_ptr<Loop>> &Stack,
+                 std::vector<StmtInfo> &Out) {
+  if (Node->kind() == NodeKind::Computation) {
+    StmtInfo Info;
+    Info.Comp = std::static_pointer_cast<Computation>(Node);
+    Info.Path = Stack;
+    Info.Order = static_cast<int>(Out.size());
+    Out.push_back(std::move(Info));
+    return;
+  }
+  if (auto L = std::dynamic_pointer_cast<Loop>(Node)) {
+    Stack.push_back(L);
+    for (const NodePtr &Child : L->body())
+      collectImpl(Child, Stack, Out);
+    Stack.pop_back();
+  }
+  // CallNodes carry no analyzable accesses; schedulers introduce them after
+  // analysis, so they are skipped here.
+}
+
+} // namespace
+
+std::vector<StmtInfo>
+daisy::collectStatements(const std::vector<NodePtr> &Roots) {
+  std::vector<StmtInfo> Result;
+  std::vector<std::shared_ptr<Loop>> Stack;
+  for (const NodePtr &Root : Roots)
+    collectImpl(Root, Stack, Result);
+  return Result;
+}
+
+std::vector<StmtInfo> daisy::collectStatements(const NodePtr &Root) {
+  return collectStatements(std::vector<NodePtr>{Root});
+}
+
+IterRange
+daisy::evaluateInterval(const AffineExpr &Expr,
+                        const std::map<std::string, IterRange> &Ranges,
+                        const ValueEnv &Params) {
+  int64_t Min = Expr.constantTerm();
+  int64_t Max = Expr.constantTerm();
+  for (const auto &[Name, Coefficient] : Expr.terms()) {
+    auto ParamIt = Params.find(Name);
+    if (ParamIt != Params.end()) {
+      Min += Coefficient * ParamIt->second;
+      Max += Coefficient * ParamIt->second;
+      continue;
+    }
+    auto RangeIt = Ranges.find(Name);
+    assert(RangeIt != Ranges.end() && "unbound variable in interval eval");
+    const IterRange &R = RangeIt->second;
+    if (R.isEmpty())
+      return IterRange{0, -1};
+    if (Coefficient >= 0) {
+      Min += Coefficient * R.Min;
+      Max += Coefficient * R.Max;
+    } else {
+      Min += Coefficient * R.Max;
+      Max += Coefficient * R.Min;
+    }
+  }
+  return IterRange{Min, Max};
+}
+
+std::vector<IterRange>
+daisy::conservativeRanges(const std::vector<std::shared_ptr<Loop>> &Path,
+                          const ValueEnv &Params) {
+  std::vector<IterRange> Result;
+  std::map<std::string, IterRange> Known;
+  for (const auto &L : Path) {
+    IterRange Lower = evaluateInterval(L->lower(), Known, Params);
+    IterRange Upper = evaluateInterval(L->upper(), Known, Params);
+    IterRange R;
+    R.Min = Lower.Min;
+    R.Max = Upper.Max - 1; // upper bound is exclusive
+    Result.push_back(R);
+    Known[L->iterator()] = R;
+  }
+  return Result;
+}
+
+std::vector<std::shared_ptr<Loop>>
+daisy::commonLoops(const std::vector<std::shared_ptr<Loop>> &A,
+                   const std::vector<std::shared_ptr<Loop>> &B) {
+  std::vector<std::shared_ptr<Loop>> Result;
+  for (size_t I = 0; I < A.size() && I < B.size(); ++I) {
+    if (A[I] != B[I])
+      break;
+    Result.push_back(A[I]);
+  }
+  return Result;
+}
+
+AccessList daisy::accessesOf(const Computation &Comp) {
+  AccessList Result;
+  Result.Write = Comp.write();
+  Result.Reads = Comp.reads();
+  return Result;
+}

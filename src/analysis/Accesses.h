@@ -1,0 +1,76 @@
+//===- analysis/Accesses.h - Statement & access collection -------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collection of statements with their enclosing-loop context, plus
+/// conservative iterator ranges used by the dependence tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_ANALYSIS_ACCESSES_H
+#define DAISY_ANALYSIS_ACCESSES_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <vector>
+
+namespace daisy {
+
+/// A computation together with its enclosing loops (outermost first) and
+/// its pre-order execution position among all collected statements.
+struct StmtInfo {
+  std::shared_ptr<Computation> Comp;
+  std::vector<std::shared_ptr<Loop>> Path;
+  int Order = 0;
+};
+
+/// Collects all computations under \p Roots in execution order.
+std::vector<StmtInfo> collectStatements(const std::vector<NodePtr> &Roots);
+
+/// Overload for a single root.
+std::vector<StmtInfo> collectStatements(const NodePtr &Root);
+
+/// Conservative inclusive value range of an iterator.
+struct IterRange {
+  int64_t Min = 0;
+  int64_t Max = -1; // Max < Min encodes an empty range.
+
+  bool isEmpty() const { return Max < Min; }
+  int64_t span() const { return isEmpty() ? 0 : Max - Min + 1; }
+};
+
+/// Computes conservative iterator ranges for every loop on \p Path.
+/// Bounds referencing outer iterators are interval-evaluated through the
+/// outer ranges; parameters are taken from \p Params exactly. The returned
+/// vector parallels \p Path.
+std::vector<IterRange>
+conservativeRanges(const std::vector<std::shared_ptr<Loop>> &Path,
+                   const ValueEnv &Params);
+
+/// Interval-evaluates \p Expr given iterator ranges \p Ranges (keyed by
+/// iterator name) and exact parameter values \p Params.
+IterRange evaluateInterval(const AffineExpr &Expr,
+                           const std::map<std::string, IterRange> &Ranges,
+                           const ValueEnv &Params);
+
+/// The longest common prefix of two loop paths (by node identity).
+std::vector<std::shared_ptr<Loop>>
+commonLoops(const std::vector<std::shared_ptr<Loop>> &A,
+            const std::vector<std::shared_ptr<Loop>> &B);
+
+/// All accesses of a computation: the write plus every read.
+struct AccessList {
+  ArrayAccess Write;
+  std::vector<ArrayAccess> Reads;
+};
+
+/// Gathers the write and reads of \p Comp.
+AccessList accessesOf(const Computation &Comp);
+
+} // namespace daisy
+
+#endif // DAISY_ANALYSIS_ACCESSES_H

@@ -1,0 +1,114 @@
+//===- analysis/Dataflow.cpp ----------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include "analysis/Legality.h"
+
+using namespace daisy;
+
+std::vector<const DataflowEdge *>
+DataflowGraph::incoming(size_t Consumer) const {
+  std::vector<const DataflowEdge *> Result;
+  for (const DataflowEdge &Edge : Edges)
+    if (Edge.Consumer == Consumer)
+      Result.push_back(&Edge);
+  return Result;
+}
+
+std::vector<const DataflowEdge *>
+DataflowGraph::outgoing(size_t Producer) const {
+  std::vector<const DataflowEdge *> Result;
+  for (const DataflowEdge &Edge : Edges)
+    if (Edge.Producer == Producer)
+      Result.push_back(&Edge);
+  return Result;
+}
+
+namespace {
+
+/// True if every write of \p Array under \p Node subscripts it with plain
+/// distinct band iterators in band order — the elementwise pattern.
+bool accessesElementwise(const NodePtr &Node, const std::string &Array,
+                         bool CheckWrites) {
+  std::vector<std::shared_ptr<Loop>> Band = perfectNestBand(Node);
+  if (Band.empty())
+    return false;
+  bool SawAccess = false;
+  for (const auto &C : collectComputations(Node)) {
+    std::vector<ArrayAccess> Accesses;
+    if (CheckWrites) {
+      if (C->write().Array == Array)
+        Accesses.push_back(C->write());
+    } else {
+      for (const ArrayAccess &R : C->reads())
+        if (R.Array == Array)
+          Accesses.push_back(R);
+    }
+    for (const ArrayAccess &Access : Accesses) {
+      SawAccess = true;
+      if (Access.Indices.size() > Band.size())
+        return false;
+      for (size_t Dim = 0; Dim < Access.Indices.size(); ++Dim) {
+        // Dimension Dim must be exactly the band iterator at that depth.
+        const AffineExpr &Index = Access.Indices[Dim];
+        if (Index.constantTerm() != 0 || Index.terms().size() != 1)
+          return false;
+        const auto &[Name, Coefficient] = *Index.terms().begin();
+        if (Coefficient != 1 || Name != Band[Dim]->iterator())
+          return false;
+      }
+    }
+  }
+  return SawAccess;
+}
+
+} // namespace
+
+DataflowGraph daisy::buildDataflowGraph(const std::vector<NodePtr> &Nodes,
+                                        const Program &Prog) {
+  (void)Prog;
+  DataflowGraph Graph;
+  Graph.Writes.resize(Nodes.size());
+  Graph.Reads.resize(Nodes.size());
+
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    for (const auto &C : collectComputations(Nodes[I])) {
+      Graph.Writes[I].insert(C->write().Array);
+      for (const ArrayAccess &R : C->reads())
+        Graph.Reads[I].insert(R.Array);
+    }
+    if (const auto *Call = dynCast<CallNode>(Nodes[I])) {
+      // By convention the first argument is the output operand.
+      const auto &Args = Call->args();
+      if (!Args.empty()) {
+        Graph.Writes[I].insert(Args[0]);
+        for (size_t A = 0; A < Args.size(); ++A)
+          Graph.Reads[I].insert(Args[A]); // output may also be read (beta)
+      }
+    }
+  }
+
+  for (size_t C = 0; C < Nodes.size(); ++C) {
+    for (const std::string &Array : Graph.Reads[C]) {
+      // Find the latest earlier writer.
+      for (size_t P = C; P-- > 0;) {
+        if (!Graph.Writes[P].count(Array))
+          continue;
+        DataflowEdge Edge;
+        Edge.Producer = P;
+        Edge.Consumer = C;
+        Edge.Array = Array;
+        Edge.OneToOne =
+            accessesElementwise(Nodes[P], Array, /*CheckWrites=*/true) &&
+            accessesElementwise(Nodes[C], Array, /*CheckWrites=*/false);
+        Graph.Edges.push_back(std::move(Edge));
+        break;
+      }
+    }
+  }
+  return Graph;
+}

@@ -1,0 +1,64 @@
+//===- analysis/Dataflow.h - Producer-consumer graph -------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SDFG-lite: a dataflow graph over a sequence of sibling nodes (top-level
+/// nests or the items of a loop body), describing which node produces the
+/// data consumed by which later node (paper §3.1: "we further augment the
+/// tree with dataflow information describing the subset of data produced
+/// and consumed by different nodes").
+///
+/// The one-to-one producer-consumer relation drives the CLOUDSC fusion
+/// recipe (paper §5.1): fissioned elementwise nests whose intermediate is
+/// produced and consumed pointwise are fused back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_ANALYSIS_DATAFLOW_H
+#define DAISY_ANALYSIS_DATAFLOW_H
+
+#include "ir/Program.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// A producer-consumer edge between two sibling nodes.
+struct DataflowEdge {
+  size_t Producer;
+  size_t Consumer;
+  std::string Array;
+  /// True if the producer writes the array elementwise over its nest
+  /// iterators and the consumer reads it elementwise over its own — the
+  /// pattern that allows fusing the two nests without reordering.
+  bool OneToOne = false;
+};
+
+/// Dataflow over an ordered node sequence.
+struct DataflowGraph {
+  std::vector<DataflowEdge> Edges;
+
+  /// Arrays written under node \p I of the analyzed sequence.
+  std::vector<std::set<std::string>> Writes;
+  /// Arrays read under node \p I.
+  std::vector<std::set<std::string>> Reads;
+
+  /// All edges into \p Consumer.
+  std::vector<const DataflowEdge *> incoming(size_t Consumer) const;
+  /// All edges out of \p Producer.
+  std::vector<const DataflowEdge *> outgoing(size_t Producer) const;
+};
+
+/// Builds the dataflow graph of \p Nodes: an edge P -> C exists when P
+/// writes an array that C reads with no intervening writer between them.
+DataflowGraph buildDataflowGraph(const std::vector<NodePtr> &Nodes,
+                                 const Program &Prog);
+
+} // namespace daisy
+
+#endif // DAISY_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,339 @@
+//===- analysis/Dependence.cpp --------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace daisy;
+
+bool Dependence::isLoopIndependent() const {
+  for (DepDirection Dir : Directions)
+    if (Dir != DepDirection::Eq)
+      return false;
+  return true;
+}
+
+int Dependence::carrierLevel() const {
+  for (size_t I = 0; I < Directions.size(); ++I)
+    if (Directions[I] == DepDirection::Lt)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::string Dependence::toString() const {
+  std::string Result;
+  switch (Kind) {
+  case DepKind::Flow:
+    Result = "flow ";
+    break;
+  case DepKind::Anti:
+    Result = "anti ";
+    break;
+  case DepKind::Output:
+    Result = "output ";
+    break;
+  }
+  Result += Src->name() + " -> " + Dst->name() + " on " + Array + " [";
+  for (size_t I = 0; I < Directions.size(); ++I) {
+    if (I != 0)
+      Result += ",";
+    Result += Directions[I] == DepDirection::Eq
+                  ? "="
+                  : (Directions[I] == DepDirection::Lt ? "<" : ">");
+  }
+  return Result + "]";
+}
+
+namespace {
+
+/// One linear equation sum(Coeff_v * v) + Constant = 0 over renamed
+/// variables. Source-side iterators are tagged "s:", sink-side "t:".
+struct LinearEq {
+  std::map<std::string, int64_t> Coeffs;
+  int64_t Constant = 0;
+};
+
+/// Variable ranges for the renamed variables of one equation system.
+using RangeMap = std::map<std::string, IterRange>;
+
+/// Accumulates Coefficient * Range into [Min, Max].
+void accumulate(int64_t Coefficient, const IterRange &Range, int64_t &Min,
+                int64_t &Max) {
+  if (Coefficient >= 0) {
+    Min += Coefficient * Range.Min;
+    Max += Coefficient * Range.Max;
+  } else {
+    Min += Coefficient * Range.Max;
+    Max += Coefficient * Range.Min;
+  }
+}
+
+/// GCD feasibility: sum of coefficient*integer can hit -Constant only if
+/// gcd of coefficients divides it.
+bool gcdFeasible(const LinearEq &Eq) {
+  int64_t G = 0;
+  for (const auto &[Name, Coefficient] : Eq.Coeffs)
+    G = std::gcd(G, Coefficient < 0 ? -Coefficient : Coefficient);
+  if (G == 0)
+    return Eq.Constant == 0;
+  return Eq.Constant % G == 0;
+}
+
+/// Context shared between all direction vectors of one access pair.
+struct PairContext {
+  std::vector<LinearEq> Equations;
+  // Ranges of non-common (private) variables, already renamed.
+  RangeMap PrivateRanges;
+  // Per common loop: range, and the source/sink variable names.
+  struct CommonLoopInfo {
+    IterRange Range;
+    std::string SrcVar;
+    std::string SinkVar;
+  };
+  std::vector<CommonLoopInfo> Common;
+};
+
+/// Renames iterator \p Name to its side-tagged form.
+std::string srcVar(const std::string &Name) { return "s:" + Name; }
+std::string sinkVar(const std::string &Name) { return "t:" + Name; }
+
+/// Builds per-dimension equations for accesses \p A (source side) and \p B
+/// (sink side). Returns std::nullopt if the accesses trivially cannot alias
+/// (different arrays or ranks).
+std::optional<PairContext> buildContext(const StmtInfo &S,
+                                        const ArrayAccess &A,
+                                        const StmtInfo &T,
+                                        const ArrayAccess &B,
+                                        const ValueEnv &Params) {
+  if (A.Array != B.Array || A.Indices.size() != B.Indices.size())
+    return std::nullopt;
+
+  PairContext Ctx;
+  std::vector<std::shared_ptr<Loop>> Shared = commonLoops(S.Path, T.Path);
+  std::vector<IterRange> SrcRanges = conservativeRanges(S.Path, Params);
+  std::vector<IterRange> SinkRanges = conservativeRanges(T.Path, Params);
+
+  for (size_t I = 0; I < Shared.size(); ++I) {
+    PairContext::CommonLoopInfo Info;
+    Info.Range = SrcRanges[I];
+    Info.SrcVar = srcVar(Shared[I]->iterator());
+    Info.SinkVar = sinkVar(Shared[I]->iterator());
+    Ctx.Common.push_back(std::move(Info));
+  }
+  for (size_t I = Shared.size(); I < S.Path.size(); ++I)
+    Ctx.PrivateRanges[srcVar(S.Path[I]->iterator())] = SrcRanges[I];
+  for (size_t I = Shared.size(); I < T.Path.size(); ++I)
+    Ctx.PrivateRanges[sinkVar(T.Path[I]->iterator())] = SinkRanges[I];
+
+  for (size_t Dim = 0; Dim < A.Indices.size(); ++Dim) {
+    LinearEq Eq;
+    Eq.Constant =
+        A.Indices[Dim].constantTerm() - B.Indices[Dim].constantTerm();
+    auto addTerms = [&Eq, &Params](const AffineExpr &Expr, bool SourceSide,
+                                   int64_t Sign) {
+      for (const auto &[Name, Coefficient] : Expr.terms()) {
+        auto ParamIt = Params.find(Name);
+        if (ParamIt != Params.end()) {
+          Eq.Constant += Sign * Coefficient * ParamIt->second;
+          continue;
+        }
+        std::string Var = SourceSide ? srcVar(Name) : sinkVar(Name);
+        Eq.Coeffs[Var] += Sign * Coefficient;
+        if (Eq.Coeffs[Var] == 0)
+          Eq.Coeffs.erase(Var);
+      }
+    };
+    addTerms(A.Indices[Dim], /*SourceSide=*/true, 1);
+    addTerms(B.Indices[Dim], /*SourceSide=*/false, -1);
+    Ctx.Equations.push_back(std::move(Eq));
+  }
+  return Ctx;
+}
+
+/// Tests whether a direction vector is feasible for every equation via
+/// interval (Banerjee-style) bounds.
+bool directionFeasible(const PairContext &Ctx,
+                       const std::vector<DepDirection> &Directions) {
+  // Pre-compute, per common loop, how its source and sink variables are
+  // constrained by the direction entry. We model:
+  //   Eq: I_src = I_sink = I, I in Range.
+  //   Lt: I_src in Range, Delta in [1, span-1], I_sink = I_src + Delta.
+  //   Gt: I_sink in Range, Delta in [1, span-1], I_src = I_sink + Delta.
+  for (size_t L = 0; L < Ctx.Common.size(); ++L) {
+    const IterRange &R = Ctx.Common[L].Range;
+    if (R.isEmpty())
+      return false;
+    if (Directions[L] != DepDirection::Eq && R.span() < 2)
+      return false; // cannot have two distinct iterations
+  }
+
+  for (const LinearEq &Eq : Ctx.Equations) {
+    if (!gcdFeasible(Eq))
+      return false;
+    int64_t Min = Eq.Constant;
+    int64_t Max = Eq.Constant;
+    // Private variables contribute their whole range.
+    for (const auto &[Var, Range] : Ctx.PrivateRanges) {
+      auto It = Eq.Coeffs.find(Var);
+      if (It == Eq.Coeffs.end())
+        continue;
+      if (Range.isEmpty())
+        return false;
+      accumulate(It->second, Range, Min, Max);
+    }
+    // Common loops contribute according to the direction entry.
+    for (size_t L = 0; L < Ctx.Common.size(); ++L) {
+      const auto &Info = Ctx.Common[L];
+      auto SrcIt = Eq.Coeffs.find(Info.SrcVar);
+      auto SinkIt = Eq.Coeffs.find(Info.SinkVar);
+      int64_t ASrc = SrcIt == Eq.Coeffs.end() ? 0 : SrcIt->second;
+      int64_t ASink = SinkIt == Eq.Coeffs.end() ? 0 : SinkIt->second;
+      if (ASrc == 0 && ASink == 0)
+        continue;
+      const IterRange &R = Info.Range;
+      IterRange Delta{1, R.span() - 1};
+      switch (Directions[L]) {
+      case DepDirection::Eq:
+        // Combined coefficient times the shared value.
+        accumulate(ASrc + ASink, R, Min, Max);
+        break;
+      case DepDirection::Lt:
+        // I_sink = I_src + Delta.
+        accumulate(ASrc + ASink, R, Min, Max);
+        accumulate(ASink, Delta, Min, Max);
+        break;
+      case DepDirection::Gt:
+        // I_src = I_sink + Delta.
+        accumulate(ASrc + ASink, R, Min, Max);
+        accumulate(ASrc, Delta, Min, Max);
+        break;
+      }
+    }
+    if (Min > 0 || Max < 0)
+      return false;
+  }
+  return true;
+}
+
+/// True if \p Directions is lexicographically positive (first non-Eq entry
+/// is Lt).
+bool lexicographicallyPositive(const std::vector<DepDirection> &Directions) {
+  for (DepDirection Dir : Directions) {
+    if (Dir == DepDirection::Lt)
+      return true;
+    if (Dir == DepDirection::Gt)
+      return false;
+  }
+  return false;
+}
+
+bool allEq(const std::vector<DepDirection> &Directions) {
+  for (DepDirection Dir : Directions)
+    if (Dir != DepDirection::Eq)
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::vector<std::vector<DepDirection>>
+daisy::feasibleDirectionVectors(const StmtInfo &S, const ArrayAccess &A,
+                                const StmtInfo &T, const ArrayAccess &B,
+                                const ValueEnv &Params) {
+  std::vector<std::vector<DepDirection>> Result;
+  std::optional<PairContext> Ctx = buildContext(S, A, T, B, Params);
+  if (!Ctx)
+    return Result;
+
+  size_t NumCommon = Ctx->Common.size();
+  std::vector<DepDirection> Directions(NumCommon, DepDirection::Eq);
+  // Enumerate all 3^NumCommon vectors.
+  size_t Total = 1;
+  for (size_t I = 0; I < NumCommon; ++I)
+    Total *= 3;
+  for (size_t Code = 0; Code < Total; ++Code) {
+    size_t Rest = Code;
+    for (size_t I = 0; I < NumCommon; ++I) {
+      static constexpr DepDirection Table[3] = {
+          DepDirection::Eq, DepDirection::Lt, DepDirection::Gt};
+      Directions[I] = Table[Rest % 3];
+      Rest /= 3;
+    }
+    if (directionFeasible(*Ctx, Directions))
+      Result.push_back(Directions);
+  }
+  return Result;
+}
+
+std::vector<Dependence>
+daisy::computeDependences(const std::vector<NodePtr> &Roots,
+                          const ValueEnv &Params) {
+  std::vector<Dependence> Result;
+  std::vector<StmtInfo> Stmts = collectStatements(Roots);
+
+  for (const StmtInfo &S : Stmts) {
+    AccessList SAcc = accessesOf(*S.Comp);
+    for (const StmtInfo &T : Stmts) {
+      AccessList TAcc = accessesOf(*T.Comp);
+
+      // Gather the (source access, sink access, kind) pairs with at least
+      // one write on the same array.
+      struct Pair {
+        const ArrayAccess *A;
+        const ArrayAccess *B;
+        DepKind Kind;
+      };
+      std::vector<Pair> Pairs;
+      // Write -> read (flow).
+      for (const ArrayAccess &R : TAcc.Reads)
+        if (R.Array == SAcc.Write.Array)
+          Pairs.push_back({&SAcc.Write, &R, DepKind::Flow});
+      // Read -> write (anti).
+      for (const ArrayAccess &R : SAcc.Reads)
+        if (R.Array == TAcc.Write.Array)
+          Pairs.push_back({&R, &TAcc.Write, DepKind::Anti});
+      // Write -> write (output).
+      if (SAcc.Write.Array == TAcc.Write.Array)
+        Pairs.push_back({&SAcc.Write, &TAcc.Write, DepKind::Output});
+
+      for (const Pair &P : Pairs) {
+        std::vector<std::vector<DepDirection>> Vectors =
+            feasibleDirectionVectors(S, *P.A, T, *P.B, Params);
+        for (std::vector<DepDirection> &Directions : Vectors) {
+          bool Valid = false;
+          if (lexicographicallyPositive(Directions))
+            Valid = true;
+          else if (allEq(Directions) && S.Order < T.Order)
+            Valid = true;
+          else if (allEq(Directions) && S.Order == T.Order &&
+                   S.Comp == T.Comp && P.Kind == DepKind::Anti)
+            // Within one instance a computation reads its operands before
+            // writing; an all-Eq anti self-pair is that benign intra-
+            // instance ordering, not a dependence between instances.
+            Valid = false;
+          if (!Valid)
+            continue;
+          Dependence Dep;
+          Dep.Src = S.Comp;
+          Dep.Dst = T.Comp;
+          Dep.Array = P.A->Array;
+          Dep.Kind = P.Kind;
+          Dep.CommonLoops = commonLoops(S.Path, T.Path);
+          Dep.Directions = std::move(Directions);
+          Result.push_back(std::move(Dep));
+        }
+      }
+    }
+  }
+  return Result;
+}
+
+std::vector<Dependence> daisy::computeDependences(const NodePtr &Root,
+                                                  const ValueEnv &Params) {
+  return computeDependences(std::vector<NodePtr>{Root}, Params);
+}

@@ -1,0 +1,97 @@
+//===- analysis/Dependence.h - Data dependence analysis ----------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative data-dependence analysis over the loop-nest IR.
+///
+/// For each ordered pair of computations accessing the same array (at least
+/// one a write), the analysis enumerates direction vectors over the common
+/// loops and tests feasibility of the per-dimension subscript equations with
+/// a GCD test and Banerjee-style interval bounds. The result is sound
+/// (every real dependence is reported) but conservative (spurious direction
+/// vectors may be reported when bounds are symbolic or subscripts are
+/// coupled).
+///
+/// Direction semantics: an entry describes source iteration vs. sink
+/// iteration of the shared loop, outermost first. `Lt` means the source
+/// instance runs in an earlier iteration of that loop than the sink.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_ANALYSIS_DEPENDENCE_H
+#define DAISY_ANALYSIS_DEPENDENCE_H
+
+#include "analysis/Accesses.h"
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// Relation between the source and sink iteration of one common loop.
+enum class DepDirection { Eq, Lt, Gt };
+
+/// Classification by access kinds.
+enum class DepKind {
+  Flow,   ///< Write then read (true dependence).
+  Anti,   ///< Read then write.
+  Output  ///< Write then write.
+};
+
+/// A dependence between two computation instances.
+struct Dependence {
+  /// Source and sink computations (source executes first).
+  std::shared_ptr<Computation> Src;
+  std::shared_ptr<Computation> Dst;
+  /// The array causing the dependence.
+  std::string Array;
+  DepKind Kind = DepKind::Flow;
+  /// The common loops of source and sink, outermost first.
+  std::vector<std::shared_ptr<Loop>> CommonLoops;
+  /// One feasible direction vector over CommonLoops.
+  std::vector<DepDirection> Directions;
+
+  /// True if all directions are Eq (dependence within one iteration of
+  /// every common loop).
+  bool isLoopIndependent() const;
+
+  /// Index into CommonLoops of the first Lt entry, or -1 for a
+  /// loop-independent dependence.
+  int carrierLevel() const;
+
+  /// Renders e.g. "flow S0 -> S1 on A [<,=]".
+  std::string toString() const;
+};
+
+/// Direction-vector feasibility oracle for one pair of accesses, before any
+/// execution-order filtering. Exposed separately because fusion legality
+/// needs the unfiltered answer.
+///
+/// Returns every direction vector over the common loops of \p S and \p T
+/// for which "access \p A in \p S and access \p B in \p T may touch the
+/// same element" is feasible. An empty result means independence.
+std::vector<std::vector<DepDirection>>
+feasibleDirectionVectors(const StmtInfo &S, const ArrayAccess &A,
+                         const StmtInfo &T, const ArrayAccess &B,
+                         const ValueEnv &Params);
+
+/// Computes all dependences among the computations under \p Roots.
+///
+/// A direction vector is reported as a dependence from S to T iff it is
+/// feasible and consistent with execution order: lexicographically positive,
+/// or all-Eq when S textually precedes T.
+std::vector<Dependence> computeDependences(const std::vector<NodePtr> &Roots,
+                                           const ValueEnv &Params);
+
+/// Overload scoped to a single nest.
+std::vector<Dependence> computeDependences(const NodePtr &Root,
+                                           const ValueEnv &Params);
+
+} // namespace daisy
+
+#endif // DAISY_ANALYSIS_DEPENDENCE_H

@@ -1,0 +1,81 @@
+//===- analysis/Legality.h - Transformation legality queries -----*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Legality queries for the loop transformations: permutation, distribution
+/// (fission), fusion, and parallelization. All queries are built on the
+/// conservative dependence analysis, so a "legal" verdict is sound while an
+/// "illegal" verdict may be conservative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_ANALYSIS_LEGALITY_H
+#define DAISY_ANALYSIS_LEGALITY_H
+
+#include "analysis/Dependence.h"
+#include "ir/Program.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// Returns the perfect band of \p Root: the maximal chain of loops where
+/// each loop's body is exactly one child loop. \p Root must be a loop; it
+/// is always the first entry.
+std::vector<std::shared_ptr<Loop>> perfectNestBand(const NodePtr &Root);
+
+/// True if permuting the perfect band of \p Root into iterator order
+/// \p NewOrder preserves all dependences. \p NewOrder must be a
+/// permutation of the band's iterator names.
+bool isPermutationLegal(const NodePtr &Root,
+                        const std::vector<std::string> &NewOrder,
+                        const ValueEnv &Params);
+
+/// Loops (by node identity) in \p Root's subtree that carry no dependence
+/// and can therefore run in parallel.
+///
+/// When \p Prog is provided, dependences on *privatizable transients* are
+/// discounted, as an OpenMP-style parallelizer would privatize them: a
+/// transient array (or scalar) whose subscripts reference no iterator at
+/// or above the carrier loop, and whose first access under the carrier is
+/// a write that does not read the array itself, gets a fresh private copy
+/// per iteration.
+std::set<const Loop *> parallelizableLoops(const NodePtr &Root,
+                                           const ValueEnv &Params,
+                                           const Program *Prog = nullptr);
+
+/// True if \p Target carries only reduction-style self-dependences: every
+/// dependence carried by \p Target has identical source and sink whose
+/// right-hand side is an associative update (add/mul/min/max at the root)
+/// of the written access. Such loops can be parallelized with atomic
+/// updates — the expensive fallback the paper reports for correlation and
+/// covariance.
+bool isReductionLoop(const NodePtr &Root, const Loop *Target,
+                     const ValueEnv &Params);
+
+/// Partition of \p L's immediate body into the finest legal distribution:
+/// strongly connected components of the body-item dependence graph, in an
+/// execution order that respects all dependences. Each group is a list of
+/// body indices in original order; groups of size one whose item is a loop
+/// or independent computation are "atomic" nests after fission.
+std::vector<std::vector<size_t>> distributionGroups(const Loop &L,
+                                                    const ValueEnv &Params);
+
+/// True if the adjacent sibling loops \p First then \p Second (in that
+/// execution order) can be fused into one loop: identical step, identical
+/// bounds (after renaming \p Second's iterator), and no aliasing pair of
+/// accesses where a \p First instance at a later fused iteration conflicts
+/// with a \p Second instance at an earlier one.
+bool canFuseLoops(const std::shared_ptr<Loop> &First,
+                  const std::shared_ptr<Loop> &Second,
+                  const ValueEnv &Params);
+
+} // namespace daisy
+
+#endif // DAISY_ANALYSIS_LEGALITY_H

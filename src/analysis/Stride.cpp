@@ -1,0 +1,114 @@
+//===- analysis/Stride.cpp ------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Stride.h"
+
+#include "analysis/Accesses.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace daisy;
+
+int64_t daisy::accessStride(const ArrayAccess &Access,
+                            const std::string &Iterator, int64_t Step,
+                            const Program &Prog) {
+  const ArrayDecl *Decl = Prog.findArray(Access.Array);
+  if (!Decl || Access.Indices.empty())
+    return 0;
+  int64_t Delta = 0;
+  for (size_t Dim = 0; Dim < Access.Indices.size(); ++Dim) {
+    int64_t Coefficient = Access.Indices[Dim].coefficient(Iterator);
+    if (Coefficient != 0)
+      Delta += Coefficient * Decl->dimStride(Dim);
+  }
+  return Delta * Step;
+}
+
+double daisy::sumOfStridesCost(const NodePtr &Root, const Program &Prog) {
+  double Cost = 0.0;
+  for (const StmtInfo &S : collectStatements(Root)) {
+    std::vector<IterRange> Ranges = conservativeRanges(S.Path, Prog.params());
+    // Advances[L]: approximately how many times level L's iterator steps
+    // during one execution of the nest = product of trip counts of levels
+    // 0..L. The innermost level dominates the sum, matching the intuition
+    // that consecutive accesses are mostly innermost-iterator steps.
+    std::vector<double> Advances(S.Path.size(), 1.0);
+    double Product = 1.0;
+    for (size_t L = 0; L < S.Path.size(); ++L) {
+      double Trip =
+          static_cast<double>(std::max<int64_t>(Ranges[L].span(), 1)) /
+          static_cast<double>(S.Path[L]->step());
+      Product *= Trip;
+      Advances[L] = Product;
+    }
+
+    AccessList Acc = accessesOf(*S.Comp);
+    std::vector<const ArrayAccess *> All;
+    All.push_back(&Acc.Write);
+    for (const ArrayAccess &R : Acc.Reads)
+      All.push_back(&R);
+
+    for (const ArrayAccess *Access : All) {
+      for (size_t L = 0; L < S.Path.size(); ++L) {
+        int64_t Delta = accessStride(*Access, S.Path[L]->iterator(),
+                                     S.Path[L]->step(), Prog);
+        if (Delta != 0)
+          Cost += static_cast<double>(std::llabs(Delta)) * Advances[L];
+      }
+    }
+  }
+  return Cost;
+}
+
+int64_t daisy::outOfOrderCount(const NodePtr &Root, const Program &Prog) {
+  int64_t Count = 0;
+  for (const StmtInfo &S : collectStatements(Root)) {
+    // Loop level of each iterator name.
+    std::map<std::string, size_t> Level;
+    for (size_t L = 0; L < S.Path.size(); ++L)
+      Level[S.Path[L]->iterator()] = L;
+
+    AccessList Acc = accessesOf(*S.Comp);
+    std::vector<const ArrayAccess *> All;
+    All.push_back(&Acc.Write);
+    for (const ArrayAccess &R : Acc.Reads)
+      All.push_back(&R);
+
+    for (const ArrayAccess *Access : All) {
+      if (!Prog.findArray(Access->Array) || Access->Indices.empty())
+        continue;
+      // Innermost (deepest) loop level referenced per dimension; -1 if the
+      // dimension is loop-invariant.
+      std::vector<int> DimLevel(Access->Indices.size(), -1);
+      for (size_t Dim = 0; Dim < Access->Indices.size(); ++Dim)
+        for (const auto &[Name, Coefficient] :
+             Access->Indices[Dim].terms()) {
+          auto It = Level.find(Name);
+          if (It != Level.end())
+            DimLevel[Dim] =
+                std::max(DimLevel[Dim], static_cast<int>(It->second));
+        }
+      // Count inverted dimension pairs.
+      for (size_t D1 = 0; D1 < DimLevel.size(); ++D1)
+        for (size_t D2 = D1 + 1; D2 < DimLevel.size(); ++D2)
+          if (DimLevel[D1] >= 0 && DimLevel[D2] >= 0 &&
+              DimLevel[D1] > DimLevel[D2])
+            ++Count;
+      // Penalize when the innermost loop does not drive the last dimension.
+      if (!S.Path.empty()) {
+        int Innermost = static_cast<int>(S.Path.size()) - 1;
+        bool LastDimInnermost = DimLevel.back() == Innermost;
+        bool InnermostUsed = false;
+        for (int L : DimLevel)
+          InnermostUsed |= L == Innermost;
+        if (InnermostUsed && !LastDimInnermost)
+          ++Count;
+      }
+    }
+  }
+  return Count;
+}

@@ -1,0 +1,49 @@
+//===- analysis/Stride.h - Stride cost functions -----------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stride cost functions for loop nests (paper §2.2).
+///
+/// `stride(loop)` maps subsequent accesses to arrays within each
+/// computation of a loop nest to a real value. Two instances are provided:
+///
+/// - sumOfStridesCost — "the sum of all distances between two subsequent
+///   accesses to all arrays over all computations": for every access and
+///   every loop level, the absolute address delta caused by one step of
+///   that level's iterator, weighted by how often that iterator advances.
+/// - outOfOrderCount — the fallback for symbolic dimensions: "the number
+///   of out-of-order accesses w.r.t. the permutation of loop iterators and
+///   array dimensions".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_ANALYSIS_STRIDE_H
+#define DAISY_ANALYSIS_STRIDE_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+
+namespace daisy {
+
+/// Weighted sum of address deltas over all accesses of all computations in
+/// \p Root. Lower is better; comparable only across permutations of the
+/// same nest. Array layouts come from \p Prog (row-major).
+double sumOfStridesCost(const NodePtr &Root, const Program &Prog);
+
+/// Counts (access, dimension-pair) combinations whose loop levels are
+/// inverted w.r.t. the array's dimension order, plus accesses whose
+/// innermost-varying subscript is not the last dimension.
+int64_t outOfOrderCount(const NodePtr &Root, const Program &Prog);
+
+/// Address delta (in elements) of \p Access when iterator \p Iterator
+/// advances by \p Step, under the row-major layout of \p Prog.
+int64_t accessStride(const ArrayAccess &Access, const std::string &Iterator,
+                     int64_t Step, const Program &Prog);
+
+} // namespace daisy
+
+#endif // DAISY_ANALYSIS_STRIDE_H

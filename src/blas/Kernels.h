@@ -1,0 +1,48 @@
+//===- blas/Kernels.h - Model BLAS library ------------------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The model BLAS library backing CallNode idioms. The paper's daisy
+/// replaces detected BLAS-3 loop nests with optimized library calls; this
+/// module is that library's substitute: reference kernels defining the
+/// semantics (used by the interpreter) and a calibrated cost model (used
+/// by the machine simulator — library kernels run near machine peak).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_BLAS_KERNELS_H
+#define DAISY_BLAS_KERNELS_H
+
+#include "ir/Node.h"
+
+#include <cstdint>
+
+namespace daisy {
+
+/// C[M x N] = Beta*C + Alpha * A[M x K] * B[K x N], row-major.
+void gemm(double *C, const double *A, const double *B, int64_t M, int64_t N,
+          int64_t K, double Alpha, double Beta);
+
+/// C[N x N] (lower triangle) = Beta*C + Alpha * A[N x K] * A^T.
+void syrk(double *C, const double *A, int64_t N, int64_t K, double Alpha,
+          double Beta);
+
+/// C[N x N] (lower triangle) = Beta*C + Alpha*(A*B^T + B*A^T),
+/// A and B are [N x K].
+void syr2k(double *C, const double *A, const double *B, int64_t N, int64_t K,
+           double Alpha, double Beta);
+
+/// y[M] = Beta*y + Alpha * A[M x N] * x[N].
+void gemv(double *Y, const double *A, const double *X, int64_t M, int64_t N,
+          double Alpha, double Beta);
+
+/// Fraction of machine peak FLOP/s the library kernel sustains; the
+/// machine model charges Call nodes flops() / (Peak * efficiency).
+double blasEfficiency(BlasKind Kind, const std::vector<int64_t> &Dims);
+
+} // namespace daisy
+
+#endif // DAISY_BLAS_KERNELS_H

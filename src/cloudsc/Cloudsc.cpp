@@ -1,0 +1,254 @@
+//===- cloudsc/Cloudsc.cpp ------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cloudsc/Cloudsc.h"
+
+#include "ir/Builder.h"
+#include "ir/Rewrite.h"
+#include "normalize/Pipeline.h"
+#include "transform/Cse.h"
+#include "transform/Fuse.h"
+#include "transform/Parallelize.h"
+
+#include <functional>
+#include <set>
+
+using namespace daisy;
+
+namespace {
+
+/// Maximum fused body size of the §5.1 recipe: fusion must not recreate
+/// the oversized bodies fission removed.
+constexpr int FusedBodyLimit = 6;
+
+/// FOEEWM-style saturation formula over ZTP1 at [Block][Level][jl]; the
+/// optional vertical feedback term couples consecutive levels.
+ExprPtr saturation(const std::vector<AffineExpr> &Idx, bool WithFeedback,
+                   const std::vector<AffineExpr> &PrevIdx) {
+  ExprPtr T = read("ZTP1", Idx);
+  ExprPtr Sat = eexp(lit(17.5) * T / (T + lit(241.0)));
+  if (WithFeedback)
+    Sat = Sat + lit(0.001) * read("ZFLX", PrevIdx);
+  return Sat;
+}
+
+/// Appends the erosion-of-clouds body (Fig. 10a) to \p Body: a chain of
+/// intermediate scalars with the saturation formula inlined at both of
+/// its use sites, updating ZQSMIX / ZTP1 / ZL / ZLNEG. \p Idx indexes the
+/// physics arrays; scalars are plain transient scalars.
+void appendErosionBody(std::vector<NodePtr> &Body,
+                       const std::vector<AffineExpr> &Idx,
+                       bool WithFeedback,
+                       const std::vector<AffineExpr> &PrevIdx) {
+  ExprPtr Qsmix = read("ZQSMIX", Idx);
+  ExprPtr L = read("ZL", Idx);
+
+  // First inlined FOEEWM chain.
+  Body.push_back(assignScalar("F1", "t_sat1",
+                              saturation(Idx, WithFeedback, PrevIdx)));
+  Body.push_back(assignScalar(
+      "F2", "t_qsat1",
+      lit(0.62) * read("t_sat1") /
+          emax(lit(0.1), read("PAP", Idx) - read("t_sat1"))));
+  Body.push_back(assignScalar(
+      "C1", "t_qe", emax(lit(0.0), emin(read("t_qsat1"), Qsmix))));
+  Body.push_back(assignScalar(
+      "C2", "t_lnew",
+      emax(lit(0.0), L - lit(0.8) * (read("t_qsat1") - read("t_qe")))));
+  Body.push_back(assignScalar(
+      "C3", "t_cond",
+      emax(lit(0.0), Qsmix - read("t_qe")) * read("ZA", Idx)));
+
+  // Second use site: the inliner duplicated the FOEEWM chain.
+  Body.push_back(assignScalar("F3", "t_sat2",
+                              saturation(Idx, WithFeedback, PrevIdx)));
+  Body.push_back(assignScalar(
+      "F4", "t_qsat2",
+      lit(0.62) * read("t_sat2") /
+          emax(lit(0.1), read("PAP", Idx) - read("t_sat2"))));
+  Body.push_back(assignScalar(
+      "C4", "t_ldcp", lit(2.8) * (lit(1.0) + lit(0.9) * read("t_qsat2"))));
+  Body.push_back(assignScalar(
+      "C5", "t_sup",
+      emax(lit(0.0), read("ZQ", Idx) - read("t_qsat2")) * lit(0.3)));
+  Body.push_back(
+      assignScalar("C6", "t_er", read("t_cond") * read("t_ldcp")));
+
+  Body.push_back(assign("W1", "ZLNEG", Idx,
+                        read("ZLNEG", Idx) + lit(0.1) * read("t_lnew")));
+  Body.push_back(assign("W2", "ZQSMIX", Idx,
+                        Qsmix - read("t_cond") +
+                            lit(0.05) * read("t_sup")));
+  Body.push_back(assign("W3", "ZTP1", Idx,
+                        read("ZTP1", Idx) + read("t_er") +
+                            lit(0.1) * read("t_lnew")));
+  Body.push_back(assign(
+      "W4", "ZL", Idx, emax(lit(0.0), L - lit(0.2) * read("t_lnew"))));
+}
+
+/// Declares the erosion scalars on \p P.
+void declareErosionScalars(Program &P) {
+  for (const char *Name : {"t_sat1", "t_qsat1", "t_qe", "t_lnew", "t_cond",
+                           "t_sat2", "t_qsat2", "t_ldcp", "t_sup", "t_er"})
+    P.addArray(Name, {}, /*Transient=*/true);
+}
+
+/// One tuned auxiliary physics kernel (6 computations: at the size the
+/// hand-tuned Fortran keeps register pressure and the vectorizer happy).
+void appendTunedKernelBody(std::vector<NodePtr> &Body, int K,
+                           const std::vector<AffineExpr> &Idx) {
+  std::string A = "ZKa" + std::to_string(K);
+  std::string B = "ZKb" + std::to_string(K);
+  std::string U1 = "u1_" + std::to_string(K);
+  std::string U2 = "u2_" + std::to_string(K);
+  std::string U3 = "u3_" + std::to_string(K);
+  std::string U4 = "u4_" + std::to_string(K);
+  Body.push_back(assignScalar(
+      "T1", U1, read(A, Idx) * lit(0.01) + lit(0.2)));
+  Body.push_back(assignScalar(
+      "T2", U2, emax(lit(0.0), read(U1) - lit(0.3))));
+  Body.push_back(assignScalar(
+      "T3", U3,
+      read(U2) * read(B, Idx) + esqrt(read(U1) * read(U1) + lit(0.01))));
+  Body.push_back(assignScalar("T4", U4, emin(read(U3), lit(1.0))));
+  Body.push_back(
+      assign("T5", A, Idx, read(A, Idx) + lit(0.1) * read(U4)));
+  Body.push_back(assign(
+      "T6", B, Idx, read(B, Idx) * lit(0.99) + lit(0.01) * read(U2)));
+}
+
+void declareTunedKernel(Program &P, int K, std::vector<int64_t> Shape) {
+  P.addArray("ZKa" + std::to_string(K), Shape);
+  P.addArray("ZKb" + std::to_string(K), Shape);
+  for (const char *Prefix : {"u1_", "u2_", "u3_", "u4_"})
+    P.addArray(Prefix + std::to_string(K), {}, /*Transient=*/true);
+}
+
+} // namespace
+
+Program daisy::buildErosionKernel(const CloudscConfig &Config) {
+  Program P("cloudsc-erosion");
+  std::vector<int64_t> Shape = {Config.Klev, Config.Nproma};
+  for (const char *Name :
+       {"ZTP1", "PAP", "ZQSMIX", "ZL", "ZA", "ZQ", "ZLNEG"})
+    P.addArray(Name, Shape);
+  declareErosionScalars(P);
+
+  std::vector<AffineExpr> Idx = {ax("jk"), ax("jl")};
+  std::vector<NodePtr> Body;
+  appendErosionBody(Body, Idx, /*WithFeedback=*/false, {});
+  P.append(forLoop(
+      "jk", 0, Config.Klev,
+      {forLoop("jl", 0, Config.Nproma, std::move(Body))}));
+  return P;
+}
+
+Program daisy::buildCloudsc(const CloudscConfig &Config,
+                            CloudscVariant Variant) {
+  Program P("cloudsc");
+  P.setParam("NPROMA", Config.Nproma);
+  P.setParam("KLEV", Config.Klev);
+  P.setParam("NBLOCKS", Config.Nblocks);
+  std::vector<int64_t> Shape = {Config.Nblocks, Config.Klev,
+                                Config.Nproma};
+  for (const char *Name :
+       {"ZTP1", "PAP", "ZQSMIX", "ZL", "ZA", "ZQ", "ZLNEG", "ZFLX"})
+    P.addArray(Name, Shape);
+  declareErosionScalars(P);
+  constexpr int NumTuned = 5;
+  for (int K = 0; K < NumTuned; ++K)
+    declareTunedKernel(P, K, Shape);
+  if (Variant == CloudscVariant::C)
+    P.addArray("ZQBUF", {Config.Nproma}, /*Transient=*/true);
+
+  std::vector<AffineExpr> Idx = {ax("b"), ax("jk"), ax("jl")};
+  std::vector<AffineExpr> PrevIdx = {ax("b"), ax("jk") - 1, ax("jl")};
+
+  // Per-level kernel sequence.
+  std::vector<NodePtr> LevelBody;
+  if (Variant == CloudscVariant::C) {
+    // The C port stages ZQ through an explicit NPROMA buffer.
+    LevelBody.push_back(forLoop(
+        "jl", 0, Config.Nproma,
+        {assign("CP0", "ZQBUF", {ax("jl")}, read("ZQ", Idx))}));
+  }
+  {
+    std::vector<NodePtr> Erosion;
+    appendErosionBody(Erosion, Idx, /*WithFeedback=*/true, PrevIdx);
+    LevelBody.push_back(
+        forLoop("jl", 0, Config.Nproma, std::move(Erosion)));
+  }
+  // Vertical flux update closes the level-to-level feedback loop.
+  LevelBody.push_back(forLoop(
+      "jl", 0, Config.Nproma,
+      {assign("FX", "ZFLX", Idx,
+              read("ZFLX", PrevIdx) + lit(0.1) * read("ZQSMIX", Idx))}));
+  for (int K = 0; K < NumTuned; ++K) {
+    std::vector<NodePtr> Kernel;
+    appendTunedKernelBody(Kernel, K, Idx);
+    LevelBody.push_back(
+        forLoop("jl", 0, Config.Nproma, std::move(Kernel)));
+  }
+  if (Variant == CloudscVariant::C) {
+    LevelBody.push_back(forLoop(
+        "jl", 0, Config.Nproma,
+        {assign("CP1", "ZQ", Idx, read("ZQBUF", {ax("jl")}))}));
+  }
+
+  if (Variant == CloudscVariant::DaCe) {
+    // The DaCe Python frontend materializes every statement as its own
+    // map, with intermediates as full-shape array temporaries.
+    std::vector<NodePtr> Fissioned;
+    std::set<std::string> Scalars;
+    for (const ArrayDecl &Decl : P.arrays())
+      if (Decl.Shape.empty())
+        Scalars.insert(Decl.Name);
+    std::vector<AffineExpr> Full = {ax("b"), ax("jk"), ax("jl")};
+    for (const NodePtr &Node : LevelBody) {
+      NodePtr Rewritten = Node;
+      for (const std::string &Scalar : Scalars)
+        Rewritten =
+            retargetArrayInNode(Rewritten, Scalar, Scalar + "_g", Full);
+      const auto *L = dynCast<Loop>(Rewritten);
+      for (const NodePtr &Child : L->body())
+        Fissioned.push_back(forLoop("jl", 0, Config.Nproma,
+                                    {Child->clone()}));
+    }
+    for (const std::string &Scalar : Scalars)
+      P.addArray(Scalar + "_g", Shape, /*Transient=*/true);
+    LevelBody = std::move(Fissioned);
+  }
+
+  P.append(forLoop(
+      "b", 0, Config.Nblocks,
+      {forLoop("jk", 1, Config.Klev, std::move(LevelBody))}));
+  return P;
+}
+
+Program daisy::optimizeCloudsc(const Program &Prog) {
+  // Step 1+2: a priori normalization (maximal fission with scalar
+  // expansion, stride minimization).
+  Program Result = normalize(Prog);
+
+  // Step 3: nest-level CSE and bounded producer-consumer fusion at every
+  // loop-body level (the paper applies them to the vertical loop's body).
+  std::function<void(std::vector<NodePtr> &)> OptimizeSiblings =
+      [&](std::vector<NodePtr> &Nodes) {
+        eliminateCommonNests(Nodes, Result);
+        Nodes = fuseProducerConsumers(Nodes, Result, FusedBodyLimit);
+        for (NodePtr &Node : Nodes)
+          if (auto *L = dynCast<Loop>(Node))
+            OptimizeSiblings(L->body());
+      };
+  OptimizeSiblings(Result.topLevel());
+
+  // Step 4: vectorize the NPROMA loops, parallelize the block loop.
+  for (const NodePtr &Node : Result.topLevel()) {
+    vectorizeInnermostUnitStride(Node, Result);
+    parallelizeOutermost(Node, Result.params(), &Result);
+  }
+  return Result;
+}

@@ -1,0 +1,73 @@
+//===- exec/DataEnv.cpp ---------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/DataEnv.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace daisy;
+
+DataEnv::DataEnv(const Program &Prog) {
+  for (const ArrayDecl &Decl : Prog.arrays()) {
+    Buffers.emplace(Decl.Name, std::vector<double>(
+                                   static_cast<size_t>(
+                                       std::max<int64_t>(
+                                           Decl.elementCount(), 1)),
+                                   0.0));
+    if (!Decl.Transient)
+      NonTransient.push_back(Decl.Name);
+  }
+}
+
+std::vector<double> &DataEnv::buffer(const std::string &Array) {
+  auto It = Buffers.find(Array);
+  assert(It != Buffers.end() && "unknown array");
+  return It->second;
+}
+
+const std::vector<double> &DataEnv::buffer(const std::string &Array) const {
+  auto It = Buffers.find(Array);
+  assert(It != Buffers.end() && "unknown array");
+  return It->second;
+}
+
+bool DataEnv::contains(const std::string &Array) const {
+  return Buffers.count(Array) != 0;
+}
+
+void DataEnv::initDeterministic(uint64_t Seed) {
+  for (const std::string &Name : NonTransient) {
+    std::vector<double> &Buffer = Buffers.at(Name);
+    // Mix the array name into the pattern so different operands differ.
+    uint64_t NameHash = 1469598103934665603ull;
+    for (char C : Name) {
+      NameHash ^= static_cast<unsigned char>(C);
+      NameHash *= 1099511628211ull;
+    }
+    double Scale = 1.0 + static_cast<double>((NameHash ^ Seed) % 7);
+    for (size_t I = 0; I < Buffer.size(); ++I)
+      Buffer[I] =
+          std::fmod(Scale * static_cast<double>(I % 251) + 1.0, 13.0) / 13.0;
+  }
+}
+
+double DataEnv::maxAbsDifference(const DataEnv &A, const DataEnv &B,
+                                 const Program &Prog) {
+  double MaxDiff = 0.0;
+  for (const ArrayDecl &Decl : Prog.arrays()) {
+    if (Decl.Transient)
+      continue;
+    if (!A.contains(Decl.Name) || !B.contains(Decl.Name))
+      continue;
+    const auto &BufA = A.buffer(Decl.Name);
+    const auto &BufB = B.buffer(Decl.Name);
+    assert(BufA.size() == BufB.size() && "shape mismatch");
+    for (size_t I = 0; I < BufA.size(); ++I)
+      MaxDiff = std::max(MaxDiff, std::fabs(BufA[I] - BufB[I]));
+  }
+  return MaxDiff;
+}

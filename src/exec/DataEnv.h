@@ -1,0 +1,53 @@
+//===- exec/DataEnv.h - Array storage for execution --------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete array storage used by the interpreter, plus deterministic
+/// initialization and comparison helpers for the semantics tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_EXEC_DATAENV_H
+#define DAISY_EXEC_DATAENV_H
+
+#include "ir/Program.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// Owns one buffer per declared array of a program.
+class DataEnv {
+public:
+  /// Allocates zero-initialized storage for every array of \p Prog.
+  explicit DataEnv(const Program &Prog);
+
+  /// Mutable buffer of \p Array; asserts if unknown.
+  std::vector<double> &buffer(const std::string &Array);
+  const std::vector<double> &buffer(const std::string &Array) const;
+
+  /// True if \p Array has storage here.
+  bool contains(const std::string &Array) const;
+
+  /// Deterministically fills every non-transient array with a PolyBench-
+  /// style pattern derived from \p Seed and the element index.
+  void initDeterministic(uint64_t Seed = 1);
+
+  /// Largest absolute difference over all non-transient arrays present in
+  /// both environments; asserts on shape mismatch.
+  static double maxAbsDifference(const DataEnv &A, const DataEnv &B,
+                                 const Program &Prog);
+
+private:
+  std::map<std::string, std::vector<double>> Buffers;
+  std::vector<std::string> NonTransient;
+};
+
+} // namespace daisy
+
+#endif // DAISY_EXEC_DATAENV_H

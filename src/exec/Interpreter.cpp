@@ -1,0 +1,186 @@
+//===- exec/Interpreter.cpp -----------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Interpreter.h"
+
+#include "blas/Kernels.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace daisy;
+
+namespace {
+
+class InterpreterImpl {
+public:
+  InterpreterImpl(const Program &Prog, DataEnv &Env)
+      : Prog(Prog), Env(Env), Vars(Prog.params()) {}
+
+  void run() {
+    for (const NodePtr &Node : Prog.topLevel())
+      execNode(Node);
+  }
+
+private:
+  int64_t evalAffine(const AffineExpr &Expr) const {
+    return Expr.evaluate(Vars);
+  }
+
+  size_t elementOffset(const ArrayAccess &Access) const {
+    const ArrayDecl &Decl = Prog.array(Access.Array);
+    assert(Decl.Shape.size() == Access.Indices.size() &&
+           "rank mismatch at execution");
+    int64_t Offset = 0;
+    for (size_t Dim = 0; Dim < Access.Indices.size(); ++Dim) {
+      int64_t Index = evalAffine(Access.Indices[Dim]);
+      assert(Index >= 0 && Index < Decl.Shape[Dim] &&
+             "subscript out of bounds");
+      Offset += Index * Decl.dimStride(Dim);
+    }
+    return static_cast<size_t>(Offset);
+  }
+
+  double evalExpr(const Expr &E) const {
+    switch (E.kind()) {
+    case ExprKind::Constant:
+      return E.constantValue();
+    case ExprKind::Read:
+      return Env.buffer(E.access().Array)[elementOffset(E.access())];
+    case ExprKind::Iter: {
+      auto It = Vars.find(E.name());
+      assert(It != Vars.end() && "unbound iterator");
+      return static_cast<double>(It->second);
+    }
+    case ExprKind::Param:
+      return static_cast<double>(Prog.param(E.name()));
+    case ExprKind::Unary: {
+      double V = evalExpr(*E.operands()[0]);
+      switch (E.unaryOp()) {
+      case UnaryOpKind::Neg:
+        return -V;
+      case UnaryOpKind::Exp:
+        return std::exp(V);
+      case UnaryOpKind::Log:
+        return std::log(V);
+      case UnaryOpKind::Sqrt:
+        return std::sqrt(V);
+      case UnaryOpKind::Abs:
+        return std::fabs(V);
+      }
+      return 0.0;
+    }
+    case ExprKind::Binary: {
+      double L = evalExpr(*E.operands()[0]);
+      double R = evalExpr(*E.operands()[1]);
+      switch (E.binaryOp()) {
+      case BinaryOpKind::Add:
+        return L + R;
+      case BinaryOpKind::Sub:
+        return L - R;
+      case BinaryOpKind::Mul:
+        return L * R;
+      case BinaryOpKind::Div:
+        return L / R;
+      case BinaryOpKind::Min:
+        return std::min(L, R);
+      case BinaryOpKind::Max:
+        return std::max(L, R);
+      case BinaryOpKind::Pow:
+        return std::pow(L, R);
+      case BinaryOpKind::Lt:
+        return L < R ? 1.0 : 0.0;
+      case BinaryOpKind::Le:
+        return L <= R ? 1.0 : 0.0;
+      case BinaryOpKind::Gt:
+        return L > R ? 1.0 : 0.0;
+      case BinaryOpKind::Ge:
+        return L >= R ? 1.0 : 0.0;
+      case BinaryOpKind::Eq:
+        return L == R ? 1.0 : 0.0;
+      }
+      return 0.0;
+    }
+    case ExprKind::Select:
+      return evalExpr(*E.operands()[0]) != 0.0
+                 ? evalExpr(*E.operands()[1])
+                 : evalExpr(*E.operands()[2]);
+    }
+    return 0.0;
+  }
+
+  void execCall(const CallNode &Call) {
+    const auto &Args = Call.args();
+    const auto &Dims = Call.dims();
+    switch (Call.callee()) {
+    case BlasKind::Gemm:
+      gemm(Env.buffer(Args[0]).data(), Env.buffer(Args[1]).data(),
+           Env.buffer(Args[2]).data(), Dims[0], Dims[1], Dims[2],
+           Call.alpha(), Call.beta());
+      break;
+    case BlasKind::Syrk:
+      syrk(Env.buffer(Args[0]).data(), Env.buffer(Args[1]).data(), Dims[0],
+           Dims[1], Call.alpha(), Call.beta());
+      break;
+    case BlasKind::Syr2k:
+      syr2k(Env.buffer(Args[0]).data(), Env.buffer(Args[1]).data(),
+            Env.buffer(Args[2]).data(), Dims[0], Dims[1], Call.alpha(),
+            Call.beta());
+      break;
+    case BlasKind::Gemv:
+      gemv(Env.buffer(Args[0]).data(), Env.buffer(Args[1]).data(),
+           Env.buffer(Args[2]).data(), Dims[0], Dims[1], Call.alpha(),
+           Call.beta());
+      break;
+    }
+  }
+
+  void execNode(const NodePtr &Node) {
+    if (const auto *C = dynCast<Computation>(Node)) {
+      double Value = evalExpr(*C->rhs());
+      Env.buffer(C->write().Array)[elementOffset(C->write())] = Value;
+      return;
+    }
+    if (const auto *Call = dynCast<CallNode>(Node)) {
+      execCall(*Call);
+      return;
+    }
+    const auto *L = dynCast<Loop>(Node);
+    assert(L && "unknown node kind");
+    int64_t Lo = evalAffine(L->lower());
+    int64_t Hi = evalAffine(L->upper());
+    for (int64_t I = Lo; I < Hi; I += L->step()) {
+      Vars[L->iterator()] = I;
+      for (const NodePtr &Child : L->body())
+        execNode(Child);
+    }
+    Vars.erase(L->iterator());
+  }
+
+  const Program &Prog;
+  DataEnv &Env;
+  ValueEnv Vars;
+};
+
+} // namespace
+
+void daisy::interpret(const Program &Prog, DataEnv &Env) {
+  InterpreterImpl(Prog, Env).run();
+}
+
+DataEnv daisy::runProgram(const Program &Prog, uint64_t Seed) {
+  DataEnv Env(Prog);
+  Env.initDeterministic(Seed);
+  interpret(Prog, Env);
+  return Env;
+}
+
+bool daisy::semanticallyEquivalent(const Program &A, const Program &B,
+                                   double Eps, uint64_t Seed) {
+  DataEnv EnvA = runProgram(A, Seed);
+  DataEnv EnvB = runProgram(B, Seed);
+  return DataEnv::maxAbsDifference(EnvA, EnvB, A) <= Eps;
+}

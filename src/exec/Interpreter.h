@@ -1,0 +1,39 @@
+//===- exec/Interpreter.h - Reference interpreter -----------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree-walking interpreter defining the semantics of the loop-nest IR.
+/// It is the ground truth for every transformation test: a transformation
+/// is correct iff interpreting the transformed program produces the same
+/// observable arrays as the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_EXEC_INTERPRETER_H
+#define DAISY_EXEC_INTERPRETER_H
+
+#include "exec/DataEnv.h"
+#include "ir/Program.h"
+
+namespace daisy {
+
+/// Executes \p Prog on \p Env. Parallel/vector marks are ignored (they do
+/// not change semantics); Call nodes run the reference BLAS kernels.
+void interpret(const Program &Prog, DataEnv &Env);
+
+/// Convenience: allocates an environment, initializes it deterministically
+/// with \p Seed, runs the program, and returns the environment.
+DataEnv runProgram(const Program &Prog, uint64_t Seed = 1);
+
+/// True if \p A and \p B compute the same observable arrays on a
+/// deterministic input (tolerance \p Eps, seed \p Seed). Both programs
+/// must declare the same non-transient arrays.
+bool semanticallyEquivalent(const Program &A, const Program &B,
+                            double Eps = 1e-9, uint64_t Seed = 1);
+
+} // namespace daisy
+
+#endif // DAISY_EXEC_INTERPRETER_H

@@ -1,0 +1,99 @@
+//===- frontends/PolyBench.cpp - dispatcher -------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/PolyBenchDetail.h"
+
+using namespace daisy;
+using namespace daisy::polybench_detail;
+
+NodePtr polybench_detail::opaque(NodePtr Node) {
+  if (auto *L = dynCast<Loop>(Node))
+    L->setOpaque(true);
+  return Node;
+}
+
+std::vector<PolyBenchKernel> daisy::allPolyBenchKernels() {
+  return {PolyBenchKernel::TwoMM,       PolyBenchKernel::ThreeMM,
+          PolyBenchKernel::Atax,        PolyBenchKernel::Bicg,
+          PolyBenchKernel::Correlation, PolyBenchKernel::Covariance,
+          PolyBenchKernel::Fdtd2d,      PolyBenchKernel::Gemm,
+          PolyBenchKernel::Gemver,      PolyBenchKernel::Gesummv,
+          PolyBenchKernel::Heat3d,      PolyBenchKernel::Jacobi2d,
+          PolyBenchKernel::Mvt,         PolyBenchKernel::Syr2k,
+          PolyBenchKernel::Syrk};
+}
+
+std::string daisy::polyBenchName(PolyBenchKernel Kernel) {
+  switch (Kernel) {
+  case PolyBenchKernel::TwoMM:
+    return "2mm";
+  case PolyBenchKernel::ThreeMM:
+    return "3mm";
+  case PolyBenchKernel::Atax:
+    return "atax";
+  case PolyBenchKernel::Bicg:
+    return "bicg";
+  case PolyBenchKernel::Correlation:
+    return "correlation";
+  case PolyBenchKernel::Covariance:
+    return "covariance";
+  case PolyBenchKernel::Fdtd2d:
+    return "fdtd-2d";
+  case PolyBenchKernel::Gemm:
+    return "gemm";
+  case PolyBenchKernel::Gemver:
+    return "gemver";
+  case PolyBenchKernel::Gesummv:
+    return "gesummv";
+  case PolyBenchKernel::Heat3d:
+    return "heat-3d";
+  case PolyBenchKernel::Jacobi2d:
+    return "jacobi-2d";
+  case PolyBenchKernel::Mvt:
+    return "mvt";
+  case PolyBenchKernel::Syr2k:
+    return "syr2k";
+  case PolyBenchKernel::Syrk:
+    return "syrk";
+  }
+  return "?";
+}
+
+Program daisy::buildPolyBench(PolyBenchKernel Kernel, VariantKind Variant) {
+  switch (Kernel) {
+  case PolyBenchKernel::TwoMM:
+    return build2mm(Variant);
+  case PolyBenchKernel::ThreeMM:
+    return build3mm(Variant);
+  case PolyBenchKernel::Atax:
+    return buildAtax(Variant);
+  case PolyBenchKernel::Bicg:
+    return buildBicg(Variant);
+  case PolyBenchKernel::Correlation:
+    return buildCorrelation(Variant);
+  case PolyBenchKernel::Covariance:
+    return buildCovariance(Variant);
+  case PolyBenchKernel::Fdtd2d:
+    return buildFdtd2d(Variant);
+  case PolyBenchKernel::Gemm:
+    return buildGemm(Variant);
+  case PolyBenchKernel::Gemver:
+    return buildGemver(Variant);
+  case PolyBenchKernel::Gesummv:
+    return buildGesummv(Variant);
+  case PolyBenchKernel::Heat3d:
+    return buildHeat3d(Variant);
+  case PolyBenchKernel::Jacobi2d:
+    return buildJacobi2d(Variant);
+  case PolyBenchKernel::Mvt:
+    return buildMvt(Variant);
+  case PolyBenchKernel::Syr2k:
+    return buildSyr2k(Variant);
+  case PolyBenchKernel::Syrk:
+    return buildSyrk(Variant);
+  }
+  return Program("invalid");
+}

@@ -1,0 +1,65 @@
+//===- frontends/PolyBench.h - PolyBench kernel builders ---------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR builders for the 15 parallelizable PolyBench benchmarks of the
+/// paper's evaluation, in three variants each:
+///
+/// - VariantKind::A  — the PolyBench 4.2 reference loop structure, as the
+///   C frontend would lift it.
+/// - VariantKind::B  — a semantically equivalent alternative with
+///   different loop permutations and compositions (the paper generates
+///   these randomly; here they are fixed, legality- and semantics-checked
+///   alternates so experiments are reproducible).
+/// - VariantKind::NPBench — the structure the DaCe Python frontend
+///   produces from the NPBench NumPy implementation: one nest per array
+///   operation with materialized temporaries, natural loop orders.
+///
+/// Scalar coefficients (alpha, beta, stencil weights) are inlined as
+/// literals, as constant propagation would do. Problem sizes are the
+/// paper's LARGE sizes scaled down by the same factor as the simulated
+/// cache hierarchy (DESIGN.md §2).
+///
+/// The correlation and covariance A/B (C-frontend) variants mark their
+/// mean/stddev nests opaque, reproducing the paper's lifting failure
+/// (§4.1); the NPBench variants do not (§4.3: "correlation and covariance
+/// do not show the problems of Section 4.1 due to a different structure
+/// of the SDFGs from the Python frontend").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_FRONTENDS_POLYBENCH_H
+#define DAISY_FRONTENDS_POLYBENCH_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// The 15 parallelizable PolyBench benchmarks of the evaluation.
+enum class PolyBenchKernel {
+  TwoMM, ThreeMM, Atax, Bicg, Correlation, Covariance, Fdtd2d, Gemm,
+  Gemver, Gesummv, Heat3d, Jacobi2d, Mvt, Syr2k, Syrk
+};
+
+/// Source-structure variant of a benchmark.
+enum class VariantKind { A, B, NPBench };
+
+/// All 15 kernels in the paper's figure order.
+std::vector<PolyBenchKernel> allPolyBenchKernels();
+
+/// Display name ("2mm", "atax", ...).
+std::string polyBenchName(PolyBenchKernel Kernel);
+
+/// Builds the kernel in the requested variant at the default (scaled
+/// LARGE) size.
+Program buildPolyBench(PolyBenchKernel Kernel, VariantKind Variant);
+
+} // namespace daisy
+
+#endif // DAISY_FRONTENDS_POLYBENCH_H

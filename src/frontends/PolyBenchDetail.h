@@ -1,0 +1,61 @@
+//===- frontends/PolyBenchDetail.h - shared builder helpers ------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helpers shared by the PolyBench builder translation units.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_FRONTENDS_POLYBENCHDETAIL_H
+#define DAISY_FRONTENDS_POLYBENCHDETAIL_H
+
+#include "frontends/PolyBench.h"
+#include "ir/Builder.h"
+
+namespace daisy {
+namespace polybench_detail {
+
+/// PolyBench default coefficients after constant propagation.
+constexpr double Alpha = 1.5;
+constexpr double Beta = 1.2;
+
+/// Scaled LARGE problem sizes (DESIGN.md: problem sizes and the simulated
+/// cache hierarchy are scaled by the same factor).
+struct Sizes {
+  static constexpr int Matmul = 64;   ///< gemm/2mm/3mm/syrk/syr2k dims
+  static constexpr int Vector = 192;  ///< atax/bicg/mvt/gemver/gesummv
+  static constexpr int DataM = 64;    ///< correlation/covariance features
+  static constexpr int DataN = 96;    ///< correlation/covariance points
+  static constexpr int StencilT = 12; ///< jacobi-2d / fdtd-2d time steps
+  static constexpr int StencilN = 64; ///< jacobi-2d / fdtd-2d extent
+  static constexpr int Heat3dT = 6;
+  static constexpr int Heat3dN = 24;
+};
+
+// Builders (one per kernel), defined across the PolyBench*.cpp files.
+Program buildGemm(VariantKind V);
+Program build2mm(VariantKind V);
+Program build3mm(VariantKind V);
+Program buildSyrk(VariantKind V);
+Program buildSyr2k(VariantKind V);
+Program buildAtax(VariantKind V);
+Program buildBicg(VariantKind V);
+Program buildMvt(VariantKind V);
+Program buildGemver(VariantKind V);
+Program buildGesummv(VariantKind V);
+Program buildCorrelation(VariantKind V);
+Program buildCovariance(VariantKind V);
+Program buildJacobi2d(VariantKind V);
+Program buildFdtd2d(VariantKind V);
+Program buildHeat3d(VariantKind V);
+
+/// Marks a nest opaque (lifting failure model).
+NodePtr opaque(NodePtr Node);
+
+} // namespace polybench_detail
+} // namespace daisy
+
+#endif // DAISY_FRONTENDS_POLYBENCHDETAIL_H

@@ -1,0 +1,477 @@
+//===- frontends/PolyBenchLinear.cpp - linear-algebra kernels -------------==//
+//
+// Part of the daisy project. MIT license.
+//
+// Builders for gemm, 2mm, 3mm, syrk, syr2k, atax, bicg, mvt, gemver, and
+// gesummv, in A / B / NPBench variants (see PolyBench.h for variant
+// semantics). The A variants follow the PolyBench 4.2 reference loop
+// structures; B variants permute and recompose loops without changing
+// semantics (verified by the frontends test suite via the interpreter).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/PolyBenchDetail.h"
+
+using namespace daisy;
+using namespace daisy::polybench_detail;
+
+namespace {
+
+/// `Dst[i][j] (+)= alpha * L[i][k] * R[k][j]` accumulation statement.
+NodePtr matmulAcc(const std::string &Name, const std::string &Dst,
+                  const std::string &L, const std::string &R,
+                  double AlphaVal = 1.0) {
+  ExprPtr Product = read(L, {ax("i"), ax("k")}) * read(R, {ax("k"), ax("j")});
+  if (AlphaVal != 1.0)
+    Product = lit(AlphaVal) * Product;
+  return assign(Name, Dst, {ax("i"), ax("j")},
+                read(Dst, {ax("i"), ax("j")}) + Product);
+}
+
+} // namespace
+
+Program polybench_detail::buildGemm(VariantKind V) {
+  int N = Sizes::Matmul;
+  Program P("gemm");
+  P.addArray("A", {N, N});
+  P.addArray("B", {N, N});
+  P.addArray("C", {N, N});
+  NodePtr Scale = assign("Sb", "C", {ax("i"), ax("j")},
+                         read("C", {ax("i"), ax("j")}) * lit(Beta));
+  NodePtr Acc = matmulAcc("Sc", "C", "A", "B", Alpha);
+
+  switch (V) {
+  case VariantKind::A:
+    // for i { for j { C *= beta; for k C += alpha*A*B } }
+    P.append(forLoop(
+        "i", 0, N,
+        {forLoop("j", 0, N, {Scale, forLoop("k", 0, N, {Acc})})}));
+    break;
+  case VariantKind::B:
+    // Scale with j outer; accumulation with k outermost, i innermost.
+    P.append(forLoop(
+        "j", 0, N,
+        {forLoop("i", 0, N,
+                 {assign("Sb", "C", {ax("i"), ax("j")},
+                         read("C", {ax("i"), ax("j")}) * lit(Beta))})}));
+    P.append(forLoop(
+        "k", 0, N,
+        {forLoop("j", 0, N, {forLoop("i", 0, N, {Acc->clone()})})}));
+    break;
+  case VariantKind::NPBench:
+    // C *= beta; t = A @ B; C += alpha * t.
+    P.addArray("t_mm", {N, N}, /*Transient=*/true);
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {Scale->clone()})}));
+    P.append(forLoop("i", 0, N,
+                     {forLoop("j", 0, N,
+                              {assign("S0", "t_mm", {ax("i"), ax("j")},
+                                      lit(0.0))})}));
+    P.append(forLoop(
+        "i", 0, N,
+        {forLoop("j", 0, N,
+                 {forLoop("k", 0, N,
+                          {matmulAcc("S1", "t_mm", "A", "B")})})}));
+    P.append(forLoop(
+        "i", 0, N,
+        {forLoop("j", 0, N,
+                 {assign("S2", "C", {ax("i"), ax("j")},
+                         read("C", {ax("i"), ax("j")}) +
+                             lit(Alpha) * read("t_mm",
+                                              {ax("i"), ax("j")}))})}));
+    break;
+  }
+  return P;
+}
+
+Program polybench_detail::build2mm(VariantKind V) {
+  int N = Sizes::Matmul;
+  Program P("2mm");
+  P.addArray("A", {N, N});
+  P.addArray("B", {N, N});
+  P.addArray("C", {N, N});
+  P.addArray("D", {N, N});
+  P.addArray("tmp", {N, N}, /*Transient=*/true);
+
+  NodePtr TmpInit = assign("S0", "tmp", {ax("i"), ax("j")}, lit(0.0));
+  NodePtr TmpAcc = matmulAcc("S1", "tmp", "A", "B", Alpha);
+  NodePtr DScale = assign("S2", "D", {ax("i"), ax("j")},
+                          read("D", {ax("i"), ax("j")}) * lit(Beta));
+  NodePtr DAcc = matmulAcc("S3", "D", "tmp", "C");
+
+  switch (V) {
+  case VariantKind::A:
+    P.append(forLoop(
+        "i", 0, N,
+        {forLoop("j", 0, N, {TmpInit, forLoop("k", 0, N, {TmpAcc})})}));
+    P.append(forLoop(
+        "i", 0, N,
+        {forLoop("j", 0, N, {DScale, forLoop("k", 0, N, {DAcc})})}));
+    break;
+  case VariantKind::B:
+    // Inits hoisted with flipped orders; accumulations with k outermost.
+    P.append(forLoop("j", 0, N,
+                     {forLoop("i", 0, N, {TmpInit->clone()})}));
+    P.append(forLoop(
+        "k", 0, N,
+        {forLoop("i", 0, N, {forLoop("j", 0, N, {TmpAcc->clone()})})}));
+    P.append(forLoop("j", 0, N,
+                     {forLoop("i", 0, N, {DScale->clone()})}));
+    P.append(forLoop(
+        "k", 0, N,
+        {forLoop("j", 0, N, {forLoop("i", 0, N, {DAcc->clone()})})}));
+    break;
+  case VariantKind::NPBench:
+    P.append(forLoop("i", 0, N,
+                     {forLoop("j", 0, N, {TmpInit->clone()})}));
+    P.append(forLoop(
+        "i", 0, N,
+        {forLoop("j", 0, N, {forLoop("k", 0, N, {TmpAcc->clone()})})}));
+    P.append(forLoop("i", 0, N,
+                     {forLoop("j", 0, N, {DScale->clone()})}));
+    P.append(forLoop(
+        "i", 0, N,
+        {forLoop("j", 0, N, {forLoop("k", 0, N, {DAcc->clone()})})}));
+    break;
+  }
+  return P;
+}
+
+Program polybench_detail::build3mm(VariantKind V) {
+  int N = Sizes::Matmul;
+  Program P("3mm");
+  for (const char *Name : {"A", "B", "C", "D", "G"})
+    P.addArray(Name, {N, N});
+  P.addArray("E", {N, N}, /*Transient=*/true);
+  P.addArray("F", {N, N}, /*Transient=*/true);
+
+  auto InitAcc = [&](const std::string &Dst, const std::string &L,
+                     const std::string &R, const std::string &Tag,
+                     VariantKind Var) -> std::vector<NodePtr> {
+    NodePtr Init = assign("I" + Tag, Dst, {ax("i"), ax("j")}, lit(0.0));
+    NodePtr Acc = matmulAcc("A" + Tag, Dst, L, R);
+    switch (Var) {
+    case VariantKind::A:
+      return {forLoop("i", 0, N,
+                      {forLoop("j", 0, N,
+                               {Init, forLoop("k", 0, N, {Acc})})})};
+    case VariantKind::B:
+      return {forLoop("j", 0, N, {forLoop("i", 0, N, {Init})}),
+              forLoop("k", 0, N,
+                      {forLoop("i", 0, N, {forLoop("j", 0, N, {Acc})})})};
+    case VariantKind::NPBench:
+      return {forLoop("i", 0, N, {forLoop("j", 0, N, {Init})}),
+              forLoop("i", 0, N,
+                      {forLoop("j", 0, N, {forLoop("k", 0, N, {Acc})})})};
+    }
+    return {};
+  };
+
+  for (NodePtr &Node : InitAcc("E", "A", "B", "e", V))
+    P.append(std::move(Node));
+  for (NodePtr &Node : InitAcc("F", "C", "D", "f", V))
+    P.append(std::move(Node));
+  for (NodePtr &Node : InitAcc("G", "E", "F", "g", V))
+    P.append(std::move(Node));
+  return P;
+}
+
+Program polybench_detail::buildSyrk(VariantKind V) {
+  int N = Sizes::Matmul;
+  Program P("syrk");
+  P.addArray("A", {N, N});
+  P.addArray("C", {N, N});
+  NodePtr Scale = assign("S0", "C", {ax("i"), ax("j")},
+                         read("C", {ax("i"), ax("j")}) * lit(Beta));
+  NodePtr Acc = assign("S1", "C", {ax("i"), ax("j")},
+                       read("C", {ax("i"), ax("j")}) +
+                           lit(Alpha) * read("A", {ax("i"), ax("k")}) *
+                               read("A", {ax("j"), ax("k")}));
+
+  switch (V) {
+  case VariantKind::A:
+    // for i { for j<=i C *= beta; for k for j<=i C += ... }
+    P.append(forLoop(
+        "i", 0, N,
+        {forLoop("j", ac(0), ax("i") + 1, {Scale}),
+         forLoop("k", 0, N,
+                 {forLoop("j", ac(0), ax("i") + 1, {Acc})})}));
+    break;
+  case VariantKind::B:
+    P.append(forLoop("i", 0, N,
+                     {forLoop("j", ac(0), ax("i") + 1, {Scale->clone()})}));
+    P.append(forLoop(
+        "k", 0, N,
+        {forLoop("i", 0, N,
+                 {forLoop("j", ac(0), ax("i") + 1, {Acc->clone()})})}));
+    break;
+  case VariantKind::NPBench:
+    P.append(forLoop("i", 0, N,
+                     {forLoop("j", ac(0), ax("i") + 1, {Scale->clone()})}));
+    P.append(forLoop(
+        "i", 0, N,
+        {forLoop("k", 0, N,
+                 {forLoop("j", ac(0), ax("i") + 1, {Acc->clone()})})}));
+    break;
+  }
+  return P;
+}
+
+Program polybench_detail::buildSyr2k(VariantKind V) {
+  int N = Sizes::Matmul;
+  Program P("syr2k");
+  P.addArray("A", {N, N});
+  P.addArray("B", {N, N});
+  P.addArray("C", {N, N});
+  NodePtr Scale = assign("S0", "C", {ax("i"), ax("j")},
+                         read("C", {ax("i"), ax("j")}) * lit(Beta));
+  NodePtr Acc = assign(
+      "S1", "C", {ax("i"), ax("j")},
+      read("C", {ax("i"), ax("j")}) +
+          (lit(Alpha) * read("A", {ax("i"), ax("k")}) *
+               read("B", {ax("j"), ax("k")}) +
+           lit(Alpha) * read("B", {ax("i"), ax("k")}) *
+               read("A", {ax("j"), ax("k")})));
+
+  switch (V) {
+  case VariantKind::A:
+    P.append(forLoop(
+        "i", 0, N,
+        {forLoop("j", ac(0), ax("i") + 1, {Scale}),
+         forLoop("k", 0, N,
+                 {forLoop("j", ac(0), ax("i") + 1, {Acc})})}));
+    break;
+  case VariantKind::B:
+    P.append(forLoop("i", 0, N,
+                     {forLoop("j", ac(0), ax("i") + 1, {Scale->clone()})}));
+    P.append(forLoop(
+        "k", 0, N,
+        {forLoop("i", 0, N,
+                 {forLoop("j", ac(0), ax("i") + 1, {Acc->clone()})})}));
+    break;
+  case VariantKind::NPBench:
+    P.append(forLoop("i", 0, N,
+                     {forLoop("j", ac(0), ax("i") + 1, {Scale->clone()})}));
+    P.append(forLoop(
+        "i", 0, N,
+        {forLoop("k", 0, N,
+                 {forLoop("j", ac(0), ax("i") + 1, {Acc->clone()})})}));
+    break;
+  }
+  return P;
+}
+
+Program polybench_detail::buildAtax(VariantKind V) {
+  int N = Sizes::Vector;
+  Program P("atax");
+  P.addArray("A", {N, N});
+  P.addArray("x", {N});
+  P.addArray("y", {N});
+  P.addArray("tmp", {N}, /*Transient=*/true);
+
+  NodePtr YInit = assign("S0", "y", {ax("j")}, lit(0.0));
+  NodePtr TmpInit = assign("S1", "tmp", {ax("i")}, lit(0.0));
+  NodePtr TmpAcc = assign("S2", "tmp", {ax("i")},
+                          read("tmp", {ax("i")}) +
+                              read("A", {ax("i"), ax("j")}) *
+                                  read("x", {ax("j")}));
+  NodePtr YAcc = assign("S3", "y", {ax("j")},
+                        read("y", {ax("j")}) +
+                            read("A", {ax("i"), ax("j")}) *
+                                read("tmp", {ax("i")}));
+
+  switch (V) {
+  case VariantKind::A:
+    P.append(forLoop("j", 0, N, {YInit}));
+    P.append(forLoop("i", 0, N,
+                     {TmpInit, forLoop("j", 0, N, {TmpAcc}),
+                      forLoop("j2", 0, N,
+                              {assign("S3", "y", {ax("j2")},
+                                      read("y", {ax("j2")}) +
+                                          read("A", {ax("i"), ax("j2")}) *
+                                              read("tmp", {ax("i")}))})}));
+    break;
+  case VariantKind::B:
+    P.append(forLoop("j", 0, N, {YInit->clone()}));
+    P.append(forLoop("i", 0, N, {TmpInit->clone()}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {TmpAcc->clone()})}));
+    // y accumulation with j (the written index) outermost: strided sweep.
+    P.append(forLoop("j", 0, N, {forLoop("i", 0, N, {YAcc->clone()})}));
+    break;
+  case VariantKind::NPBench:
+    P.append(forLoop("i", 0, N, {TmpInit->clone()}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {TmpAcc->clone()})}));
+    P.append(forLoop("j", 0, N, {YInit->clone()}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {YAcc->clone()})}));
+    break;
+  }
+  return P;
+}
+
+Program polybench_detail::buildBicg(VariantKind V) {
+  int N = Sizes::Vector;
+  Program P("bicg");
+  P.addArray("A", {N, N});
+  P.addArray("s", {N});
+  P.addArray("q", {N});
+  P.addArray("p", {N});
+  P.addArray("r", {N});
+
+  NodePtr SInit = assign("S0", "s", {ax("i")}, lit(0.0));
+  NodePtr QInit = assign("S1", "q", {ax("i")}, lit(0.0));
+  NodePtr SAcc = assign("S2", "s", {ax("j")},
+                        read("s", {ax("j")}) +
+                            read("r", {ax("i")}) *
+                                read("A", {ax("i"), ax("j")}));
+  NodePtr QAcc = assign("S3", "q", {ax("i")},
+                        read("q", {ax("i")}) +
+                            read("A", {ax("i"), ax("j")}) *
+                                read("p", {ax("j")}));
+
+  switch (V) {
+  case VariantKind::A:
+    P.append(forLoop("i", 0, N, {SInit}));
+    P.append(forLoop("i", 0, N,
+                     {QInit, forLoop("j", 0, N, {SAcc, QAcc})}));
+    break;
+  case VariantKind::B:
+    P.append(forLoop("i", 0, N, {SInit->clone()}));
+    P.append(forLoop("i", 0, N, {QInit->clone()}));
+    P.append(forLoop("j", 0, N, {forLoop("i", 0, N, {SAcc->clone()})}));
+    P.append(forLoop("j", 0, N, {forLoop("i", 0, N, {QAcc->clone()})}));
+    break;
+  case VariantKind::NPBench:
+    P.append(forLoop("i", 0, N, {SInit->clone()}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {SAcc->clone()})}));
+    P.append(forLoop("i", 0, N, {QInit->clone()}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {QAcc->clone()})}));
+    break;
+  }
+  return P;
+}
+
+Program polybench_detail::buildMvt(VariantKind V) {
+  int N = Sizes::Vector;
+  Program P("mvt");
+  P.addArray("A", {N, N});
+  for (const char *Name : {"x1", "x2", "y1", "y2"})
+    P.addArray(Name, {N});
+
+  NodePtr X1 = assign("S0", "x1", {ax("i")},
+                      read("x1", {ax("i")}) +
+                          read("A", {ax("i"), ax("j")}) *
+                              read("y1", {ax("j")}));
+  NodePtr X2 = assign("S1", "x2", {ax("i")},
+                      read("x2", {ax("i")}) +
+                          read("A", {ax("j"), ax("i")}) *
+                              read("y2", {ax("j")}));
+
+  switch (V) {
+  case VariantKind::A:
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {X1})}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {X2})}));
+    break;
+  case VariantKind::B:
+    // Both updates fused into one shared nest.
+    P.append(forLoop("i", 0, N,
+                     {forLoop("j", 0, N, {X1->clone(), X2->clone()})}));
+    break;
+  case VariantKind::NPBench:
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {X1->clone()})}));
+    P.append(forLoop("j", 0, N, {forLoop("i", 0, N, {X2->clone()})}));
+    break;
+  }
+  return P;
+}
+
+Program polybench_detail::buildGemver(VariantKind V) {
+  int N = Sizes::Vector;
+  Program P("gemver");
+  P.addArray("A", {N, N});
+  for (const char *Name : {"u1", "v1", "u2", "v2", "w", "x", "y", "z"})
+    P.addArray(Name, {N});
+
+  NodePtr AHat = assign("S0", "A", {ax("i"), ax("j")},
+                        read("A", {ax("i"), ax("j")}) +
+                            read("u1", {ax("i")}) * read("v1", {ax("j")}) +
+                            read("u2", {ax("i")}) * read("v2", {ax("j")}));
+  NodePtr XAcc = assign("S1", "x", {ax("i")},
+                        read("x", {ax("i")}) +
+                            lit(Beta) * read("A", {ax("j"), ax("i")}) *
+                                read("y", {ax("j")}));
+  NodePtr XZ = assign("S2", "x", {ax("i")},
+                      read("x", {ax("i")}) + read("z", {ax("i")}));
+  NodePtr WAcc = assign("S3", "w", {ax("i")},
+                        read("w", {ax("i")}) +
+                            lit(Alpha) * read("A", {ax("i"), ax("j")}) *
+                                read("x", {ax("j")}));
+
+  switch (V) {
+  case VariantKind::A:
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {AHat})}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {XAcc})}));
+    P.append(forLoop("i", 0, N, {XZ}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {WAcc})}));
+    break;
+  case VariantKind::B:
+    // Rank updates with flipped order; x/w reductions with j outermost.
+    P.append(forLoop("j", 0, N, {forLoop("i", 0, N, {AHat->clone()})}));
+    P.append(forLoop("j", 0, N, {forLoop("i", 0, N, {XAcc->clone()})}));
+    P.append(forLoop("i", 0, N, {XZ->clone()}));
+    P.append(forLoop("j", 0, N, {forLoop("i", 0, N, {WAcc->clone()})}));
+    break;
+  case VariantKind::NPBench:
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {AHat->clone()})}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {XAcc->clone()})}));
+    P.append(forLoop("i", 0, N, {XZ->clone()}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {WAcc->clone()})}));
+    break;
+  }
+  return P;
+}
+
+Program polybench_detail::buildGesummv(VariantKind V) {
+  int N = Sizes::Vector;
+  Program P("gesummv");
+  P.addArray("A", {N, N});
+  P.addArray("B", {N, N});
+  P.addArray("x", {N});
+  P.addArray("y", {N});
+  P.addArray("tmp", {N}, /*Transient=*/true);
+
+  NodePtr TmpInit = assign("S0", "tmp", {ax("i")}, lit(0.0));
+  NodePtr YInit = assign("S1", "y", {ax("i")}, lit(0.0));
+  NodePtr TmpAcc = assign("S2", "tmp", {ax("i")},
+                          read("tmp", {ax("i")}) +
+                              read("A", {ax("i"), ax("j")}) *
+                                  read("x", {ax("j")}));
+  NodePtr YAcc = assign("S3", "y", {ax("i")},
+                        read("y", {ax("i")}) +
+                            read("B", {ax("i"), ax("j")}) *
+                                read("x", {ax("j")}));
+  NodePtr Combine = assign("S4", "y", {ax("i")},
+                           lit(Alpha) * read("tmp", {ax("i")}) +
+                               lit(Beta) * read("y", {ax("i")}));
+
+  switch (V) {
+  case VariantKind::A:
+    P.append(forLoop("i", 0, N,
+                     {TmpInit, YInit, forLoop("j", 0, N, {TmpAcc, YAcc}),
+                      Combine}));
+    break;
+  case VariantKind::B:
+    P.append(forLoop("i", 0, N, {TmpInit->clone()}));
+    P.append(forLoop("i", 0, N, {YInit->clone()}));
+    P.append(forLoop("j", 0, N, {forLoop("i", 0, N, {TmpAcc->clone()})}));
+    P.append(forLoop("j", 0, N, {forLoop("i", 0, N, {YAcc->clone()})}));
+    P.append(forLoop("i", 0, N, {Combine->clone()}));
+    break;
+  case VariantKind::NPBench:
+    P.append(forLoop("i", 0, N, {TmpInit->clone()}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {TmpAcc->clone()})}));
+    P.append(forLoop("i", 0, N, {YInit->clone()}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, N, {YAcc->clone()})}));
+    P.append(forLoop("i", 0, N, {Combine->clone()}));
+    break;
+  }
+  return P;
+}

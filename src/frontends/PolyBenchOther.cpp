@@ -1,0 +1,295 @@
+//===- frontends/PolyBenchOther.cpp - data-mining & stencil kernels -------==//
+//
+// Part of the daisy project. MIT license.
+//
+// Builders for correlation, covariance, jacobi-2d, fdtd-2d, and heat-3d.
+// The correlation/covariance A and B (C frontend) variants mark the main
+// triangular nest opaque, reproducing the paper's lifting failure (§4.1);
+// the NPBench variants use a dense data^T*data structure instead (§4.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/PolyBenchDetail.h"
+
+#include <cmath>
+
+using namespace daisy;
+using namespace daisy::polybench_detail;
+
+namespace {
+
+/// mean[j] = (1/N) * sum_i data[i][j], as three nests/statements.
+void appendMean(Program &P, int M, int N, VariantKind V) {
+  NodePtr Init = assign("Sm0", "mean", {ax("j")}, lit(0.0));
+  NodePtr Acc = assign("Sm1", "mean", {ax("j")},
+                       read("mean", {ax("j")}) +
+                           read("data", {ax("i"), ax("j")}));
+  NodePtr Div = assign("Sm2", "mean", {ax("j")},
+                       read("mean", {ax("j")}) / lit(static_cast<double>(N)));
+  if (V == VariantKind::B) {
+    // Hoisted init/div, accumulation with the point index outermost.
+    P.append(forLoop("j", 0, M, {Init}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, M, {Acc})}));
+    P.append(forLoop("j", 0, M, {Div}));
+    return;
+  }
+  P.append(forLoop("j", 0, M, {Init, forLoop("i", 0, N, {Acc}), Div}));
+}
+
+} // namespace
+
+Program polybench_detail::buildCorrelation(VariantKind V) {
+  int M = Sizes::DataM, N = Sizes::DataN;
+  Program P("correlation");
+  P.addArray("data", {N, M});
+  P.addArray("corr", {M, M});
+  P.addArray("mean", {M}, /*Transient=*/true);
+  P.addArray("stddev", {M}, /*Transient=*/true);
+
+  appendMean(P, M, N, V);
+
+  // stddev[j] = sqrt(sum (data[i][j]-mean[j])^2 / N), clamped to 1.0 when
+  // near zero (PolyBench's eps guard).
+  NodePtr SdInit = assign("Ss0", "stddev", {ax("j")}, lit(0.0));
+  ExprPtr Dev = read("data", {ax("i"), ax("j")}) - read("mean", {ax("j")});
+  NodePtr SdAcc = assign("Ss1", "stddev", {ax("j")},
+                         read("stddev", {ax("j")}) + Dev * Dev);
+  NodePtr SdFin = assign(
+      "Ss2", "stddev", {ax("j")},
+      Expr::makeSelect(
+          Expr::makeBinary(
+              BinaryOpKind::Le,
+              esqrt(read("stddev", {ax("j")}) /
+                    lit(static_cast<double>(N))),
+              lit(0.1)),
+          lit(1.0),
+          esqrt(read("stddev", {ax("j")}) /
+                lit(static_cast<double>(N)))));
+  if (V == VariantKind::B) {
+    P.append(forLoop("j", 0, M, {SdInit}));
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, M, {SdAcc})}));
+    P.append(forLoop("j", 0, M, {SdFin}));
+  } else {
+    P.append(
+        forLoop("j", 0, M, {SdInit, forLoop("i", 0, N, {SdAcc}), SdFin}));
+  }
+
+  // Normalize data in place.
+  NodePtr Norm = assign(
+      "Sn0", "data", {ax("i"), ax("j")},
+      (read("data", {ax("i"), ax("j")}) - read("mean", {ax("j")})) /
+          (lit(std::sqrt(static_cast<double>(N))) *
+           read("stddev", {ax("j")})));
+  if (V == VariantKind::B)
+    P.append(forLoop("j", 0, M, {forLoop("i", 0, N, {Norm})}));
+  else
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, M, {Norm})}));
+
+  // Diagonal, then the main triangular correlation nest.
+  P.append(forLoop("i", 0, M,
+                   {assign("Sd0", "corr", {ax("i"), ax("i")}, lit(1.0))}));
+  NodePtr CInit = assign("Sc0", "corr", {ax("i"), ax("j")}, lit(0.0));
+  NodePtr CAcc = assign("Sc1", "corr", {ax("i"), ax("j")},
+                        read("corr", {ax("i"), ax("j")}) +
+                            read("data", {ax("k"), ax("i")}) *
+                                read("data", {ax("k"), ax("j")}));
+  NodePtr CCopy = assign("Sc2", "corr", {ax("j"), ax("i")},
+                         read("corr", {ax("i"), ax("j")}));
+  if (V == VariantKind::NPBench) {
+    // The Python frontend produces a dense data^T * data product over the
+    // normalized data; no lifting barrier (paper §4.3).
+    NodePtr DInit = assign("Sc0", "corr", {ax("i"), ax("j")}, lit(0.0));
+    NodePtr DAcc = CAcc->clone();
+    P.append(forLoop(
+        "i", 0, M,
+        {forLoop("j", ax("i") + 1, ac(M), {DInit})}));
+    P.append(forLoop(
+        "i", 0, M,
+        {forLoop("j", ax("i") + 1, ac(M),
+                 {forLoop("k", 0, N, {DAcc})})}));
+    P.append(forLoop(
+        "i", 0, M,
+        {forLoop("j", ax("i") + 1, ac(M), {CCopy->clone()})}));
+    return P;
+  }
+  // C frontend: one fused triangular nest; lifting fails -> opaque.
+  P.append(opaque(forLoop(
+      "i", 0, M,
+      {forLoop("j", ax("i") + 1, ac(M),
+               {CInit, forLoop("k", 0, N, {CAcc}), CCopy})})));
+  return P;
+}
+
+Program polybench_detail::buildCovariance(VariantKind V) {
+  int M = Sizes::DataM, N = Sizes::DataN;
+  Program P("covariance");
+  P.addArray("data", {N, M});
+  P.addArray("cov", {M, M});
+  P.addArray("mean", {M}, /*Transient=*/true);
+
+  appendMean(P, M, N, V);
+
+  NodePtr Center = assign("Sn0", "data", {ax("i"), ax("j")},
+                          read("data", {ax("i"), ax("j")}) -
+                              read("mean", {ax("j")}));
+  if (V == VariantKind::B)
+    P.append(forLoop("j", 0, M, {forLoop("i", 0, N, {Center})}));
+  else
+    P.append(forLoop("i", 0, N, {forLoop("j", 0, M, {Center})}));
+
+  NodePtr VInit = assign("Sc0", "cov", {ax("i"), ax("j")}, lit(0.0));
+  NodePtr VAcc = assign("Sc1", "cov", {ax("i"), ax("j")},
+                        read("cov", {ax("i"), ax("j")}) +
+                            read("data", {ax("k"), ax("i")}) *
+                                read("data", {ax("k"), ax("j")}));
+  NodePtr VDiv = assign("Sc2", "cov", {ax("i"), ax("j")},
+                        read("cov", {ax("i"), ax("j")}) /
+                            lit(static_cast<double>(N - 1)));
+  NodePtr VCopy = assign("Sc3", "cov", {ax("j"), ax("i")},
+                         read("cov", {ax("i"), ax("j")}));
+  if (V == VariantKind::NPBench) {
+    P.append(forLoop("i", 0, M,
+                     {forLoop("j", ax("i"), ac(M), {VInit})}));
+    P.append(forLoop(
+        "i", 0, M,
+        {forLoop("j", ax("i"), ac(M), {forLoop("k", 0, N, {VAcc})})}));
+    P.append(forLoop("i", 0, M,
+                     {forLoop("j", ax("i"), ac(M), {VDiv})}));
+    P.append(forLoop("i", 0, M,
+                     {forLoop("j", ax("i"), ac(M), {VCopy->clone()})}));
+    return P;
+  }
+  P.append(opaque(forLoop(
+      "i", 0, M,
+      {forLoop("j", ax("i"), ac(M),
+               {VInit, forLoop("k", 0, N, {VAcc}), VDiv, VCopy})})));
+  return P;
+}
+
+namespace {
+
+/// 5-point weighted stencil expression over \p Src at (i, j).
+ExprPtr jacobiStencil(const std::string &Src) {
+  return lit(0.2) * (read(Src, {ax("i"), ax("j")}) +
+                     read(Src, {ax("i"), ax("j") - 1}) +
+                     read(Src, {ax("i"), ax("j") + 1}) +
+                     read(Src, {ax("i") + 1, ax("j")}) +
+                     read(Src, {ax("i") - 1, ax("j")}));
+}
+
+NodePtr sweep2d(const std::string &Name, const std::string &Dst,
+                const std::string &Src, int N, bool FlipOrder) {
+  NodePtr Body = assign(Name, Dst, {ax("i"), ax("j")}, jacobiStencil(Src));
+  if (FlipOrder)
+    return forLoop("j", 1, N - 1, {forLoop("i", 1, N - 1, {Body})});
+  return forLoop("i", 1, N - 1, {forLoop("j", 1, N - 1, {Body})});
+}
+
+} // namespace
+
+Program polybench_detail::buildJacobi2d(VariantKind V) {
+  int T = Sizes::StencilT, N = Sizes::StencilN;
+  Program P("jacobi-2d");
+  P.addArray("A", {N, N});
+  P.addArray("B", {N, N});
+  bool Flip = V == VariantKind::B;
+  P.append(forLoop("t", 0, T,
+                   {sweep2d("S0", "B", "A", N, Flip),
+                    sweep2d("S1", "A", "B", N, Flip)}));
+  return P;
+}
+
+Program polybench_detail::buildFdtd2d(VariantKind V) {
+  int T = Sizes::StencilT, N = Sizes::StencilN;
+  Program P("fdtd-2d");
+  P.addArray("ex", {N, N});
+  P.addArray("ey", {N, N});
+  P.addArray("hz", {N, N});
+  P.addArray("fict", {T});
+
+  NodePtr Boundary = assign("S0", "ey", {ac(0), ax("j")},
+                            read("fict", {ax("t")}));
+  NodePtr EyUpd = assign("S1", "ey", {ax("i"), ax("j")},
+                         read("ey", {ax("i"), ax("j")}) -
+                             lit(0.5) * (read("hz", {ax("i"), ax("j")}) -
+                                         read("hz", {ax("i") - 1,
+                                                     ax("j")})));
+  NodePtr ExUpd = assign("S2", "ex", {ax("i"), ax("j")},
+                         read("ex", {ax("i"), ax("j")}) -
+                             lit(0.5) * (read("hz", {ax("i"), ax("j")}) -
+                                         read("hz", {ax("i"),
+                                                     ax("j") - 1})));
+  NodePtr HzUpd = assign(
+      "S3", "hz", {ax("i"), ax("j")},
+      read("hz", {ax("i"), ax("j")}) -
+          lit(0.7) * (read("ex", {ax("i"), ax("j") + 1}) -
+                      read("ex", {ax("i"), ax("j")}) +
+                      read("ey", {ax("i") + 1, ax("j")}) -
+                      read("ey", {ax("i"), ax("j")})));
+
+  bool Flip = V == VariantKind::B;
+  auto Nest2d = [Flip](const std::string &Outer, int OuterLo, int OuterHi,
+                       const std::string &Inner, int InnerLo, int InnerHi,
+                       NodePtr Body) {
+    if (Flip)
+      return forLoop(Inner, InnerLo, InnerHi,
+                     {forLoop(Outer, OuterLo, OuterHi, {Body})});
+    return forLoop(Outer, OuterLo, OuterHi,
+                   {forLoop(Inner, InnerLo, InnerHi, {Body})});
+  };
+
+  P.append(forLoop(
+      "t", 0, T,
+      {forLoop("j", 0, N, {Boundary}),
+       Nest2d("i", 1, N, "j", 0, N, EyUpd),
+       Nest2d("i", 0, N, "j", 1, N, ExUpd),
+       Nest2d("i", 0, N - 1, "j", 0, N - 1, HzUpd)}));
+  return P;
+}
+
+namespace {
+
+ExprPtr heatAxis(const std::string &Src, const AffineExpr &I,
+                 const AffineExpr &J, const AffineExpr &K, int Axis) {
+  auto Shift = [&](int Delta) {
+    AffineExpr Si = I, Sj = J, Sk = K;
+    if (Axis == 0)
+      Si = I + Delta;
+    else if (Axis == 1)
+      Sj = J + Delta;
+    else
+      Sk = K + Delta;
+    return read(Src, {Si, Sj, Sk});
+  };
+  return lit(0.125) *
+         (Shift(1) - lit(2.0) * read(Src, {I, J, K}) + Shift(-1));
+}
+
+NodePtr heatSweep(const std::string &Name, const std::string &Dst,
+                  const std::string &Src, int N, bool FlipOrder) {
+  AffineExpr I = ax("i"), J = ax("j"), K = ax("k");
+  ExprPtr Rhs = heatAxis(Src, I, J, K, 0) + heatAxis(Src, I, J, K, 1) +
+                heatAxis(Src, I, J, K, 2) + read(Src, {I, J, K});
+  NodePtr Body = assign(Name, Dst, {I, J, K}, Rhs);
+  if (FlipOrder)
+    return forLoop(
+        "k", 1, N - 1,
+        {forLoop("j", 1, N - 1, {forLoop("i", 1, N - 1, {Body})})});
+  return forLoop(
+      "i", 1, N - 1,
+      {forLoop("j", 1, N - 1, {forLoop("k", 1, N - 1, {Body})})});
+}
+
+} // namespace
+
+Program polybench_detail::buildHeat3d(VariantKind V) {
+  int T = Sizes::Heat3dT, N = Sizes::Heat3dN;
+  Program P("heat-3d");
+  P.addArray("A", {N, N, N});
+  P.addArray("B", {N, N, N});
+  bool Flip = V == VariantKind::B;
+  P.append(forLoop("t", 0, T,
+                   {heatSweep("S0", "B", "A", N, Flip),
+                    heatSweep("S1", "A", "B", N, Flip)}));
+  return P;
+}

@@ -1,0 +1,132 @@
+//===- ir/AffineExpr.cpp --------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AffineExpr.h"
+
+#include <cassert>
+
+using namespace daisy;
+
+AffineExpr AffineExpr::constant(int64_t Value) {
+  AffineExpr Expr;
+  Expr.Constant = Value;
+  return Expr;
+}
+
+AffineExpr AffineExpr::var(const std::string &Name, int64_t Coefficient) {
+  AffineExpr Expr;
+  Expr.addTerm(Name, Coefficient);
+  return Expr;
+}
+
+void AffineExpr::addTerm(const std::string &Name, int64_t Coefficient) {
+  if (Coefficient == 0)
+    return;
+  auto It = Terms.find(Name);
+  if (It == Terms.end()) {
+    Terms.emplace(Name, Coefficient);
+    return;
+  }
+  It->second += Coefficient;
+  if (It->second == 0)
+    Terms.erase(It);
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr &Other) const {
+  AffineExpr Result = *this;
+  Result.Constant += Other.Constant;
+  for (const auto &[Name, Coefficient] : Other.Terms)
+    Result.addTerm(Name, Coefficient);
+  return Result;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &Other) const {
+  return *this + (Other * -1);
+}
+
+AffineExpr AffineExpr::operator*(int64_t Factor) const {
+  AffineExpr Result;
+  if (Factor == 0)
+    return Result;
+  Result.Constant = Constant * Factor;
+  for (const auto &[Name, Coefficient] : Terms)
+    Result.Terms.emplace(Name, Coefficient * Factor);
+  return Result;
+}
+
+AffineExpr AffineExpr::operator+(int64_t Value) const {
+  AffineExpr Result = *this;
+  Result.Constant += Value;
+  return Result;
+}
+
+AffineExpr AffineExpr::operator-(int64_t Value) const {
+  return *this + (-Value);
+}
+
+bool AffineExpr::operator==(const AffineExpr &Other) const {
+  return Constant == Other.Constant && Terms == Other.Terms;
+}
+
+bool AffineExpr::operator!=(const AffineExpr &Other) const {
+  return !(*this == Other);
+}
+
+int64_t AffineExpr::coefficient(const std::string &Name) const {
+  auto It = Terms.find(Name);
+  return It == Terms.end() ? 0 : It->second;
+}
+
+bool AffineExpr::references(const std::string &Name) const {
+  return Terms.count(Name) != 0;
+}
+
+int64_t AffineExpr::evaluate(const ValueEnv &Env) const {
+  int64_t Result = Constant;
+  for (const auto &[Name, Coefficient] : Terms) {
+    auto It = Env.find(Name);
+    assert(It != Env.end() && "unbound variable in affine evaluation");
+    Result += Coefficient * It->second;
+  }
+  return Result;
+}
+
+AffineExpr AffineExpr::substituted(const std::string &Name,
+                                   const AffineExpr &Replacement) const {
+  auto It = Terms.find(Name);
+  if (It == Terms.end())
+    return *this;
+  int64_t Coefficient = It->second;
+  AffineExpr Result = *this;
+  Result.Terms.erase(Name);
+  return Result + Replacement * Coefficient;
+}
+
+AffineExpr AffineExpr::renamed(const std::string &OldName,
+                               const std::string &NewName) const {
+  return substituted(OldName, AffineExpr::var(NewName));
+}
+
+std::string AffineExpr::toString() const {
+  std::string Result;
+  for (const auto &[Name, Coefficient] : Terms) {
+    if (!Result.empty())
+      Result += Coefficient < 0 ? " - " : " + ";
+    else if (Coefficient < 0)
+      Result += "-";
+    int64_t Magnitude = Coefficient < 0 ? -Coefficient : Coefficient;
+    if (Magnitude != 1)
+      Result += std::to_string(Magnitude) + "*";
+    Result += Name;
+  }
+  if (Result.empty())
+    return std::to_string(Constant);
+  if (Constant != 0) {
+    Result += Constant < 0 ? " - " : " + ";
+    Result += std::to_string(Constant < 0 ? -Constant : Constant);
+  }
+  return Result;
+}

@@ -1,0 +1,90 @@
+//===- ir/AffineExpr.h - Affine index expressions ----------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine expressions over loop iterators and symbolic parameters.
+///
+/// An AffineExpr is a linear combination `c0 + sum_i c_i * v_i` where each
+/// v_i is the name of a loop iterator or program parameter. Array subscripts
+/// and loop bounds in the lifted loop-nest representation (paper Fig. 4) are
+/// AffineExprs; the dependence and stride analyses operate directly on the
+/// coefficients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_IR_AFFINEEXPR_H
+#define DAISY_IR_AFFINEEXPR_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// Environment binding variable names to concrete values.
+using ValueEnv = std::map<std::string, int64_t>;
+
+/// A linear expression `Constant + sum Terms[v] * v` over named variables.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+
+  /// Creates the constant expression \p Value.
+  static AffineExpr constant(int64_t Value);
+
+  /// Creates the expression `Coefficient * Name`.
+  static AffineExpr var(const std::string &Name, int64_t Coefficient = 1);
+
+  AffineExpr operator+(const AffineExpr &Other) const;
+  AffineExpr operator-(const AffineExpr &Other) const;
+  AffineExpr operator*(int64_t Factor) const;
+  AffineExpr operator+(int64_t Value) const;
+  AffineExpr operator-(int64_t Value) const;
+  bool operator==(const AffineExpr &Other) const;
+  bool operator!=(const AffineExpr &Other) const;
+
+  /// Returns the coefficient of variable \p Name (0 if absent).
+  int64_t coefficient(const std::string &Name) const;
+
+  /// Returns the constant term.
+  int64_t constantTerm() const { return Constant; }
+
+  /// Returns the non-zero terms, keyed by variable name.
+  const std::map<std::string, int64_t> &terms() const { return Terms; }
+
+  /// True if the expression has no variable terms.
+  bool isConstant() const { return Terms.empty(); }
+
+  /// True if the expression mentions variable \p Name.
+  bool references(const std::string &Name) const;
+
+  /// Evaluates the expression. Every referenced variable must be bound in
+  /// \p Env; asserts otherwise.
+  int64_t evaluate(const ValueEnv &Env) const;
+
+  /// Returns a copy with every occurrence of \p Name replaced by
+  /// \p Replacement.
+  AffineExpr substituted(const std::string &Name,
+                         const AffineExpr &Replacement) const;
+
+  /// Returns a copy with variable \p OldName renamed to \p NewName.
+  AffineExpr renamed(const std::string &OldName,
+                     const std::string &NewName) const;
+
+  /// Renders e.g. "2*i + j - 1".
+  std::string toString() const;
+
+private:
+  int64_t Constant = 0;
+  std::map<std::string, int64_t> Terms;
+
+  void addTerm(const std::string &Name, int64_t Coefficient);
+};
+
+} // namespace daisy
+
+#endif // DAISY_IR_AFFINEEXPR_H

@@ -1,0 +1,40 @@
+//===- ir/Builder.cpp -----------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+using namespace daisy;
+
+AffineExpr daisy::ax(const std::string &Name) {
+  return AffineExpr::var(Name);
+}
+
+AffineExpr daisy::ac(int64_t Value) { return AffineExpr::constant(Value); }
+
+NodePtr daisy::forLoop(const std::string &Iterator, AffineExpr Lower,
+                       AffineExpr Upper, std::vector<NodePtr> Body,
+                       int64_t Step) {
+  return std::make_shared<Loop>(Iterator, std::move(Lower), std::move(Upper),
+                                std::move(Body), Step);
+}
+
+NodePtr daisy::forLoop(const std::string &Iterator, int64_t Lower,
+                       int64_t Upper, std::vector<NodePtr> Body,
+                       int64_t Step) {
+  return forLoop(Iterator, AffineExpr::constant(Lower),
+                 AffineExpr::constant(Upper), std::move(Body), Step);
+}
+
+NodePtr daisy::assign(const std::string &Name, const std::string &Array,
+                      std::vector<AffineExpr> Indices, ExprPtr Rhs) {
+  return std::make_shared<Computation>(
+      Name, ArrayAccess{Array, std::move(Indices)}, std::move(Rhs));
+}
+
+NodePtr daisy::assignScalar(const std::string &Name,
+                            const std::string &Scalar, ExprPtr Rhs) {
+  return assign(Name, Scalar, {}, std::move(Rhs));
+}

@@ -1,0 +1,55 @@
+//===- ir/Builder.h - Convenience IR construction ----------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Terse helpers for constructing loop-nest IR in frontends and tests.
+///
+/// Typical usage:
+/// \code
+///   AffineExpr I = ax("i"), J = ax("j"), K = ax("k");
+///   NodePtr Nest = forLoop("i", 0, NI,
+///     {forLoop("j", 0, NJ,
+///       {forLoop("k", 0, NK,
+///         {assign("S0", "C", {I, J},
+///                 read("C", {I, J}) + read("A", {I, K}) * read("B", {K, J}))
+///         })})});
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_IR_BUILDER_H
+#define DAISY_IR_BUILDER_H
+
+#include "ir/Program.h"
+
+namespace daisy {
+
+/// Affine variable shorthand: the iterator/parameter \p Name.
+AffineExpr ax(const std::string &Name);
+
+/// Affine constant shorthand.
+AffineExpr ac(int64_t Value);
+
+/// Builds a loop `for (It = Lower; It < Upper; It += Step)`.
+NodePtr forLoop(const std::string &Iterator, AffineExpr Lower,
+                AffineExpr Upper, std::vector<NodePtr> Body,
+                int64_t Step = 1);
+
+/// Overload with constant bounds.
+NodePtr forLoop(const std::string &Iterator, int64_t Lower, int64_t Upper,
+                std::vector<NodePtr> Body, int64_t Step = 1);
+
+/// Builds a computation writing `Array[Indices] = Rhs`.
+NodePtr assign(const std::string &Name, const std::string &Array,
+               std::vector<AffineExpr> Indices, ExprPtr Rhs);
+
+/// Builds a scalar computation `Scalar = Rhs` (zero-dimensional write).
+NodePtr assignScalar(const std::string &Name, const std::string &Scalar,
+                     ExprPtr Rhs);
+
+} // namespace daisy
+
+#endif // DAISY_IR_BUILDER_H

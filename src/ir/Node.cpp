@@ -1,0 +1,120 @@
+//===- ir/Node.cpp --------------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Node.h"
+
+#include <cassert>
+
+using namespace daisy;
+
+Node::~Node() = default;
+
+NodePtr Computation::clone() const {
+  return std::make_shared<Computation>(Name, Write, Rhs);
+}
+
+int64_t Loop::tripCount(const ValueEnv &Env) const {
+  int64_t Lo = Lower.evaluate(Env);
+  int64_t Hi = Upper.evaluate(Env);
+  if (Hi <= Lo)
+    return 0;
+  return (Hi - Lo + Step - 1) / Step;
+}
+
+NodePtr Loop::clone() const {
+  auto Copy =
+      std::make_shared<Loop>(Iterator, Lower, Upper, cloneBody(Body), Step);
+  Copy->Parallel = Parallel;
+  Copy->Vectorized = Vectorized;
+  Copy->AtomicReduction = AtomicReduction;
+  Copy->Opaque = Opaque;
+  return Copy;
+}
+
+int64_t CallNode::flops() const {
+  switch (Callee) {
+  case BlasKind::Gemm:
+    assert(Dims.size() == 3 && "gemm takes dims {M, N, K}");
+    return 2 * Dims[0] * Dims[1] * Dims[2];
+  case BlasKind::Syrk:
+    assert(Dims.size() == 2 && "syrk takes dims {N, K}");
+    return Dims[0] * (Dims[0] + 1) * Dims[1];
+  case BlasKind::Syr2k:
+    assert(Dims.size() == 2 && "syr2k takes dims {N, K}");
+    return 2 * Dims[0] * (Dims[0] + 1) * Dims[1];
+  case BlasKind::Gemv:
+    assert(Dims.size() == 2 && "gemv takes dims {M, N}");
+    return 2 * Dims[0] * Dims[1];
+  }
+  return 0;
+}
+
+std::string CallNode::calleeName() const {
+  switch (Callee) {
+  case BlasKind::Gemm:
+    return "gemm";
+  case BlasKind::Syrk:
+    return "syrk";
+  case BlasKind::Syr2k:
+    return "syr2k";
+  case BlasKind::Gemv:
+    return "gemv";
+  }
+  return "?";
+}
+
+NodePtr CallNode::clone() const {
+  return std::make_shared<CallNode>(Callee, Args, Dims, Alpha, Beta);
+}
+
+std::vector<NodePtr> daisy::cloneBody(const std::vector<NodePtr> &Body) {
+  std::vector<NodePtr> Result;
+  Result.reserve(Body.size());
+  for (const NodePtr &Child : Body)
+    Result.push_back(Child->clone());
+  return Result;
+}
+
+void daisy::visitNodes(const NodePtr &Root,
+                       const std::function<void(const NodePtr &)> &Visit) {
+  if (!Root)
+    return;
+  Visit(Root);
+  if (auto *L = dynCast<Loop>(Root))
+    for (const NodePtr &Child : L->body())
+      visitNodes(Child, Visit);
+}
+
+std::vector<std::shared_ptr<Computation>>
+daisy::collectComputations(const NodePtr &Root) {
+  std::vector<std::shared_ptr<Computation>> Result;
+  visitNodes(Root, [&Result](const NodePtr &Node) {
+    if (Node->kind() == NodeKind::Computation)
+      Result.push_back(std::static_pointer_cast<Computation>(Node));
+  });
+  return Result;
+}
+
+std::vector<std::shared_ptr<Loop>> daisy::collectLoops(const NodePtr &Root) {
+  std::vector<std::shared_ptr<Loop>> Result;
+  visitNodes(Root, [&Result](const NodePtr &Node) {
+    if (Node->kind() == NodeKind::Loop)
+      Result.push_back(std::static_pointer_cast<Loop>(Node));
+  });
+  return Result;
+}
+
+int daisy::loopDepth(const NodePtr &Root) {
+  if (!Root)
+    return 0;
+  const auto *L = dynCast<Loop>(Root);
+  if (!L)
+    return 0;
+  int MaxChild = 0;
+  for (const NodePtr &Child : L->body())
+    MaxChild = std::max(MaxChild, loopDepth(Child));
+  return 1 + MaxChild;
+}

@@ -1,0 +1,226 @@
+//===- ir/Node.h - Loop nest tree nodes --------------------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop-nest tree: loops, computations, and library-call nodes.
+///
+/// This is the "rich, symbolic representation of loop nests" (paper §3)
+/// that the normalization passes operate on: a hierarchy of loop and
+/// computation nodes whose iterators, domains, and data accesses are
+/// symbolic (affine) expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_IR_NODE_H
+#define DAISY_IR_NODE_H
+
+#include "ir/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// Discriminator for loop-nest tree nodes.
+enum class NodeKind { Loop, Computation, Call };
+
+/// Base class of all loop-nest tree nodes.
+class Node {
+public:
+  virtual ~Node();
+
+  NodeKind kind() const { return Kind; }
+
+  /// Deep-copies this node and its subtree.
+  virtual NodePtr clone() const = 0;
+
+protected:
+  explicit Node(NodeKind Kind) : Kind(Kind) {}
+
+private:
+  NodeKind Kind;
+};
+
+/// A computation: one write of a scalar value to a data container, computed
+/// from an expression over array reads (paper §2, "Computation").
+class Computation : public Node {
+public:
+  Computation(std::string Name, ArrayAccess Write, ExprPtr Rhs)
+      : Node(NodeKind::Computation), Name(std::move(Name)),
+        Write(std::move(Write)), Rhs(std::move(Rhs)) {}
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::Computation;
+  }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  const ArrayAccess &write() const { return Write; }
+  void setWrite(ArrayAccess NewWrite) { Write = std::move(NewWrite); }
+
+  const ExprPtr &rhs() const { return Rhs; }
+  void setRhs(ExprPtr NewRhs) { Rhs = std::move(NewRhs); }
+
+  /// All array accesses read by the right-hand side.
+  std::vector<ArrayAccess> reads() const { return collectReads(Rhs); }
+
+  /// Floating-point operations per execution.
+  int64_t flops() const { return countFlops(Rhs); }
+
+  NodePtr clone() const override;
+
+private:
+  std::string Name;
+  ArrayAccess Write;
+  ExprPtr Rhs;
+};
+
+/// A counted loop with affine bounds: `for (It = Lower; It < Upper;
+/// It += Step)` over an ordered body of child nodes (paper §2, "Loop").
+class Loop : public Node {
+public:
+  Loop(std::string Iterator, AffineExpr Lower, AffineExpr Upper,
+       std::vector<NodePtr> Body, int64_t Step = 1)
+      : Node(NodeKind::Loop), Iterator(std::move(Iterator)),
+        Lower(std::move(Lower)), Upper(std::move(Upper)), Step(Step),
+        Body(std::move(Body)) {}
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Loop; }
+
+  const std::string &iterator() const { return Iterator; }
+  void setIterator(std::string Name) { Iterator = std::move(Name); }
+
+  const AffineExpr &lower() const { return Lower; }
+  const AffineExpr &upper() const { return Upper; }
+  int64_t step() const { return Step; }
+  void setBounds(AffineExpr NewLower, AffineExpr NewUpper,
+                 int64_t NewStep = 1) {
+    Lower = std::move(NewLower);
+    Upper = std::move(NewUpper);
+    Step = NewStep;
+  }
+
+  std::vector<NodePtr> &body() { return Body; }
+  const std::vector<NodePtr> &body() const { return Body; }
+
+  /// True if the loop has been marked safe and profitable to run in
+  /// parallel by a scheduler.
+  bool isParallel() const { return Parallel; }
+  void setParallel(bool Value) { Parallel = Value; }
+
+  /// True if iterations of this loop should issue as SIMD lanes.
+  bool isVectorized() const { return Vectorized; }
+  void setVectorized(bool Value) { Vectorized = Value; }
+
+  /// True if a parallel reduction over this loop requires atomic updates
+  /// (the expensive fallback the paper observes for correlation and
+  /// covariance when lifting fails).
+  bool usesAtomicReduction() const { return AtomicReduction; }
+  void setAtomicReduction(bool Value) { AtomicReduction = Value; }
+
+  /// True if lifting this nest to the symbolic representation failed
+  /// (paper §4.1: "our normalization passes fail to lift specific loop
+  /// nests to the symbolic representations"). Opaque nests are skipped by
+  /// normalization and optimization and fall back to naive treatment.
+  bool isOpaque() const { return Opaque; }
+  void setOpaque(bool Value) { Opaque = Value; }
+
+  /// Trip count with every parameter bound by \p Env; bounds must evaluate.
+  int64_t tripCount(const ValueEnv &Env = {}) const;
+
+  NodePtr clone() const override;
+
+private:
+  std::string Iterator;
+  AffineExpr Lower;
+  AffineExpr Upper;
+  int64_t Step;
+  std::vector<NodePtr> Body;
+  bool Parallel = false;
+  bool Vectorized = false;
+  bool AtomicReduction = false;
+  bool Opaque = false;
+};
+
+/// Supported library-call idioms (paper §4: "For each loop nest
+/// corresponding to a BLAS-3 kernel, we add an optimization recipe to
+/// perform idiom detection, i.e., replacing the loop nest with the matching
+/// BLAS library call").
+enum class BlasKind { Gemm, Syrk, Syr2k, Gemv };
+
+/// A call to an optimized library kernel that replaced a loop nest.
+class CallNode : public Node {
+public:
+  CallNode(BlasKind Callee, std::vector<std::string> Args,
+           std::vector<int64_t> Dims, double Alpha = 1.0, double Beta = 1.0)
+      : Node(NodeKind::Call), Callee(Callee), Args(std::move(Args)),
+        Dims(std::move(Dims)), Alpha(Alpha), Beta(Beta) {}
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Call; }
+
+  BlasKind callee() const { return Callee; }
+  /// Array operands; convention per kind:
+  ///   Gemm:  C, A, B    (C = beta*C + alpha*A*B), Dims = {M, N, K}
+  ///   Syrk:  C, A       (C = beta*C + alpha*A*A^T, lower), Dims = {N, K}
+  ///   Syr2k: C, A, B    (lower),                         Dims = {N, K}
+  ///   Gemv:  y, A, x    (y = beta*y + alpha*A*x),        Dims = {M, N}
+  const std::vector<std::string> &args() const { return Args; }
+  const std::vector<int64_t> &dims() const { return Dims; }
+  double alpha() const { return Alpha; }
+  double beta() const { return Beta; }
+
+  /// Floating-point operations executed by the call.
+  int64_t flops() const;
+
+  /// Human-readable callee name ("gemm", "syrk", ...).
+  std::string calleeName() const;
+
+  NodePtr clone() const override;
+
+private:
+  BlasKind Callee;
+  std::vector<std::string> Args;
+  std::vector<int64_t> Dims;
+  double Alpha;
+  double Beta;
+};
+
+/// LLVM-style dyn_cast helpers for the small Node hierarchy.
+template <typename T> T *dynCast(Node *N) {
+  return N && T::classof(N) ? static_cast<T *>(N) : nullptr;
+}
+template <typename T> const T *dynCast(const Node *N) {
+  return N && T::classof(N) ? static_cast<const T *>(N) : nullptr;
+}
+template <typename T> T *dynCast(const NodePtr &N) {
+  return dynCast<T>(N.get());
+}
+
+/// Deep-copies a node sequence.
+std::vector<NodePtr> cloneBody(const std::vector<NodePtr> &Body);
+
+/// Invokes \p Visit on \p Root and all descendants in pre-order.
+void visitNodes(const NodePtr &Root,
+                const std::function<void(const NodePtr &)> &Visit);
+
+/// Collects all computations under \p Root in execution order.
+std::vector<std::shared_ptr<Computation>> collectComputations(
+    const NodePtr &Root);
+
+/// Collects all loops under \p Root (including \p Root) in pre-order.
+std::vector<std::shared_ptr<Loop>> collectLoops(const NodePtr &Root);
+
+/// Maximum loop depth of the subtree rooted at \p Root.
+int loopDepth(const NodePtr &Root);
+
+} // namespace daisy
+
+#endif // DAISY_IR_NODE_H

@@ -1,0 +1,60 @@
+//===- ir/Printer.cpp -----------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/StringUtils.h"
+
+using namespace daisy;
+
+static void printNodeImpl(const NodePtr &Node, int Indent,
+                          std::string &Out) {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  if (const auto *C = dynCast<Computation>(Node)) {
+    Out += Pad + C->write().toString() + " = " + C->rhs()->toString() +
+           ";  // " + C->name() + "\n";
+    return;
+  }
+  if (const auto *Call = dynCast<CallNode>(Node)) {
+    std::vector<std::string> Parts = Call->args();
+    Out += Pad + Call->calleeName() + "(" + join(Parts, ", ") + ");\n";
+    return;
+  }
+  const auto *L = dynCast<Loop>(Node);
+  std::string Marks;
+  if (L->isParallel())
+    Marks += " // parallel";
+  if (L->isVectorized())
+    Marks += std::string(Marks.empty() ? " //" : ",") + " simd";
+  Out += Pad + "for (" + L->iterator() + " = " + L->lower().toString() +
+         "; " + L->iterator() + " < " + L->upper().toString() + "; " +
+         L->iterator() + " += " + std::to_string(L->step()) + ") {" + Marks +
+         "\n";
+  for (const NodePtr &Child : L->body())
+    printNodeImpl(Child, Indent + 1, Out);
+  Out += Pad + "}\n";
+}
+
+std::string daisy::printNode(const NodePtr &Node, int Indent) {
+  std::string Out;
+  printNodeImpl(Node, Indent, Out);
+  return Out;
+}
+
+std::string daisy::printProgram(const Program &Prog) {
+  std::string Out = "// program: " + Prog.name() + "\n";
+  for (const ArrayDecl &Decl : Prog.arrays()) {
+    Out += "double " + Decl.Name;
+    for (int64_t Extent : Decl.Shape)
+      Out += "[" + std::to_string(Extent) + "]";
+    if (Decl.Transient)
+      Out += " /* transient */";
+    Out += ";\n";
+  }
+  for (const NodePtr &Node : Prog.topLevel())
+    Out += printNode(Node);
+  return Out;
+}

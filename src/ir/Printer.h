@@ -1,0 +1,29 @@
+//===- ir/Printer.h - C-like pretty printing ---------------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders loop-nest IR as C-like pseudocode for debugging and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_IR_PRINTER_H
+#define DAISY_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace daisy {
+
+/// Renders a single node subtree with \p Indent leading spaces per level.
+std::string printNode(const NodePtr &Node, int Indent = 0);
+
+/// Renders the whole program: array declarations then top-level nests.
+std::string printProgram(const Program &Prog);
+
+} // namespace daisy
+
+#endif // DAISY_IR_PRINTER_H

@@ -1,0 +1,99 @@
+//===- ir/Rewrite.cpp -----------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Rewrite.h"
+
+#include <cassert>
+
+using namespace daisy;
+
+namespace {
+
+NodePtr substituteImpl(const NodePtr &Root, const std::string &Name,
+                       const AffineExpr &Replacement, bool RenameHeader,
+                       const std::string &NewHeaderName) {
+  if (const auto *C = dynCast<Computation>(Root)) {
+    ArrayAccess Write = C->write();
+    for (AffineExpr &Index : Write.Indices)
+      Index = Index.substituted(Name, Replacement);
+    ExprPtr Rhs = substituteVar(C->rhs(), Name, Replacement);
+    return std::make_shared<Computation>(C->name(), std::move(Write),
+                                         std::move(Rhs));
+  }
+  if (Root->kind() == NodeKind::Call)
+    return Root->clone();
+  const auto *L = dynCast<Loop>(Root);
+  assert(L && "unknown node kind");
+  std::string Iterator = L->iterator();
+  if (RenameHeader && Iterator == Name)
+    Iterator = NewHeaderName;
+  AffineExpr Lower = L->lower().substituted(Name, Replacement);
+  AffineExpr Upper = L->upper().substituted(Name, Replacement);
+  std::vector<NodePtr> Body;
+  Body.reserve(L->body().size());
+  bool Shadowed = !RenameHeader && L->iterator() == Name;
+  for (const NodePtr &Child : L->body())
+    Body.push_back(Shadowed ? Child->clone()
+                            : substituteImpl(Child, Name, Replacement,
+                                             RenameHeader, NewHeaderName));
+  auto Copy = std::make_shared<Loop>(Iterator, std::move(Lower),
+                                     std::move(Upper), std::move(Body),
+                                     L->step());
+  Copy->setParallel(L->isParallel());
+  Copy->setVectorized(L->isVectorized());
+  Copy->setAtomicReduction(L->usesAtomicReduction());
+  Copy->setOpaque(L->isOpaque());
+  return Copy;
+}
+
+} // namespace
+
+NodePtr daisy::renameIterator(const NodePtr &Root, const std::string &OldName,
+                              const std::string &NewName) {
+  return substituteImpl(Root, OldName, AffineExpr::var(NewName),
+                        /*RenameHeader=*/true, NewName);
+}
+
+NodePtr daisy::substituteIterator(const NodePtr &Root,
+                                  const std::string &Name,
+                                  const AffineExpr &Replacement) {
+  return substituteImpl(Root, Name, Replacement, /*RenameHeader=*/false,
+                        "");
+}
+
+NodePtr daisy::retargetArrayInNode(const NodePtr &Root,
+                                   const std::string &OldArray,
+                                   const std::string &NewArray,
+                                   const std::vector<AffineExpr> &Extra) {
+  if (const auto *C = dynCast<Computation>(Root)) {
+    ArrayAccess Write = C->write();
+    if (Write.Array == OldArray) {
+      std::vector<AffineExpr> NewIndices = Extra;
+      NewIndices.insert(NewIndices.end(), Write.Indices.begin(),
+                        Write.Indices.end());
+      Write.Array = NewArray;
+      Write.Indices = std::move(NewIndices);
+    }
+    ExprPtr Rhs = retargetArray(C->rhs(), OldArray, NewArray, Extra);
+    return std::make_shared<Computation>(C->name(), std::move(Write),
+                                         std::move(Rhs));
+  }
+  if (Root->kind() == NodeKind::Call)
+    return Root->clone();
+  const auto *L = dynCast<Loop>(Root);
+  assert(L && "unknown node kind");
+  std::vector<NodePtr> Body;
+  Body.reserve(L->body().size());
+  for (const NodePtr &Child : L->body())
+    Body.push_back(retargetArrayInNode(Child, OldArray, NewArray, Extra));
+  auto Copy = std::make_shared<Loop>(L->iterator(), L->lower(), L->upper(),
+                                     std::move(Body), L->step());
+  Copy->setParallel(L->isParallel());
+  Copy->setVectorized(L->isVectorized());
+  Copy->setAtomicReduction(L->usesAtomicReduction());
+  Copy->setOpaque(L->isOpaque());
+  return Copy;
+}

@@ -1,0 +1,44 @@
+//===- ir/Rewrite.h - Generic tree rewrites ----------------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-level rewrites on loop-nest trees: renaming iterators and
+/// substituting affine expressions for iterators. Both return fresh trees
+/// and leave the input untouched; they are the building blocks of
+/// interchange, tiling, and fusion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_IR_REWRITE_H
+#define DAISY_IR_REWRITE_H
+
+#include "ir/Program.h"
+
+namespace daisy {
+
+/// Returns a copy of \p Root with iterator \p OldName renamed to
+/// \p NewName everywhere: loop headers, bounds, subscripts, and iterator
+/// value references.
+NodePtr renameIterator(const NodePtr &Root, const std::string &OldName,
+                       const std::string &NewName);
+
+/// Returns a copy of \p Root with every use of variable \p Name (in
+/// bounds, subscripts, and value references) replaced by \p Replacement.
+/// Loop headers introducing \p Name are left untouched; use renameIterator
+/// to change a binding.
+NodePtr substituteIterator(const NodePtr &Root, const std::string &Name,
+                           const AffineExpr &Replacement);
+
+/// Returns a copy of \p Root where accesses to array \p OldArray are
+/// redirected to \p NewArray with \p ExtraIndices prepended (both on writes
+/// and reads). Used by scalar expansion.
+NodePtr retargetArrayInNode(const NodePtr &Root, const std::string &OldArray,
+                            const std::string &NewArray,
+                            const std::vector<AffineExpr> &ExtraIndices);
+
+} // namespace daisy
+
+#endif // DAISY_IR_REWRITE_H

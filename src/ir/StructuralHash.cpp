@@ -1,0 +1,262 @@
+//===- ir/StructuralHash.cpp ----------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/StructuralHash.h"
+
+#include <cassert>
+#include <map>
+
+using namespace daisy;
+
+namespace {
+
+/// FNV-1a style combiner.
+class HashState {
+public:
+  void combine(uint64_t Value) {
+    Hash ^= Value + 0x9E3779B97F4A7C15ull + (Hash << 6) + (Hash >> 2);
+  }
+
+  void combine(const std::string &Text) {
+    uint64_t H = 1469598103934665603ull;
+    for (char C : Text) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 1099511628211ull;
+    }
+    combine(H);
+  }
+
+  uint64_t value() const { return Hash; }
+
+private:
+  uint64_t Hash = 0x2545F4914F6CDD1Dull;
+};
+
+/// Maps iterator names to canonical indices in first-seen order.
+class IterNaming {
+public:
+  uint64_t canonicalIndex(const std::string &Name) {
+    auto It = Indices.find(Name);
+    if (It != Indices.end())
+      return It->second;
+    uint64_t Index = Indices.size();
+    Indices.emplace(Name, Index);
+    return Index;
+  }
+
+private:
+  std::map<std::string, uint64_t> Indices;
+};
+
+void hashAffine(const AffineExpr &Expr, IterNaming &Naming, HashState &H) {
+  H.combine(0xAFF1ull);
+  H.combine(static_cast<uint64_t>(Expr.constantTerm()));
+  for (const auto &[Name, Coefficient] : Expr.terms()) {
+    H.combine(Naming.canonicalIndex(Name));
+    H.combine(static_cast<uint64_t>(Coefficient));
+  }
+}
+
+void hashExpr(const ExprPtr &Node, IterNaming &Naming, HashState &H) {
+  if (!Node) {
+    H.combine(0ull);
+    return;
+  }
+  H.combine(static_cast<uint64_t>(Node->kind()));
+  switch (Node->kind()) {
+  case ExprKind::Constant: {
+    double Value = Node->constantValue();
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(Value));
+    __builtin_memcpy(&Bits, &Value, sizeof(Bits));
+    H.combine(Bits);
+    break;
+  }
+  case ExprKind::Read:
+    H.combine(Node->access().Array);
+    for (const AffineExpr &Index : Node->access().Indices)
+      hashAffine(Index, Naming, H);
+    break;
+  case ExprKind::Iter:
+    H.combine(Naming.canonicalIndex(Node->name()));
+    break;
+  case ExprKind::Param:
+    H.combine(Node->name());
+    break;
+  case ExprKind::Unary:
+    H.combine(static_cast<uint64_t>(Node->unaryOp()));
+    break;
+  case ExprKind::Binary:
+    H.combine(static_cast<uint64_t>(Node->binaryOp()));
+    break;
+  case ExprKind::Select:
+    break;
+  }
+  for (const ExprPtr &Operand : Node->operands())
+    hashExpr(Operand, Naming, H);
+}
+
+void hashNode(const NodePtr &Node, IterNaming &Naming, HashState &H) {
+  assert(Node && "null node");
+  H.combine(static_cast<uint64_t>(Node->kind()));
+  if (const auto *C = dynCast<Computation>(Node)) {
+    // Computation names are labels, not semantics: excluded from the hash.
+    H.combine(C->write().Array);
+    for (const AffineExpr &Index : C->write().Indices)
+      hashAffine(Index, Naming, H);
+    hashExpr(C->rhs(), Naming, H);
+    return;
+  }
+  if (const auto *Call = dynCast<CallNode>(Node)) {
+    H.combine(static_cast<uint64_t>(Call->callee()));
+    for (const std::string &Arg : Call->args())
+      H.combine(Arg);
+    for (int64_t Dim : Call->dims())
+      H.combine(static_cast<uint64_t>(Dim));
+    return;
+  }
+  const auto *L = dynCast<Loop>(Node);
+  H.combine(Naming.canonicalIndex(L->iterator()));
+  hashAffine(L->lower(), Naming, H);
+  hashAffine(L->upper(), Naming, H);
+  H.combine(static_cast<uint64_t>(L->step()));
+  H.combine(static_cast<uint64_t>(L->body().size()));
+  for (const NodePtr &Child : L->body())
+    hashNode(Child, Naming, H);
+}
+
+bool affineEqualModulo(const AffineExpr &Lhs, const AffineExpr &Rhs,
+                       std::map<std::string, std::string> &Renaming) {
+  if (Lhs.constantTerm() != Rhs.constantTerm())
+    return false;
+  if (Lhs.terms().size() != Rhs.terms().size())
+    return false;
+  // Terms are keyed by name, so iterate the left side and resolve through
+  // the renaming map.
+  for (const auto &[Name, Coefficient] : Lhs.terms()) {
+    auto It = Renaming.find(Name);
+    std::string Target = It == Renaming.end() ? Name : It->second;
+    if (Rhs.coefficient(Target) != Coefficient)
+      return false;
+  }
+  return true;
+}
+
+bool exprEqualModulo(const ExprPtr &Lhs, const ExprPtr &Rhs,
+                     std::map<std::string, std::string> &Renaming) {
+  if (!Lhs || !Rhs)
+    return Lhs == Rhs;
+  if (Lhs->kind() != Rhs->kind())
+    return false;
+  switch (Lhs->kind()) {
+  case ExprKind::Constant:
+    if (Lhs->constantValue() != Rhs->constantValue())
+      return false;
+    break;
+  case ExprKind::Read: {
+    if (Lhs->access().Array != Rhs->access().Array)
+      return false;
+    const auto &LhsIdx = Lhs->access().Indices;
+    const auto &RhsIdx = Rhs->access().Indices;
+    if (LhsIdx.size() != RhsIdx.size())
+      return false;
+    for (size_t I = 0; I < LhsIdx.size(); ++I)
+      if (!affineEqualModulo(LhsIdx[I], RhsIdx[I], Renaming))
+        return false;
+    break;
+  }
+  case ExprKind::Iter: {
+    auto It = Renaming.find(Lhs->name());
+    std::string Target = It == Renaming.end() ? Lhs->name() : It->second;
+    if (Target != Rhs->name())
+      return false;
+    break;
+  }
+  case ExprKind::Param:
+    if (Lhs->name() != Rhs->name())
+      return false;
+    break;
+  case ExprKind::Unary:
+    if (Lhs->unaryOp() != Rhs->unaryOp())
+      return false;
+    break;
+  case ExprKind::Binary:
+    if (Lhs->binaryOp() != Rhs->binaryOp())
+      return false;
+    break;
+  case ExprKind::Select:
+    break;
+  }
+  const auto &LhsOps = Lhs->operands();
+  const auto &RhsOps = Rhs->operands();
+  if (LhsOps.size() != RhsOps.size())
+    return false;
+  for (size_t I = 0; I < LhsOps.size(); ++I)
+    if (!exprEqualModulo(LhsOps[I], RhsOps[I], Renaming))
+      return false;
+  return true;
+}
+
+bool nodeEqualModulo(const NodePtr &Lhs, const NodePtr &Rhs,
+                     std::map<std::string, std::string> &Renaming) {
+  if (!Lhs || !Rhs)
+    return Lhs == Rhs;
+  if (Lhs->kind() != Rhs->kind())
+    return false;
+  if (const auto *LC = dynCast<Computation>(Lhs)) {
+    const auto *RC = dynCast<Computation>(Rhs);
+    if (LC->write().Array != RC->write().Array)
+      return false;
+    const auto &LhsIdx = LC->write().Indices;
+    const auto &RhsIdx = RC->write().Indices;
+    if (LhsIdx.size() != RhsIdx.size())
+      return false;
+    for (size_t I = 0; I < LhsIdx.size(); ++I)
+      if (!affineEqualModulo(LhsIdx[I], RhsIdx[I], Renaming))
+        return false;
+    return exprEqualModulo(LC->rhs(), RC->rhs(), Renaming);
+  }
+  if (const auto *LCall = dynCast<CallNode>(Lhs)) {
+    const auto *RCall = dynCast<CallNode>(Rhs);
+    return LCall->callee() == RCall->callee() &&
+           LCall->args() == RCall->args() && LCall->dims() == RCall->dims();
+  }
+  const auto *LL = dynCast<Loop>(Lhs);
+  const auto *RL = dynCast<Loop>(Rhs);
+  if (LL->step() != RL->step() || LL->body().size() != RL->body().size())
+    return false;
+  bool Inserted = Renaming.emplace(LL->iterator(), RL->iterator()).second;
+  bool Result = affineEqualModulo(LL->lower(), RL->lower(), Renaming) &&
+                affineEqualModulo(LL->upper(), RL->upper(), Renaming);
+  for (size_t I = 0; Result && I < LL->body().size(); ++I)
+    Result = nodeEqualModulo(LL->body()[I], RL->body()[I], Renaming);
+  if (Inserted)
+    Renaming.erase(LL->iterator());
+  return Result;
+}
+
+} // namespace
+
+uint64_t daisy::structuralHash(const NodePtr &Node) {
+  HashState H;
+  IterNaming Naming;
+  hashNode(Node, Naming, H);
+  return H.value();
+}
+
+bool daisy::structurallyEqual(const NodePtr &Lhs, const NodePtr &Rhs) {
+  std::map<std::string, std::string> Renaming;
+  return nodeEqualModulo(Lhs, Rhs, Renaming);
+}
+
+uint64_t daisy::structuralHash(const Program &Prog) {
+  HashState H;
+  for (const NodePtr &Node : Prog.topLevel()) {
+    IterNaming Naming;
+    hashNode(Node, Naming, H);
+  }
+  return H.value();
+}

@@ -1,0 +1,39 @@
+//===- ir/StructuralHash.h - Canonical structural identity -------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural hashing and equality of loop nests modulo iterator names.
+///
+/// Two nests that differ only in the spelling of loop iterators hash and
+/// compare equal: iterators are canonicalized to de Bruijn-style indices in
+/// traversal order. This is how the normalized A and B variants of a
+/// benchmark are recognized as the same canonical form, and how the
+/// transfer-tuning database keys recipes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_IR_STRUCTURALHASH_H
+#define DAISY_IR_STRUCTURALHASH_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+
+namespace daisy {
+
+/// Hash of the subtree rooted at \p Node, invariant under iterator renaming
+/// and computation renaming.
+uint64_t structuralHash(const NodePtr &Node);
+
+/// Structural equality modulo iterator and computation names.
+bool structurallyEqual(const NodePtr &Lhs, const NodePtr &Rhs);
+
+/// Hash over a whole program's top-level sequence.
+uint64_t structuralHash(const Program &Prog);
+
+} // namespace daisy
+
+#endif // DAISY_IR_STRUCTURALHASH_H

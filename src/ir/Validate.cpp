@@ -1,0 +1,103 @@
+//===- ir/Validate.cpp ----------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Validate.h"
+
+#include <set>
+
+using namespace daisy;
+
+namespace {
+
+class Validator {
+public:
+  explicit Validator(const Program &Prog) : Prog(Prog) {
+    for (const auto &[Name, Value] : Prog.params())
+      InScope.insert(Name);
+  }
+
+  std::vector<std::string> run() {
+    for (const NodePtr &Node : Prog.topLevel())
+      visit(Node);
+    return std::move(Problems);
+  }
+
+private:
+  void checkAccess(const ArrayAccess &Access, const std::string &Context) {
+    const ArrayDecl *Decl = Prog.findArray(Access.Array);
+    if (!Decl) {
+      Problems.push_back(Context + ": array '" + Access.Array +
+                         "' is not declared");
+      return;
+    }
+    if (Decl->Shape.size() != Access.Indices.size())
+      Problems.push_back(Context + ": access to '" + Access.Array + "' has " +
+                         std::to_string(Access.Indices.size()) +
+                         " subscripts, expected " +
+                         std::to_string(Decl->Shape.size()));
+    for (const AffineExpr &Index : Access.Indices)
+      for (const auto &[Name, Coefficient] : Index.terms())
+        if (!InScope.count(Name))
+          Problems.push_back(Context + ": variable '" + Name +
+                             "' used out of scope in subscript of '" +
+                             Access.Array + "'");
+  }
+
+  void checkAffineScope(const AffineExpr &Expr, const std::string &Context) {
+    for (const auto &[Name, Coefficient] : Expr.terms())
+      if (!InScope.count(Name))
+        Problems.push_back(Context + ": variable '" + Name +
+                           "' used out of scope");
+  }
+
+  void visit(const NodePtr &Node) {
+    if (const auto *C = dynCast<Computation>(Node)) {
+      std::string Context = "computation " + C->name();
+      checkAccess(C->write(), Context);
+      visitExpr(C->rhs(), [this, &Context](const Expr &E) {
+        if (E.kind() == ExprKind::Read)
+          checkAccess(E.access(), Context);
+        if (E.kind() == ExprKind::Iter && !InScope.count(E.name()))
+          Problems.push_back(Context + ": iterator '" + E.name() +
+                             "' used out of scope");
+      });
+      return;
+    }
+    if (const auto *Call = dynCast<CallNode>(Node)) {
+      for (const std::string &Arg : Call->args())
+        if (!Prog.findArray(Arg))
+          Problems.push_back("call " + Call->calleeName() + ": array '" +
+                             Arg + "' is not declared");
+      return;
+    }
+    const auto *L = dynCast<Loop>(Node);
+    std::string Context = "loop " + L->iterator();
+    if (L->step() <= 0)
+      Problems.push_back(Context + ": non-positive step");
+    checkAffineScope(L->lower(), Context);
+    checkAffineScope(L->upper(), Context);
+    if (InScope.count(L->iterator()))
+      Problems.push_back(Context + ": iterator shadows an existing variable");
+    InScope.insert(L->iterator());
+    for (const NodePtr &Child : L->body())
+      visit(Child);
+    InScope.erase(L->iterator());
+  }
+
+  const Program &Prog;
+  std::set<std::string> InScope;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> daisy::validateProgram(const Program &Prog) {
+  return Validator(Prog).run();
+}
+
+bool daisy::isValid(const Program &Prog) {
+  return validateProgram(Prog).empty();
+}

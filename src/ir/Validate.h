@@ -1,0 +1,31 @@
+//===- ir/Validate.h - Program well-formedness checks ------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validation of programs: declared arrays, in-scope iterators,
+/// matching subscript ranks. Transformations call this in assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_IR_VALIDATE_H
+#define DAISY_IR_VALIDATE_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// Returns a list of human-readable problems; empty means well-formed.
+std::vector<std::string> validateProgram(const Program &Prog);
+
+/// Convenience wrapper: true if validateProgram reports nothing.
+bool isValid(const Program &Prog);
+
+} // namespace daisy
+
+#endif // DAISY_IR_VALIDATE_H

@@ -1,0 +1,89 @@
+//===- machine/CacheSim.cpp -----------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/CacheSim.h"
+
+#include <cassert>
+
+using namespace daisy;
+
+CacheLevel::CacheLevel(const CacheConfig &Config) : Config(Config) {
+  assert(Config.SizeBytes > 0 && Config.Associativity > 0 &&
+         Config.LineSize > 0 && "invalid cache geometry");
+  NumSets = Config.SizeBytes / (Config.LineSize * Config.Associativity);
+  if (NumSets < 1)
+    NumSets = 1;
+  Tags.assign(static_cast<size_t>(NumSets * Config.Associativity), -1);
+  LastUse.assign(Tags.size(), 0);
+}
+
+bool CacheLevel::access(int64_t Address) {
+  ++Counters.Loads;
+  ++Clock;
+  int64_t Line = Address / Config.LineSize;
+  int64_t Set = Line % NumSets;
+  size_t Base = static_cast<size_t>(Set * Config.Associativity);
+
+  // Hit?
+  for (int Way = 0; Way < Config.Associativity; ++Way) {
+    if (Tags[Base + static_cast<size_t>(Way)] == Line) {
+      LastUse[Base + static_cast<size_t>(Way)] = Clock;
+      ++Counters.Hits;
+      return true;
+    }
+  }
+
+  // Miss: fill, evicting LRU if no invalid way exists.
+  ++Counters.Misses;
+  size_t Victim = Base;
+  bool FoundInvalid = false;
+  for (int Way = 0; Way < Config.Associativity; ++Way) {
+    size_t Slot = Base + static_cast<size_t>(Way);
+    if (Tags[Slot] < 0) {
+      Victim = Slot;
+      FoundInvalid = true;
+      break;
+    }
+    if (LastUse[Slot] < LastUse[Victim])
+      Victim = Slot;
+  }
+  if (!FoundInvalid)
+    ++Counters.Evictions;
+  Tags[Victim] = Line;
+  LastUse[Victim] = Clock;
+  return false;
+}
+
+void CacheLevel::reset() {
+  Tags.assign(Tags.size(), -1);
+  LastUse.assign(LastUse.size(), 0);
+  Clock = 0;
+  Counters = CacheCounters{};
+}
+
+MemoryHierarchy::MemoryHierarchy(const std::vector<CacheConfig> &Configs) {
+  Levels.reserve(Configs.size());
+  for (const CacheConfig &Config : Configs)
+    Levels.emplace_back(Config);
+}
+
+int MemoryHierarchy::access(int64_t Address) {
+  for (size_t I = 0; I < Levels.size(); ++I)
+    if (Levels[I].access(Address))
+      return static_cast<int>(I);
+  return static_cast<int>(Levels.size());
+}
+
+void MemoryHierarchy::reset() {
+  for (CacheLevel &Level : Levels)
+    Level.reset();
+}
+
+std::vector<CacheConfig> daisy::defaultCacheHierarchy() {
+  // 1/4-scale Haswell-EP: 8KB L1d, 64KB L2, 1MB L3 slice.
+  return {CacheConfig{8 * 1024, 8, 64}, CacheConfig{64 * 1024, 8, 64},
+          CacheConfig{1024 * 1024, 16, 64}};
+}

@@ -1,0 +1,83 @@
+//===- normalize/Fission.cpp ----------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "normalize/Fission.h"
+
+#include "analysis/Legality.h"
+#include "ir/StructuralHash.h"
+#include "transform/Distribute.h"
+
+using namespace daisy;
+
+namespace {
+
+/// One fission step on a loop: expand scalars, distribute into SCC groups,
+/// then recurse into the bodies of the resulting loops.
+std::vector<NodePtr> fissionLoopOnce(const std::shared_ptr<Loop> &L,
+                                     Program &Prog, FissionStats &Stats) {
+  if (L->isOpaque())
+    return {L->clone()};
+
+  std::shared_ptr<Loop> Expanded = expandScalars(L, Prog);
+  if (Expanded != L)
+    ++Stats.ScalarsExpanded;
+
+  std::vector<std::vector<size_t>> Groups =
+      distributionGroups(*Expanded, Prog.params());
+  std::vector<NodePtr> Pieces;
+  if (Groups.size() > 1) {
+    ++Stats.LoopsDistributed;
+    Pieces = distributeLoop(Expanded, Groups);
+  } else {
+    Pieces.push_back(Expanded->clone());
+  }
+
+  // Recurse into each piece's body.
+  std::vector<NodePtr> Result;
+  for (NodePtr &Piece : Pieces) {
+    auto PieceLoop = std::static_pointer_cast<Loop>(Piece);
+    std::vector<NodePtr> NewBody;
+    for (const NodePtr &Child : PieceLoop->body()) {
+      if (auto ChildLoop = std::dynamic_pointer_cast<Loop>(Child)) {
+        for (NodePtr &Sub : fissionLoopOnce(ChildLoop, Prog, Stats))
+          NewBody.push_back(std::move(Sub));
+      } else {
+        NewBody.push_back(Child->clone());
+      }
+    }
+    PieceLoop->body() = std::move(NewBody);
+    Result.push_back(std::move(Piece));
+  }
+  return Result;
+}
+
+} // namespace
+
+std::vector<NodePtr> daisy::fissionNest(const NodePtr &Root, Program &Prog,
+                                        FissionStats &Stats) {
+  if (auto L = std::dynamic_pointer_cast<Loop>(Root))
+    return fissionLoopOnce(L, Prog, Stats);
+  return {Root->clone()};
+}
+
+FissionStats daisy::maximalLoopFission(Program &Prog) {
+  FissionStats Stats;
+  // Fixed-point pipeline (paper §3.2): fission only ever splits loops into
+  // smaller loops, so iterating to an unchanged hash terminates.
+  constexpr int MaxIterations = 8;
+  for (int Iter = 0; Iter < MaxIterations; ++Iter) {
+    ++Stats.Iterations;
+    uint64_t Before = structuralHash(Prog);
+    std::vector<NodePtr> NewTop;
+    for (const NodePtr &Node : Prog.topLevel())
+      for (NodePtr &Piece : fissionNest(Node, Prog, Stats))
+        NewTop.push_back(std::move(Piece));
+    Prog.topLevel() = std::move(NewTop);
+    if (structuralHash(Prog) == Before)
+      break;
+  }
+  return Stats;
+}

@@ -1,0 +1,44 @@
+//===- normalize/Fission.h - Maximal loop fission pass -----------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first normalization criterion (paper §2.1): maximal loop fission.
+///
+/// Every loop's body is distributed into the finest legal partition (the
+/// strongly connected components of the body dependence graph), at every
+/// nesting level, to a fixed point. Loop-local scalars are expanded to
+/// transient arrays first so that independent computations communicating
+/// through a scalar can be separated. The result is a sequence of "atomic"
+/// loop nests whose bodies cannot be split further.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_NORMALIZE_FISSION_H
+#define DAISY_NORMALIZE_FISSION_H
+
+#include "ir/Program.h"
+
+namespace daisy {
+
+/// Statistics reported by the fission pass.
+struct FissionStats {
+  int LoopsDistributed = 0;
+  int ScalarsExpanded = 0;
+  int Iterations = 0;
+};
+
+/// Applies maximal loop fission to \p Prog in place (top-level sequence is
+/// rewritten; opaque nests are skipped).
+FissionStats maximalLoopFission(Program &Prog);
+
+/// Fissions a single nest; returns the replacement sequence and updates
+/// \p Prog with any transient arrays introduced by scalar expansion.
+std::vector<NodePtr> fissionNest(const NodePtr &Root, Program &Prog,
+                                 FissionStats &Stats);
+
+} // namespace daisy
+
+#endif // DAISY_NORMALIZE_FISSION_H

@@ -1,0 +1,44 @@
+//===- normalize/Pipeline.h - The normalization pipeline ---------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The a priori loop nest normalization pipeline (paper Fig. 5): maximal
+/// loop fission to a fixed point, then stride minimization on every
+/// resulting atomic nest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_NORMALIZE_PIPELINE_H
+#define DAISY_NORMALIZE_PIPELINE_H
+
+#include "normalize/Fission.h"
+#include "normalize/StrideMin.h"
+
+namespace daisy {
+
+/// Configuration of the pipeline (both criteria enabled by default; the
+/// ablation bench toggles them).
+struct NormalizationOptions {
+  bool EnableFission = true;
+  bool EnableStrideMinimization = true;
+  StrideMinOptions StrideMin;
+};
+
+/// Summary of one pipeline run.
+struct NormalizationStats {
+  FissionStats Fission;
+  StrideMinStats StrideMin;
+};
+
+/// Runs the pipeline on a copy of \p Prog and returns the normalized
+/// program. \p Stats (optional) receives the pass statistics.
+Program normalize(const Program &Prog,
+                  const NormalizationOptions &Options = {},
+                  NormalizationStats *Stats = nullptr);
+
+} // namespace daisy
+
+#endif // DAISY_NORMALIZE_PIPELINE_H

@@ -1,0 +1,58 @@
+//===- normalize/StrideMin.h - Stride minimization pass ----------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second normalization criterion (paper §2.2): stride minimization.
+///
+/// Each (atomic) loop nest is replaced by its legal permutation with the
+/// minimal stride cost. For bands up to a configurable depth the minimum
+/// is found by enumerating all permutations ("the minimum can simply be
+/// found by enumeration for many practically-relevant loop nests"); deeper
+/// bands fall back to legality-checked adjacent-swap sorting ("for deep
+/// loop nests, we propose to sort groups of iterators as an
+/// approximation").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_NORMALIZE_STRIDEMIN_H
+#define DAISY_NORMALIZE_STRIDEMIN_H
+
+#include "ir/Program.h"
+
+namespace daisy {
+
+/// Options for the stride minimization pass.
+struct StrideMinOptions {
+  /// Bands up to this depth are permuted by full enumeration; deeper bands
+  /// use the adjacent-swap sorting approximation.
+  int MaxEnumerationDepth = 6;
+  /// If true, use the out-of-order-count criterion instead of the
+  /// sum-of-strides criterion (the paper's fallback for symbolic shapes;
+  /// also exercised by the ablation bench).
+  bool UseOutOfOrderCriterion = false;
+};
+
+/// Statistics reported by the pass.
+struct StrideMinStats {
+  int NestsPermuted = 0;
+  int NestsVisited = 0;
+  int EnumeratedPermutations = 0;
+};
+
+/// Replaces every nest in \p Prog with its minimal-stride legal
+/// permutation (in place; opaque nests are skipped).
+StrideMinStats minimizeStrides(Program &Prog,
+                               const StrideMinOptions &Options = {});
+
+/// Permutes a single nest (and, recursively, the perfect bands below it).
+/// Returns the rewritten nest.
+NodePtr minimizeStridesInNest(const NodePtr &Root, const Program &Prog,
+                              const StrideMinOptions &Options,
+                              StrideMinStats &Stats);
+
+} // namespace daisy
+
+#endif // DAISY_NORMALIZE_STRIDEMIN_H

@@ -1,0 +1,49 @@
+//===- sched/Database.cpp -------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Database.h"
+
+#include <algorithm>
+
+using namespace daisy;
+
+void TransferTuningDatabase::insert(DatabaseEntry Entry) {
+  Entries.push_back(std::move(Entry));
+}
+
+const DatabaseEntry *
+TransferTuningDatabase::lookup(const PerformanceEmbedding &Key,
+                               uint64_t CanonicalHash,
+                               double MaxDistance) const {
+  const DatabaseEntry *Best = nullptr;
+  double BestDistance = MaxDistance;
+  for (const DatabaseEntry &Entry : Entries) {
+    if (Entry.CanonicalHash == CanonicalHash)
+      return &Entry;
+    double Distance = Key.distance(Entry.Embedding);
+    if (Distance <= BestDistance) {
+      Best = &Entry;
+      BestDistance = Distance;
+    }
+  }
+  return Best;
+}
+
+std::vector<const DatabaseEntry *>
+TransferTuningDatabase::nearest(const PerformanceEmbedding &Key,
+                                size_t K) const {
+  std::vector<const DatabaseEntry *> Result;
+  for (const DatabaseEntry &Entry : Entries)
+    Result.push_back(&Entry);
+  std::stable_sort(Result.begin(), Result.end(),
+                   [&Key](const DatabaseEntry *A, const DatabaseEntry *B) {
+                     return Key.distance(A->Embedding) <
+                            Key.distance(B->Embedding);
+                   });
+  if (Result.size() > K)
+    Result.resize(K);
+  return Result;
+}

@@ -1,0 +1,70 @@
+//===- sched/Database.h - Transfer-tuning database ---------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transfer-tuning database (paper §4): "pairs of an embedding for the
+/// loop nest and transformation sequences ... The database is seeded from
+/// normalized loop nests of the A variants and then applied to the
+/// normalized B variants."
+///
+/// Lookup is nearest-neighbour in embedding space, with a structural-hash
+/// shortcut for exact canonical matches. "If a B loop nest is not reduced
+/// to an A loop nest, the transformation sequence cannot be applied" — the
+/// recipe application is legality-checked, so a mismatched transfer
+/// degrades instead of miscompiling, and lookups farther than a distance
+/// threshold return nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SCHED_DATABASE_H
+#define DAISY_SCHED_DATABASE_H
+
+#include "sched/Embedding.h"
+#include "sched/Recipe.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// One database entry.
+struct DatabaseEntry {
+  std::string Name;               ///< Origin label ("gemm/nest0").
+  uint64_t CanonicalHash = 0;     ///< Structural hash of the nest.
+  PerformanceEmbedding Embedding; ///< Performance embedding key.
+  Recipe Optimization;            ///< The transferred value.
+};
+
+/// The embedding-keyed store of optimization recipes.
+class TransferTuningDatabase {
+public:
+  /// Inserts an entry.
+  void insert(DatabaseEntry Entry);
+
+  /// Nearest entry by embedding distance (exact hash matches win
+  /// outright). Returns nullptr for an empty database or when the nearest
+  /// entry is farther than \p MaxDistance.
+  const DatabaseEntry *lookup(const PerformanceEmbedding &Key,
+                              uint64_t CanonicalHash,
+                              double MaxDistance = 1e9) const;
+
+  /// The \p K nearest entries by embedding distance (for evolutionary
+  /// re-seeding from "the ten most similar loop nests").
+  std::vector<const DatabaseEntry *>
+  nearest(const PerformanceEmbedding &Key, size_t K) const;
+
+  size_t size() const { return Entries.size(); }
+  const std::vector<DatabaseEntry> &entries() const { return Entries; }
+
+private:
+  std::vector<DatabaseEntry> Entries;
+};
+
+} // namespace daisy
+
+#endif // DAISY_SCHED_DATABASE_H

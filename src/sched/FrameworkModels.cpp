@@ -1,0 +1,61 @@
+//===- sched/FrameworkModels.cpp ------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/FrameworkModels.h"
+
+#include "sched/Idiom.h"
+#include "transform/Fuse.h"
+#include "transform/Parallelize.h"
+
+using namespace daisy;
+
+std::set<BlasKind> daisy::pythonFrameworkOperators() {
+  return {BlasKind::Gemm, BlasKind::Gemv};
+}
+
+namespace {
+
+/// Replaces nests matching framework operators by library calls.
+void applyOperators(Program &Prog) {
+  for (NodePtr &Node : Prog.topLevel())
+    if (auto Match =
+            detectBlasIdiom(Node, Prog, pythonFrameworkOperators()))
+      Node = Match->Call;
+}
+
+} // namespace
+
+std::optional<Program> NumPyScheduler::schedule(const Program &Prog) {
+  Program Result = Prog.clone();
+  applyOperators(Result);
+  // ufunc inner loops are vectorized C loops; no threads, no fusion.
+  for (const NodePtr &Node : Result.topLevel())
+    vectorizeInnermostUnitStride(Node, Result);
+  return Result;
+}
+
+std::optional<Program> NumbaScheduler::schedule(const Program &Prog) {
+  Program Result = Prog.clone();
+  applyOperators(Result);
+  for (const NodePtr &Node : Result.topLevel()) {
+    parallelizeOutermost(Node, Result.params(), &Result);
+    vectorizeInnermostUnitStride(Node, Result);
+  }
+  return Result;
+}
+
+std::optional<Program> DaCeScheduler::schedule(const Program &Prog) {
+  Program Result = Prog.clone();
+  applyOperators(Result);
+  // Dataflow fusion of one-to-one producer-consumer nests, then map
+  // parallelization and vectorization.
+  Result.topLevel() = fuseProducerConsumers(Result.topLevel(), Result);
+  for (const NodePtr &Node : Result.topLevel()) {
+    parallelizeOutermost(Node, Result.params(), &Result);
+    vectorizeInnermostUnitStride(Node, Result);
+  }
+  return Result;
+}

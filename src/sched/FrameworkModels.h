@@ -1,0 +1,56 @@
+//===- sched/FrameworkModels.h - NumPy/Numba/DaCe models ---------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models of the Python frameworks compared in paper §4.3. All three "use
+/// custom operators to call optimized BLAS libraries for specific
+/// operations" — gemm and gemv, but not syrk/syr2k ("the baseline
+/// frameworks do not provide custom operators here"). Beyond operators:
+///
+/// - NumPy: eager per-operation execution of the lowered nests with
+///   materialized temporaries; ufunc loops are vectorized but never
+///   parallelized or restructured.
+/// - Numba: JIT of the lowered loops: outer-loop auto-parallelization
+///   (prange) and innermost vectorization, no restructuring.
+/// - DaCe: dataflow optimization of the SDFG: one-to-one producer-
+///   consumer fusion, map parallelization, vectorization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SCHED_FRAMEWORKMODELS_H
+#define DAISY_SCHED_FRAMEWORKMODELS_H
+
+#include "sched/Schedulers.h"
+
+namespace daisy {
+
+/// Operators available to the Python frameworks (paper §4.3).
+std::set<BlasKind> pythonFrameworkOperators();
+
+/// NumPy 1.25-style execution model.
+class NumPyScheduler : public Scheduler {
+public:
+  std::string name() const override { return "NumPy"; }
+  std::optional<Program> schedule(const Program &Prog) override;
+};
+
+/// Numba 0.58-style JIT model.
+class NumbaScheduler : public Scheduler {
+public:
+  std::string name() const override { return "Numba"; }
+  std::optional<Program> schedule(const Program &Prog) override;
+};
+
+/// DaCe 0.14-style dataflow-optimization model.
+class DaCeScheduler : public Scheduler {
+public:
+  std::string name() const override { return "DaCe"; }
+  std::optional<Program> schedule(const Program &Prog) override;
+};
+
+} // namespace daisy
+
+#endif // DAISY_SCHED_FRAMEWORKMODELS_H

@@ -1,0 +1,350 @@
+//===- sched/Idiom.cpp ----------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Idiom.h"
+
+#include "analysis/Legality.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace daisy;
+
+namespace {
+
+/// A product flattened into a constant factor and its array reads.
+struct FlatProduct {
+  bool Ok = false;
+  double Constant = 1.0;
+  std::vector<ArrayAccess> Reads;
+};
+
+FlatProduct flattenProduct(const ExprPtr &E) {
+  FlatProduct Result;
+  Result.Ok = true;
+  std::vector<ExprPtr> Work = {E};
+  while (!Work.empty()) {
+    ExprPtr Node = Work.back();
+    Work.pop_back();
+    switch (Node->kind()) {
+    case ExprKind::Constant:
+      Result.Constant *= Node->constantValue();
+      break;
+    case ExprKind::Read:
+      Result.Reads.push_back(Node->access());
+      break;
+    case ExprKind::Binary:
+      if (Node->binaryOp() != BinaryOpKind::Mul) {
+        Result.Ok = false;
+        return Result;
+      }
+      Work.push_back(Node->operands()[0]);
+      Work.push_back(Node->operands()[1]);
+      break;
+    default:
+      Result.Ok = false;
+      return Result;
+    }
+  }
+  return Result;
+}
+
+/// If every subscript of \p Access is a bare iterator (coefficient 1, no
+/// constant), returns the iterator names in dimension order.
+std::optional<std::vector<std::string>> plainIters(const ArrayAccess &A) {
+  std::vector<std::string> Result;
+  for (const AffineExpr &Index : A.Indices) {
+    if (Index.constantTerm() != 0 || Index.terms().size() != 1)
+      return std::nullopt;
+    const auto &[Name, Coeff] = *Index.terms().begin();
+    if (Coeff != 1)
+      return std::nullopt;
+    Result.push_back(Name);
+  }
+  return Result;
+}
+
+/// Band info: iterator -> (trip count, zero-based rectangular?).
+struct BandInfo {
+  std::vector<std::shared_ptr<Loop>> Loops;
+  std::map<std::string, int64_t> Trip;          // rectangular loops only
+  std::map<std::string, std::string> TriUpper;  // j -> i when j < i+1
+};
+
+std::optional<BandInfo> analyzeBand(const NodePtr &Root,
+                                    const Program &Prog) {
+  BandInfo Info;
+  Info.Loops = perfectNestBand(Root);
+  if (Info.Loops.empty())
+    return std::nullopt;
+  for (const auto &L : Info.Loops) {
+    if (L->step() != 1)
+      return std::nullopt;
+    if (!(L->lower() == AffineExpr::constant(0)))
+      return std::nullopt;
+    const AffineExpr &Upper = L->upper();
+    bool Rectangular = true;
+    for (const auto &[Name, Coeff] : Upper.terms())
+      Rectangular &= Prog.params().count(Name) != 0;
+    if (Rectangular) {
+      Info.Trip[L->iterator()] = Upper.evaluate(Prog.params());
+      continue;
+    }
+    // Lower-triangular pattern: upper == other_iterator + 1.
+    if (Upper.terms().size() == 1 && Upper.constantTerm() == 1 &&
+        Upper.terms().begin()->second == 1) {
+      Info.TriUpper[L->iterator()] = Upper.terms().begin()->first;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return Info;
+}
+
+/// The single computation of a perfect single-statement nest, or null.
+const Computation *soleComputation(const BandInfo &Band) {
+  const auto &Body = Band.Loops.back()->body();
+  if (Body.size() != 1)
+    return nullptr;
+  return dynCast<Computation>(Body[0]);
+}
+
+std::optional<IdiomMatch> matchGemm(const BandInfo &Band,
+                                    const Computation &Comp) {
+  if (Band.Loops.size() != 3 || !Band.TriUpper.empty())
+    return std::nullopt;
+  auto WriteIters = plainIters(Comp.write());
+  if (!WriteIters || WriteIters->size() != 2)
+    return std::nullopt;
+  const std::string &I = (*WriteIters)[0];
+  const std::string &J = (*WriteIters)[1];
+  // Identify the contraction iterator.
+  std::string K;
+  for (const auto &L : Band.Loops)
+    if (L->iterator() != I && L->iterator() != J)
+      K = L->iterator();
+  if (K.empty() || I == J)
+    return std::nullopt;
+
+  const ExprPtr &Rhs = Comp.rhs();
+  if (Rhs->kind() != ExprKind::Binary ||
+      Rhs->binaryOp() != BinaryOpKind::Add)
+    return std::nullopt;
+  // One addend reads the write target; the other is the product.
+  ExprPtr Acc, Prod;
+  for (int Side = 0; Side < 2; ++Side) {
+    const ExprPtr &Cand = Rhs->operands()[static_cast<size_t>(Side)];
+    if (Cand->kind() == ExprKind::Read && Cand->access() == Comp.write())
+      Acc = Cand;
+    else
+      Prod = Cand;
+  }
+  if (!Acc || !Prod)
+    return std::nullopt;
+  FlatProduct P = flattenProduct(Prod);
+  if (!P.Ok || P.Reads.size() != 2)
+    return std::nullopt;
+  for (int Swap = 0; Swap < 2; ++Swap) {
+    const ArrayAccess &A = P.Reads[static_cast<size_t>(Swap)];
+    const ArrayAccess &B = P.Reads[static_cast<size_t>(1 - Swap)];
+    auto AIters = plainIters(A);
+    auto BIters = plainIters(B);
+    if (!AIters || !BIters)
+      continue;
+    if (*AIters == std::vector<std::string>{I, K} &&
+        *BIters == std::vector<std::string>{K, J}) {
+      auto Call = std::make_shared<CallNode>(
+          BlasKind::Gemm,
+          std::vector<std::string>{Comp.write().Array, A.Array, B.Array},
+          std::vector<int64_t>{Band.Trip.at(I), Band.Trip.at(J),
+                               Band.Trip.at(K)},
+          P.Constant, 1.0);
+      return IdiomMatch{Call, BlasKind::Gemm};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<IdiomMatch> matchSyrkFamily(const BandInfo &Band,
+                                          const Computation &Comp) {
+  if (Band.Loops.size() != 3 || Band.TriUpper.size() != 1)
+    return std::nullopt;
+  auto WriteIters = plainIters(Comp.write());
+  if (!WriteIters || WriteIters->size() != 2)
+    return std::nullopt;
+  const std::string &I = (*WriteIters)[0];
+  const std::string &J = (*WriteIters)[1];
+  // Lower-triangular update: j runs to i+1.
+  auto TriIt = Band.TriUpper.find(J);
+  if (TriIt == Band.TriUpper.end() || TriIt->second != I)
+    return std::nullopt;
+  std::string K;
+  for (const auto &L : Band.Loops)
+    if (L->iterator() != I && L->iterator() != J)
+      K = L->iterator();
+  if (K.empty() || !Band.Trip.count(I) || !Band.Trip.count(K))
+    return std::nullopt;
+
+  const ExprPtr &Rhs = Comp.rhs();
+  if (Rhs->kind() != ExprKind::Binary ||
+      Rhs->binaryOp() != BinaryOpKind::Add)
+    return std::nullopt;
+  ExprPtr Acc, Rest;
+  for (int Side = 0; Side < 2; ++Side) {
+    const ExprPtr &Cand = Rhs->operands()[static_cast<size_t>(Side)];
+    if (Cand->kind() == ExprKind::Read && Cand->access() == Comp.write())
+      Acc = Cand;
+    else
+      Rest = Cand;
+  }
+  if (!Acc || !Rest)
+    return std::nullopt;
+
+  int64_t N = Band.Trip.at(I);
+  int64_t KTrip = Band.Trip.at(K);
+
+  // SYRK: Rest = alpha * A[i][k] * A[j][k].
+  FlatProduct Single = flattenProduct(Rest);
+  if (Single.Ok && Single.Reads.size() == 2) {
+    auto R0 = plainIters(Single.Reads[0]);
+    auto R1 = plainIters(Single.Reads[1]);
+    if (R0 && R1 && Single.Reads[0].Array == Single.Reads[1].Array) {
+      bool Direct = *R0 == std::vector<std::string>{I, K} &&
+                    *R1 == std::vector<std::string>{J, K};
+      bool Swapped = *R1 == std::vector<std::string>{I, K} &&
+                     *R0 == std::vector<std::string>{J, K};
+      if (Direct || Swapped) {
+        auto Call = std::make_shared<CallNode>(
+            BlasKind::Syrk,
+            std::vector<std::string>{Comp.write().Array,
+                                     Single.Reads[0].Array},
+            std::vector<int64_t>{N, KTrip}, Single.Constant, 1.0);
+        return IdiomMatch{Call, BlasKind::Syrk};
+      }
+    }
+  }
+
+  // SYR2K: Rest = P1 + P2 with P = alpha * X[j][k] * Y[i][k] pairs over
+  // two distinct arrays.
+  if (Rest->kind() == ExprKind::Binary &&
+      Rest->binaryOp() == BinaryOpKind::Add) {
+    FlatProduct P1 = flattenProduct(Rest->operands()[0]);
+    FlatProduct P2 = flattenProduct(Rest->operands()[1]);
+    if (P1.Ok && P2.Ok && P1.Reads.size() == 2 && P2.Reads.size() == 2 &&
+        P1.Constant == P2.Constant) {
+      // Collect array names of the (i,k)/(j,k) reads of each product.
+      auto Classify = [&](const FlatProduct &P)
+          -> std::optional<std::pair<std::string, std::string>> {
+        // Returns (array with [i][k], array with [j][k]).
+        auto R0 = plainIters(P.Reads[0]);
+        auto R1 = plainIters(P.Reads[1]);
+        if (!R0 || !R1)
+          return std::nullopt;
+        if (*R0 == std::vector<std::string>{I, K} &&
+            *R1 == std::vector<std::string>{J, K})
+          return std::make_pair(P.Reads[0].Array, P.Reads[1].Array);
+        if (*R1 == std::vector<std::string>{I, K} &&
+            *R0 == std::vector<std::string>{J, K})
+          return std::make_pair(P.Reads[1].Array, P.Reads[0].Array);
+        return std::nullopt;
+      };
+      auto C1 = Classify(P1);
+      auto C2 = Classify(P2);
+      // The two products must use the two arrays in opposite roles:
+      // A[i][k]*B[j][k] + B[i][k]*A[j][k].
+      if (C1 && C2 && C1->first == C2->second && C1->second == C2->first &&
+          C1->first != C1->second) {
+        auto Call = std::make_shared<CallNode>(
+            BlasKind::Syr2k,
+            std::vector<std::string>{Comp.write().Array, C1->first,
+                                     C1->second},
+            std::vector<int64_t>{N, KTrip}, P1.Constant, 1.0);
+        return IdiomMatch{Call, BlasKind::Syr2k};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<IdiomMatch> matchGemv(const BandInfo &Band,
+                                    const Computation &Comp) {
+  if (Band.Loops.size() != 2 || !Band.TriUpper.empty())
+    return std::nullopt;
+  auto WriteIters = plainIters(Comp.write());
+  if (!WriteIters || WriteIters->size() != 1)
+    return std::nullopt;
+  const std::string &I = (*WriteIters)[0];
+  std::string J;
+  for (const auto &L : Band.Loops)
+    if (L->iterator() != I)
+      J = L->iterator();
+  if (J.empty())
+    return std::nullopt;
+
+  const ExprPtr &Rhs = Comp.rhs();
+  if (Rhs->kind() != ExprKind::Binary ||
+      Rhs->binaryOp() != BinaryOpKind::Add)
+    return std::nullopt;
+  ExprPtr Acc, Prod;
+  for (int Side = 0; Side < 2; ++Side) {
+    const ExprPtr &Cand = Rhs->operands()[static_cast<size_t>(Side)];
+    if (Cand->kind() == ExprKind::Read && Cand->access() == Comp.write())
+      Acc = Cand;
+    else
+      Prod = Cand;
+  }
+  if (!Acc || !Prod)
+    return std::nullopt;
+  FlatProduct P = flattenProduct(Prod);
+  if (!P.Ok || P.Reads.size() != 2)
+    return std::nullopt;
+  for (int Swap = 0; Swap < 2; ++Swap) {
+    const ArrayAccess &A = P.Reads[static_cast<size_t>(Swap)];
+    const ArrayAccess &X = P.Reads[static_cast<size_t>(1 - Swap)];
+    auto AIters = plainIters(A);
+    auto XIters = plainIters(X);
+    if (!AIters || !XIters)
+      continue;
+    if (*AIters == std::vector<std::string>{I, J} &&
+        *XIters == std::vector<std::string>{J}) {
+      auto Call = std::make_shared<CallNode>(
+          BlasKind::Gemv,
+          std::vector<std::string>{Comp.write().Array, A.Array, X.Array},
+          std::vector<int64_t>{Band.Trip.at(I), Band.Trip.at(J)},
+          P.Constant, 1.0);
+      return IdiomMatch{Call, BlasKind::Gemv};
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<IdiomMatch>
+daisy::detectBlasIdiom(const NodePtr &Root, const Program &Prog,
+                       const std::set<BlasKind> &Enabled) {
+  auto L = std::dynamic_pointer_cast<Loop>(Root);
+  if (!L || L->isOpaque())
+    return std::nullopt;
+  auto Band = analyzeBand(Root, Prog);
+  if (!Band)
+    return std::nullopt;
+  const Computation *Comp = soleComputation(*Band);
+  if (!Comp)
+    return std::nullopt;
+
+  if (Enabled.count(BlasKind::Gemm))
+    if (auto M = matchGemm(*Band, *Comp))
+      return M;
+  if (Enabled.count(BlasKind::Syrk) || Enabled.count(BlasKind::Syr2k))
+    if (auto M = matchSyrkFamily(*Band, *Comp))
+      if (Enabled.count(M->Kind))
+        return M;
+  if (Enabled.count(BlasKind::Gemv))
+    if (auto M = matchGemv(*Band, *Comp))
+      return M;
+  return std::nullopt;
+}

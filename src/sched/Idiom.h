@@ -1,0 +1,50 @@
+//===- sched/Idiom.h - BLAS idiom detection ----------------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detection of BLAS kernels in (normalized) loop nests and their
+/// replacement by library calls (paper §4: "For each loop nest
+/// corresponding to a BLAS-3 kernel, we add an optimization recipe to
+/// perform idiom detection, i.e., replacing the loop nest with the
+/// matching BLAS library call").
+///
+/// Detection is structural and order-insensitive within the band, but it
+/// requires a single-computation nest — which is exactly what maximal
+/// fission produces. This is why BLAS lifting "fails without normalization
+/// on several benchmarks, e.g., 2mm, 3mm and gemm" (paper §4.3): in fused
+/// or permuted variants the pattern does not appear as a standalone nest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SCHED_IDIOM_H
+#define DAISY_SCHED_IDIOM_H
+
+#include "ir/Program.h"
+
+#include <optional>
+#include <set>
+
+namespace daisy {
+
+/// A detected idiom, ready to replace the nest.
+struct IdiomMatch {
+  std::shared_ptr<CallNode> Call;
+  BlasKind Kind;
+};
+
+/// Tries to match \p Root against the BLAS kernels in \p Enabled.
+/// Matching requires a rectangular (or, for syrk/syr2k, lower-triangular)
+/// band with zero-based bounds and a single computation of the
+/// corresponding form; alpha is extracted from a constant factor.
+std::optional<IdiomMatch>
+detectBlasIdiom(const NodePtr &Root, const Program &Prog,
+                const std::set<BlasKind> &Enabled = {
+                    BlasKind::Gemm, BlasKind::Syrk, BlasKind::Syr2k,
+                    BlasKind::Gemv});
+
+} // namespace daisy
+
+#endif // DAISY_SCHED_IDIOM_H

@@ -1,0 +1,128 @@
+//===- sched/Recipe.cpp ---------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Recipe.h"
+
+#include "analysis/Legality.h"
+#include "sched/Idiom.h"
+#include "support/StringUtils.h"
+#include "transform/Parallelize.h"
+#include "transform/Permute.h"
+#include "transform/Tile.h"
+
+#include <cassert>
+
+using namespace daisy;
+
+std::string RecipeStep::toString() const {
+  switch (StepKind) {
+  case Kind::Permute: {
+    std::vector<std::string> Parts;
+    for (int P : Perm)
+      Parts.push_back(std::to_string(P));
+    return "permute(" + join(Parts, ",") + ")";
+  }
+  case Kind::Tile: {
+    std::vector<std::string> Parts;
+    for (int64_t T : Tiles)
+      Parts.push_back(std::to_string(T));
+    return "tile(" + join(Parts, ",") + ")";
+  }
+  case Kind::ParallelizeOutermost:
+    return "parallel";
+  case Kind::VectorizeInnermost:
+    return "vectorize";
+  case Kind::StripMineVectorize:
+    return "stripmine(" + std::to_string(Level) + "x" +
+           std::to_string(Width) + ")";
+  case Kind::BlasReplace:
+    return "blas";
+  }
+  return "?";
+}
+
+std::string Recipe::toString() const {
+  std::vector<std::string> Parts;
+  for (const RecipeStep &Step : Steps)
+    Parts.push_back(Step.toString());
+  return join(Parts, " ; ");
+}
+
+Recipe Recipe::blasRecipe() {
+  Recipe R;
+  RecipeStep Step;
+  Step.StepKind = RecipeStep::Kind::BlasReplace;
+  R.Steps.push_back(Step);
+  return R;
+}
+
+Recipe Recipe::defaultParallelRecipe() {
+  Recipe R;
+  RecipeStep Par;
+  Par.StepKind = RecipeStep::Kind::ParallelizeOutermost;
+  R.Steps.push_back(Par);
+  RecipeStep Vec;
+  Vec.StepKind = RecipeStep::Kind::VectorizeInnermost;
+  R.Steps.push_back(Vec);
+  return R;
+}
+
+NodePtr daisy::applyRecipe(const Recipe &R, const NodePtr &Root,
+                           Program &Prog) {
+  NodePtr Current = Root->clone();
+  for (const RecipeStep &Step : R.Steps) {
+    switch (Step.StepKind) {
+    case RecipeStep::Kind::Permute: {
+      auto Band = perfectNestBand(Current);
+      if (Step.Perm.size() != Band.size())
+        break;
+      std::vector<std::string> Order;
+      bool Valid = true;
+      std::vector<bool> Seen(Band.size(), false);
+      for (int P : Step.Perm) {
+        if (P < 0 || static_cast<size_t>(P) >= Band.size() ||
+            Seen[static_cast<size_t>(P)]) {
+          Valid = false;
+          break;
+        }
+        Seen[static_cast<size_t>(P)] = true;
+        Order.push_back(Band[static_cast<size_t>(P)]->iterator());
+      }
+      if (!Valid || !isPermutationLegal(Current, Order, Prog.params()))
+        break;
+      Current = applyPermutation(Current, Order);
+      break;
+    }
+    case RecipeStep::Kind::Tile: {
+      if (perfectNestBand(Current).empty())
+        break;
+      Current = tileBand(Current, Step.Tiles, Prog.params());
+      break;
+    }
+    case RecipeStep::Kind::ParallelizeOutermost:
+      parallelizeOutermost(Current, Prog.params(), &Prog);
+      break;
+    case RecipeStep::Kind::VectorizeInnermost:
+      vectorizeInnermostUnitStride(Current, Prog);
+      break;
+    case RecipeStep::Kind::StripMineVectorize: {
+      auto Band = perfectNestBand(Current);
+      if (Band.empty() || static_cast<size_t>(Step.Level) >= Band.size())
+        break;
+      Current = stripMine(Current, static_cast<size_t>(Step.Level),
+                          Step.Width, Prog.params());
+      break;
+    }
+    case RecipeStep::Kind::BlasReplace: {
+      auto Match = detectBlasIdiom(Current, Prog);
+      if (Match)
+        Current = Match->Call;
+      break;
+    }
+    }
+  }
+  return Current;
+}

@@ -1,0 +1,71 @@
+//===- sched/Recipe.h - Transformation recipes -------------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transformation recipes: the values stored in the transfer-tuning
+/// database. A recipe is an ordered list of schedule steps ("loop
+/// interchange, tiling, parallelization and vectorization", paper §4)
+/// plus the BLAS replacement step for idiom recipes. Application is
+/// legality-checked step by step; steps that do not apply are skipped, so
+/// a recipe transferred to a merely similar nest degrades gracefully.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SCHED_RECIPE_H
+#define DAISY_SCHED_RECIPE_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// One step of a recipe.
+struct RecipeStep {
+  enum class Kind {
+    Permute,             ///< Reorder the perfect band (band positions).
+    Tile,                ///< Tile the leading band loops.
+    ParallelizeOutermost,///< Mark the outermost parallel loop.
+    VectorizeInnermost,  ///< Mark unit-stride innermost loops SIMD.
+    StripMineVectorize,  ///< Strip-mine a band level into a SIMD loop.
+    BlasReplace          ///< Replace the nest with a library call.
+  };
+
+  Kind StepKind = Kind::VectorizeInnermost;
+  /// Permute: the new order as band positions (e.g. {2,0,1}).
+  std::vector<int> Perm;
+  /// Tile: tile size per band level (0/1 = untiled).
+  std::vector<int64_t> Tiles;
+  /// StripMineVectorize: band level and width.
+  int Level = 0;
+  int64_t Width = 4;
+
+  std::string toString() const;
+};
+
+/// An ordered transformation sequence.
+struct Recipe {
+  std::vector<RecipeStep> Steps;
+
+  std::string toString() const;
+
+  /// Convenience factories.
+  static Recipe blasRecipe();
+  static Recipe defaultParallelRecipe();
+};
+
+/// Applies \p R to nest \p Root within \p Prog. Every structural step is
+/// legality-checked (illegal or inapplicable steps are skipped). The
+/// BlasReplace step succeeds only if idiom detection matches. Returns the
+/// transformed nest.
+NodePtr applyRecipe(const Recipe &R, const NodePtr &Root, Program &Prog);
+
+} // namespace daisy
+
+#endif // DAISY_SCHED_RECIPE_H

@@ -1,0 +1,142 @@
+//===- sched/Schedulers.h - daisy and baseline schedulers --------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The auto-schedulers compared in the paper's evaluation:
+///
+/// - DaisyScheduler: the paper's contribution — a priori normalization,
+///   BLAS-3 idiom replacement, and similarity-based transfer tuning from
+///   a database seeded on the A variants.
+/// - PollyScheduler: models Polly with `-O3 -polly -polly-parallel
+///   -polly-tiling -polly-vectorizer=stripmine -polly-2nd-level-tiling`:
+///   tiling + strip-mine vectorization + outer parallelization on the
+///   loop structure as given (no a priori normalization).
+/// - TiramisuScheduler: models the Tiramisu auto-scheduler run through
+///   the paper's adapter: maximal fission, conversion restricted to
+///   perfectly nested rectangular parallel loops (X otherwise), MCTS over
+///   the schedule space guided by the cost model, top-3 candidates
+///   measured and the best applied.
+/// - IccScheduler: models `icc -O3 -parallel`: conservative outer-loop
+///   auto-parallelization + innermost unit-stride vectorization.
+/// - ClangScheduler: models `clang -O3`: innermost unit-stride
+///   vectorization only.
+///
+/// Framework models for the Python comparison (paper §4.3) live in
+/// FrameworkModels.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SCHED_SCHEDULERS_H
+#define DAISY_SCHED_SCHEDULERS_H
+
+#include "machine/Simulator.h"
+#include "normalize/Pipeline.h"
+#include "sched/Database.h"
+#include "sched/Search.h"
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace daisy {
+
+/// Common interface of all scheduling approaches.
+class Scheduler {
+public:
+  virtual ~Scheduler();
+
+  /// Display name ("daisy", "Polly", ...).
+  virtual std::string name() const = 0;
+
+  /// Returns the optimized program, or std::nullopt when the approach is
+  /// not applicable to this program (the paper's X marks).
+  virtual std::optional<Program> schedule(const Program &Prog) = 0;
+};
+
+/// clang -O3 model.
+class ClangScheduler : public Scheduler {
+public:
+  std::string name() const override { return "clang"; }
+  std::optional<Program> schedule(const Program &Prog) override;
+};
+
+/// icc -O3 -parallel model.
+class IccScheduler : public Scheduler {
+public:
+  std::string name() const override { return "icc"; }
+  std::optional<Program> schedule(const Program &Prog) override;
+};
+
+/// Polly model (tiling + strip-mine vectorization + parallel outer).
+class PollyScheduler : public Scheduler {
+public:
+  std::string name() const override { return "Polly"; }
+  std::optional<Program> schedule(const Program &Prog) override;
+
+  /// First- and second-level tile sizes (Polly defaults, scaled).
+  int64_t FirstLevelTile = 32;
+  int64_t SecondLevelTile = 8;
+  int64_t VectorWidth = 4;
+};
+
+/// Tiramisu auto-scheduler model (MCTS via the paper's adapter).
+class TiramisuScheduler : public Scheduler {
+public:
+  explicit TiramisuScheduler(SimOptions EvalOptions = {},
+                             SearchBudget Budget = {})
+      : EvalOptions(std::move(EvalOptions)), Budget(Budget) {}
+
+  std::string name() const override { return "Tiramisu"; }
+  std::optional<Program> schedule(const Program &Prog) override;
+
+private:
+  SimOptions EvalOptions;
+  SearchBudget Budget;
+};
+
+/// Configuration of the daisy scheduler.
+struct DaisyOptions {
+  /// Apply a priori normalization before optimizing (disabled by the
+  /// ablation and the "daisy w/o normalization" configuration).
+  bool EnableNormalization = true;
+  /// Apply the transfer-tuned optimizations (disabled by the "Norm only"
+  /// ablation configuration).
+  bool EnableOptimization = true;
+  /// BLAS kinds available for idiom replacement (BLAS-3 per the paper).
+  std::set<BlasKind> Idioms = {BlasKind::Gemm, BlasKind::Syrk,
+                               BlasKind::Syr2k};
+  /// Maximum embedding distance for a database transfer.
+  double MaxTransferDistance = 8.0;
+};
+
+/// The daisy scheduler (paper §4).
+class DaisyScheduler : public Scheduler {
+public:
+  DaisyScheduler(std::shared_ptr<TransferTuningDatabase> Db,
+                 DaisyOptions Options = {})
+      : Db(std::move(Db)), Options(std::move(Options)) {}
+
+  std::string name() const override { return "daisy"; }
+  std::optional<Program> schedule(const Program &Prog) override;
+
+  /// Seeds \p Db from the normalized nests of \p AVariant: BLAS-3 nests
+  /// get the idiom recipe; all others are optimized by the evolutionary
+  /// search (paper §4, "Seeding a Scheduling Database").
+  static void seedDatabase(TransferTuningDatabase &Db,
+                           const Program &AVariant,
+                           const SimOptions &EvalOptions,
+                           const SearchBudget &Budget, Rng &Rand,
+                           const DaisyOptions &Options = {});
+
+private:
+  std::shared_ptr<TransferTuningDatabase> Db;
+  DaisyOptions Options;
+};
+
+} // namespace daisy
+
+#endif // DAISY_SCHED_SCHEDULERS_H

@@ -1,0 +1,295 @@
+//===- sched/Search.cpp ---------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Search.h"
+
+#include "analysis/Legality.h"
+#include "ir/StructuralHash.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace daisy;
+
+double daisy::evaluateNestRuntime(const Program &Prog, size_t Index,
+                                  const NodePtr &Nest,
+                                  const SimOptions &Options) {
+  Program Copy = Prog.clone();
+  Copy.topLevel()[Index] = Nest->clone();
+  return simulateProgram(Copy, Options).Seconds;
+}
+
+double daisy::evaluateRecipe(const Recipe &R, const Program &Prog,
+                             size_t Index, const SimOptions &Options) {
+  Program Copy = Prog.clone();
+  NodePtr Transformed = applyRecipe(R, Copy.topLevel()[Index], Copy);
+  Copy.topLevel()[Index] = Transformed;
+  return simulateProgram(Copy, Options).Seconds;
+}
+
+namespace {
+
+/// The discrete action space of the schedule search.
+struct ActionSpace {
+  std::vector<std::vector<int>> Permutations; // band-position orders
+  std::vector<std::vector<int64_t>> TileChoices;
+  // Parallelize and vectorize are booleans.
+};
+
+ActionSpace buildActionSpace(size_t BandSize) {
+  ActionSpace Space;
+  // Permutations: identity plus rotations/swaps (bounded for deep bands).
+  std::vector<int> Identity;
+  for (size_t I = 0; I < BandSize; ++I)
+    Identity.push_back(static_cast<int>(I));
+  std::vector<int> Perm = Identity;
+  int Count = 0;
+  do {
+    Space.Permutations.push_back(Perm);
+    ++Count;
+  } while (Count < 24 && std::next_permutation(Perm.begin(), Perm.end()));
+
+  Space.TileChoices.push_back({});
+  for (int64_t T : {8, 16, 32}) {
+    std::vector<int64_t> Tiles(BandSize, T);
+    Space.TileChoices.push_back(Tiles);
+  }
+  if (BandSize >= 2)
+    Space.TileChoices.push_back(
+        std::vector<int64_t>(BandSize, static_cast<int64_t>(0)));
+  return Space;
+}
+
+Recipe buildRecipe(const ActionSpace &Space, size_t PermChoice,
+                   size_t TileChoice, bool Parallel, bool Vectorize) {
+  Recipe R;
+  RecipeStep Perm;
+  Perm.StepKind = RecipeStep::Kind::Permute;
+  Perm.Perm = Space.Permutations[PermChoice];
+  R.Steps.push_back(Perm);
+  if (!Space.TileChoices[TileChoice].empty()) {
+    RecipeStep Tile;
+    Tile.StepKind = RecipeStep::Kind::Tile;
+    Tile.Tiles = Space.TileChoices[TileChoice];
+    R.Steps.push_back(Tile);
+  }
+  if (Parallel) {
+    RecipeStep Par;
+    Par.StepKind = RecipeStep::Kind::ParallelizeOutermost;
+    R.Steps.push_back(Par);
+  }
+  if (Vectorize) {
+    RecipeStep Vec;
+    Vec.StepKind = RecipeStep::Kind::VectorizeInnermost;
+    R.Steps.push_back(Vec);
+  }
+  return R;
+}
+
+} // namespace
+
+std::vector<Recipe> daisy::mctsCandidates(const Program &Prog, size_t Index,
+                                          const SimOptions &Options,
+                                          const SearchBudget &Budget,
+                                          int TopK) {
+  const NodePtr &Nest = Prog.topLevel()[Index];
+  size_t BandSize = perfectNestBand(Nest).size();
+  if (BandSize == 0)
+    return {};
+  ActionSpace Space = buildActionSpace(BandSize);
+
+  // Flat UCB over the first decision (permutation); rollouts complete the
+  // remaining decisions at random. This is a faithful, small-scale MCTS:
+  // the statistics concentrate simulation effort on promising subtrees.
+  Rng Rand(structuralHash(Nest)); // structure-dependent seed
+  size_t Arms = Space.Permutations.size();
+  std::vector<double> BestReward(Arms, 0.0);
+  std::vector<int> Visits(Arms, 0);
+  std::vector<Recipe> BestRecipePerArm(Arms);
+  int TotalVisits = 0;
+
+  for (int Rollout = 0; Rollout < Budget.MctsRollouts; ++Rollout) {
+    // Select arm by UCB1 (untried arms first).
+    size_t Arm = 0;
+    bool Untried = false;
+    for (size_t A = 0; A < Arms; ++A)
+      if (Visits[A] == 0) {
+        Arm = A;
+        Untried = true;
+        break;
+      }
+    if (!Untried) {
+      double BestScore = -1.0;
+      for (size_t A = 0; A < Arms; ++A) {
+        double Score = BestReward[A] +
+                       1.4 * std::sqrt(std::log(TotalVisits + 1.0) /
+                                       Visits[A]);
+        if (Score > BestScore) {
+          BestScore = Score;
+          Arm = A;
+        }
+      }
+    }
+
+    size_t TileChoice = Rand.nextBelow(Space.TileChoices.size());
+    bool Parallel = Rand.nextBool(0.7);
+    bool Vectorize = Rand.nextBool(0.7);
+    Recipe Candidate =
+        buildRecipe(Space, Arm, TileChoice, Parallel, Vectorize);
+    double Seconds = evaluateRecipe(Candidate, Prog, Index, Options);
+    double Reward = 1.0 / (1.0 + Seconds * 1e3);
+    ++Visits[Arm];
+    ++TotalVisits;
+    if (Reward > BestReward[Arm]) {
+      BestReward[Arm] = Reward;
+      BestRecipePerArm[Arm] = Candidate;
+    }
+  }
+
+  // Rank arms by their best observed reward.
+  std::vector<size_t> Order;
+  for (size_t A = 0; A < Arms; ++A)
+    if (Visits[A] > 0)
+      Order.push_back(A);
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return BestReward[A] > BestReward[B];
+  });
+  std::vector<Recipe> Result;
+  for (size_t A : Order) {
+    Result.push_back(BestRecipePerArm[A]);
+    if (static_cast<int>(Result.size()) >= TopK)
+      break;
+  }
+  return Result;
+}
+
+Recipe daisy::mutateRecipe(const Recipe &R, size_t BandSize, Rng &Rand) {
+  Recipe Mutated = R;
+  if (Mutated.Steps.empty() || BandSize == 0)
+    return Mutated;
+  switch (Rand.nextBelow(4)) {
+  case 0: { // perturb permutation
+    for (RecipeStep &Step : Mutated.Steps)
+      if (Step.StepKind == RecipeStep::Kind::Permute &&
+          Step.Perm.size() >= 2) {
+        size_t A = Rand.nextBelow(Step.Perm.size());
+        size_t B = Rand.nextBelow(Step.Perm.size());
+        std::swap(Step.Perm[A], Step.Perm[B]);
+      }
+    break;
+  }
+  case 1: { // perturb tile sizes
+    bool Found = false;
+    for (RecipeStep &Step : Mutated.Steps)
+      if (Step.StepKind == RecipeStep::Kind::Tile && !Step.Tiles.empty()) {
+        size_t Dim = Rand.nextBelow(Step.Tiles.size());
+        static constexpr int64_t Sizes[4] = {0, 8, 16, 32};
+        Step.Tiles[Dim] = Sizes[Rand.nextBelow(4)];
+        Found = true;
+      }
+    if (!Found) {
+      RecipeStep Tile;
+      Tile.StepKind = RecipeStep::Kind::Tile;
+      Tile.Tiles.assign(BandSize, 16);
+      Mutated.Steps.insert(Mutated.Steps.begin() + 1, Tile);
+    }
+    break;
+  }
+  case 2: { // toggle parallelization
+    bool Removed = false;
+    for (size_t I = 0; I < Mutated.Steps.size(); ++I)
+      if (Mutated.Steps[I].StepKind ==
+          RecipeStep::Kind::ParallelizeOutermost) {
+        Mutated.Steps.erase(Mutated.Steps.begin() +
+                            static_cast<std::ptrdiff_t>(I));
+        Removed = true;
+        break;
+      }
+    if (!Removed) {
+      RecipeStep Par;
+      Par.StepKind = RecipeStep::Kind::ParallelizeOutermost;
+      Mutated.Steps.push_back(Par);
+    }
+    break;
+  }
+  default: { // toggle vectorization
+    bool Removed = false;
+    for (size_t I = 0; I < Mutated.Steps.size(); ++I)
+      if (Mutated.Steps[I].StepKind ==
+          RecipeStep::Kind::VectorizeInnermost) {
+        Mutated.Steps.erase(Mutated.Steps.begin() +
+                            static_cast<std::ptrdiff_t>(I));
+        Removed = true;
+        break;
+      }
+    if (!Removed) {
+      RecipeStep Vec;
+      Vec.StepKind = RecipeStep::Kind::VectorizeInnermost;
+      Mutated.Steps.push_back(Vec);
+    }
+    break;
+  }
+  }
+  return Mutated;
+}
+
+Recipe daisy::evolveRecipe(const Program &Prog, size_t Index,
+                           const TransferTuningDatabase &Db,
+                           const SimOptions &Options,
+                           const SearchBudget &Budget, Rng &Rand) {
+  const NodePtr &Nest = Prog.topLevel()[Index];
+  size_t BandSize = perfectNestBand(Nest).size();
+  PerformanceEmbedding Key = embedNest(Nest, Prog);
+
+  struct Scored {
+    Recipe R;
+    double Seconds;
+  };
+  auto Score = [&](const Recipe &R) {
+    return Scored{R, evaluateRecipe(R, Prog, Index, Options)};
+  };
+
+  std::vector<Scored> Population;
+  Scored Best{Recipe::defaultParallelRecipe(), 0.0};
+  Best.Seconds = evaluateRecipe(Best.R, Prog, Index, Options);
+
+  for (int Epoch = 0; Epoch < Budget.Epochs; ++Epoch) {
+    // (Re-)seed the population.
+    Population.clear();
+    if (Epoch == 0) {
+      for (const Recipe &Seed :
+           mctsCandidates(Prog, Index, Options, Budget,
+                          Budget.PopulationSize))
+        Population.push_back(Score(Seed));
+    } else {
+      for (const DatabaseEntry *Entry :
+           Db.nearest(Key, static_cast<size_t>(Budget.ReSeedNeighbours)))
+        if (static_cast<int>(Population.size()) < Budget.PopulationSize)
+          Population.push_back(Score(Entry->Optimization));
+    }
+    Population.push_back(Best);
+    while (static_cast<int>(Population.size()) < Budget.PopulationSize)
+      Population.push_back(
+          Score(mutateRecipe(Best.R, BandSize, Rand)));
+
+    // Refine with mutation + truncation selection.
+    for (int Iter = 0; Iter < Budget.IterationsPerEpoch; ++Iter) {
+      size_t CurrentSize = Population.size();
+      for (size_t I = 0; I < CurrentSize; ++I)
+        Population.push_back(
+            Score(mutateRecipe(Population[I].R, BandSize, Rand)));
+      std::stable_sort(Population.begin(), Population.end(),
+                       [](const Scored &A, const Scored &B) {
+                         return A.Seconds < B.Seconds;
+                       });
+      Population.resize(
+          static_cast<size_t>(Budget.PopulationSize));
+    }
+    if (!Population.empty() && Population.front().Seconds < Best.Seconds)
+      Best = Population.front();
+  }
+  return Best.R;
+}

@@ -1,0 +1,76 @@
+//===- sched/Search.h - Recipe search (MCTS + evolutionary) ------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two search procedures behind the schedulers:
+///
+/// - mctsCandidates: a Monte-Carlo tree search over the schedule space
+///   (permutation, tiling, parallelization, vectorization) guided by the
+///   machine cost model — the stand-in for the Tiramisu auto-scheduler's
+///   MCTS + learned cost model (paper §4, Baselines).
+/// - evolveRecipe: the evolutionary search daisy uses to seed its
+///   database: "In the first epoch ... candidate optimizations for each
+///   loop nest are seeded using the Tiramisu auto-scheduler. This
+///   population is refined in three iterations through standard mutation
+///   and selection techniques, where the runtime determines the fitness.
+///   In the second and third epochs, the population is re-seeded using
+///   the current best optimization of the ten most similar loop nests."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SCHED_SEARCH_H
+#define DAISY_SCHED_SEARCH_H
+
+#include "machine/Simulator.h"
+#include "sched/Database.h"
+#include "sched/Recipe.h"
+#include "support/Random.h"
+
+#include <vector>
+
+namespace daisy {
+
+/// Fitness: simulated runtime of \p Prog with nest \p Index replaced by
+/// \p Nest (lower is better).
+double evaluateNestRuntime(const Program &Prog, size_t Index,
+                           const NodePtr &Nest, const SimOptions &Options);
+
+/// Applies \p R to nest \p Index of \p Prog and returns its runtime.
+double evaluateRecipe(const Recipe &R, const Program &Prog, size_t Index,
+                      const SimOptions &Options);
+
+/// Budget knobs for the searches.
+struct SearchBudget {
+  int MctsRollouts = 48;
+  int PopulationSize = 6;
+  int IterationsPerEpoch = 3;
+  int Epochs = 3;
+  int ReSeedNeighbours = 10;
+};
+
+/// Monte-Carlo tree search over the schedule space of nest \p Index.
+/// Returns up to \p TopK candidate recipes ordered best-first. The search
+/// is deterministic for a given seed; the seed is derived from the nest
+/// structure, modeling the search's sensitivity to the input loop
+/// structure.
+std::vector<Recipe> mctsCandidates(const Program &Prog, size_t Index,
+                                   const SimOptions &Options,
+                                   const SearchBudget &Budget, int TopK = 3);
+
+/// Random recipe mutation (tile sizes, permutation, parallel/vector
+/// toggles).
+Recipe mutateRecipe(const Recipe &R, size_t BandSize, Rng &R2);
+
+/// Evolutionary recipe search for nest \p Index, optionally re-seeding
+/// from \p Db (the database built so far).
+Recipe evolveRecipe(const Program &Prog, size_t Index,
+                    const TransferTuningDatabase &Db,
+                    const SimOptions &Options, const SearchBudget &Budget,
+                    Rng &Rand);
+
+} // namespace daisy
+
+#endif // DAISY_SCHED_SEARCH_H

@@ -1,0 +1,82 @@
+//===- support/Random.h - Deterministic random number generation -*- C++ -*-=//
+//
+// Part of the daisy project: a reproduction of "A Priori Loop Nest
+// Normalization" (CGO'25). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation used across the project.
+///
+/// All stochastic components (B-variant generation, evolutionary search,
+/// MCTS) are seeded explicitly so experiments are exactly reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SUPPORT_RANDOM_H
+#define DAISY_SUPPORT_RANDOM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace daisy {
+
+/// SplitMix64 generator, used to seed Xoshiro streams.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next();
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256** generator: fast, high-quality, deterministic PRNG.
+///
+/// This is the single random source used by all randomized algorithms in
+/// the repository. It is seeded from a user-provided 64-bit seed through
+/// SplitMix64 as recommended by the xoshiro authors.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull);
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform integer in the inclusive range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P = 0.5);
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    if (Values.size() < 2)
+      return;
+    for (size_t I = Values.size() - 1; I > 0; --I) {
+      size_t J = static_cast<size_t>(nextBelow(I + 1));
+      std::swap(Values[I], Values[J]);
+    }
+  }
+
+  /// Picks a uniformly random element of \p Values (must be non-empty).
+  template <typename T> const T &pick(const std::vector<T> &Values) {
+    return Values[static_cast<size_t>(nextBelow(Values.size()))];
+  }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace daisy
+
+#endif // DAISY_SUPPORT_RANDOM_H

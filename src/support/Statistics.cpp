@@ -1,0 +1,76 @@
+//===- support/Statistics.cpp ---------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace daisy;
+
+double daisy::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double Value : Values)
+    Sum += Value;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double daisy::median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  size_t Mid = Values.size() / 2;
+  if (Values.size() % 2 == 1)
+    return Values[Mid];
+  return 0.5 * (Values[Mid - 1] + Values[Mid]);
+}
+
+double daisy::sampleVariance(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double Mean = mean(Values);
+  double Sum = 0.0;
+  for (double Value : Values)
+    Sum += (Value - Mean) * (Value - Mean);
+  return Sum / static_cast<double>(Values.size() - 1);
+}
+
+double daisy::coefficientOfVariation(const std::vector<double> &Values) {
+  double Mean = mean(Values);
+  if (Mean == 0.0)
+    return 0.0;
+  return std::sqrt(sampleVariance(Values)) / Mean;
+}
+
+double daisy::geometricMean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "geometric mean of empty set");
+  double LogSum = 0.0;
+  for (double Value : Values) {
+    assert(Value > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(Value);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+MeasurementResult
+daisy::measureUntilStable(const std::function<double()> &Sample,
+                          const MeasurementOptions &Options) {
+  MeasurementResult Result;
+  while (Result.Samples.size() < Options.MaxSamples) {
+    Result.Samples.push_back(Sample());
+    if (Result.Samples.size() < Options.MinSamples)
+      continue;
+    if (coefficientOfVariation(Result.Samples) <= Options.TargetCv) {
+      Result.Converged = true;
+      break;
+    }
+  }
+  Result.Median = median(Result.Samples);
+  return Result;
+}

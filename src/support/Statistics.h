@@ -1,0 +1,69 @@
+//===- support/Statistics.h - Measurement statistics ------------*- C++ -*-===//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics and the measurement protocol used by all benches.
+///
+/// The paper measures "according to a standard framework [Hoefler & Belli,
+/// SC'15], where measurements are taken until the variance drops below five
+/// percent, and the resulting median is reported as the runtime".
+/// MedianMeasurement implements exactly that protocol on top of an arbitrary
+/// sample source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SUPPORT_STATISTICS_H
+#define DAISY_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace daisy {
+
+/// Arithmetic mean of \p Values; 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Median of \p Values (average of middle pair for even sizes).
+double median(std::vector<double> Values);
+
+/// Unbiased sample variance; 0 for fewer than two samples.
+double sampleVariance(const std::vector<double> &Values);
+
+/// Coefficient of variation: stddev / mean. 0 if the mean is 0.
+double coefficientOfVariation(const std::vector<double> &Values);
+
+/// Geometric mean of \p Values; all entries must be positive.
+double geometricMean(const std::vector<double> &Values);
+
+/// Options for the Hoefler-Belli style measurement loop.
+struct MeasurementOptions {
+  /// Minimum number of samples collected before testing convergence.
+  size_t MinSamples = 3;
+  /// Hard cap on the number of samples.
+  size_t MaxSamples = 64;
+  /// Convergence threshold on the coefficient of variation (paper: 5%).
+  double TargetCv = 0.05;
+};
+
+/// Result of a measurement run.
+struct MeasurementResult {
+  /// Median of the collected samples, the reported runtime.
+  double Median = 0.0;
+  /// All collected samples, in collection order.
+  std::vector<double> Samples;
+  /// True if the CV dropped below the target before MaxSamples was hit.
+  bool Converged = false;
+};
+
+/// Repeatedly invokes \p Sample until the coefficient of variation of the
+/// collected values drops below \p Options.TargetCv, then reports the median.
+MeasurementResult measureUntilStable(const std::function<double()> &Sample,
+                                     const MeasurementOptions &Options = {});
+
+} // namespace daisy
+
+#endif // DAISY_SUPPORT_STATISTICS_H

@@ -1,0 +1,45 @@
+//===- support/StringUtils.cpp --------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace daisy;
+
+std::string daisy::join(const std::vector<std::string> &Parts,
+                        const std::string &Separator) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Separator;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string daisy::formatDouble(double Value, int Digits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Digits, Value);
+  return Buffer;
+}
+
+std::string daisy::padLeft(const std::string &Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return std::string(Width - Text.size(), ' ') + Text;
+}
+
+std::string daisy::padRight(const std::string &Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return Text + std::string(Width - Text.size(), ' ');
+}
+
+bool daisy::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}

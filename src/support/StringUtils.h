@@ -1,0 +1,38 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting helpers shared by the printers and the bench harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SUPPORT_STRINGUTILS_H
+#define DAISY_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// Joins \p Parts with \p Separator.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Separator);
+
+/// Formats \p Value with \p Digits digits after the decimal point.
+std::string formatDouble(double Value, int Digits = 3);
+
+/// Left-pads \p Text with spaces to at least \p Width characters.
+std::string padLeft(const std::string &Text, size_t Width);
+
+/// Right-pads \p Text with spaces to at least \p Width characters.
+std::string padRight(const std::string &Text, size_t Width);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+} // namespace daisy
+
+#endif // DAISY_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,91 @@
+//===- transform/Cse.cpp --------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Cse.h"
+
+#include "ir/Rewrite.h"
+#include "ir/StructuralHash.h"
+
+#include <set>
+#include <string>
+
+using namespace daisy;
+
+namespace {
+
+/// Arrays written anywhere under \p Node.
+std::set<std::string> writtenArrays(const NodePtr &Node) {
+  std::set<std::string> Result;
+  for (const auto &C : collectComputations(Node))
+    Result.insert(C->write().Array);
+  return Result;
+}
+
+/// Arrays read anywhere under \p Node.
+std::set<std::string> readArrays(const NodePtr &Node) {
+  std::set<std::string> Result;
+  for (const auto &C : collectComputations(Node))
+    for (const ArrayAccess &R : C->reads())
+      Result.insert(R.Array);
+  return Result;
+}
+
+/// The single transient array written by \p Node, or empty if the nest
+/// writes more than one array or a non-transient one.
+std::string soleTransientTarget(const NodePtr &Node, const Program &Prog) {
+  std::set<std::string> Writes = writtenArrays(Node);
+  if (Writes.size() != 1)
+    return "";
+  const ArrayDecl *Decl = Prog.findArray(*Writes.begin());
+  if (!Decl || !Decl->Transient)
+    return "";
+  return Decl->Name;
+}
+
+} // namespace
+
+int daisy::eliminateCommonNests(std::vector<NodePtr> &Nodes,
+                                const Program &Prog) {
+  int Removed = 0;
+  for (size_t First = 0; First < Nodes.size(); ++First) {
+    std::string FirstTarget = soleTransientTarget(Nodes[First], Prog);
+    if (FirstTarget.empty())
+      continue;
+    std::set<std::string> FirstReads = readArrays(Nodes[First]);
+
+    for (size_t Second = First + 1; Second < Nodes.size(); ++Second) {
+      std::string SecondTarget = soleTransientTarget(Nodes[Second], Prog);
+      if (SecondTarget.empty() || SecondTarget == FirstTarget)
+        continue;
+      const ArrayDecl &FirstDecl = Prog.array(FirstTarget);
+      const ArrayDecl &SecondDecl = Prog.array(SecondTarget);
+      if (FirstDecl.Shape != SecondDecl.Shape)
+        continue;
+      // Structural equality with the second nest's target renamed.
+      NodePtr Retargeted =
+          retargetArrayInNode(Nodes[Second], SecondTarget, FirstTarget, {});
+      if (!structurallyEqual(Nodes[First], Retargeted))
+        continue;
+      // No intervening node may write the first nest's inputs or target.
+      bool Clobbered = false;
+      for (size_t Mid = First + 1; Mid < Second && !Clobbered; ++Mid)
+        for (const std::string &W : writtenArrays(Nodes[Mid]))
+          if (FirstReads.count(W) || W == FirstTarget)
+            Clobbered = true;
+      if (Clobbered)
+        continue;
+
+      // Delete the duplicate and redirect all later reads of its target.
+      Nodes.erase(Nodes.begin() + static_cast<std::ptrdiff_t>(Second));
+      for (size_t Later = Second; Later < Nodes.size(); ++Later)
+        Nodes[Later] =
+            retargetArrayInNode(Nodes[Later], SecondTarget, FirstTarget, {});
+      ++Removed;
+      --Second; // re-examine the node now at this position
+    }
+  }
+  return Removed;
+}

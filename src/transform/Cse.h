@@ -1,0 +1,38 @@
+//===- transform/Cse.h - Nest-level common subexpression elim ----*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nest-level common-subexpression elimination. After maximal fission of
+/// an inlined loop body, subexpressions that the inliner duplicated (the
+/// CLOUDSC study's FOEEWM saturation formula appears once per use site)
+/// become structurally identical sibling nests that only differ in the
+/// transient temporary they write. Merging them is the nest-granular CSE
+/// the original compiler could not perform across the oversized body —
+/// "the normalization allows us to discover new applications of
+/// well-known performance optimizations" (paper §5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_TRANSFORM_CSE_H
+#define DAISY_TRANSFORM_CSE_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace daisy {
+
+/// Merges sibling nests in \p Nodes that compute the same value into a
+/// transient target: a later nest that is structurally equal to an
+/// earlier one (modulo the written temporary) is deleted and reads of its
+/// target are redirected, provided no intervening node writes any array
+/// the earlier nest read or wrote. Returns the number of nests removed;
+/// \p Nodes is rewritten in place.
+int eliminateCommonNests(std::vector<NodePtr> &Nodes, const Program &Prog);
+
+} // namespace daisy
+
+#endif // DAISY_TRANSFORM_CSE_H

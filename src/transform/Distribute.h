@@ -1,0 +1,48 @@
+//===- transform/Distribute.h - Loop fission & scalar expansion --*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop distribution (fission) and the scalar expansion that enables it.
+///
+/// Distribution splits a loop's body into the groups computed by
+/// distributionGroups (analysis/Legality.h), one loop per group. Scalars
+/// written and read inside the loop would otherwise glue all their users
+/// into one group; scalar expansion first promotes such loop-local scalars
+/// to transient arrays indexed by the loop iterator — exactly the ZQP_0 /
+/// ZCOND_0 pattern of the paper's CLOUDSC study (Fig. 10b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_TRANSFORM_DISTRIBUTE_H
+#define DAISY_TRANSFORM_DISTRIBUTE_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace daisy {
+
+/// Expands loop-local scalars in \p L's body into transient arrays over
+/// \p L's iterator. A scalar qualifies when (a) it is declared transient
+/// (a temporary, not a program output), (b) it is written inside the body
+/// before any read on every path (textually), (c) it is not part of a
+/// recurrence (no computation both reads and writes it), and (d) it is not
+/// accessed anywhere outside \p L in \p Prog. New arrays are registered on
+/// \p Prog as transient. Returns the rewritten loop (or the original
+/// pointer if nothing changed).
+std::shared_ptr<Loop> expandScalars(const std::shared_ptr<Loop> &L,
+                                    Program &Prog);
+
+/// Distributes \p L into one loop per entry of \p Groups (body-item index
+/// lists, as produced by distributionGroups). Returns the replacement
+/// sequence.
+std::vector<NodePtr>
+distributeLoop(const std::shared_ptr<Loop> &L,
+               const std::vector<std::vector<size_t>> &Groups);
+
+} // namespace daisy
+
+#endif // DAISY_TRANSFORM_DISTRIBUTE_H

@@ -1,0 +1,63 @@
+//===- transform/Permute.cpp ----------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Permute.h"
+
+#include "analysis/Legality.h"
+
+#include <cassert>
+#include <map>
+
+using namespace daisy;
+
+NodePtr daisy::applyPermutation(const NodePtr &Root,
+                                const std::vector<std::string> &NewOrder) {
+  std::vector<std::shared_ptr<Loop>> Band = perfectNestBand(Root);
+  assert(Band.size() == NewOrder.size() &&
+         "permutation must cover the whole band");
+
+  std::map<std::string, std::shared_ptr<Loop>> ByIterator;
+  for (const auto &L : Band)
+    ByIterator[L->iterator()] = L;
+
+  // Innermost band loop's body is the payload carried below the band.
+  std::vector<NodePtr> Payload = cloneBody(Band.back()->body());
+
+  // Rebuild innermost-to-outermost.
+  NodePtr Current;
+  for (size_t I = NewOrder.size(); I-- > 0;) {
+    auto It = ByIterator.find(NewOrder[I]);
+    assert(It != ByIterator.end() && "unknown iterator in permutation");
+    const std::shared_ptr<Loop> &Old = It->second;
+    std::vector<NodePtr> Body;
+    if (Current)
+      Body.push_back(Current);
+    else
+      Body = std::move(Payload);
+    auto Copy = std::make_shared<Loop>(Old->iterator(), Old->lower(),
+                                       Old->upper(), std::move(Body),
+                                       Old->step());
+    Copy->setParallel(Old->isParallel());
+    Copy->setVectorized(Old->isVectorized());
+    Copy->setAtomicReduction(Old->usesAtomicReduction());
+    Copy->setOpaque(Old->isOpaque());
+    Current = Copy;
+  }
+  return Current;
+}
+
+NodePtr daisy::interchange(const NodePtr &Root, size_t Level1,
+                           size_t Level2) {
+  std::vector<std::shared_ptr<Loop>> Band = perfectNestBand(Root);
+  assert(Level1 < Band.size() && Level2 < Band.size() &&
+         "interchange level out of band");
+  std::vector<std::string> Order;
+  Order.reserve(Band.size());
+  for (const auto &L : Band)
+    Order.push_back(L->iterator());
+  std::swap(Order[Level1], Order[Level2]);
+  return applyPermutation(Root, Order);
+}

@@ -1,0 +1,37 @@
+//===- transform/Permute.h - Loop interchange / permutation ------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop permutation over perfect nest bands. Legality is the caller's
+/// responsibility (analysis/Legality.h); the transform itself rebuilds the
+/// band mechanically, moving each loop's header (iterator, bounds, step,
+/// marks) to its new level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_TRANSFORM_PERMUTE_H
+#define DAISY_TRANSFORM_PERMUTE_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// Returns a copy of \p Root with the perfect band reordered so that the
+/// band's loops appear in iterator order \p NewOrder (outermost first).
+/// \p NewOrder must be a permutation of the band's iterator names.
+NodePtr applyPermutation(const NodePtr &Root,
+                         const std::vector<std::string> &NewOrder);
+
+/// Returns a copy of \p Root with the band loops at positions \p Level1
+/// and \p Level2 exchanged.
+NodePtr interchange(const NodePtr &Root, size_t Level1, size_t Level2);
+
+} // namespace daisy
+
+#endif // DAISY_TRANSFORM_PERMUTE_H

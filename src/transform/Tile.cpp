@@ -1,0 +1,123 @@
+//===- transform/Tile.cpp -------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Tile.h"
+
+#include "analysis/Legality.h"
+
+#include <cassert>
+
+using namespace daisy;
+
+namespace {
+
+/// Clones a loop header around a new body.
+std::shared_ptr<Loop> rebuildLoop(const Loop &Old, std::vector<NodePtr> Body) {
+  auto Copy = std::make_shared<Loop>(Old.iterator(), Old.lower(),
+                                     Old.upper(), std::move(Body),
+                                     Old.step());
+  Copy->setParallel(Old.isParallel());
+  Copy->setVectorized(Old.isVectorized());
+  Copy->setAtomicReduction(Old.usesAtomicReduction());
+  Copy->setOpaque(Old.isOpaque());
+  return Copy;
+}
+
+/// Nests \p Headers (outermost first) around \p Payload. Each header is a
+/// loop whose body will be replaced.
+NodePtr nestLoops(const std::vector<std::shared_ptr<Loop>> &Headers,
+                  std::vector<NodePtr> Payload) {
+  NodePtr Current;
+  for (size_t I = Headers.size(); I-- > 0;) {
+    std::vector<NodePtr> Body;
+    if (Current)
+      Body.push_back(Current);
+    else
+      Body = std::move(Payload);
+    Current = rebuildLoop(*Headers[I], std::move(Body));
+    // rebuildLoop copies the old body-less header; reattach marks only.
+  }
+  return Current;
+}
+
+/// True if \p L has constant bounds with a trip count divisible by \p T.
+bool isTileable(const Loop &L, int64_t T, const ValueEnv &Params) {
+  if (T <= 1 || L.step() != 1)
+    return false;
+  bool BoundsConstant = true;
+  for (const auto &[Name, Coefficient] : L.lower().terms())
+    BoundsConstant &= Params.count(Name) != 0;
+  for (const auto &[Name, Coefficient] : L.upper().terms())
+    BoundsConstant &= Params.count(Name) != 0;
+  if (!BoundsConstant)
+    return false;
+  int64_t Trip = L.upper().evaluate(Params) - L.lower().evaluate(Params);
+  return Trip > T && Trip % T == 0;
+}
+
+} // namespace
+
+NodePtr daisy::tileBand(const NodePtr &Root,
+                        const std::vector<int64_t> &TileSizes,
+                        const ValueEnv &Params) {
+  std::vector<std::shared_ptr<Loop>> Band = perfectNestBand(Root);
+  assert(!Band.empty() && "tileBand requires a loop root");
+
+  std::vector<std::shared_ptr<Loop>> TileHeaders;
+  std::vector<std::shared_ptr<Loop>> PointHeaders;
+  for (size_t I = 0; I < Band.size(); ++I) {
+    const auto &L = Band[I];
+    int64_t T = I < TileSizes.size() ? TileSizes[I] : 0;
+    if (!isTileable(*L, T, Params)) {
+      PointHeaders.push_back(rebuildLoop(*L, {}));
+      continue;
+    }
+    std::string TileIter = L->iterator() + "_t";
+    auto TileLoop = std::make_shared<Loop>(TileIter, L->lower(), L->upper(),
+                                           std::vector<NodePtr>{}, T);
+    TileLoop->setParallel(L->isParallel());
+    TileHeaders.push_back(TileLoop);
+    // The point loop keeps the original iterator so the payload needs no
+    // substitution; its bounds reference the tile iterator.
+    auto PointLoop = std::make_shared<Loop>(
+        L->iterator(), AffineExpr::var(TileIter),
+        AffineExpr::var(TileIter) + T, std::vector<NodePtr>{}, 1);
+    PointLoop->setVectorized(L->isVectorized());
+    PointHeaders.push_back(PointLoop);
+  }
+
+  std::vector<std::shared_ptr<Loop>> AllHeaders = TileHeaders;
+  AllHeaders.insert(AllHeaders.end(), PointHeaders.begin(),
+                    PointHeaders.end());
+  return nestLoops(AllHeaders, cloneBody(Band.back()->body()));
+}
+
+NodePtr daisy::stripMine(const NodePtr &Root, size_t Level, int64_t Width,
+                         const ValueEnv &Params) {
+  std::vector<std::shared_ptr<Loop>> Band = perfectNestBand(Root);
+  assert(Level < Band.size() && "strip-mine level out of band");
+  const auto &Target = Band[Level];
+  if (!isTileable(*Target, Width, Params))
+    return Root->clone();
+
+  std::string ChunkIter = Target->iterator() + "_c";
+  auto ChunkLoop =
+      std::make_shared<Loop>(ChunkIter, Target->lower(), Target->upper(),
+                             std::vector<NodePtr>{}, Width);
+  ChunkLoop->setParallel(Target->isParallel());
+  auto PointLoop = std::make_shared<Loop>(
+      Target->iterator(), AffineExpr::var(ChunkIter),
+      AffineExpr::var(ChunkIter) + Width, std::vector<NodePtr>{}, 1);
+  PointLoop->setVectorized(true);
+
+  // Chunk loop replaces the original position; the vector point loop sinks
+  // to the innermost band position.
+  std::vector<std::shared_ptr<Loop>> Headers;
+  for (size_t I = 0; I < Band.size(); ++I)
+    Headers.push_back(I == Level ? ChunkLoop : rebuildLoop(*Band[I], {}));
+  Headers.push_back(PointLoop);
+  return nestLoops(Headers, cloneBody(Band.back()->body()));
+}

@@ -1,0 +1,44 @@
+//===- transform/Tile.h - Loop tiling / strip-mining -------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rectangular tiling of perfect nest bands and single-loop strip-mining.
+///
+/// A band loop `for (i = L; i < U)` with tile size T becomes
+///   `for (i_t = L; i_t < U; i_t += T) for (i_p = i_t; i_p < i_t + T)`
+/// with the original iterator substituted by the point iterator. Tiling is
+/// only applied when T divides the trip count, keeping bounds affine; the
+/// caller must have verified the band is fully permutable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_TRANSFORM_TILE_H
+#define DAISY_TRANSFORM_TILE_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace daisy {
+
+/// Tiles the leading \p TileSizes.size() loops of \p Root's perfect band.
+/// A size of 0 or 1 leaves the corresponding loop untiled. Loops whose
+/// trip count is not a multiple of the size are left untiled as well.
+/// Returns the transformed copy; tile loops come first (in band order),
+/// then point loops.
+NodePtr tileBand(const NodePtr &Root, const std::vector<int64_t> &TileSizes,
+                 const ValueEnv &Params);
+
+/// Strip-mines the single loop at band position \p Level into a chunk loop
+/// and a vectorizable point loop of width \p Width; the point loop is
+/// marked vectorized. No-op copy if the trip count is not divisible.
+NodePtr stripMine(const NodePtr &Root, size_t Level, int64_t Width,
+                  const ValueEnv &Params);
+
+} // namespace daisy
+
+#endif // DAISY_TRANSFORM_TILE_H

@@ -1,0 +1,623 @@
+//===- tests/AnalysisTest.cpp - analysis library unit tests ----------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+#include "analysis/Dependence.h"
+#include "analysis/Legality.h"
+#include "analysis/Stride.h"
+#include "ir/Builder.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace daisy;
+
+namespace {
+
+NodePtr makeGemmNest(int N = 6) {
+  return forLoop(
+      "i", 0, N,
+      {forLoop("j", 0, N,
+               {forLoop("k", 0, N,
+                        {assign("S0", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    read("A", {ax("i"), ax("k")}) *
+                                        read("B", {ax("k"), ax("j")}))})})});
+}
+
+Program makeGemmProgram(int N = 6) {
+  Program Prog("gemm");
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(makeGemmNest(N));
+  return Prog;
+}
+
+/// Ground truth: a dynamic access trace of one statement instance.
+struct InstanceAccess {
+  const Computation *Comp;
+  std::string Array;
+  std::vector<int64_t> Element;
+  std::vector<int64_t> CommonIters; // values of enclosing iterators
+  bool IsWrite;
+  int64_t Time;
+  int64_t Instance; // dynamic instance id; a computation is atomic
+};
+
+void traceNode(const NodePtr &Node, ValueEnv &Env,
+               std::vector<std::vector<int64_t>> &IterStack,
+               int64_t &Clock, std::vector<InstanceAccess> &Out) {
+  if (const auto *C = dynCast<Computation>(Node)) {
+    auto Record = [&](const ArrayAccess &Access, bool IsWrite,
+                      int64_t Time) {
+      InstanceAccess IA;
+      IA.Comp = C;
+      IA.Array = Access.Array;
+      for (const AffineExpr &Index : Access.Indices)
+        IA.Element.push_back(Index.evaluate(Env));
+      IA.CommonIters = IterStack.back();
+      IA.IsWrite = IsWrite;
+      IA.Time = Time;
+      IA.Instance = Clock / 2;
+      Out.push_back(std::move(IA));
+    };
+    // Reads happen before the write within an instance.
+    for (const ArrayAccess &R : C->reads())
+      Record(R, false, Clock);
+    Record(C->write(), true, Clock + 1);
+    Clock += 2;
+    return;
+  }
+  const auto *L = dynCast<Loop>(Node);
+  ASSERT_NE(L, nullptr);
+  int64_t Lo = L->lower().evaluate(Env);
+  int64_t Hi = L->upper().evaluate(Env);
+  for (int64_t I = Lo; I < Hi; I += L->step()) {
+    Env[L->iterator()] = I;
+    IterStack.back().push_back(I);
+    std::vector<int64_t> Saved = IterStack.back();
+    for (const NodePtr &Child : L->body()) {
+      IterStack.back() = Saved;
+      traceNode(Child, Env, IterStack, Clock, Out);
+    }
+    IterStack.back().pop_back();
+  }
+  Env.erase(L->iterator());
+}
+
+/// Checks that every dynamically observed dependence in \p Root is covered
+/// by the static analysis: for each conflicting instance pair, a reported
+/// dependence with the same endpoints and the exact direction vector of
+/// the pair must exist.
+void expectDependencesSound(const NodePtr &Root, const ValueEnv &Params) {
+  std::vector<InstanceAccess> Trace;
+  ValueEnv Env = Params;
+  std::vector<std::vector<int64_t>> IterStack(1);
+  int64_t Clock = 0;
+  traceNode(Root, Env, IterStack, Clock, Trace);
+
+  std::vector<Dependence> Deps = computeDependences(Root, Params);
+  // Index reported dependences: (Src, Dst, dirstring) set.
+  std::set<std::string> Reported;
+  for (const Dependence &Dep : Deps) {
+    std::string Key = Dep.Src->name() + "->" + Dep.Dst->name() + ":";
+    for (DepDirection Dir : Dep.Directions)
+      Key += Dir == DepDirection::Eq ? '=' : (Dir == DepDirection::Lt ? '<'
+                                                                      : '>');
+    Reported.insert(Key);
+  }
+
+  // Common loop count per statement pair comes from the static paths.
+  std::map<const Computation *, std::vector<std::shared_ptr<Loop>>> Paths;
+  for (const StmtInfo &S : collectStatements(Root))
+    Paths[S.Comp.get()] = S.Path;
+
+  for (const InstanceAccess &A : Trace) {
+    for (const InstanceAccess &B : Trace) {
+      if (A.Time >= B.Time)
+        continue;
+      // A computation is atomic: ordering within one dynamic instance is
+      // not a dependence between instances.
+      if (A.Instance == B.Instance)
+        continue;
+      if (!A.IsWrite && !B.IsWrite)
+        continue;
+      if (A.Array != B.Array || A.Element != B.Element)
+        continue;
+      size_t NumCommon =
+          commonLoops(Paths.at(A.Comp), Paths.at(B.Comp)).size();
+      std::string Key = A.Comp->name() + "->" + B.Comp->name() + ":";
+      for (size_t L = 0; L < NumCommon; ++L) {
+        int64_t VA = A.CommonIters[L];
+        int64_t VB = B.CommonIters[L];
+        Key += VA == VB ? '=' : (VA < VB ? '<' : '>');
+      }
+      EXPECT_TRUE(Reported.count(Key))
+          << "missed dependence " << Key << " on " << A.Array;
+      if (!Reported.count(Key))
+        return; // avoid flooding the log
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Dependence analysis
+//===----------------------------------------------------------------------===//
+
+TEST(DependenceTest, GemmReductionCarriedByK) {
+  Program Prog = makeGemmProgram();
+  std::vector<Dependence> Deps =
+      computeDependences(Prog.topLevel()[0], Prog.params());
+  ASSERT_FALSE(Deps.empty());
+  // Every dependence is a self-dependence on C carried by k (level 2).
+  for (const Dependence &Dep : Deps) {
+    EXPECT_EQ(Dep.Array, "C");
+    EXPECT_EQ(Dep.Src, Dep.Dst);
+    int Level = Dep.carrierLevel();
+    ASSERT_GE(Level, 0);
+    EXPECT_EQ(Dep.CommonLoops[static_cast<size_t>(Level)]->iterator(), "k");
+  }
+}
+
+TEST(DependenceTest, IndependentLoopsHaveNoDependences) {
+  Program Prog("indep");
+  Prog.addArray("A", {8});
+  Prog.addArray("B", {8});
+  Prog.append(forLoop("i", 0, 8,
+                      {assign("S0", "A", {ax("i")}, lit(1.0)),
+                       assign("S1", "B", {ax("i")}, lit(2.0))}));
+  EXPECT_TRUE(computeDependences(Prog.topLevel()[0], {}).empty());
+}
+
+TEST(DependenceTest, StencilFlowAcrossIterations) {
+  // A[i] = A[i-1] + 1 : flow carried with direction <.
+  Program Prog("scan");
+  Prog.addArray("A", {8});
+  Prog.append(forLoop("i", 1, 8,
+                      {assign("S0", "A", {ax("i")},
+                              read("A", {ax("i") - 1}) + lit(1.0))}));
+  std::vector<Dependence> Deps =
+      computeDependences(Prog.topLevel()[0], {});
+  bool FoundCarriedFlow = false;
+  for (const Dependence &Dep : Deps)
+    if (Dep.Kind == DepKind::Flow && Dep.carrierLevel() == 0)
+      FoundCarriedFlow = true;
+  EXPECT_TRUE(FoundCarriedFlow);
+}
+
+TEST(DependenceTest, DisjointOffsetsIndependent) {
+  // A[2i] = A[2i+1] never aliases (GCD-style disjointness).
+  Program Prog("gcd");
+  Prog.addArray("A", {32});
+  Prog.append(forLoop("i", 0, 8,
+                      {assign("S0", "A", {ax("i") * 2},
+                              read("A", {ax("i") * 2 + 1}))}));
+  EXPECT_TRUE(computeDependences(Prog.topLevel()[0], {}).empty());
+}
+
+TEST(DependenceTest, CrossNestFlow) {
+  Program Prog("chain");
+  Prog.addArray("A", {8});
+  Prog.addArray("B", {8});
+  Prog.append(forLoop("i", 0, 8, {assign("S0", "A", {ax("i")}, lit(1.0))}));
+  Prog.append(forLoop("j", 0, 8,
+                      {assign("S1", "B", {ax("j")},
+                              read("A", {ax("j")}))}));
+  std::vector<Dependence> Deps =
+      computeDependences(Prog.topLevel(), Prog.params());
+  ASSERT_EQ(Deps.size(), 1u);
+  EXPECT_EQ(Deps[0].Kind, DepKind::Flow);
+  EXPECT_TRUE(Deps[0].CommonLoops.empty());
+  EXPECT_TRUE(Deps[0].isLoopIndependent());
+}
+
+TEST(DependenceTest, ScalarSerializesLoop) {
+  // s = s + A[i] : scalar reduction, carried flow/anti/output.
+  Program Prog("red");
+  Prog.addArray("A", {8});
+  Prog.addArray("s", {});
+  Prog.append(forLoop("i", 0, 8,
+                      {assignScalar("S0", "s",
+                                    read("s") + read("A", {ax("i")}))}));
+  std::vector<Dependence> Deps = computeDependences(Prog.topLevel()[0], {});
+  bool Carried = false;
+  for (const Dependence &Dep : Deps)
+    Carried |= Dep.carrierLevel() == 0;
+  EXPECT_TRUE(Carried);
+}
+
+TEST(DependenceTest, SoundOnGemm) {
+  Program Prog = makeGemmProgram(4);
+  expectDependencesSound(Prog.topLevel()[0], Prog.params());
+}
+
+TEST(DependenceTest, SoundOnImperfectNest) {
+  Program Prog("imperfect");
+  Prog.addArray("A", {6, 6});
+  Prog.addArray("x", {6});
+  Prog.append(forLoop(
+      "i", 0, 6,
+      {assign("S0", "x", {ax("i")}, lit(0.0)),
+       forLoop("j", 0, 6,
+               {assign("S1", "x", {ax("i")},
+                       read("x", {ax("i")}) +
+                           read("A", {ax("i"), ax("j")}))})}));
+  expectDependencesSound(Prog.topLevel()[0], Prog.params());
+}
+
+TEST(DependenceTest, SoundOnTriangularNest) {
+  Program Prog("tri");
+  Prog.addArray("C", {6, 6});
+  Prog.append(forLoop(
+      "i", 0, 6,
+      {forLoop("j", ac(0), ax("i") + 1,
+               {assign("S0", "C", {ax("i"), ax("j")},
+                       read("C", {ax("i"), ax("j")}) + lit(1.0))})}));
+  expectDependencesSound(Prog.topLevel()[0], Prog.params());
+}
+
+TEST(DependenceTest, SoundOnRandomPrograms) {
+  // Property test: random 2-3 deep nests with random affine subscripts.
+  Rng R(0xDA15Eull);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    Program Prog("rand");
+    Prog.addArray("A", {10, 10});
+    Prog.addArray("B", {10, 10});
+    auto randomIndex = [&R](const std::string &I,
+                            const std::string &J) -> AffineExpr {
+      switch (R.nextBelow(6)) {
+      case 0:
+        return ax(I);
+      case 1:
+        return ax(J);
+      case 2:
+        return ax(I) + static_cast<int64_t>(R.nextInRange(-1, 1));
+      case 3:
+        return ax(J) + static_cast<int64_t>(R.nextInRange(-1, 1));
+      case 4:
+        return ax(I) * 2;
+      default:
+        return ac(R.nextInRange(0, 4));
+      }
+    };
+    auto randomAccess = [&](const std::string &I, const std::string &J) {
+      std::string Array = R.nextBool() ? "A" : "B";
+      return read(Array, {randomIndex(I, J), randomIndex(I, J)});
+    };
+    std::vector<NodePtr> Stmts;
+    int NumStmts = static_cast<int>(R.nextInRange(1, 3));
+    for (int S = 0; S < NumStmts; ++S) {
+      std::string Array = R.nextBool() ? "A" : "B";
+      Stmts.push_back(assign("S" + std::to_string(S), Array,
+                             {randomIndex("i", "j"), randomIndex("i", "j")},
+                             randomAccess("i", "j") +
+                                 randomAccess("i", "j")));
+    }
+    // Subscripts stay within bounds for i, j in [1, 4].
+    Prog.append(forLoop("i", 1, 5, {forLoop("j", 1, 5, std::move(Stmts))}));
+    expectDependencesSound(Prog.topLevel()[0], Prog.params());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Legality
+//===----------------------------------------------------------------------===//
+
+TEST(LegalityTest, PerfectNestBand) {
+  NodePtr Nest = makeGemmNest();
+  auto Band = perfectNestBand(Nest);
+  ASSERT_EQ(Band.size(), 3u);
+  EXPECT_EQ(Band[0]->iterator(), "i");
+  EXPECT_EQ(Band[2]->iterator(), "k");
+}
+
+TEST(LegalityTest, GemmAllPermutationsLegal) {
+  Program Prog = makeGemmProgram();
+  const NodePtr &Nest = Prog.topLevel()[0];
+  std::vector<std::vector<std::string>> Orders = {
+      {"i", "j", "k"}, {"i", "k", "j"}, {"j", "i", "k"},
+      {"j", "k", "i"}, {"k", "i", "j"}, {"k", "j", "i"}};
+  for (const auto &Order : Orders)
+    EXPECT_TRUE(isPermutationLegal(Nest, Order, Prog.params()))
+        << Order[0] << Order[1] << Order[2];
+}
+
+TEST(LegalityTest, InterchangeIllegalForAntidiagonalStencil) {
+  // A[i+1][j-1] = A[i][j] has direction (<,>): interchange flips it to
+  // (>,<), which is lexicographically negative -> illegal.
+  Program Prog("skew");
+  Prog.addArray("A", {10, 10});
+  Prog.append(
+      forLoop("i", 0, 8,
+              {forLoop("j", 1, 9,
+                       {assign("S0", "A", {ax("i") + 1, ax("j") - 1},
+                               read("A", {ax("i"), ax("j")}))})}));
+  const NodePtr &Nest = Prog.topLevel()[0];
+  EXPECT_TRUE(isPermutationLegal(Nest, {"i", "j"}, Prog.params()));
+  EXPECT_FALSE(isPermutationLegal(Nest, {"j", "i"}, Prog.params()));
+}
+
+TEST(LegalityTest, TriangularPermutationRejected) {
+  // j's bounds depend on i: j cannot move above i.
+  Program Prog("tri");
+  Prog.addArray("C", {8, 8});
+  Prog.append(forLoop(
+      "i", 0, 8,
+      {forLoop("j", ac(0), ax("i") + 1,
+               {assign("S0", "C", {ax("i"), ax("j")}, lit(1.0))})}));
+  EXPECT_FALSE(
+      isPermutationLegal(Prog.topLevel()[0], {"j", "i"}, Prog.params()));
+}
+
+TEST(LegalityTest, ParallelizableLoopsGemm) {
+  Program Prog = makeGemmProgram();
+  const NodePtr &Nest = Prog.topLevel()[0];
+  auto Parallel = parallelizableLoops(Nest, Prog.params());
+  auto Band = perfectNestBand(Nest);
+  EXPECT_TRUE(Parallel.count(Band[0].get()));  // i
+  EXPECT_TRUE(Parallel.count(Band[1].get()));  // j
+  EXPECT_FALSE(Parallel.count(Band[2].get())); // k (reduction)
+}
+
+TEST(LegalityTest, ReductionLoopDetected) {
+  Program Prog = makeGemmProgram();
+  const NodePtr &Nest = Prog.topLevel()[0];
+  auto Band = perfectNestBand(Nest);
+  EXPECT_TRUE(isReductionLoop(Nest, Band[2].get(), Prog.params()));
+  EXPECT_FALSE(isReductionLoop(Nest, Band[0].get(), Prog.params()));
+}
+
+TEST(LegalityTest, NonReductionCarriedLoop) {
+  Program Prog("scan");
+  Prog.addArray("A", {8});
+  Prog.append(forLoop("i", 1, 8,
+                      {assign("S0", "A", {ax("i")},
+                              read("A", {ax("i") - 1}) + lit(1.0))}));
+  auto Band = perfectNestBand(Prog.topLevel()[0]);
+  EXPECT_FALSE(
+      isReductionLoop(Prog.topLevel()[0], Band[0].get(), Prog.params()));
+}
+
+TEST(LegalityTest, DistributionSplitsIndependent) {
+  Program Prog("indep");
+  Prog.addArray("A", {8});
+  Prog.addArray("B", {8});
+  auto L = std::make_shared<Loop>(
+      "i", ac(0), ac(8),
+      std::vector<NodePtr>{assign("S0", "A", {ax("i")}, lit(1.0)),
+                           assign("S1", "B", {ax("i")}, lit(2.0))},
+      1);
+  auto Groups = distributionGroups(*L, Prog.params());
+  ASSERT_EQ(Groups.size(), 2u);
+  EXPECT_EQ(Groups[0], std::vector<size_t>{0});
+  EXPECT_EQ(Groups[1], std::vector<size_t>{1});
+}
+
+TEST(LegalityTest, DistributionSplitsForwardFlow) {
+  // S0 produces A[i], S1 consumes A[i]: forward flow allows distribution.
+  Program Prog("chain");
+  Prog.addArray("A", {8});
+  Prog.addArray("B", {8});
+  auto L = std::make_shared<Loop>(
+      "i", ac(0), ac(8),
+      std::vector<NodePtr>{
+          assign("S0", "A", {ax("i")}, lit(1.0)),
+          assign("S1", "B", {ax("i")}, read("A", {ax("i")}))},
+      1);
+  auto Groups = distributionGroups(*L, Prog.params());
+  ASSERT_EQ(Groups.size(), 2u);
+}
+
+TEST(LegalityTest, DistributionKeepsBackwardDependenceTogether) {
+  // S1 reads A[i+1] which S0 writes at a later iteration: anti S1 -> S0
+  // backward edge creates a cycle with the forward S0 -> S1 edge.
+  Program Prog("cycle");
+  Prog.addArray("A", {10});
+  Prog.addArray("B", {10});
+  auto L = std::make_shared<Loop>(
+      "i", ac(0), ac(8),
+      std::vector<NodePtr>{
+          assign("S0", "A", {ax("i")}, read("B", {ax("i")})),
+          assign("S1", "B", {ax("i")}, read("A", {ax("i") + 1}))},
+      1);
+  auto Groups = distributionGroups(*L, Prog.params());
+  ASSERT_EQ(Groups.size(), 1u);
+  EXPECT_EQ(Groups[0].size(), 2u);
+}
+
+TEST(LegalityTest, FusionLegalElementwise) {
+  Program Prog("fuse");
+  Prog.addArray("A", {8});
+  Prog.addArray("B", {8});
+  auto L1 = std::make_shared<Loop>(
+      "i", ac(0), ac(8),
+      std::vector<NodePtr>{assign("S0", "A", {ax("i")}, lit(1.0))}, 1);
+  auto L2 = std::make_shared<Loop>(
+      "j", ac(0), ac(8),
+      std::vector<NodePtr>{
+          assign("S1", "B", {ax("j")}, read("A", {ax("j")}))},
+      1);
+  EXPECT_TRUE(canFuseLoops(L1, L2, Prog.params()));
+}
+
+TEST(LegalityTest, FusionIllegalForwardPeek) {
+  // Second loop reads A[j+1]: at fused iteration j it would read a value
+  // the first loop has not written yet.
+  Program Prog("fuse");
+  Prog.addArray("A", {9});
+  Prog.addArray("B", {8});
+  auto L1 = std::make_shared<Loop>(
+      "i", ac(0), ac(8),
+      std::vector<NodePtr>{assign("S0", "A", {ax("i")}, lit(1.0))}, 1);
+  auto L2 = std::make_shared<Loop>(
+      "j", ac(0), ac(8),
+      std::vector<NodePtr>{
+          assign("S1", "B", {ax("j")}, read("A", {ax("j") + 1}))},
+      1);
+  EXPECT_FALSE(canFuseLoops(L1, L2, Prog.params()));
+}
+
+TEST(LegalityTest, FusionLegalBackwardPeek) {
+  // Reading A[j-1] is fine after fusion: that element was written by the
+  // fused loop at an earlier iteration (dependence analysis is index-based
+  // and does not concern itself with the j=0 boundary read).
+  Program Prog("fuse");
+  Prog.addArray("A", {8});
+  Prog.addArray("B", {8});
+  auto L1 = std::make_shared<Loop>(
+      "i", ac(0), ac(8),
+      std::vector<NodePtr>{assign("S0", "A", {ax("i")}, lit(1.0))}, 1);
+  auto L2 = std::make_shared<Loop>(
+      "j", ac(0), ac(8),
+      std::vector<NodePtr>{
+          assign("S1", "B", {ax("j")}, read("A", {ax("j") - 1}))},
+      1);
+  EXPECT_TRUE(canFuseLoops(L1, L2, Prog.params()));
+}
+
+TEST(LegalityTest, FusionRejectsMismatchedBounds) {
+  Program Prog("fuse");
+  Prog.addArray("A", {16});
+  auto L1 = std::make_shared<Loop>(
+      "i", ac(0), ac(8),
+      std::vector<NodePtr>{assign("S0", "A", {ax("i")}, lit(1.0))}, 1);
+  auto L2 = std::make_shared<Loop>(
+      "j", ac(0), ac(16),
+      std::vector<NodePtr>{assign("S1", "A", {ax("j")}, lit(2.0))}, 1);
+  EXPECT_FALSE(canFuseLoops(L1, L2, Prog.params()));
+}
+
+//===----------------------------------------------------------------------===//
+// Stride analysis
+//===----------------------------------------------------------------------===//
+
+TEST(StrideTest, AccessStrideRowMajor) {
+  Program Prog = makeGemmProgram(8);
+  ArrayAccess Access{"B", {ax("k"), ax("j")}};
+  EXPECT_EQ(accessStride(Access, "k", 1, Prog), 8);
+  EXPECT_EQ(accessStride(Access, "j", 1, Prog), 1);
+  EXPECT_EQ(accessStride(Access, "i", 1, Prog), 0);
+}
+
+TEST(StrideTest, GemmOrderingCosts) {
+  // With C[i][j] += A[i][k] * B[k][j] row-major, a j-innermost order has
+  // unit stride on B and C; k-innermost strides through B by N.
+  int N = 8;
+  auto makeOrdered = [N](const std::string &O1, const std::string &O2,
+                         const std::string &O3) {
+    return forLoop(
+        O1, 0, N,
+        {forLoop(O2, 0, N,
+                 {forLoop(O3, 0, N,
+                          {assign("S0", "C", {ax("i"), ax("j")},
+                                  read("C", {ax("i"), ax("j")}) +
+                                      read("A", {ax("i"), ax("k")}) *
+                                          read("B", {ax("k"), ax("j")}))})})});
+  };
+  Program Prog = makeGemmProgram(N);
+  double CostIkj = sumOfStridesCost(makeOrdered("i", "k", "j"), Prog);
+  double CostIjk = sumOfStridesCost(makeOrdered("i", "j", "k"), Prog);
+  double CostJki = sumOfStridesCost(makeOrdered("j", "k", "i"), Prog);
+  EXPECT_LT(CostIkj, CostIjk);
+  EXPECT_LT(CostIjk, CostJki);
+}
+
+TEST(StrideTest, OutOfOrderCount) {
+  Program Prog("ooo");
+  Prog.addArray("A", {8, 8});
+  // A[j][i] accessed under i-outer, j-inner: dim 0 varies faster -> 1
+  // inverted pair + innermost-not-last penalty.
+  NodePtr Bad = forLoop(
+      "i", 0, 8,
+      {forLoop("j", 0, 8,
+               {assign("S0", "A", {ax("j"), ax("i")}, lit(1.0))})});
+  NodePtr Good = forLoop(
+      "i", 0, 8,
+      {forLoop("j", 0, 8,
+               {assign("S0", "A", {ax("i"), ax("j")}, lit(1.0))})});
+  EXPECT_GT(outOfOrderCount(Bad, Prog), 0);
+  EXPECT_EQ(outOfOrderCount(Good, Prog), 0);
+}
+
+TEST(StrideTest, FissionedExampleFromFig3) {
+  // Paper Fig. 3: B[j][i] accessed in i-outer j-inner loops is strided;
+  // permuting to j-outer i-inner minimizes the stride sum.
+  Program Prog("fig3");
+  Prog.addArray("A", {64, 64});
+  Prog.addArray("B", {64, 64});
+  NodePtr Strided = forLoop(
+      "i", 0, 64,
+      {forLoop("j", 0, 64,
+               {assign("S2", "B", {ax("j"), ax("i")},
+                       read("B", {ax("j"), ax("i")}) * lit(2.0))})});
+  NodePtr Minimized = forLoop(
+      "j", 0, 64,
+      {forLoop("i", 0, 64,
+               {assign("S2", "B", {ax("j"), ax("i")},
+                       read("B", {ax("j"), ax("i")}) * lit(2.0))})});
+  EXPECT_LT(sumOfStridesCost(Minimized, Prog),
+            sumOfStridesCost(Strided, Prog));
+}
+
+//===----------------------------------------------------------------------===//
+// Dataflow
+//===----------------------------------------------------------------------===//
+
+TEST(DataflowTest, ProducerConsumerChain) {
+  Program Prog("chain");
+  Prog.addArray("A", {8});
+  Prog.addArray("B", {8});
+  Prog.addArray("C", {8});
+  Prog.append(forLoop("i", 0, 8, {assign("S0", "A", {ax("i")}, lit(1.0))}));
+  Prog.append(forLoop("i", 0, 8,
+                      {assign("S1", "B", {ax("i")},
+                              read("A", {ax("i")}) * lit(2.0))}));
+  Prog.append(forLoop("i", 0, 8,
+                      {assign("S2", "C", {ax("i")},
+                              read("B", {ax("i")}) + lit(1.0))}));
+  DataflowGraph G = buildDataflowGraph(Prog.topLevel(), Prog);
+  ASSERT_EQ(G.Edges.size(), 2u);
+  EXPECT_EQ(G.Edges[0].Producer, 0u);
+  EXPECT_EQ(G.Edges[0].Consumer, 1u);
+  EXPECT_TRUE(G.Edges[0].OneToOne);
+  EXPECT_EQ(G.Edges[1].Producer, 1u);
+  EXPECT_EQ(G.Edges[1].Consumer, 2u);
+  EXPECT_TRUE(G.Edges[1].OneToOne);
+}
+
+TEST(DataflowTest, LatestWriterWins) {
+  Program Prog("redef");
+  Prog.addArray("A", {8});
+  Prog.addArray("B", {8});
+  Prog.append(forLoop("i", 0, 8, {assign("S0", "A", {ax("i")}, lit(1.0))}));
+  Prog.append(forLoop("i", 0, 8, {assign("S1", "A", {ax("i")}, lit(2.0))}));
+  Prog.append(forLoop("i", 0, 8,
+                      {assign("S2", "B", {ax("i")},
+                              read("A", {ax("i")}))}));
+  DataflowGraph G = buildDataflowGraph(Prog.topLevel(), Prog);
+  ASSERT_EQ(G.Edges.size(), 1u);
+  EXPECT_EQ(G.Edges[0].Producer, 1u);
+}
+
+TEST(DataflowTest, NotOneToOneForStencil) {
+  Program Prog("stencil");
+  Prog.addArray("A", {10});
+  Prog.addArray("B", {10});
+  Prog.append(forLoop("i", 0, 10, {assign("S0", "A", {ax("i")}, lit(1.0))}));
+  Prog.append(forLoop("i", 1, 9,
+                      {assign("S1", "B", {ax("i")},
+                              read("A", {ax("i") - 1}) +
+                                  read("A", {ax("i") + 1}))}));
+  DataflowGraph G = buildDataflowGraph(Prog.topLevel(), Prog);
+  ASSERT_EQ(G.Edges.size(), 1u);
+  EXPECT_FALSE(G.Edges[0].OneToOne);
+}

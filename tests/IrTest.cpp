@@ -1,0 +1,297 @@
+//===- tests/IrTest.cpp - IR library unit tests ----------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "ir/Program.h"
+#include "ir/StructuralHash.h"
+#include "ir/Validate.h"
+
+#include <gtest/gtest.h>
+
+using namespace daisy;
+
+namespace {
+
+/// Canonical GEMM nest used across several tests.
+NodePtr makeGemmNest(const std::string &I = "i", const std::string &J = "j",
+                     const std::string &K = "k") {
+  return forLoop(I, 0, 8,
+                 {forLoop(J, 0, 8,
+                          {forLoop(K, 0, 8,
+                                   {assign("S0", "C", {ax(I), ax(J)},
+                                           read("C", {ax(I), ax(J)}) +
+                                               read("A", {ax(I), ax(K)}) *
+                                                   read("B", {ax(K),
+                                                              ax(J)}))})})});
+}
+
+Program makeGemmProgram() {
+  Program Prog("gemm");
+  Prog.addArray("A", {8, 8});
+  Prog.addArray("B", {8, 8});
+  Prog.addArray("C", {8, 8});
+  Prog.append(makeGemmNest());
+  return Prog;
+}
+
+} // namespace
+
+TEST(AffineExprTest, ConstantArithmetic) {
+  AffineExpr E = AffineExpr::constant(3) + AffineExpr::constant(4);
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constantTerm(), 7);
+  EXPECT_EQ(E.evaluate({}), 7);
+}
+
+TEST(AffineExprTest, TermArithmetic) {
+  AffineExpr E = ax("i") * 2 + ax("j") - ax("i");
+  EXPECT_EQ(E.coefficient("i"), 1);
+  EXPECT_EQ(E.coefficient("j"), 1);
+  EXPECT_EQ(E.coefficient("k"), 0);
+  EXPECT_EQ(E.evaluate({{"i", 3}, {"j", 5}}), 8);
+}
+
+TEST(AffineExprTest, CancellationRemovesTerm) {
+  AffineExpr E = ax("i") - ax("i");
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_FALSE(E.references("i"));
+}
+
+TEST(AffineExprTest, Substitution) {
+  // i -> 4*it + ii  (tiling-style substitution)
+  AffineExpr E = ax("i") * 3 + ax("j") + 1;
+  AffineExpr Sub = ax("it") * 4 + ax("ii");
+  AffineExpr Result = E.substituted("i", Sub);
+  EXPECT_EQ(Result.coefficient("it"), 12);
+  EXPECT_EQ(Result.coefficient("ii"), 3);
+  EXPECT_EQ(Result.coefficient("j"), 1);
+  EXPECT_EQ(Result.constantTerm(), 1);
+}
+
+TEST(AffineExprTest, Rename) {
+  AffineExpr E = ax("i") + ax("j");
+  AffineExpr Renamed = E.renamed("i", "x");
+  EXPECT_EQ(Renamed.coefficient("x"), 1);
+  EXPECT_EQ(Renamed.coefficient("i"), 0);
+  EXPECT_EQ(Renamed.coefficient("j"), 1);
+}
+
+TEST(AffineExprTest, ToString) {
+  EXPECT_EQ(AffineExpr::constant(0).toString(), "0");
+  EXPECT_EQ((ax("i") * 2 + 1).toString(), "2*i + 1");
+  EXPECT_EQ((ax("i") - ax("j")).toString(), "i - j");
+}
+
+TEST(ExprTest, CollectReads) {
+  ExprPtr E = read("A", {ax("i")}) * read("B", {ax("j")}) + lit(2.0);
+  std::vector<ArrayAccess> Reads = collectReads(E);
+  ASSERT_EQ(Reads.size(), 2u);
+  EXPECT_EQ(Reads[0].Array, "A");
+  EXPECT_EQ(Reads[1].Array, "B");
+}
+
+TEST(ExprTest, CountFlops) {
+  ExprPtr E = read("A", {ax("i")}) * read("B", {ax("j")}) + lit(2.0);
+  EXPECT_EQ(countFlops(E), 2);
+  ExprPtr F = eexp(E);
+  EXPECT_EQ(countFlops(F), 3);
+}
+
+TEST(ExprTest, SubstituteVarInReads) {
+  ExprPtr E = read("A", {ax("i") + 1});
+  ExprPtr Substituted = substituteVar(E, "i", ax("x") * 2);
+  ASSERT_EQ(Substituted->kind(), ExprKind::Read);
+  EXPECT_EQ(Substituted->access().Indices[0].coefficient("x"), 2);
+  EXPECT_EQ(Substituted->access().Indices[0].constantTerm(), 1);
+}
+
+TEST(ExprTest, SubstituteIterValue) {
+  ExprPtr E = Expr::makeIter("i");
+  ExprPtr Renamed = substituteVar(E, "i", ax("j"));
+  ASSERT_EQ(Renamed->kind(), ExprKind::Iter);
+  EXPECT_EQ(Renamed->name(), "j");
+}
+
+TEST(ExprTest, RetargetArrayAddsIndices) {
+  ExprPtr E = read("s", {}) + lit(1.0);
+  ExprPtr Retargeted = retargetArray(E, "s", "s_exp", {ax("i")});
+  std::vector<ArrayAccess> Reads = collectReads(Retargeted);
+  ASSERT_EQ(Reads.size(), 1u);
+  EXPECT_EQ(Reads[0].Array, "s_exp");
+  ASSERT_EQ(Reads[0].Indices.size(), 1u);
+  EXPECT_TRUE(Reads[0].Indices[0].references("i"));
+}
+
+TEST(ExprTest, EqualityExact) {
+  ExprPtr A = read("A", {ax("i")}) + lit(1.0);
+  ExprPtr B = read("A", {ax("i")}) + lit(1.0);
+  ExprPtr C = read("A", {ax("j")}) + lit(1.0);
+  EXPECT_TRUE(exprEquals(A, B));
+  EXPECT_FALSE(exprEquals(A, C));
+}
+
+TEST(NodeTest, TripCount) {
+  auto L = std::make_shared<Loop>("i", ac(0), ac(10),
+                                  std::vector<NodePtr>{}, 1);
+  EXPECT_EQ(L->tripCount(), 10);
+  auto L3 = std::make_shared<Loop>("i", ac(0), ac(10),
+                                   std::vector<NodePtr>{}, 3);
+  EXPECT_EQ(L3->tripCount(), 4);
+  auto Empty = std::make_shared<Loop>("i", ac(5), ac(5),
+                                      std::vector<NodePtr>{}, 1);
+  EXPECT_EQ(Empty->tripCount(), 0);
+}
+
+TEST(NodeTest, TripCountWithParams) {
+  auto L = std::make_shared<Loop>("i", ac(0), ax("N"),
+                                  std::vector<NodePtr>{}, 1);
+  EXPECT_EQ(L->tripCount({{"N", 32}}), 32);
+}
+
+TEST(NodeTest, CloneIsDeep) {
+  NodePtr Nest = makeGemmNest();
+  NodePtr Copy = Nest->clone();
+  auto *Outer = dynCast<Loop>(Copy);
+  ASSERT_NE(Outer, nullptr);
+  Outer->setIterator("z");
+  EXPECT_EQ(dynCast<Loop>(Nest)->iterator(), "i");
+  // Nested bodies are distinct objects.
+  EXPECT_NE(dynCast<Loop>(Nest)->body()[0].get(),
+            Outer->body()[0].get());
+}
+
+TEST(NodeTest, CollectComputationsOrder) {
+  NodePtr Nest = forLoop(
+      "i", 0, 4,
+      {assign("S0", "x", {ax("i")}, lit(0.0)),
+       forLoop("j", 0, 4, {assign("S1", "y", {ax("j")}, lit(1.0))}),
+       assign("S2", "z", {ax("i")}, lit(2.0))});
+  auto Comps = collectComputations(Nest);
+  ASSERT_EQ(Comps.size(), 3u);
+  EXPECT_EQ(Comps[0]->name(), "S0");
+  EXPECT_EQ(Comps[1]->name(), "S1");
+  EXPECT_EQ(Comps[2]->name(), "S2");
+}
+
+TEST(NodeTest, LoopDepth) {
+  EXPECT_EQ(loopDepth(makeGemmNest()), 3);
+  EXPECT_EQ(loopDepth(assignScalar("S", "s", lit(0.0))), 0);
+}
+
+TEST(NodeTest, CallNodeFlops) {
+  CallNode Gemm(BlasKind::Gemm, {"C", "A", "B"}, {4, 5, 6});
+  EXPECT_EQ(Gemm.flops(), 2 * 4 * 5 * 6);
+  CallNode Gemv(BlasKind::Gemv, {"y", "A", "x"}, {4, 5});
+  EXPECT_EQ(Gemv.flops(), 2 * 4 * 5);
+}
+
+TEST(ProgramTest, ArrayDeclQueries) {
+  Program Prog = makeGemmProgram();
+  EXPECT_EQ(Prog.array("A").elementCount(), 64);
+  EXPECT_EQ(Prog.array("A").dimStride(0), 8);
+  EXPECT_EQ(Prog.array("A").dimStride(1), 1);
+  EXPECT_EQ(Prog.findArray("missing"), nullptr);
+}
+
+TEST(ProgramTest, TotalFlopsRectangular) {
+  Program Prog = makeGemmProgram();
+  // 8^3 iterations * 2 flops (one add, one mul).
+  EXPECT_EQ(Prog.totalFlops(), 8 * 8 * 8 * 2);
+}
+
+TEST(ProgramTest, CloneIndependence) {
+  Program Prog = makeGemmProgram();
+  Program Copy = Prog.clone();
+  dynCast<Loop>(Copy.topLevel()[0])->setIterator("z");
+  EXPECT_EQ(dynCast<Loop>(Prog.topLevel()[0])->iterator(), "i");
+}
+
+TEST(ProgramTest, FreshArrayName) {
+  Program Prog = makeGemmProgram();
+  EXPECT_EQ(Prog.freshArrayName("T"), "T");
+  EXPECT_EQ(Prog.freshArrayName("A"), "A_0");
+}
+
+TEST(StructuralHashTest, RenamingInvariance) {
+  NodePtr A = makeGemmNest("i", "j", "k");
+  NodePtr B = makeGemmNest("x", "y", "z");
+  EXPECT_EQ(structuralHash(A), structuralHash(B));
+  EXPECT_TRUE(structurallyEqual(A, B));
+}
+
+TEST(StructuralHashTest, PermutationChangesHash) {
+  // Same iterators, but loop order differs (k outermost): different nest.
+  NodePtr A = makeGemmNest();
+  NodePtr B = forLoop(
+      "k", 0, 8,
+      {forLoop("i", 0, 8,
+               {forLoop("j", 0, 8,
+                        {assign("S0", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    read("A", {ax("i"), ax("k")}) *
+                                        read("B", {ax("k"), ax("j")}))})})});
+  EXPECT_NE(structuralHash(A), structuralHash(B));
+  EXPECT_FALSE(structurallyEqual(A, B));
+}
+
+TEST(StructuralHashTest, ComputationNameIgnored) {
+  NodePtr A = assign("S0", "x", {ax("i")}, lit(1.0));
+  NodePtr B = assign("S99", "x", {ax("i")}, lit(1.0));
+  // Both are outside any loop; wrap to give "i" a binding.
+  NodePtr LA = forLoop("i", 0, 4, {A});
+  NodePtr LB = forLoop("i", 0, 4, {B});
+  EXPECT_EQ(structuralHash(LA), structuralHash(LB));
+  EXPECT_TRUE(structurallyEqual(LA, LB));
+}
+
+TEST(StructuralHashTest, BoundsMatter) {
+  NodePtr A = forLoop("i", 0, 4, {assign("S", "x", {ax("i")}, lit(1.0))});
+  NodePtr B = forLoop("i", 0, 8, {assign("S", "x", {ax("i")}, lit(1.0))});
+  EXPECT_NE(structuralHash(A), structuralHash(B));
+  EXPECT_FALSE(structurallyEqual(A, B));
+}
+
+TEST(ValidateTest, AcceptsWellFormed) {
+  Program Prog = makeGemmProgram();
+  EXPECT_TRUE(isValid(Prog));
+}
+
+TEST(ValidateTest, RejectsUndeclaredArray) {
+  Program Prog = makeGemmProgram();
+  Prog.append(forLoop("m", 0, 4,
+                      {assign("S9", "UNDECLARED", {ax("m")}, lit(0.0))}));
+  auto Problems = validateProgram(Prog);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("UNDECLARED"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsOutOfScopeIterator) {
+  Program Prog("bad");
+  Prog.addArray("x", {4});
+  Prog.append(forLoop("i", 0, 4, {assign("S", "x", {ax("q")}, lit(0.0))}));
+  EXPECT_FALSE(isValid(Prog));
+}
+
+TEST(ValidateTest, RejectsRankMismatch) {
+  Program Prog("bad");
+  Prog.addArray("x", {4, 4});
+  Prog.append(forLoop("i", 0, 4, {assign("S", "x", {ax("i")}, lit(0.0))}));
+  EXPECT_FALSE(isValid(Prog));
+}
+
+TEST(PrinterTest, RendersLoopNest) {
+  std::string Text = printNode(makeGemmNest());
+  EXPECT_NE(Text.find("for (i = 0; i < 8; i += 1) {"), std::string::npos);
+  EXPECT_NE(Text.find("C[i][j] = (C[i][j] + (A[i][k] * B[k][j]));"),
+            std::string::npos);
+}
+
+TEST(PrinterTest, RendersProgramArrays) {
+  Program Prog = makeGemmProgram();
+  std::string Text = printProgram(Prog);
+  EXPECT_NE(Text.find("double A[8][8];"), std::string::npos);
+}

@@ -1,0 +1,463 @@
+//===- tests/SchedTest.cpp - scheduler stack tests -------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Interpreter.h"
+#include "ir/Builder.h"
+#include "normalize/Pipeline.h"
+#include "sched/FrameworkModels.h"
+#include "ir/StructuralHash.h"
+#include "sched/Idiom.h"
+#include "sched/Schedulers.h"
+
+#include <gtest/gtest.h>
+
+using namespace daisy;
+
+namespace {
+
+Program makeGemmVariant(const std::string &O1, const std::string &O2,
+                        const std::string &O3, int N = 32) {
+  Program Prog("gemm");
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      O1, 0, N,
+      {forLoop(O2, 0, N,
+               {forLoop(O3, 0, N,
+                        {assign("S0", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    lit(1.5) * read("A", {ax("i"), ax("k")}) *
+                                        read("B", {ax("k"), ax("j")}))})})}));
+  return Prog;
+}
+
+Program makeSyrkProgram(int N = 24) {
+  Program Prog("syrk");
+  Prog.addArray("A", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      "i", 0, N,
+      {forLoop("j", ac(0), ax("i") + 1,
+               {forLoop("k", 0, N,
+                        {assign("S0", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    lit(1.5) * read("A", {ax("i"), ax("k")}) *
+                                        read("A", {ax("j"), ax("k")}))})})}));
+  return Prog;
+}
+
+/// Small evaluation options so search-based tests stay fast.
+SimOptions fastOptions() {
+  SimOptions Options;
+  return Options;
+}
+
+SearchBudget tinyBudget() {
+  SearchBudget Budget;
+  Budget.MctsRollouts = 8;
+  Budget.PopulationSize = 3;
+  Budget.IterationsPerEpoch = 1;
+  Budget.Epochs = 2;
+  return Budget;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Embeddings
+//===----------------------------------------------------------------------===//
+
+TEST(EmbeddingTest, IdenticalNestsAtDistanceZero) {
+  Program P1 = makeGemmVariant("i", "j", "k");
+  Program P2 = makeGemmVariant("i", "j", "k");
+  PerformanceEmbedding E1 = embedNest(P1.topLevel()[0], P1);
+  PerformanceEmbedding E2 = embedNest(P2.topLevel()[0], P2);
+  EXPECT_DOUBLE_EQ(E1.distance(E2), 0.0);
+}
+
+TEST(EmbeddingTest, DissimilarNestsFarApart) {
+  Program Gemm = makeGemmVariant("i", "j", "k");
+  Program Stencil("st");
+  Stencil.addArray("A", {64});
+  Stencil.append(forLoop("i", 1, 63,
+                         {assign("S0", "A", {ax("i")},
+                                 read("A", {ax("i") - 1}) + lit(1.0))}));
+  PerformanceEmbedding EG = embedNest(Gemm.topLevel()[0], Gemm);
+  PerformanceEmbedding ES = embedNest(Stencil.topLevel()[0], Stencil);
+  EXPECT_GT(EG.distance(ES), 1.0);
+}
+
+TEST(EmbeddingTest, PermutationChangesStrideFeatures) {
+  Program Good = makeGemmVariant("i", "k", "j");
+  Program Bad = makeGemmVariant("j", "k", "i");
+  PerformanceEmbedding EGood = embedNest(Good.topLevel()[0], Good);
+  PerformanceEmbedding EBad = embedNest(Bad.topLevel()[0], Bad);
+  EXPECT_GT(EGood.distance(EBad), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Idiom detection
+//===----------------------------------------------------------------------===//
+
+TEST(IdiomTest, DetectsGemm) {
+  Program Prog = makeGemmVariant("i", "j", "k");
+  auto Match = detectBlasIdiom(Prog.topLevel()[0], Prog);
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_EQ(Match->Kind, BlasKind::Gemm);
+  EXPECT_EQ(Match->Call->args()[0], "C");
+  EXPECT_DOUBLE_EQ(Match->Call->alpha(), 1.5);
+}
+
+TEST(IdiomTest, DetectsGemmInAnyLoopOrder) {
+  for (auto [O1, O2, O3] :
+       {std::tuple{"k", "i", "j"}, {"j", "k", "i"}, {"i", "k", "j"}}) {
+    Program Prog = makeGemmVariant(O1, O2, O3);
+    EXPECT_TRUE(detectBlasIdiom(Prog.topLevel()[0], Prog).has_value());
+  }
+}
+
+TEST(IdiomTest, DetectsSyrk) {
+  Program Prog = makeSyrkProgram();
+  auto Match = detectBlasIdiom(Prog.topLevel()[0], Prog);
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_EQ(Match->Kind, BlasKind::Syrk);
+}
+
+TEST(IdiomTest, DetectsSyr2k) {
+  int N = 16;
+  Program Prog("syr2k");
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      "i", 0, N,
+      {forLoop(
+          "j", ac(0), ax("i") + 1,
+          {forLoop("k", 0, N,
+                   {assign("S0", "C", {ax("i"), ax("j")},
+                           read("C", {ax("i"), ax("j")}) +
+                               (lit(1.5) * read("A", {ax("i"), ax("k")}) *
+                                    read("B", {ax("j"), ax("k")}) +
+                                lit(1.5) * read("B", {ax("i"), ax("k")}) *
+                                    read("A", {ax("j"), ax("k")})))})})}));
+  auto Match = detectBlasIdiom(Prog.topLevel()[0], Prog);
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_EQ(Match->Kind, BlasKind::Syr2k);
+}
+
+TEST(IdiomTest, DetectsGemv) {
+  int N = 32;
+  Program Prog("gemv");
+  Prog.addArray("A", {N, N});
+  Prog.addArray("x", {N});
+  Prog.addArray("y", {N});
+  Prog.append(forLoop(
+      "i", 0, N,
+      {forLoop("j", 0, N,
+               {assign("S0", "y", {ax("i")},
+                       read("y", {ax("i")}) +
+                           read("A", {ax("i"), ax("j")}) *
+                               read("x", {ax("j")}))})}));
+  auto Match = detectBlasIdiom(Prog.topLevel()[0], Prog);
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_EQ(Match->Kind, BlasKind::Gemv);
+}
+
+TEST(IdiomTest, RejectsFusedNest) {
+  // Two statements in one nest: not a standalone BLAS kernel.
+  int N = 16;
+  Program Prog("fused");
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      "i", 0, N,
+      {forLoop("j", 0, N,
+               {assign("S0", "C", {ax("i"), ax("j")},
+                       read("C", {ax("i"), ax("j")}) * lit(1.2)),
+                forLoop("k", 0, N,
+                        {assign("S1", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    read("A", {ax("i"), ax("k")}) *
+                                        read("B", {ax("k"), ax("j")}))})})}));
+  EXPECT_FALSE(detectBlasIdiom(Prog.topLevel()[0], Prog).has_value());
+}
+
+TEST(IdiomTest, RespectsEnabledSet) {
+  Program Prog = makeSyrkProgram();
+  EXPECT_FALSE(detectBlasIdiom(Prog.topLevel()[0], Prog,
+                               pythonFrameworkOperators())
+                   .has_value());
+}
+
+TEST(IdiomTest, CallNodeSemanticsMatchLoops) {
+  Program Prog = makeGemmVariant("i", "j", "k", 12);
+  Program WithCall = Prog.clone();
+  auto Match = detectBlasIdiom(WithCall.topLevel()[0], WithCall);
+  ASSERT_TRUE(Match.has_value());
+  WithCall.topLevel()[0] = Match->Call;
+  EXPECT_TRUE(semanticallyEquivalent(Prog, WithCall, 1e-9));
+}
+
+//===----------------------------------------------------------------------===//
+// Recipes
+//===----------------------------------------------------------------------===//
+
+TEST(RecipeTest, ApplyPreservesSemantics) {
+  Program Prog = makeGemmVariant("j", "k", "i", 16);
+  Recipe R;
+  RecipeStep Perm;
+  Perm.StepKind = RecipeStep::Kind::Permute;
+  Perm.Perm = {2, 1, 0};
+  R.Steps.push_back(Perm);
+  RecipeStep Tile;
+  Tile.StepKind = RecipeStep::Kind::Tile;
+  Tile.Tiles = {8, 8, 8};
+  R.Steps.push_back(Tile);
+  RecipeStep Par;
+  Par.StepKind = RecipeStep::Kind::ParallelizeOutermost;
+  R.Steps.push_back(Par);
+  RecipeStep Vec;
+  Vec.StepKind = RecipeStep::Kind::VectorizeInnermost;
+  R.Steps.push_back(Vec);
+
+  Program Transformed = Prog.clone();
+  Transformed.topLevel()[0] =
+      applyRecipe(R, Prog.topLevel()[0], Transformed);
+  EXPECT_TRUE(semanticallyEquivalent(Prog, Transformed));
+}
+
+TEST(RecipeTest, IllegalPermutationSkipped) {
+  Program Prog = makeSyrkProgram(12);
+  Recipe R;
+  RecipeStep Perm;
+  Perm.StepKind = RecipeStep::Kind::Permute;
+  Perm.Perm = {1, 0, 2}; // j above i: illegal for the triangular nest
+  R.Steps.push_back(Perm);
+  Program Transformed = Prog.clone();
+  Transformed.topLevel()[0] =
+      applyRecipe(R, Prog.topLevel()[0], Transformed);
+  EXPECT_TRUE(semanticallyEquivalent(Prog, Transformed));
+}
+
+TEST(RecipeTest, ToStringRoundtrip) {
+  Recipe R = Recipe::defaultParallelRecipe();
+  EXPECT_EQ(R.toString(), "parallel ; vectorize");
+}
+
+//===----------------------------------------------------------------------===//
+// Database
+//===----------------------------------------------------------------------===//
+
+TEST(DatabaseTest, ExactHashWins) {
+  TransferTuningDatabase Db;
+  Program Prog = makeGemmVariant("i", "j", "k");
+  DatabaseEntry Near;
+  Near.Name = "near";
+  Near.Embedding = embedNest(Prog.topLevel()[0], Prog);
+  Db.insert(Near);
+  DatabaseEntry Exact;
+  Exact.Name = "exact";
+  Exact.CanonicalHash = structuralHash(Prog.topLevel()[0]);
+  // Give the exact entry a far-away embedding.
+  Exact.Embedding.Features[0] = 100.0;
+  Db.insert(Exact);
+  const DatabaseEntry *Found =
+      Db.lookup(embedNest(Prog.topLevel()[0], Prog),
+                structuralHash(Prog.topLevel()[0]));
+  ASSERT_NE(Found, nullptr);
+  EXPECT_EQ(Found->Name, "exact");
+}
+
+TEST(DatabaseTest, MaxDistanceRespected) {
+  TransferTuningDatabase Db;
+  DatabaseEntry Far;
+  Far.Embedding.Features[0] = 1000.0;
+  Db.insert(Far);
+  PerformanceEmbedding Key;
+  EXPECT_EQ(Db.lookup(Key, /*CanonicalHash=*/1, /*MaxDistance=*/10.0),
+            nullptr);
+  EXPECT_NE(Db.lookup(Key, /*CanonicalHash=*/1, /*MaxDistance=*/1e6),
+            nullptr);
+}
+
+TEST(DatabaseTest, NearestOrdering) {
+  TransferTuningDatabase Db;
+  for (double D : {5.0, 1.0, 3.0}) {
+    DatabaseEntry E;
+    E.Name = std::to_string(D);
+    E.Embedding.Features[0] = D;
+    Db.insert(E);
+  }
+  PerformanceEmbedding Key;
+  auto Nearest = Db.nearest(Key, 2);
+  ASSERT_EQ(Nearest.size(), 2u);
+  EXPECT_EQ(Nearest[0]->Name, "1.000000");
+  EXPECT_EQ(Nearest[1]->Name, "3.000000");
+}
+
+//===----------------------------------------------------------------------===//
+// Schedulers
+//===----------------------------------------------------------------------===//
+
+TEST(SchedulerTest, BaselinesPreserveSemantics) {
+  Program Prog = makeGemmVariant("i", "j", "k", 16);
+  ClangScheduler Clang;
+  IccScheduler Icc;
+  PollyScheduler Polly;
+  for (Scheduler *S :
+       std::initializer_list<Scheduler *>{&Clang, &Icc, &Polly}) {
+    auto Result = S->schedule(Prog);
+    ASSERT_TRUE(Result.has_value()) << S->name();
+    EXPECT_TRUE(semanticallyEquivalent(Prog, *Result)) << S->name();
+  }
+}
+
+TEST(SchedulerTest, PollyTilesAndParallelizes) {
+  Program Prog = makeGemmVariant("i", "j", "k", 64);
+  PollyScheduler Polly;
+  auto Result = Polly.schedule(Prog);
+  ASSERT_TRUE(Result.has_value());
+  // Tiling deepened the band; some loop is parallel.
+  EXPECT_GT(loopDepth(Result->topLevel()[0]), 3);
+  bool AnyParallel = false;
+  for (const auto &L : collectLoops(Result->topLevel()[0]))
+    AnyParallel |= L->isParallel();
+  EXPECT_TRUE(AnyParallel);
+}
+
+TEST(SchedulerTest, TiramisuRejectsTriangular) {
+  Program Prog = makeSyrkProgram();
+  TiramisuScheduler Tiramisu(fastOptions(), tinyBudget());
+  EXPECT_FALSE(Tiramisu.schedule(Prog).has_value());
+}
+
+TEST(SchedulerTest, TiramisuHandlesRectangularAndPreservesSemantics) {
+  Program Prog = makeGemmVariant("j", "k", "i", 16);
+  TiramisuScheduler Tiramisu(fastOptions(), tinyBudget());
+  auto Result = Tiramisu.schedule(Prog);
+  ASSERT_TRUE(Result.has_value());
+  EXPECT_TRUE(semanticallyEquivalent(Prog, *Result));
+}
+
+TEST(SchedulerTest, DaisyLiftsBlasAfterNormalization) {
+  auto Db = std::make_shared<TransferTuningDatabase>();
+  DaisyScheduler Daisy(Db);
+  Program Prog = makeGemmVariant("k", "j", "i", 16);
+  auto Result = Daisy.schedule(Prog);
+  ASSERT_TRUE(Result.has_value());
+  bool HasCall = false;
+  for (const NodePtr &Node : Result->topLevel())
+    HasCall |= Node->kind() == NodeKind::Call;
+  EXPECT_TRUE(HasCall);
+  EXPECT_TRUE(semanticallyEquivalent(Prog, *Result));
+}
+
+TEST(SchedulerTest, DaisyWithoutNormalizationMissesBlas) {
+  // The B-style composition hides the idiom from direct detection.
+  int N = 16;
+  Program Prog("fused");
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      "i", 0, N,
+      {forLoop("j", 0, N,
+               {assign("S0", "C", {ax("i"), ax("j")},
+                       read("C", {ax("i"), ax("j")}) * lit(1.2)),
+                forLoop("k", 0, N,
+                        {assign("S1", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    read("A", {ax("i"), ax("k")}) *
+                                        read("B", {ax("k"), ax("j")}))})})}));
+  auto Db = std::make_shared<TransferTuningDatabase>();
+  DaisyOptions NoNorm;
+  NoNorm.EnableNormalization = false;
+  DaisyScheduler DaisyNoNorm(Db, NoNorm);
+  auto ResultNoNorm = DaisyNoNorm.schedule(Prog);
+  ASSERT_TRUE(ResultNoNorm.has_value());
+  bool HasCall = false;
+  for (const NodePtr &Node : ResultNoNorm->topLevel())
+    HasCall |= Node->kind() == NodeKind::Call;
+  EXPECT_FALSE(HasCall);
+
+  DaisyScheduler DaisyNorm(Db);
+  auto ResultNorm = DaisyNorm.schedule(Prog);
+  ASSERT_TRUE(ResultNorm.has_value());
+  HasCall = false;
+  for (const NodePtr &Node : ResultNorm->topLevel())
+    HasCall |= Node->kind() == NodeKind::Call;
+  EXPECT_TRUE(HasCall);
+}
+
+TEST(SchedulerTest, DaisyOpaqueFallback) {
+  Program Prog = makeGemmVariant("i", "j", "k", 16);
+  dynCast<Loop>(Prog.topLevel()[0])->setOpaque(true);
+  auto Db = std::make_shared<TransferTuningDatabase>();
+  DaisyScheduler Daisy(Db);
+  auto Result = Daisy.schedule(Prog);
+  ASSERT_TRUE(Result.has_value());
+  // Nest is not replaced by a call, and semantics hold.
+  EXPECT_EQ(Result->topLevel()[0]->kind(), NodeKind::Loop);
+  EXPECT_TRUE(semanticallyEquivalent(Prog, *Result));
+}
+
+TEST(SchedulerTest, SeededDatabaseTransfersToBVariant) {
+  SimOptions Options = fastOptions();
+  SearchBudget Budget = tinyBudget();
+  auto Db = std::make_shared<TransferTuningDatabase>();
+  Rng Rand(7);
+  Program A = makeGemmVariant("i", "j", "k", 16);
+  DaisyScheduler::seedDatabase(*Db, A, Options, Budget, Rand);
+  EXPECT_GT(Db->size(), 0u);
+
+  DaisyScheduler Daisy(Db);
+  Program B = makeGemmVariant("k", "j", "i", 16);
+  auto SchedA = Daisy.schedule(A);
+  auto SchedB = Daisy.schedule(B);
+  ASSERT_TRUE(SchedA.has_value() && SchedB.has_value());
+  double TimeA = simulateProgram(*SchedA, Options).Seconds;
+  double TimeB = simulateProgram(*SchedB, Options).Seconds;
+  // Robustness: A and B runtimes must be near-identical.
+  EXPECT_NEAR(TimeA, TimeB, 0.15 * TimeA);
+}
+
+TEST(FrameworkModelTest, AllPreserveSemantics) {
+  Program Prog = makeGemmVariant("i", "j", "k", 16);
+  NumPyScheduler NumPy;
+  NumbaScheduler Numba;
+  DaCeScheduler DaCe;
+  for (Scheduler *S :
+       std::initializer_list<Scheduler *>{&NumPy, &Numba, &DaCe}) {
+    auto Result = S->schedule(Prog);
+    ASSERT_TRUE(Result.has_value()) << S->name();
+    EXPECT_TRUE(semanticallyEquivalent(Prog, *Result)) << S->name();
+  }
+}
+
+TEST(FrameworkModelTest, NumPyDoesNotParallelize) {
+  Program Prog("vec");
+  int N = 8192; // large enough to pass the parallelization profitability
+  Prog.addArray("A", {N});
+  Prog.addArray("B", {N});
+  Prog.append(forLoop("i", 0, N,
+                      {assign("S0", "A", {ax("i")},
+                              read("B", {ax("i")}) * lit(2.0))}));
+  NumPyScheduler NumPy;
+  NumbaScheduler Numba;
+  auto RNumPy = NumPy.schedule(Prog);
+  auto RNumba = Numba.schedule(Prog);
+  auto AnyParallel = [](const Program &P) {
+    for (const NodePtr &Node : P.topLevel())
+      for (const auto &L : collectLoops(Node))
+        if (L->isParallel())
+          return true;
+    return false;
+  };
+  EXPECT_FALSE(AnyParallel(*RNumPy));
+  EXPECT_TRUE(AnyParallel(*RNumba));
+}

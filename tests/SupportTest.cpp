@@ -1,0 +1,141 @@
+//===- tests/SupportTest.cpp - support library unit tests ------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace daisy;
+
+TEST(RandomTest, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RandomTest, NextBelowInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RandomTest, NextBelowCoversAllValues) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RandomTest, NextInRangeInclusive) {
+  Rng R(3);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 500; ++I) {
+    int64_t Value = R.nextInRange(-2, 2);
+    EXPECT_GE(Value, -2);
+    EXPECT_LE(Value, 2);
+    Seen.insert(Value);
+  }
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Rng R(5);
+  for (int I = 0; I < 1000; ++I) {
+    double Value = R.nextDouble();
+    EXPECT_GE(Value, 0.0);
+    EXPECT_LT(Value, 1.0);
+  }
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Rng R(9);
+  std::vector<int> Values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Shuffled = Values;
+  R.shuffle(Shuffled);
+  std::sort(Shuffled.begin(), Shuffled.end());
+  EXPECT_EQ(Values, Shuffled);
+}
+
+TEST(StatisticsTest, MeanAndMedian) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(StatisticsTest, Variance) {
+  EXPECT_DOUBLE_EQ(sampleVariance({2.0, 2.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(sampleVariance({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(sampleVariance({5.0}), 0.0);
+}
+
+TEST(StatisticsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(StatisticsTest, MeasureUntilStableConvergesOnConstant) {
+  int Calls = 0;
+  MeasurementResult Result = measureUntilStable([&Calls]() {
+    ++Calls;
+    return 1.5;
+  });
+  EXPECT_TRUE(Result.Converged);
+  EXPECT_DOUBLE_EQ(Result.Median, 1.5);
+  EXPECT_EQ(Calls, 3);
+}
+
+TEST(StatisticsTest, MeasureUntilStableStopsAtCap) {
+  // Alternating wildly: never converges, must stop at MaxSamples.
+  int Calls = 0;
+  MeasurementOptions Options;
+  Options.MaxSamples = 10;
+  MeasurementResult Result = measureUntilStable(
+      [&Calls]() {
+        ++Calls;
+        return Calls % 2 == 0 ? 100.0 : 1.0;
+      },
+      Options);
+  EXPECT_FALSE(Result.Converged);
+  EXPECT_EQ(Result.Samples.size(), 10u);
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+TEST(StringUtilsTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(StringUtilsTest, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcde", 4), "abcde");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("daisy_ir", "daisy"));
+  EXPECT_FALSE(startsWith("ir", "daisy"));
+}
