@@ -1,0 +1,199 @@
+//===- bench/micro_interp.cpp - tree-walk vs compiled plan ----------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Micro benchmark of the two execution engines: the tree-walking
+// interpreter (string-map lookups per element) against the compiled flat
+// plan (slot ids, depth registers, linearized subscripts). Every
+// semanticallyEquivalent check and bench/fig* driver pays this cost, so
+// the throughput here bounds how many scenarios the scheduler search can
+// afford to evaluate.
+//
+// Usage: micro_interp [--no-gate] [output.json]
+// Prints a table and writes elements/sec for both engines to
+// BENCH_interp.json (or the given path) to track the perf trajectory.
+// Exits non-zero when the gemm speedup falls below the 10x target unless
+// --no-gate is given (CI runners have unpredictable throughput, so CI
+// records the JSON instead of gating on it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cloudsc/Cloudsc.h"
+#include "exec/ExecPlan.h"
+#include "exec/Interpreter.h"
+#include "frontends/PolyBench.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace daisy;
+
+namespace {
+
+/// Number of element writes one execution of \p Prog performs (the unit of
+/// "elements/sec"): every computation instance writes exactly one element,
+/// and a BLAS call writes its output once per (i, j).
+int64_t countElementWrites(const std::vector<NodePtr> &Nodes, ValueEnv &Env);
+
+int64_t countElementWrites(const NodePtr &Node, ValueEnv &Env) {
+  if (dynCast<Computation>(Node))
+    return 1;
+  if (const auto *Call = dynCast<CallNode>(Node)) {
+    const auto &Dims = Call->dims();
+    switch (Call->callee()) {
+    case BlasKind::Gemm:
+      return Dims[0] * Dims[1];
+    case BlasKind::Syrk:
+    case BlasKind::Syr2k:
+      return Dims[0] * (Dims[0] + 1) / 2;
+    case BlasKind::Gemv:
+      return Dims[0];
+    }
+    return 0;
+  }
+  const auto *L = dynCast<Loop>(Node);
+  int64_t Lo = L->lower().evaluate(Env);
+  int64_t Hi = L->upper().evaluate(Env);
+  int64_t Total = 0;
+  auto Previous = Env.find(L->iterator());
+  bool HadPrevious = Previous != Env.end();
+  int64_t PreviousValue = HadPrevious ? Previous->second : 0;
+  for (int64_t I = Lo; I < Hi; I += L->step()) {
+    Env[L->iterator()] = I;
+    Total += countElementWrites(L->body(), Env);
+  }
+  if (HadPrevious)
+    Env[L->iterator()] = PreviousValue;
+  else
+    Env.erase(L->iterator());
+  return Total;
+}
+
+int64_t countElementWrites(const std::vector<NodePtr> &Nodes, ValueEnv &Env) {
+  int64_t Total = 0;
+  for (const NodePtr &Node : Nodes)
+    Total += countElementWrites(Node, Env);
+  return Total;
+}
+
+int64_t countElementWrites(const Program &Prog) {
+  ValueEnv Env = Prog.params();
+  return countElementWrites(Prog.topLevel(), Env);
+}
+
+/// Runs \p Body repeatedly until at least \p MinSeconds elapsed; returns
+/// seconds per run.
+double timePerRun(const std::function<void()> &Body,
+                  double MinSeconds = 0.25) {
+  using Clock = std::chrono::steady_clock;
+  int Reps = 0;
+  Clock::time_point Start = Clock::now();
+  double Elapsed = 0.0;
+  do {
+    Body();
+    ++Reps;
+    Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
+  } while (Elapsed < MinSeconds);
+  return Elapsed / Reps;
+}
+
+struct Row {
+  std::string Name;
+  int64_t Elements = 0;
+  double TreeWalkElemsPerSec = 0.0;
+  double CompiledElemsPerSec = 0.0;
+  double speedup() const {
+    return TreeWalkElemsPerSec > 0.0
+               ? CompiledElemsPerSec / TreeWalkElemsPerSec
+               : 0.0;
+  }
+};
+
+Row benchProgram(const std::string &Name, const Program &Prog) {
+  Row Result;
+  Result.Name = Name;
+  Result.Elements = countElementWrites(Prog);
+
+  DataEnv Walked(Prog);
+  Walked.initDeterministic(1);
+  double WalkSeconds =
+      timePerRun([&] { interpretTreeWalk(Prog, Walked); });
+
+  ExecPlan Plan = ExecPlan::compile(Prog);
+  DataEnv Planned(Prog);
+  Planned.initDeterministic(1);
+  double PlanSeconds = timePerRun([&] { Plan.run(Planned); });
+
+  Result.TreeWalkElemsPerSec =
+      static_cast<double>(Result.Elements) / WalkSeconds;
+  Result.CompiledElemsPerSec =
+      static_cast<double>(Result.Elements) / PlanSeconds;
+  return Result;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *JsonPath = "BENCH_interp.json";
+  bool Gate = true;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::string(Argv[I]) == "--no-gate")
+      Gate = false;
+    else
+      JsonPath = Argv[I];
+  }
+
+  std::vector<Row> Rows;
+  Rows.push_back(benchProgram(
+      "gemm", buildPolyBench(PolyBenchKernel::Gemm, VariantKind::A)));
+  Rows.push_back(benchProgram(
+      "jacobi2d", buildPolyBench(PolyBenchKernel::Jacobi2d, VariantKind::A)));
+  CloudscConfig Config;
+  Config.Nblocks = 1;
+  Rows.push_back(benchProgram("cloudsc_erosion",
+                              buildErosionKernel(Config)));
+
+  std::printf("%-16s %12s %16s %16s %9s\n", "kernel", "elements",
+              "tree-walk el/s", "compiled el/s", "speedup");
+  bool GemmFastEnough = false;
+  for (const Row &R : Rows) {
+    std::printf("%-16s %12lld %16.3e %16.3e %8.2fx\n", R.Name.c_str(),
+                static_cast<long long>(R.Elements), R.TreeWalkElemsPerSec,
+                R.CompiledElemsPerSec, R.speedup());
+    if (R.Name == "gemm")
+      GemmFastEnough = R.speedup() >= 10.0;
+  }
+
+  if (std::FILE *Json = std::fopen(JsonPath, "w")) {
+    std::fprintf(Json, "{\n  \"benchmarks\": [\n");
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(Json,
+                   "    {\"name\": \"%s\", \"elements\": %lld, "
+                   "\"tree_walk_elems_per_sec\": %.6e, "
+                   "\"compiled_elems_per_sec\": %.6e, "
+                   "\"speedup\": %.3f}%s\n",
+                   R.Name.c_str(), static_cast<long long>(R.Elements),
+                   R.TreeWalkElemsPerSec, R.CompiledElemsPerSec, R.speedup(),
+                   I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(Json, "  ]\n}\n");
+    std::fclose(Json);
+    std::printf("\nwrote %s\n", JsonPath);
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", JsonPath);
+  }
+
+  if (!GemmFastEnough) {
+    std::printf("%s: compiled gemm speedup below 10x target\n",
+                Gate ? "FAIL" : "WARN");
+    return Gate ? 1 : 0;
+  }
+  std::printf("OK: compiled gemm speedup meets 10x target\n");
+  return 0;
+}

@@ -19,13 +19,7 @@ int64_t daisy::accessStride(const ArrayAccess &Access,
   const ArrayDecl *Decl = Prog.findArray(Access.Array);
   if (!Decl || Access.Indices.empty())
     return 0;
-  int64_t Delta = 0;
-  for (size_t Dim = 0; Dim < Access.Indices.size(); ++Dim) {
-    int64_t Coefficient = Access.Indices[Dim].coefficient(Iterator);
-    if (Coefficient != 0)
-      Delta += Coefficient * Decl->dimStride(Dim);
-  }
-  return Delta * Step;
+  return linearizedCoefficient(Access.Indices, Decl->Shape, Iterator) * Step;
 }
 
 double daisy::sumOfStridesCost(const NodePtr &Root, const Program &Prog) {

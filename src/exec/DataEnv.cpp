@@ -12,36 +12,51 @@
 using namespace daisy;
 
 DataEnv::DataEnv(const Program &Prog) {
+  Buffers.reserve(Prog.arrays().size());
+  SlotNames.reserve(Prog.arrays().size());
   for (const ArrayDecl &Decl : Prog.arrays()) {
-    Buffers.emplace(Decl.Name, std::vector<double>(
-                                   static_cast<size_t>(
-                                       std::max<int64_t>(
-                                           Decl.elementCount(), 1)),
-                                   0.0));
+    size_t Slot = Buffers.size();
+    Buffers.emplace_back(
+        static_cast<size_t>(std::max<int64_t>(Decl.elementCount(), 1)), 0.0);
+    SlotNames.push_back(Decl.Name);
+    Slots.emplace(Decl.Name, Slot);
     if (!Decl.Transient)
-      NonTransient.push_back(Decl.Name);
+      NonTransient.push_back(Slot);
   }
 }
 
 std::vector<double> &DataEnv::buffer(const std::string &Array) {
-  auto It = Buffers.find(Array);
-  assert(It != Buffers.end() && "unknown array");
-  return It->second;
+  return Buffers[slotOf(Array)];
 }
 
 const std::vector<double> &DataEnv::buffer(const std::string &Array) const {
-  auto It = Buffers.find(Array);
-  assert(It != Buffers.end() && "unknown array");
+  return Buffers[slotOf(Array)];
+}
+
+std::vector<double> &DataEnv::bufferAt(size_t Slot) {
+  assert(Slot < Buffers.size() && "slot out of range");
+  return Buffers[Slot];
+}
+
+const std::vector<double> &DataEnv::bufferAt(size_t Slot) const {
+  assert(Slot < Buffers.size() && "slot out of range");
+  return Buffers[Slot];
+}
+
+size_t DataEnv::slotOf(const std::string &Array) const {
+  auto It = Slots.find(Array);
+  assert(It != Slots.end() && "unknown array");
   return It->second;
 }
 
 bool DataEnv::contains(const std::string &Array) const {
-  return Buffers.count(Array) != 0;
+  return Slots.count(Array) != 0;
 }
 
 void DataEnv::initDeterministic(uint64_t Seed) {
-  for (const std::string &Name : NonTransient) {
-    std::vector<double> &Buffer = Buffers.at(Name);
+  for (size_t Slot : NonTransient) {
+    const std::string &Name = SlotNames[Slot];
+    std::vector<double> &Buffer = Buffers[Slot];
     // Mix the array name into the pattern so different operands differ.
     uint64_t NameHash = 1469598103934665603ull;
     for (char C : Name) {

@@ -1,0 +1,73 @@
+//===- exec/EvalOps.h - Shared scalar operator semantics ---------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single definition of unary/binary operator semantics, shared by the
+/// tree-walking interpreter and the compiled execution plan. The two
+/// engines are contractually bit-identical, so there must be exactly one
+/// place where Min/Max NaN behavior, comparisons-as-0/1, etc. are decided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_EXEC_EVALOPS_H
+#define DAISY_EXEC_EVALOPS_H
+
+#include "ir/Expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daisy {
+
+inline double applyUnary(UnaryOpKind Op, double V) {
+  switch (Op) {
+  case UnaryOpKind::Neg:
+    return -V;
+  case UnaryOpKind::Exp:
+    return std::exp(V);
+  case UnaryOpKind::Log:
+    return std::log(V);
+  case UnaryOpKind::Sqrt:
+    return std::sqrt(V);
+  case UnaryOpKind::Abs:
+    return std::fabs(V);
+  }
+  return 0.0;
+}
+
+inline double applyBinary(BinaryOpKind Op, double L, double R) {
+  switch (Op) {
+  case BinaryOpKind::Add:
+    return L + R;
+  case BinaryOpKind::Sub:
+    return L - R;
+  case BinaryOpKind::Mul:
+    return L * R;
+  case BinaryOpKind::Div:
+    return L / R;
+  case BinaryOpKind::Min:
+    return std::min(L, R);
+  case BinaryOpKind::Max:
+    return std::max(L, R);
+  case BinaryOpKind::Pow:
+    return std::pow(L, R);
+  case BinaryOpKind::Lt:
+    return L < R ? 1.0 : 0.0;
+  case BinaryOpKind::Le:
+    return L <= R ? 1.0 : 0.0;
+  case BinaryOpKind::Gt:
+    return L > R ? 1.0 : 0.0;
+  case BinaryOpKind::Ge:
+    return L >= R ? 1.0 : 0.0;
+  case BinaryOpKind::Eq:
+    return L == R ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+} // namespace daisy
+
+#endif // DAISY_EXEC_EVALOPS_H

@@ -1,0 +1,446 @@
+//===- exec/ExecPlan.cpp --------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecPlan.h"
+
+#include "blas/Kernels.h"
+#include "exec/EvalOps.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <optional>
+
+using namespace daisy;
+
+namespace daisy {
+
+/// Lowers one Program into a flat PlanOp sequence. Name resolution happens
+/// exclusively here: iterators to depth registers (with save/restore so a
+/// nested loop reusing an outer iterator name shadows instead of clobbers),
+/// arrays to DataEnv slot ids, parameters to folded constants.
+class PlanCompiler {
+public:
+  explicit PlanCompiler(const Program &Prog) : Prog(Prog) {
+    const auto &Arrays = Prog.arrays();
+    for (size_t Slot = 0; Slot < Arrays.size(); ++Slot)
+      Slots.emplace(Arrays[Slot].Name, static_cast<int32_t>(Slot));
+  }
+
+  ExecPlan compile() {
+    for (const NodePtr &Node : Prog.topLevel())
+      compileNode(Node);
+    return std::move(Plan);
+  }
+
+private:
+  const Program &Prog;
+  ExecPlan Plan;
+  std::map<std::string, int32_t> Slots;
+  std::map<std::string, int32_t> Scope;
+  int Depth = 0;
+
+  LinearForm compileAffine(const AffineExpr &Expr) const {
+    LinearForm Form;
+    Form.Constant = Expr.constantTerm();
+    for (const auto &[Name, Coeff] : Expr.terms()) {
+      auto It = Scope.find(Name);
+      if (It != Scope.end())
+        Form.Terms.emplace_back(It->second, Coeff);
+      else
+        Form.Constant += Coeff * Prog.param(Name); // asserts if unbound
+    }
+    return Form;
+  }
+
+  PlanAccess compileAccess(const ArrayAccess &Access) const {
+    const ArrayDecl &Decl = Prog.array(Access.Array);
+    PlanAccess Result;
+    Result.Slot = Slots.at(Access.Array);
+    Result.Base =
+        compileAffine(linearizeSubscripts(Access.Indices, Decl.Shape));
+    for (size_t Dim = 0; Dim < Access.Indices.size(); ++Dim)
+      Result.DimChecks.emplace_back(compileAffine(Access.Indices[Dim]),
+                                    Decl.Shape[Dim]);
+    return Result;
+  }
+
+  void emitExpr(const Expr &E, PlanOp &Op, int &Cur, int &Max) {
+    auto Push = [&](TapeInstr Instr) {
+      Op.Tape.push_back(Instr);
+      Max = std::max(Max, ++Cur);
+    };
+    switch (E.kind()) {
+    case ExprKind::Constant:
+      Push({TapeOpKind::Const, 0, 0, E.constantValue()});
+      return;
+    case ExprKind::Read: {
+      int32_t Idx = static_cast<int32_t>(Op.Loads.size());
+      Op.Loads.push_back(compileAccess(E.access()));
+      Push({TapeOpKind::Load, 0, Idx, 0.0});
+      return;
+    }
+    case ExprKind::Iter: {
+      // Iterators in scope read their register; anything else must be a
+      // bound parameter (the tree-walker's ValueEnv starts from params).
+      auto It = Scope.find(E.name());
+      if (It != Scope.end())
+        Push({TapeOpKind::IterReg, 0, It->second, 0.0});
+      else
+        Push({TapeOpKind::Const, 0, 0,
+              static_cast<double>(Prog.param(E.name()))});
+      return;
+    }
+    case ExprKind::Param:
+      Push({TapeOpKind::Const, 0, 0,
+            static_cast<double>(Prog.param(E.name()))});
+      return;
+    case ExprKind::Unary:
+      emitExpr(*E.operands()[0], Op, Cur, Max);
+      Op.Tape.push_back({TapeOpKind::Unary,
+                         static_cast<uint8_t>(E.unaryOp()), 0, 0.0});
+      return;
+    case ExprKind::Binary:
+      emitExpr(*E.operands()[0], Op, Cur, Max);
+      emitExpr(*E.operands()[1], Op, Cur, Max);
+      Op.Tape.push_back({TapeOpKind::Binary,
+                         static_cast<uint8_t>(E.binaryOp()), 0, 0.0});
+      --Cur;
+      return;
+    case ExprKind::Select: {
+      // Short-circuit like the tree-walker: only the taken branch runs (a
+      // select may guard an otherwise out-of-bounds read).
+      emitExpr(*E.operands()[0], Op, Cur, Max);
+      size_t CondJump = Op.Tape.size();
+      Op.Tape.push_back({TapeOpKind::JumpIfZero, 0, 0, 0.0});
+      --Cur; // JumpIfZero pops the condition.
+      int Base = Cur;
+      emitExpr(*E.operands()[1], Op, Cur, Max);
+      size_t EndJump = Op.Tape.size();
+      Op.Tape.push_back({TapeOpKind::Jump, 0, 0, 0.0});
+      Op.Tape[CondJump].A = static_cast<int32_t>(Op.Tape.size());
+      Cur = Base; // The false branch starts from the same stack depth.
+      emitExpr(*E.operands()[2], Op, Cur, Max);
+      Op.Tape[EndJump].A = static_cast<int32_t>(Op.Tape.size());
+      return;
+    }
+    }
+  }
+
+  void buildStmtPayload(const Computation &C, PlanOp &Op) {
+    Op.Write = compileAccess(C.write());
+    int Cur = 0, Max = 0;
+    emitExpr(*C.rhs(), Op, Cur, Max);
+    assert(Cur == 1 && "malformed expression tape");
+    Plan.MaxStack = std::max(Plan.MaxStack, static_cast<size_t>(Max));
+    Plan.MaxLoads = std::max(Plan.MaxLoads, Op.Loads.size());
+  }
+
+  /// Removes register \p Reg's term from \p Form, returning its
+  /// coefficient.
+  static int64_t splitInnerTerm(LinearForm &Form, int32_t Reg) {
+    for (auto It = Form.Terms.begin(); It != Form.Terms.end(); ++It)
+      if (It->first == Reg) {
+        int64_t Coeff = It->second;
+        Form.Terms.erase(It);
+        return Coeff;
+      }
+    return 0;
+  }
+
+  /// Binds \p Iterator to \p Reg for the duration of \p Body, shadowing
+  /// (not destroying) any outer binding of the same name.
+  template <typename Fn> void withIterator(const std::string &Iterator,
+                                           int32_t Reg, Fn Body) {
+    std::optional<int32_t> Saved;
+    auto It = Scope.find(Iterator);
+    if (It != Scope.end())
+      Saved = It->second;
+    Scope[Iterator] = Reg;
+    ++Depth;
+    Body();
+    --Depth;
+    if (Saved)
+      Scope[Iterator] = *Saved;
+    else
+      Scope.erase(Iterator);
+  }
+
+  void compileLoop(const Loop &L) {
+    assert(L.step() > 0 && "plan requires positive loop steps");
+    LinearForm Lower = compileAffine(L.lower());
+    LinearForm Upper = compileAffine(L.upper());
+    int32_t Reg = Depth;
+
+    // Fast path: an innermost loop over a single computation becomes one
+    // fused op with hoisted loop-invariant offsets.
+    if (L.body().size() == 1) {
+      if (const auto *C = dynCast<Computation>(L.body()[0])) {
+        PlanOp Op;
+        Op.K = PlanOp::Kind::InnerStmt;
+        Op.Reg = Reg;
+        Op.Lower = std::move(Lower);
+        Op.Upper = std::move(Upper);
+        Op.Step = L.step();
+        withIterator(L.iterator(), Reg, [&] { buildStmtPayload(*C, Op); });
+        for (PlanAccess *Acc : accessesOf(Op)) {
+          Acc->InnerCoeff = splitInnerTerm(Acc->Base, Reg);
+          Acc->InnerStep = Acc->InnerCoeff * Op.Step;
+        }
+        Plan.Ops.push_back(std::move(Op));
+        return;
+      }
+    }
+
+    size_t BeginPc = Plan.Ops.size();
+    {
+      PlanOp Op;
+      Op.K = PlanOp::Kind::LoopBegin;
+      Op.Reg = Reg;
+      Op.Lower = std::move(Lower);
+      Op.Upper = std::move(Upper);
+      Op.Step = L.step();
+      Plan.Ops.push_back(std::move(Op));
+    }
+    withIterator(L.iterator(), Reg, [&] {
+      for (const NodePtr &Child : L.body())
+        compileNode(Child);
+    });
+    {
+      PlanOp Op;
+      Op.K = PlanOp::Kind::LoopEnd;
+      Op.Reg = Reg;
+      Op.Step = L.step();
+      Op.Jump = static_cast<int32_t>(BeginPc + 1);
+      Plan.Ops.push_back(std::move(Op));
+    }
+    Plan.Ops[BeginPc].Jump = static_cast<int32_t>(Plan.Ops.size());
+  }
+
+  static std::vector<PlanAccess *> accessesOf(PlanOp &Op) {
+    std::vector<PlanAccess *> All;
+    All.push_back(&Op.Write);
+    for (PlanAccess &Acc : Op.Loads)
+      All.push_back(&Acc);
+    return All;
+  }
+
+  void compileNode(const NodePtr &Node) {
+    Plan.MaxDepth = std::max(Plan.MaxDepth, Depth + 1);
+    if (const auto *C = dynCast<Computation>(Node)) {
+      PlanOp Op;
+      Op.K = PlanOp::Kind::Stmt;
+      buildStmtPayload(*C, Op);
+      Plan.Ops.push_back(std::move(Op));
+      return;
+    }
+    if (const auto *Call = dynCast<CallNode>(Node)) {
+      PlanOp Op;
+      Op.K = PlanOp::Kind::Call;
+      Op.Callee = Call->callee();
+      for (const std::string &Arg : Call->args())
+        Op.ArgSlots.push_back(Slots.at(Arg));
+      Op.CallDims = Call->dims();
+      Op.Alpha = Call->alpha();
+      Op.Beta = Call->beta();
+      Plan.Ops.push_back(std::move(Op));
+      return;
+    }
+    const auto *L = dynCast<Loop>(Node);
+    assert(L && "unknown node kind");
+    compileLoop(*L);
+  }
+};
+
+} // namespace daisy
+
+ExecPlan ExecPlan::compile(const Program &Prog) {
+  return PlanCompiler(Prog).compile();
+}
+
+namespace {
+
+/// Evaluates a statement's tape over \p Stack. \p Off maps a load access
+/// (by PlanAccess and load index) to its element offset, so the plain and
+/// fast-path statement loops share one evaluator.
+template <typename OffsetFn>
+double evalTape(const PlanOp &Op, const int64_t *Regs, double *const *Ptrs,
+                double *Stack, OffsetFn Off) {
+  double *Sp = Stack;
+  const TapeInstr *Base = Op.Tape.data();
+  const TapeInstr *End = Base + Op.Tape.size();
+  for (const TapeInstr *I = Base; I != End;) {
+    switch (I->Kind) {
+    case TapeOpKind::Const:
+      *Sp++ = I->Value;
+      break;
+    case TapeOpKind::IterReg:
+      *Sp++ = static_cast<double>(Regs[I->A]);
+      break;
+    case TapeOpKind::Load: {
+      const PlanAccess &Acc = Op.Loads[static_cast<size_t>(I->A)];
+      *Sp++ = Ptrs[Acc.Slot][Off(Acc, static_cast<size_t>(I->A))];
+      break;
+    }
+    case TapeOpKind::Unary:
+      Sp[-1] = applyUnary(static_cast<UnaryOpKind>(I->Op), Sp[-1]);
+      break;
+    case TapeOpKind::Binary:
+      Sp[-2] = applyBinary(static_cast<BinaryOpKind>(I->Op), Sp[-2], Sp[-1]);
+      --Sp;
+      break;
+    case TapeOpKind::JumpIfZero:
+      if (*--Sp == 0.0) {
+        I = Base + I->A;
+        continue;
+      }
+      break;
+    case TapeOpKind::Jump:
+      I = Base + I->A;
+      continue;
+    }
+    ++I;
+  }
+  return Sp[-1];
+}
+
+} // namespace
+
+void ExecPlan::run(DataEnv &Env) const {
+  std::vector<int64_t> Regs(static_cast<size_t>(std::max(MaxDepth, 1)), 0);
+  std::vector<int64_t> LoopHi(Regs.size(), 0);
+  std::vector<double> Stack(std::max<size_t>(MaxStack, 1));
+  std::vector<int64_t> Offs(std::max<size_t>(MaxLoads, 1));
+  std::vector<double *> Ptrs(Env.slotCount());
+  std::vector<size_t> Sizes(Env.slotCount());
+  for (size_t Slot = 0; Slot < Env.slotCount(); ++Slot) {
+    Ptrs[Slot] = Env.bufferAt(Slot).data();
+    Sizes[Slot] = Env.bufferAt(Slot).size();
+  }
+  // Debug-only: the linearized offset must be in range, and so must every
+  // per-dimension subscript (a compensated violation like A[i+1][j-8] can
+  // linearize into range; the tree-walker catches it per dimension).
+  auto CheckAccess = [&](const PlanAccess &Acc, int64_t Offset) {
+    (void)Acc;
+    (void)Offset;
+    assert(Offset >= 0 && static_cast<size_t>(Offset) < Sizes[Acc.Slot] &&
+           "subscript out of bounds");
+#ifndef NDEBUG
+    for (const auto &[Form, Extent] : Acc.DimChecks) {
+      int64_t Index = Form.eval(Regs.data());
+      assert(Index >= 0 && Index < Extent && "subscript out of bounds");
+      (void)Index;
+      (void)Extent;
+    }
+#endif
+  };
+
+  size_t Pc = 0;
+  while (Pc < Ops.size()) {
+    const PlanOp &Op = Ops[Pc];
+    switch (Op.K) {
+    case PlanOp::Kind::LoopBegin: {
+      int64_t Lo = Op.Lower.eval(Regs.data());
+      int64_t Hi = Op.Upper.eval(Regs.data());
+      if (Lo >= Hi) {
+        Pc = static_cast<size_t>(Op.Jump);
+        break;
+      }
+      Regs[Op.Reg] = Lo;
+      LoopHi[Op.Reg] = Hi;
+      ++Pc;
+      break;
+    }
+    case PlanOp::Kind::LoopEnd: {
+      int64_t Next = Regs[Op.Reg] + Op.Step;
+      if (Next < LoopHi[Op.Reg]) {
+        Regs[Op.Reg] = Next;
+        Pc = static_cast<size_t>(Op.Jump);
+      } else {
+        ++Pc;
+      }
+      break;
+    }
+    case PlanOp::Kind::Stmt: {
+      double Value = evalTape(Op, Regs.data(), Ptrs.data(), Stack.data(),
+                              [&](const PlanAccess &Acc, size_t) {
+                                int64_t Offset = Acc.Base.eval(Regs.data());
+                                CheckAccess(Acc, Offset);
+                                return Offset;
+                              });
+      int64_t WOff = Op.Write.Base.eval(Regs.data());
+      CheckAccess(Op.Write, WOff);
+      Ptrs[Op.Write.Slot][WOff] = Value;
+      ++Pc;
+      break;
+    }
+    case PlanOp::Kind::InnerStmt: {
+      int64_t Lo = Op.Lower.eval(Regs.data());
+      int64_t Hi = Op.Upper.eval(Regs.data());
+      if (Lo < Hi) {
+        for (size_t A = 0; A < Op.Loads.size(); ++A)
+          Offs[A] = Op.Loads[A].Base.eval(Regs.data()) +
+                    Op.Loads[A].InnerCoeff * Lo;
+        int64_t WOff =
+            Op.Write.Base.eval(Regs.data()) + Op.Write.InnerCoeff * Lo;
+        double *WBuf = Ptrs[Op.Write.Slot];
+        for (int64_t I = Lo; I < Hi; I += Op.Step) {
+          Regs[Op.Reg] = I;
+          double Value = evalTape(Op, Regs.data(), Ptrs.data(), Stack.data(),
+                                  [&](const PlanAccess &Acc, size_t A) {
+                                    CheckAccess(Acc, Offs[A]);
+                                    return Offs[A];
+                                  });
+          CheckAccess(Op.Write, WOff);
+          WBuf[WOff] = Value;
+          for (size_t A = 0; A < Op.Loads.size(); ++A)
+            Offs[A] += Op.Loads[A].InnerStep;
+          WOff += Op.Write.InnerStep;
+        }
+      }
+      ++Pc;
+      break;
+    }
+    case PlanOp::Kind::Call: {
+      const auto &Args = Op.ArgSlots;
+      const auto &Dims = Op.CallDims;
+      switch (Op.Callee) {
+      case BlasKind::Gemm:
+        gemm(Ptrs[Args[0]], Ptrs[Args[1]], Ptrs[Args[2]], Dims[0], Dims[1],
+             Dims[2], Op.Alpha, Op.Beta);
+        break;
+      case BlasKind::Syrk:
+        syrk(Ptrs[Args[0]], Ptrs[Args[1]], Dims[0], Dims[1], Op.Alpha,
+             Op.Beta);
+        break;
+      case BlasKind::Syr2k:
+        syr2k(Ptrs[Args[0]], Ptrs[Args[1]], Ptrs[Args[2]], Dims[0], Dims[1],
+              Op.Alpha, Op.Beta);
+        break;
+      case BlasKind::Gemv:
+        gemv(Ptrs[Args[0]], Ptrs[Args[1]], Ptrs[Args[2]], Dims[0], Dims[1],
+             Op.Alpha, Op.Beta);
+        break;
+      }
+      ++Pc;
+      break;
+    }
+    }
+  }
+}
+
+ExecPlan::Stats ExecPlan::stats() const {
+  Stats Result;
+  Result.Ops = Ops.size();
+  Result.MaxLoopDepth = MaxDepth;
+  for (const PlanOp &Op : Ops) {
+    if (Op.K == PlanOp::Kind::Stmt || Op.K == PlanOp::Kind::InnerStmt)
+      ++Result.Statements;
+    if (Op.K == PlanOp::Kind::InnerStmt)
+      ++Result.FastPathStatements;
+  }
+  return Result;
+}

@@ -1,0 +1,159 @@
+//===- exec/ExecPlan.h - Compiled flat execution plan ------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compile-then-run execution engine for the loop-nest IR.
+///
+/// The tree-walking interpreter resolves every array name, iterator name,
+/// and affine subscript through string maps for every element it touches.
+/// ExecPlan pays all name resolution once, at compile time:
+///
+/// - array names become dense buffer slot ids (DataEnv slot order),
+/// - loop iterators become depth-indexed registers (no ValueEnv at run
+///   time),
+/// - every affine subscript is folded row-major into one LinearForm
+///   `constant + sum coeff_d * reg_d` over the loop registers
+///   (ir/AffineExpr.h linearizeSubscripts), with program parameters folded
+///   into the constant,
+/// - every right-hand-side expression tree is flattened into a postfix
+///   bytecode tape evaluated over a small value stack,
+/// - an innermost loop whose body is a single computation is fused into
+///   one InnerStmt op: the loop-invariant part of each access offset is
+///   hoisted out of the loop and offsets advance by a precomputed stride
+///   per iteration (stride-1 for the common contiguous case).
+///
+/// Semantics are identical to the tree-walker (exec/Interpreter.h), which
+/// remains the executable definition of the IR; differential tests assert
+/// bit-identical results on every frontend kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_EXEC_EXECPLAN_H
+#define DAISY_EXEC_EXECPLAN_H
+
+#include "exec/DataEnv.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace daisy {
+
+/// A linear form `Constant + sum Coeff * Regs[Reg]` over the depth-indexed
+/// loop registers, produced at compile time from an AffineExpr with every
+/// parameter folded into the constant.
+struct LinearForm {
+  int64_t Constant = 0;
+  /// Sparse (register, coefficient) terms; subscripts typically reference
+  /// only one or two of the enclosing loops.
+  std::vector<std::pair<int32_t, int64_t>> Terms;
+
+  int64_t eval(const int64_t *Regs) const {
+    int64_t Result = Constant;
+    for (const auto &[Reg, Coeff] : Terms)
+      Result += Coeff * Regs[Reg];
+    return Result;
+  }
+};
+
+/// One resolved array access of a compiled statement: buffer slot plus the
+/// linearized element offset. For fast-path (InnerStmt) statements, Base
+/// excludes the innermost iterator's contribution, which is applied as
+/// `InnerCoeff * i` at loop entry and advanced by `InnerStep` per
+/// iteration.
+struct PlanAccess {
+  int32_t Slot = -1;
+  LinearForm Base;
+  int64_t InnerCoeff = 0; ///< Offset delta per unit of the inner iterator.
+  int64_t InnerStep = 0;  ///< Offset delta per inner-loop iteration.
+  /// Per-dimension (subscript, extent) pairs, kept so debug builds can
+  /// assert each dimension separately (a compensated violation like
+  /// A[i+1][j-8] can linearize to an in-range offset).
+  std::vector<std::pair<LinearForm, int64_t>> DimChecks;
+};
+
+/// Postfix bytecode of a right-hand-side expression. Select compiles to
+/// JumpIfZero/Jump so only the taken branch is evaluated, matching the
+/// tree-walker's short-circuit semantics (a select may guard an otherwise
+/// out-of-bounds read).
+enum class TapeOpKind : uint8_t {
+  Const,      ///< Push immediate value.
+  Load,       ///< Push element of load access #A.
+  IterReg,    ///< Push value of loop register #A.
+  Unary,      ///< Apply UnaryOpKind #Op to the top of stack.
+  Binary,     ///< Apply BinaryOpKind #Op to the two topmost values.
+  JumpIfZero, ///< Pop; continue at instruction #A when the value is 0.
+  Jump        ///< Continue at instruction #A.
+};
+
+struct TapeInstr {
+  TapeOpKind Kind = TapeOpKind::Const;
+  uint8_t Op = 0; ///< UnaryOpKind / BinaryOpKind payload.
+  int32_t A = 0;  ///< Load access index or register index.
+  double Value = 0.0;
+};
+
+/// One op of the flat plan. Loops become LoopBegin/LoopEnd pairs driving a
+/// register; computations become Stmt (or fused InnerStmt) ops; BLAS calls
+/// keep their resolved argument slots.
+struct PlanOp {
+  enum class Kind : uint8_t { LoopBegin, LoopEnd, Stmt, InnerStmt, Call };
+  Kind K = Kind::Stmt;
+
+  // LoopBegin / LoopEnd / InnerStmt loop control.
+  int32_t Reg = -1;
+  LinearForm Lower, Upper;
+  int64_t Step = 1;
+  /// LoopBegin: pc one past the matching LoopEnd (zero-trip skip).
+  /// LoopEnd: pc of the first body op (back edge).
+  int32_t Jump = -1;
+
+  // Stmt / InnerStmt payload.
+  std::vector<TapeInstr> Tape;
+  std::vector<PlanAccess> Loads;
+  PlanAccess Write;
+
+  // Call payload.
+  BlasKind Callee = BlasKind::Gemm;
+  std::vector<int32_t> ArgSlots;
+  std::vector<int64_t> CallDims;
+  double Alpha = 1.0, Beta = 1.0;
+};
+
+/// A program compiled to a flat op sequence, executable against any
+/// DataEnv allocated for the same program.
+class ExecPlan {
+public:
+  /// Compile-time statistics (for tests and the micro benchmark).
+  struct Stats {
+    size_t Ops = 0;
+    size_t Statements = 0;         ///< Stmt + InnerStmt ops.
+    size_t FastPathStatements = 0; ///< InnerStmt ops only.
+    int MaxLoopDepth = 0;
+  };
+
+  /// Lowers \p Prog. Every parameter referenced by bounds or subscripts
+  /// must be bound in the program; asserts otherwise.
+  static ExecPlan compile(const Program &Prog);
+
+  /// Executes the plan on \p Env, which must have been allocated from the
+  /// same program (slot order is the contract; see DataEnv).
+  void run(DataEnv &Env) const;
+
+  Stats stats() const;
+
+private:
+  std::vector<PlanOp> Ops;
+  int MaxDepth = 0;
+  size_t MaxStack = 0;
+  size_t MaxLoads = 0;
+
+  friend class PlanCompiler;
+};
+
+} // namespace daisy
+
+#endif // DAISY_EXEC_EXECPLAN_H

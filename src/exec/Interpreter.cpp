@@ -7,6 +7,8 @@
 #include "exec/Interpreter.h"
 
 #include "blas/Kernels.h"
+#include "exec/EvalOps.h"
+#include "exec/ExecPlan.h"
 
 #include <cassert>
 #include <cmath>
@@ -57,52 +59,12 @@ private:
     }
     case ExprKind::Param:
       return static_cast<double>(Prog.param(E.name()));
-    case ExprKind::Unary: {
-      double V = evalExpr(*E.operands()[0]);
-      switch (E.unaryOp()) {
-      case UnaryOpKind::Neg:
-        return -V;
-      case UnaryOpKind::Exp:
-        return std::exp(V);
-      case UnaryOpKind::Log:
-        return std::log(V);
-      case UnaryOpKind::Sqrt:
-        return std::sqrt(V);
-      case UnaryOpKind::Abs:
-        return std::fabs(V);
-      }
-      return 0.0;
-    }
+    case ExprKind::Unary:
+      return applyUnary(E.unaryOp(), evalExpr(*E.operands()[0]));
     case ExprKind::Binary: {
       double L = evalExpr(*E.operands()[0]);
       double R = evalExpr(*E.operands()[1]);
-      switch (E.binaryOp()) {
-      case BinaryOpKind::Add:
-        return L + R;
-      case BinaryOpKind::Sub:
-        return L - R;
-      case BinaryOpKind::Mul:
-        return L * R;
-      case BinaryOpKind::Div:
-        return L / R;
-      case BinaryOpKind::Min:
-        return std::min(L, R);
-      case BinaryOpKind::Max:
-        return std::max(L, R);
-      case BinaryOpKind::Pow:
-        return std::pow(L, R);
-      case BinaryOpKind::Lt:
-        return L < R ? 1.0 : 0.0;
-      case BinaryOpKind::Le:
-        return L <= R ? 1.0 : 0.0;
-      case BinaryOpKind::Gt:
-        return L > R ? 1.0 : 0.0;
-      case BinaryOpKind::Ge:
-        return L >= R ? 1.0 : 0.0;
-      case BinaryOpKind::Eq:
-        return L == R ? 1.0 : 0.0;
-      }
-      return 0.0;
+      return applyBinary(E.binaryOp(), L, R);
     }
     case ExprKind::Select:
       return evalExpr(*E.operands()[0]) != 0.0
@@ -152,12 +114,20 @@ private:
     assert(L && "unknown node kind");
     int64_t Lo = evalAffine(L->lower());
     int64_t Hi = evalAffine(L->upper());
+    // Shadow, don't clobber: a nested loop may reuse an outer iterator
+    // name (or a parameter name), and that binding must survive this loop.
+    auto Previous = Vars.find(L->iterator());
+    bool HadPrevious = Previous != Vars.end();
+    int64_t PreviousValue = HadPrevious ? Previous->second : 0;
     for (int64_t I = Lo; I < Hi; I += L->step()) {
       Vars[L->iterator()] = I;
       for (const NodePtr &Child : L->body())
         execNode(Child);
     }
-    Vars.erase(L->iterator());
+    if (HadPrevious)
+      Vars[L->iterator()] = PreviousValue;
+    else
+      Vars.erase(L->iterator());
   }
 
   const Program &Prog;
@@ -168,6 +138,10 @@ private:
 } // namespace
 
 void daisy::interpret(const Program &Prog, DataEnv &Env) {
+  ExecPlan::compile(Prog).run(Env);
+}
+
+void daisy::interpretTreeWalk(const Program &Prog, DataEnv &Env) {
   InterpreterImpl(Prog, Env).run();
 }
 

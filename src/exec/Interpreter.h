@@ -22,7 +22,14 @@ namespace daisy {
 
 /// Executes \p Prog on \p Env. Parallel/vector marks are ignored (they do
 /// not change semantics); Call nodes run the reference BLAS kernels.
+/// Dispatches to the compiled execution plan (exec/ExecPlan.h); use
+/// ExecPlan::compile directly to amortize compilation over repeated runs.
 void interpret(const Program &Prog, DataEnv &Env);
+
+/// Executes \p Prog with the original tree-walking evaluator. This is the
+/// executable semantics definition the compiled plan is differentially
+/// tested against; it is much slower than interpret().
+void interpretTreeWalk(const Program &Prog, DataEnv &Env);
 
 /// Convenience: allocates an environment, initializes it deterministically
 /// with \p Seed, runs the program, and returns the environment.

@@ -110,6 +110,38 @@ AffineExpr AffineExpr::renamed(const std::string &OldName,
   return substituted(OldName, AffineExpr::var(NewName));
 }
 
+std::vector<int64_t> daisy::rowMajorStrides(const std::vector<int64_t> &Shape) {
+  std::vector<int64_t> Strides(Shape.size(), 1);
+  for (size_t Dim = Shape.size(); Dim-- > 1;)
+    Strides[Dim - 1] = Strides[Dim] * Shape[Dim];
+  return Strides;
+}
+
+int64_t daisy::linearizedCoefficient(const std::vector<AffineExpr> &Indices,
+                                     const std::vector<int64_t> &Shape,
+                                     const std::string &Name) {
+  assert(Indices.size() == Shape.size() &&
+         "rank mismatch in subscript linearization");
+  int64_t Delta = 0;
+  int64_t Stride = 1;
+  for (size_t Dim = Indices.size(); Dim-- > 0;) {
+    Delta += Indices[Dim].coefficient(Name) * Stride;
+    Stride *= Shape[Dim];
+  }
+  return Delta;
+}
+
+AffineExpr daisy::linearizeSubscripts(const std::vector<AffineExpr> &Indices,
+                                      const std::vector<int64_t> &Shape) {
+  assert(Indices.size() == Shape.size() &&
+         "rank mismatch in subscript linearization");
+  std::vector<int64_t> Strides = rowMajorStrides(Shape);
+  AffineExpr Linear;
+  for (size_t Dim = 0; Dim < Indices.size(); ++Dim)
+    Linear = Linear + Indices[Dim] * Strides[Dim];
+  return Linear;
+}
+
 std::string AffineExpr::toString() const {
   std::string Result;
   for (const auto &[Name, Coefficient] : Terms) {

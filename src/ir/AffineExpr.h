@@ -85,6 +85,28 @@ private:
   void addTerm(const std::string &Name, int64_t Coefficient);
 };
 
+/// Row-major element strides of an array with extents \p Shape:
+/// `Strides[d] = product of Shape[d+1..]`. Scalars (empty shape) yield an
+/// empty vector.
+std::vector<int64_t> rowMajorStrides(const std::vector<int64_t> &Shape);
+
+/// Folds one affine subscript per dimension into a single affine expression
+/// in element units under the row-major layout of \p Shape:
+/// `sum_d Indices[d] * Strides[d]`. This is the canonical linearization used
+/// by the stride analysis and by the compiled execution plan; the result's
+/// coefficient of an iterator is the address delta (in elements) caused by a
+/// unit step of that iterator.
+AffineExpr linearizeSubscripts(const std::vector<AffineExpr> &Indices,
+                               const std::vector<int64_t> &Shape);
+
+/// Coefficient of \p Name in `linearizeSubscripts(Indices, Shape)`, i.e.
+/// the element-address delta per unit step of \p Name, computed without
+/// building the linearized expression (allocation-free; the stride cost
+/// model calls this in its innermost loops).
+int64_t linearizedCoefficient(const std::vector<AffineExpr> &Indices,
+                              const std::vector<int64_t> &Shape,
+                              const std::string &Name);
+
 } // namespace daisy
 
 #endif // DAISY_IR_AFFINEEXPR_H

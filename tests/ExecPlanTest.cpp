@@ -1,0 +1,298 @@
+//===- tests/ExecPlanTest.cpp - compiled execution plan tests --------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential tests: the compiled flat plan (exec/ExecPlan.h) must be
+// bit-identical to the tree-walking interpreter — the executable semantics
+// definition — on every frontend kernel. Plus unit tests for the affine
+// linearization helper and the compiler's scoping rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cloudsc/Cloudsc.h"
+#include "exec/ExecPlan.h"
+#include "exec/Interpreter.h"
+#include "frontends/PolyBench.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace daisy;
+
+namespace {
+
+constexpr uint64_t DiffSeed = 17;
+
+/// Runs \p Prog through both engines from identical initial data and
+/// returns the largest absolute difference over observable arrays.
+double engineDifference(const Program &Prog) {
+  DataEnv Walked(Prog);
+  Walked.initDeterministic(DiffSeed);
+  interpretTreeWalk(Prog, Walked);
+
+  DataEnv Planned(Prog);
+  Planned.initDeterministic(DiffSeed);
+  ExecPlan::compile(Prog).run(Planned);
+
+  return DataEnv::maxAbsDifference(Walked, Planned, Prog);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Affine linearization helper
+//===----------------------------------------------------------------------===//
+
+TEST(LinearizeTest, RowMajorStrides) {
+  EXPECT_EQ(rowMajorStrides({}), (std::vector<int64_t>{}));
+  EXPECT_EQ(rowMajorStrides({7}), (std::vector<int64_t>{1}));
+  EXPECT_EQ(rowMajorStrides({4, 5, 6}), (std::vector<int64_t>{30, 6, 1}));
+}
+
+TEST(LinearizeTest, FoldsSubscriptsRowMajor) {
+  // A[2*i + 1][j - 3] over shape {10, 8}: 8*(2*i + 1) + (j - 3).
+  AffineExpr Linear = linearizeSubscripts(
+      {ax("i") * 2 + 1, ax("j") - 3}, {10, 8});
+  EXPECT_EQ(Linear.coefficient("i"), 16);
+  EXPECT_EQ(Linear.coefficient("j"), 1);
+  EXPECT_EQ(Linear.constantTerm(), 5);
+}
+
+TEST(LinearizeTest, NegativeCoefficients) {
+  // A[n - i - 1][i] over shape {6, 6}: 6*(n - i - 1) + i = 6n - 5i - 6.
+  AffineExpr Linear = linearizeSubscripts(
+      {ax("n") - ax("i") - 1, ax("i")}, {6, 6});
+  EXPECT_EQ(Linear.coefficient("i"), -5);
+  EXPECT_EQ(Linear.coefficient("n"), 6);
+  EXPECT_EQ(Linear.constantTerm(), -6);
+}
+
+TEST(LinearizeTest, ScalarAndConstantSubscripts) {
+  EXPECT_TRUE(linearizeSubscripts({}, {}).isConstant());
+  EXPECT_EQ(linearizeSubscripts({}, {}).constantTerm(), 0);
+  AffineExpr Linear = linearizeSubscripts({ac(2), ac(3)}, {4, 5});
+  EXPECT_TRUE(Linear.isConstant());
+  EXPECT_EQ(Linear.constantTerm(), 13);
+}
+
+TEST(LinearizeTest, MatchesCoefficientStrideContract) {
+  // The coefficient of an iterator in the linearized form is exactly the
+  // per-unit-step address delta the stride analysis reports.
+  AffineExpr Linear =
+      linearizeSubscripts({ax("i"), ax("k")}, {64, 32});
+  EXPECT_EQ(Linear.coefficient("i"), 32);
+  EXPECT_EQ(Linear.coefficient("k"), 1);
+  EXPECT_EQ(Linear.coefficient("j"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler structure
+//===----------------------------------------------------------------------===//
+
+TEST(ExecPlanTest, GemmUsesFastPath) {
+  Program Prog = buildPolyBench(PolyBenchKernel::Gemm, VariantKind::A);
+  ExecPlan::Stats Stats = ExecPlan::compile(Prog).stats();
+  EXPECT_GT(Stats.Ops, 0u);
+  EXPECT_GT(Stats.Statements, 0u);
+  // The k-accumulation loop bodies are single computations and must be
+  // fused into fast-path ops.
+  EXPECT_GE(Stats.FastPathStatements, 1u);
+  EXPECT_EQ(Stats.MaxLoopDepth, 3);
+}
+
+TEST(ExecPlanTest, ShadowedIteratorScoping) {
+  // A nested loop reusing an outer iterator name shadows the outer binding
+  // while it runs and restores it afterwards (the tree-walker historically
+  // destroyed it).
+  int N = 4;
+  Program Prog("shadow");
+  Prog.addArray("U", {N});
+  Prog.addArray("V", {N});
+  Prog.append(forLoop(
+      "i", 0, N,
+      {forLoop("i", 0, 2,
+               {assign("S0", "U", {ax("i")},
+                       read("U", {ax("i")}) + lit(1.0))}),
+       assign("S1", "V", {ax("i")}, Expr::makeIter("i"))}));
+
+  EXPECT_EQ(engineDifference(Prog), 0.0);
+
+  DataEnv Env(Prog);
+  ExecPlan::compile(Prog).run(Env);
+  // The outer iterator survived the inner loop: V[i] = i.
+  for (int I = 0; I < N; ++I)
+    EXPECT_DOUBLE_EQ(Env.buffer("V")[static_cast<size_t>(I)],
+                     static_cast<double>(I));
+  // The inner loop ran N times over U[0..2).
+  EXPECT_DOUBLE_EQ(Env.buffer("U")[0], static_cast<double>(N));
+  EXPECT_DOUBLE_EQ(Env.buffer("U")[1], static_cast<double>(N));
+  EXPECT_DOUBLE_EQ(Env.buffer("U")[3], 0.0);
+}
+
+TEST(ExecPlanTest, ParametricBoundsAndSubscripts) {
+  Program Prog("parametric");
+  Prog.setParam("N", 5);
+  Prog.setParam("base", 2);
+  Prog.addArray("A", {12});
+  // for (i = 0; i < N; ++i) A[i + base] = i + N
+  Prog.append(forLoop(
+      "i", ac(0), ax("N"),
+      {assign("S0", "A", {ax("i") + ax("base")},
+              Expr::makeIter("i") + Expr::makeParam("N"))}));
+
+  EXPECT_EQ(engineDifference(Prog), 0.0);
+
+  DataEnv Env(Prog);
+  ExecPlan::compile(Prog).run(Env);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_DOUBLE_EQ(Env.buffer("A")[static_cast<size_t>(I + 2)],
+                     static_cast<double>(I + 5));
+  EXPECT_DOUBLE_EQ(Env.buffer("A")[0], 0.0);
+  EXPECT_DOUBLE_EQ(Env.buffer("A")[7], 0.0);
+}
+
+TEST(ExecPlanTest, TriangularFastPathBounds) {
+  // Inner single-statement loop with bounds depending on the outer
+  // register exercises per-outer-iteration rebasing of hoisted offsets.
+  int N = 8;
+  Program Prog("tri");
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      "i", 0, N,
+      {forLoop("j", ac(0), ax("i") + 1,
+               {assign("S0", "C", {ax("i"), ax("j")},
+                       Expr::makeIter("i") * lit(10.0) +
+                           Expr::makeIter("j"))})}));
+
+  EXPECT_EQ(engineDifference(Prog), 0.0);
+
+  DataEnv Env(Prog);
+  ExecPlan::compile(Prog).run(Env);
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J <= I; ++J)
+      EXPECT_DOUBLE_EQ(Env.buffer("C")[static_cast<size_t>(I * N + J)],
+                       10.0 * I + J);
+}
+
+TEST(ExecPlanTest, StepLoopsAndStridedAccess) {
+  Program Prog("step");
+  Prog.addArray("A", {16});
+  Prog.addArray("B", {16});
+  Prog.append(forLoop("i", 0, 16,
+                      {assign("S0", "B", {ax("i")},
+                              read("A", {ax("i")}) * lit(3.0))},
+                      /*Step=*/3));
+  EXPECT_EQ(engineDifference(Prog), 0.0);
+}
+
+TEST(ExecPlanTest, SelectShortCircuitsGuardedReads) {
+  // A select may guard an otherwise out-of-bounds read; like the
+  // tree-walker, the plan must evaluate only the taken branch.
+  // B[i] = i < N-1 ? A[i+1] : 0.0 — A[N] is never touched.
+  int N = 6;
+  Program Prog("guard");
+  Prog.addArray("A", {N});
+  Prog.addArray("B", {N});
+  Prog.append(forLoop(
+      "i", 0, N,
+      {assign("S0", "B", {ax("i")},
+              Expr::makeSelect(
+                  Expr::makeBinary(BinaryOpKind::Lt, Expr::makeIter("i"),
+                                   lit(static_cast<double>(N - 1))),
+                  read("A", {ax("i") + 1}), lit(0.0)))}));
+
+  EXPECT_EQ(engineDifference(Prog), 0.0);
+
+  DataEnv Env(Prog);
+  Env.initDeterministic(DiffSeed);
+  std::vector<double> A = Env.buffer("A");
+  ExecPlan::compile(Prog).run(Env);
+  for (int I = 0; I < N - 1; ++I)
+    EXPECT_DOUBLE_EQ(Env.buffer("B")[static_cast<size_t>(I)],
+                     A[static_cast<size_t>(I + 1)]);
+  EXPECT_DOUBLE_EQ(Env.buffer("B")[static_cast<size_t>(N - 1)], 0.0);
+}
+
+TEST(ExecPlanTest, NestedSelects) {
+  // Nested selects in both branches exercise the jump patching.
+  Program Prog("nested");
+  Prog.addArray("A", {8});
+  Prog.addArray("B", {8});
+  ExprPtr X = read("A", {ax("i")});
+  ExprPtr Inner = Expr::makeSelect(
+      Expr::makeBinary(BinaryOpKind::Gt, X, lit(0.5)), esqrt(X), eexp(X));
+  ExprPtr Outer = Expr::makeSelect(
+      Expr::makeBinary(BinaryOpKind::Lt, X, lit(0.25)), X * lit(2.0), Inner);
+  Prog.append(forLoop("i", 0, 8, {assign("S0", "B", {ax("i")}, Outer)}));
+  EXPECT_EQ(engineDifference(Prog), 0.0);
+
+  DataEnv Env(Prog);
+  Env.initDeterministic(DiffSeed);
+  std::vector<double> A = Env.buffer("A");
+  ExecPlan::compile(Prog).run(Env);
+  for (int I = 0; I < 8; ++I) {
+    double V = A[static_cast<size_t>(I)];
+    double Expected =
+        V < 0.25 ? V * 2.0 : (V > 0.5 ? std::sqrt(V) : std::exp(V));
+    EXPECT_DOUBLE_EQ(Env.buffer("B")[static_cast<size_t>(I)], Expected);
+  }
+}
+
+TEST(ExecPlanTest, RunIsRepeatable) {
+  // One compiled plan must be reusable across environments (the whole
+  // point of compile-once-run-many for the scheduler search).
+  Program Prog = buildPolyBench(PolyBenchKernel::Atax, VariantKind::A);
+  ExecPlan Plan = ExecPlan::compile(Prog);
+  DataEnv E1(Prog), E2(Prog);
+  E1.initDeterministic(3);
+  E2.initDeterministic(3);
+  Plan.run(E1);
+  Plan.run(E2);
+  EXPECT_EQ(DataEnv::maxAbsDifference(E1, E2, Prog), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: PolyBench (all kernels, all variants) and CLOUDSC
+//===----------------------------------------------------------------------===//
+
+TEST(ExecPlanDifferentialTest, PolyBenchAllKernelsAllVariants) {
+  for (PolyBenchKernel Kernel : allPolyBenchKernels()) {
+    for (VariantKind Variant :
+         {VariantKind::A, VariantKind::B, VariantKind::NPBench}) {
+      Program Prog = buildPolyBench(Kernel, Variant);
+      EXPECT_EQ(engineDifference(Prog), 0.0)
+          << polyBenchName(Kernel) << " variant "
+          << static_cast<int>(Variant);
+    }
+  }
+}
+
+TEST(ExecPlanDifferentialTest, CloudscAllVariants) {
+  CloudscConfig Config;
+  Config.Nproma = 16;
+  Config.Klev = 8;
+  Config.Nblocks = 2;
+  for (CloudscVariant Variant :
+       {CloudscVariant::Fortran, CloudscVariant::C, CloudscVariant::DaCe}) {
+    Program Prog = buildCloudsc(Config, Variant);
+    EXPECT_EQ(engineDifference(Prog), 0.0)
+        << "cloudsc variant " << static_cast<int>(Variant);
+  }
+}
+
+TEST(ExecPlanDifferentialTest, CloudscErosionAndOptimized) {
+  CloudscConfig Config;
+  Config.Nproma = 16;
+  Config.Klev = 8;
+  Config.Nblocks = 2;
+  Program Erosion = buildErosionKernel(Config);
+  EXPECT_EQ(engineDifference(Erosion), 0.0);
+
+  Program Optimized =
+      optimizeCloudsc(buildCloudsc(Config, CloudscVariant::Fortran));
+  EXPECT_EQ(engineDifference(Optimized), 0.0);
+}
