@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CloudscTest.dir/tests/CloudscTest.cpp.o"
+  "CMakeFiles/CloudscTest.dir/tests/CloudscTest.cpp.o.d"
+  "CloudscTest"
+  "CloudscTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CloudscTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExecPlanTest.dir/tests/ExecPlanTest.cpp.o"
+  "CMakeFiles/ExecPlanTest.dir/tests/ExecPlanTest.cpp.o.d"
+  "ExecPlanTest"
+  "ExecPlanTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExecPlanTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExecTest.dir/tests/ExecTest.cpp.o"
+  "CMakeFiles/ExecTest.dir/tests/ExecTest.cpp.o.d"
+  "ExecTest"
+  "ExecTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExecTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FrontendsTest.dir/tests/FrontendsTest.cpp.o"
+  "CMakeFiles/FrontendsTest.dir/tests/FrontendsTest.cpp.o.d"
+  "FrontendsTest"
+  "FrontendsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FrontendsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/IrTest.dir/tests/IrTest.cpp.o"
+  "CMakeFiles/IrTest.dir/tests/IrTest.cpp.o.d"
+  "IrTest"
+  "IrTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/IrTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MachineTest.dir/tests/MachineTest.cpp.o"
+  "CMakeFiles/MachineTest.dir/tests/MachineTest.cpp.o.d"
+  "MachineTest"
+  "MachineTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MachineTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

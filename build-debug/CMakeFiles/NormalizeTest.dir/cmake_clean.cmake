@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/NormalizeTest.dir/tests/NormalizeTest.cpp.o"
+  "CMakeFiles/NormalizeTest.dir/tests/NormalizeTest.cpp.o.d"
+  "NormalizeTest"
+  "NormalizeTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/NormalizeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TransformTest.dir/tests/TransformTest.cpp.o"
+  "CMakeFiles/TransformTest.dir/tests/TransformTest.cpp.o.d"
+  "TransformTest"
+  "TransformTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TransformTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

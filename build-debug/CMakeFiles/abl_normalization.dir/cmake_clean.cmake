@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_normalization.dir/bench/abl_normalization.cpp.o"
+  "CMakeFiles/abl_normalization.dir/bench/abl_normalization.cpp.o.d"
+  "abl_normalization"
+  "abl_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

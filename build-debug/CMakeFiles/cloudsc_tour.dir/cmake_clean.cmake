@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsc_tour.dir/examples/cloudsc_tour.cpp.o"
+  "CMakeFiles/cloudsc_tour.dir/examples/cloudsc_tour.cpp.o.d"
+  "cloudsc_tour"
+  "cloudsc_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsc_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Accesses.cpp" "CMakeFiles/daisy.dir/src/analysis/Accesses.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/analysis/Accesses.cpp.o.d"
+  "/root/repo/src/analysis/Dataflow.cpp" "CMakeFiles/daisy.dir/src/analysis/Dataflow.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/analysis/Dataflow.cpp.o.d"
+  "/root/repo/src/analysis/Dependence.cpp" "CMakeFiles/daisy.dir/src/analysis/Dependence.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/analysis/Dependence.cpp.o.d"
+  "/root/repo/src/analysis/Legality.cpp" "CMakeFiles/daisy.dir/src/analysis/Legality.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/analysis/Legality.cpp.o.d"
+  "/root/repo/src/analysis/Stride.cpp" "CMakeFiles/daisy.dir/src/analysis/Stride.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/analysis/Stride.cpp.o.d"
+  "/root/repo/src/blas/Kernels.cpp" "CMakeFiles/daisy.dir/src/blas/Kernels.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/blas/Kernels.cpp.o.d"
+  "/root/repo/src/cloudsc/Cloudsc.cpp" "CMakeFiles/daisy.dir/src/cloudsc/Cloudsc.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/cloudsc/Cloudsc.cpp.o.d"
+  "/root/repo/src/exec/DataEnv.cpp" "CMakeFiles/daisy.dir/src/exec/DataEnv.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/exec/DataEnv.cpp.o.d"
+  "/root/repo/src/exec/ExecPlan.cpp" "CMakeFiles/daisy.dir/src/exec/ExecPlan.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/exec/ExecPlan.cpp.o.d"
+  "/root/repo/src/exec/Interpreter.cpp" "CMakeFiles/daisy.dir/src/exec/Interpreter.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/exec/Interpreter.cpp.o.d"
+  "/root/repo/src/frontends/PolyBench.cpp" "CMakeFiles/daisy.dir/src/frontends/PolyBench.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/frontends/PolyBench.cpp.o.d"
+  "/root/repo/src/frontends/PolyBenchLinear.cpp" "CMakeFiles/daisy.dir/src/frontends/PolyBenchLinear.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/frontends/PolyBenchLinear.cpp.o.d"
+  "/root/repo/src/frontends/PolyBenchOther.cpp" "CMakeFiles/daisy.dir/src/frontends/PolyBenchOther.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/frontends/PolyBenchOther.cpp.o.d"
+  "/root/repo/src/ir/AffineExpr.cpp" "CMakeFiles/daisy.dir/src/ir/AffineExpr.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/ir/AffineExpr.cpp.o.d"
+  "/root/repo/src/ir/Builder.cpp" "CMakeFiles/daisy.dir/src/ir/Builder.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/ir/Builder.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "CMakeFiles/daisy.dir/src/ir/Expr.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/ir/Expr.cpp.o.d"
+  "/root/repo/src/ir/Node.cpp" "CMakeFiles/daisy.dir/src/ir/Node.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/ir/Node.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "CMakeFiles/daisy.dir/src/ir/Printer.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "CMakeFiles/daisy.dir/src/ir/Program.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/ir/Program.cpp.o.d"
+  "/root/repo/src/ir/Rewrite.cpp" "CMakeFiles/daisy.dir/src/ir/Rewrite.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/ir/Rewrite.cpp.o.d"
+  "/root/repo/src/ir/StructuralHash.cpp" "CMakeFiles/daisy.dir/src/ir/StructuralHash.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/ir/StructuralHash.cpp.o.d"
+  "/root/repo/src/ir/Validate.cpp" "CMakeFiles/daisy.dir/src/ir/Validate.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/ir/Validate.cpp.o.d"
+  "/root/repo/src/machine/CacheSim.cpp" "CMakeFiles/daisy.dir/src/machine/CacheSim.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/machine/CacheSim.cpp.o.d"
+  "/root/repo/src/machine/Simulator.cpp" "CMakeFiles/daisy.dir/src/machine/Simulator.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/machine/Simulator.cpp.o.d"
+  "/root/repo/src/normalize/Fission.cpp" "CMakeFiles/daisy.dir/src/normalize/Fission.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/normalize/Fission.cpp.o.d"
+  "/root/repo/src/normalize/Pipeline.cpp" "CMakeFiles/daisy.dir/src/normalize/Pipeline.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/normalize/Pipeline.cpp.o.d"
+  "/root/repo/src/normalize/StrideMin.cpp" "CMakeFiles/daisy.dir/src/normalize/StrideMin.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/normalize/StrideMin.cpp.o.d"
+  "/root/repo/src/sched/Database.cpp" "CMakeFiles/daisy.dir/src/sched/Database.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/sched/Database.cpp.o.d"
+  "/root/repo/src/sched/Embedding.cpp" "CMakeFiles/daisy.dir/src/sched/Embedding.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/sched/Embedding.cpp.o.d"
+  "/root/repo/src/sched/FrameworkModels.cpp" "CMakeFiles/daisy.dir/src/sched/FrameworkModels.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/sched/FrameworkModels.cpp.o.d"
+  "/root/repo/src/sched/Idiom.cpp" "CMakeFiles/daisy.dir/src/sched/Idiom.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/sched/Idiom.cpp.o.d"
+  "/root/repo/src/sched/Recipe.cpp" "CMakeFiles/daisy.dir/src/sched/Recipe.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/sched/Recipe.cpp.o.d"
+  "/root/repo/src/sched/Schedulers.cpp" "CMakeFiles/daisy.dir/src/sched/Schedulers.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/sched/Schedulers.cpp.o.d"
+  "/root/repo/src/sched/Search.cpp" "CMakeFiles/daisy.dir/src/sched/Search.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/sched/Search.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "CMakeFiles/daisy.dir/src/support/Random.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/support/Random.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "CMakeFiles/daisy.dir/src/support/Statistics.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/support/Statistics.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "CMakeFiles/daisy.dir/src/support/StringUtils.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/support/StringUtils.cpp.o.d"
+  "/root/repo/src/transform/Cse.cpp" "CMakeFiles/daisy.dir/src/transform/Cse.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/transform/Cse.cpp.o.d"
+  "/root/repo/src/transform/Distribute.cpp" "CMakeFiles/daisy.dir/src/transform/Distribute.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/transform/Distribute.cpp.o.d"
+  "/root/repo/src/transform/Fuse.cpp" "CMakeFiles/daisy.dir/src/transform/Fuse.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/transform/Fuse.cpp.o.d"
+  "/root/repo/src/transform/Parallelize.cpp" "CMakeFiles/daisy.dir/src/transform/Parallelize.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/transform/Parallelize.cpp.o.d"
+  "/root/repo/src/transform/Permute.cpp" "CMakeFiles/daisy.dir/src/transform/Permute.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/transform/Permute.cpp.o.d"
+  "/root/repo/src/transform/Tile.cpp" "CMakeFiles/daisy.dir/src/transform/Tile.cpp.o" "gcc" "CMakeFiles/daisy.dir/src/transform/Tile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_gemm_variants.dir/bench/fig01_gemm_variants.cpp.o"
+  "CMakeFiles/fig01_gemm_variants.dir/bench/fig01_gemm_variants.cpp.o.d"
+  "fig01_gemm_variants"
+  "fig01_gemm_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_gemm_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

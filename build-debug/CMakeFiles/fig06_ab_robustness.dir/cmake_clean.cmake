@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ab_robustness.dir/bench/fig06_ab_robustness.cpp.o"
+  "CMakeFiles/fig06_ab_robustness.dir/bench/fig06_ab_robustness.cpp.o.d"
+  "fig06_ab_robustness"
+  "fig06_ab_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ab_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ablation.dir/bench/fig07_ablation.cpp.o"
+  "CMakeFiles/fig07_ablation.dir/bench/fig07_ablation.cpp.o.d"
+  "fig07_ablation"
+  "fig07_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_python.dir/bench/fig09_python.cpp.o"
+  "CMakeFiles/fig09_python.dir/bench/fig09_python.cpp.o.d"
+  "fig09_python"
+  "fig09_python.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_python.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

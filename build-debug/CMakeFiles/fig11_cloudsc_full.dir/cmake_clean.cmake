@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cloudsc_full.dir/bench/fig11_cloudsc_full.cpp.o"
+  "CMakeFiles/fig11_cloudsc_full.dir/bench/fig11_cloudsc_full.cpp.o.d"
+  "fig11_cloudsc_full"
+  "fig11_cloudsc_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cloudsc_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

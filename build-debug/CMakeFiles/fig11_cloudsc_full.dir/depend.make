@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_cloudsc_full.
+# This may be replaced when dependencies are built.

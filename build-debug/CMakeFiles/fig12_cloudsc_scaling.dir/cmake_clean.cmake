@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cloudsc_scaling.dir/bench/fig12_cloudsc_scaling.cpp.o"
+  "CMakeFiles/fig12_cloudsc_scaling.dir/bench/fig12_cloudsc_scaling.cpp.o.d"
+  "fig12_cloudsc_scaling"
+  "fig12_cloudsc_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cloudsc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

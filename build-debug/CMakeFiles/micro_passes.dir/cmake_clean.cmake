@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_passes.dir/bench/micro_passes.cpp.o"
+  "CMakeFiles/micro_passes.dir/bench/micro_passes.cpp.o.d"
+  "micro_passes"
+  "micro_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

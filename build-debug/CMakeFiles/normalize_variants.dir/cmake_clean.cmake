@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalize_variants.dir/examples/normalize_variants.cpp.o"
+  "CMakeFiles/normalize_variants.dir/examples/normalize_variants.cpp.o.d"
+  "normalize_variants"
+  "normalize_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalize_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

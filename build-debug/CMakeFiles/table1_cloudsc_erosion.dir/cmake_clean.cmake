@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cloudsc_erosion.dir/bench/table1_cloudsc_erosion.cpp.o"
+  "CMakeFiles/table1_cloudsc_erosion.dir/bench/table1_cloudsc_erosion.cpp.o.d"
+  "table1_cloudsc_erosion"
+  "table1_cloudsc_erosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cloudsc_erosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

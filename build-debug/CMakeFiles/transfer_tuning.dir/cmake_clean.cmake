@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_tuning.dir/examples/transfer_tuning.cpp.o"
+  "CMakeFiles/transfer_tuning.dir/examples/transfer_tuning.cpp.o.d"
+  "transfer_tuning"
+  "transfer_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

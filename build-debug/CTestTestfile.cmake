@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-debug
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(AnalysisTest "/root/repo/build-debug/AnalysisTest")
+set_tests_properties(AnalysisTest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(CloudscTest "/root/repo/build-debug/CloudscTest")
+set_tests_properties(CloudscTest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(ExecPlanTest "/root/repo/build-debug/ExecPlanTest")
+set_tests_properties(ExecPlanTest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(ExecTest "/root/repo/build-debug/ExecTest")
+set_tests_properties(ExecTest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(FrontendsTest "/root/repo/build-debug/FrontendsTest")
+set_tests_properties(FrontendsTest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(IrTest "/root/repo/build-debug/IrTest")
+set_tests_properties(IrTest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(MachineTest "/root/repo/build-debug/MachineTest")
+set_tests_properties(MachineTest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(NormalizeTest "/root/repo/build-debug/NormalizeTest")
+set_tests_properties(NormalizeTest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(SchedTest "/root/repo/build-debug/SchedTest")
+set_tests_properties(SchedTest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(SupportTest "/root/repo/build-debug/SupportTest")
+set_tests_properties(SupportTest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(TransformTest "/root/repo/build-debug/TransformTest")
+set_tests_properties(TransformTest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
