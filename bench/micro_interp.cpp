@@ -1,32 +1,37 @@
-//===- bench/micro_interp.cpp - tree-walk vs compiled plan ----------------==//
+//===- bench/micro_interp.cpp - execution engine comparison ---------------==//
 //
 // Part of the daisy project. MIT license.
 //
 //===----------------------------------------------------------------------===//
 //
-// Micro benchmark of the two execution engines: the tree-walking
-// interpreter (string-map lookups per element) against the compiled flat
-// plan (slot ids, depth registers, linearized subscripts). Every
-// semanticallyEquivalent check and bench/fig* driver pays this cost, so
-// the throughput here bounds how many scenarios the scheduler search can
-// afford to evaluate.
+// Micro benchmark of the execution engines: the tree-walking interpreter
+// (string-map lookups per element) against the compiled flat plan, the
+// plan with specialized inner kernels, and the plan with parallel-marked
+// loops forked over the thread pool. Every semanticallyEquivalent check
+// and bench/fig* driver pays this cost, so the throughput here bounds how
+// many scenarios the scheduler search can afford to evaluate.
 //
-// Usage: micro_interp [--no-gate] [output.json]
-// Prints a table and writes elements/sec for both engines to
+// Usage: micro_interp [--no-gate] [--threads N] [output.json]
+// Prints a table and writes elements/sec for every engine to
 // BENCH_interp.json (or the given path) to track the perf trajectory.
-// Exits non-zero when the gemm speedup falls below the 10x target unless
-// --no-gate is given (CI runners have unpredictable throughput, so CI
-// records the JSON instead of gating on it).
+// --threads N sets the parallel engine's chunk count (default:
+// DAISY_THREADS or the hardware concurrency). Exits non-zero when the
+// serial-plan gemm speedup falls below the 10x target unless --no-gate is
+// given (CI runners have unpredictable throughput, so CI records the JSON
+// instead of gating on it).
 //
 //===----------------------------------------------------------------------===//
 
 #include "cloudsc/Cloudsc.h"
 #include "exec/ExecPlan.h"
 #include "exec/Interpreter.h"
+#include "exec/ThreadPool.h"
 #include "frontends/PolyBench.h"
+#include "transform/Parallelize.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -105,16 +110,25 @@ double timePerRun(const std::function<void()> &Body,
 struct Row {
   std::string Name;
   int64_t Elements = 0;
-  double TreeWalkElemsPerSec = 0.0;
-  double CompiledElemsPerSec = 0.0;
-  double speedup() const {
-    return TreeWalkElemsPerSec > 0.0
-               ? CompiledElemsPerSec / TreeWalkElemsPerSec
-               : 0.0;
+  double TreeWalk = 0.0; ///< elements/sec, tree-walking interpreter
+  double Plan = 0.0;     ///< serial plan, no specialization
+  double Spec = 0.0;     ///< serial plan + specialized kernels
+  double Par = 0.0;      ///< parallel-marked plan + kernels, N threads
+  double planSpeedup() const {
+    return TreeWalk > 0.0 ? Plan / TreeWalk : 0.0;
   }
 };
 
-Row benchProgram(const std::string &Name, const Program &Prog) {
+double elemsPerSec(int64_t Elements, const ExecPlan &Plan,
+                   const Program &Prog) {
+  DataEnv Env(Prog);
+  Env.initDeterministic(1);
+  double Seconds = timePerRun([&] { Plan.run(Env); });
+  return static_cast<double>(Elements) / Seconds;
+}
+
+Row benchProgram(const std::string &Name, const Program &Prog,
+                 int Threads) {
   Row Result;
   Result.Name = Name;
   Result.Elements = countElementWrites(Prog);
@@ -123,16 +137,28 @@ Row benchProgram(const std::string &Name, const Program &Prog) {
   Walked.initDeterministic(1);
   double WalkSeconds =
       timePerRun([&] { interpretTreeWalk(Prog, Walked); });
+  Result.TreeWalk = static_cast<double>(Result.Elements) / WalkSeconds;
 
-  ExecPlan Plan = ExecPlan::compile(Prog);
-  DataEnv Planned(Prog);
-  Planned.initDeterministic(1);
-  double PlanSeconds = timePerRun([&] { Plan.run(Planned); });
+  PlanOptions PlainOpts;
+  PlainOpts.NumThreads = 1;
+  PlainOpts.EnableSpecialization = false;
+  Result.Plan =
+      elemsPerSec(Result.Elements, ExecPlan::compile(Prog, PlainOpts), Prog);
 
-  Result.TreeWalkElemsPerSec =
-      static_cast<double>(Result.Elements) / WalkSeconds;
-  Result.CompiledElemsPerSec =
-      static_cast<double>(Result.Elements) / PlanSeconds;
+  PlanOptions SpecOpts;
+  SpecOpts.NumThreads = 1;
+  Result.Spec =
+      elemsPerSec(Result.Elements, ExecPlan::compile(Prog, SpecOpts), Prog);
+
+  // Parallel engine: mark the program the way the schedulers do, then
+  // chunk over the pool.
+  Program Marked = Prog.clone();
+  for (const NodePtr &Node : Marked.topLevel())
+    parallelizeOutermost(Node, Marked.params(), &Marked);
+  PlanOptions ParOpts;
+  ParOpts.NumThreads = Threads;
+  Result.Par = elemsPerSec(Result.Elements,
+                           ExecPlan::compile(Marked, ParOpts), Marked);
   return Result;
 }
 
@@ -141,45 +167,64 @@ Row benchProgram(const std::string &Name, const Program &Prog) {
 int main(int Argc, char **Argv) {
   const char *JsonPath = "BENCH_interp.json";
   bool Gate = true;
+  int Threads = ThreadPool::defaultThreadCount();
   for (int I = 1; I < Argc; ++I) {
-    if (std::string(Argv[I]) == "--no-gate")
+    std::string Arg = Argv[I];
+    if (Arg == "--no-gate") {
       Gate = false;
-    else
+    } else if (Arg == "--threads") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --threads requires a value\n");
+        return 2;
+      }
+      Threads = std::atoi(Argv[++I]);
+    } else {
       JsonPath = Argv[I];
+    }
   }
+  if (Threads < 1)
+    Threads = 1;
 
   std::vector<Row> Rows;
   Rows.push_back(benchProgram(
-      "gemm", buildPolyBench(PolyBenchKernel::Gemm, VariantKind::A)));
+      "gemm", buildPolyBench(PolyBenchKernel::Gemm, VariantKind::A),
+      Threads));
   Rows.push_back(benchProgram(
-      "jacobi2d", buildPolyBench(PolyBenchKernel::Jacobi2d, VariantKind::A)));
+      "jacobi2d", buildPolyBench(PolyBenchKernel::Jacobi2d, VariantKind::A),
+      Threads));
   CloudscConfig Config;
   Config.Nblocks = 1;
-  Rows.push_back(benchProgram("cloudsc_erosion",
-                              buildErosionKernel(Config)));
+  Rows.push_back(
+      benchProgram("cloudsc_erosion", buildErosionKernel(Config), Threads));
 
-  std::printf("%-16s %12s %16s %16s %9s\n", "kernel", "elements",
-              "tree-walk el/s", "compiled el/s", "speedup");
+  std::printf("engines: el/s as tree-walk / plan / plan+spec / "
+              "plan+par(%d threads)\n",
+              Threads);
+  std::printf("%-16s %10s %12s %12s %12s %12s %8s\n", "kernel", "elements",
+              "tree-walk", "plan", "plan+spec", "plan+par", "plan-x");
   bool GemmFastEnough = false;
   for (const Row &R : Rows) {
-    std::printf("%-16s %12lld %16.3e %16.3e %8.2fx\n", R.Name.c_str(),
-                static_cast<long long>(R.Elements), R.TreeWalkElemsPerSec,
-                R.CompiledElemsPerSec, R.speedup());
+    std::printf("%-16s %10lld %12.3e %12.3e %12.3e %12.3e %7.2fx\n",
+                R.Name.c_str(), static_cast<long long>(R.Elements),
+                R.TreeWalk, R.Plan, R.Spec, R.Par, R.planSpeedup());
     if (R.Name == "gemm")
-      GemmFastEnough = R.speedup() >= 10.0;
+      GemmFastEnough = R.planSpeedup() >= 10.0;
   }
 
   if (std::FILE *Json = std::fopen(JsonPath, "w")) {
-    std::fprintf(Json, "{\n  \"benchmarks\": [\n");
+    std::fprintf(Json, "{\n  \"threads\": %d,\n  \"benchmarks\": [\n",
+                 Threads);
     for (size_t I = 0; I < Rows.size(); ++I) {
       const Row &R = Rows[I];
       std::fprintf(Json,
                    "    {\"name\": \"%s\", \"elements\": %lld, "
                    "\"tree_walk_elems_per_sec\": %.6e, "
                    "\"compiled_elems_per_sec\": %.6e, "
+                   "\"specialized_elems_per_sec\": %.6e, "
+                   "\"parallel_elems_per_sec\": %.6e, "
                    "\"speedup\": %.3f}%s\n",
                    R.Name.c_str(), static_cast<long long>(R.Elements),
-                   R.TreeWalkElemsPerSec, R.CompiledElemsPerSec, R.speedup(),
+                   R.TreeWalk, R.Plan, R.Spec, R.Par, R.planSpeedup(),
                    I + 1 < Rows.size() ? "," : "");
     }
     std::fprintf(Json, "  ]\n}\n");
@@ -190,10 +235,10 @@ int main(int Argc, char **Argv) {
   }
 
   if (!GemmFastEnough) {
-    std::printf("%s: compiled gemm speedup below 10x target\n",
+    std::printf("%s: serial-plan gemm speedup below 10x target\n",
                 Gate ? "FAIL" : "WARN");
     return Gate ? 1 : 0;
   }
-  std::printf("OK: compiled gemm speedup meets 10x target\n");
+  std::printf("OK: serial-plan gemm speedup meets 10x target\n");
   return 0;
 }

@@ -48,6 +48,14 @@ std::vector<StmtInfo> daisy::collectStatements(const NodePtr &Root) {
   return collectStatements(std::vector<NodePtr>{Root});
 }
 
+IterRange daisy::unknownIterRange() {
+  // Wide enough to dominate every real extent, small enough that a
+  // coefficient times the bound cannot overflow int64 in the dependence
+  // tests' interval sums.
+  constexpr int64_t Bound = int64_t(1) << 31;
+  return IterRange{-Bound, Bound};
+}
+
 IterRange
 daisy::evaluateInterval(const AffineExpr &Expr,
                         const std::map<std::string, IterRange> &Ranges,
@@ -61,9 +69,14 @@ daisy::evaluateInterval(const AffineExpr &Expr,
       Max += Coefficient * ParamIt->second;
       continue;
     }
+    // A variable that is neither a parameter nor a loop on the analyzed
+    // path is an enclosing iterator of a subtree under analysis (e.g.
+    // fission distributing an inner triangular loop whose bound references
+    // the outer iterator). Its value is fixed but unknown here, so it
+    // contributes the conservative unknown interval.
     auto RangeIt = Ranges.find(Name);
-    assert(RangeIt != Ranges.end() && "unbound variable in interval eval");
-    const IterRange &R = RangeIt->second;
+    const IterRange &R =
+        RangeIt != Ranges.end() ? RangeIt->second : unknownIterRange();
     if (R.isEmpty())
       return IterRange{0, -1};
     if (Coefficient >= 0) {

@@ -43,9 +43,15 @@ struct IterRange {
   int64_t span() const { return isEmpty() ? 0 : Max - Min + 1; }
 };
 
+/// The conservative interval assigned to a variable whose range is not
+/// known at analysis time (an enclosing iterator of a subtree analyzed in
+/// isolation). Wide enough to dominate any real loop extent.
+IterRange unknownIterRange();
+
 /// Computes conservative iterator ranges for every loop on \p Path.
 /// Bounds referencing outer iterators are interval-evaluated through the
-/// outer ranges; parameters are taken from \p Params exactly. The returned
+/// outer ranges; parameters are taken from \p Params exactly; variables
+/// bound outside the path contribute unknownIterRange(). The returned
 /// vector parallels \p Path.
 std::vector<IterRange>
 conservativeRanges(const std::vector<std::shared_ptr<Loop>> &Path,

@@ -12,6 +12,7 @@
 #include <cassert>
 #include <functional>
 #include <map>
+#include <tuple>
 
 using namespace daisy;
 
@@ -110,68 +111,130 @@ bool daisy::isPermutationLegal(const NodePtr &Root,
 
 namespace {
 
-/// Privatization test for a dependence on a transient array carried by
-/// \p Carrier (at \p CarrierLevel within \p Dep.CommonLoops): true if a
-/// per-iteration private copy would satisfy the dependence.
-bool isPrivatizableDependence(const Dependence &Dep, size_t CarrierLevel,
-                              const Program &Prog) {
-  const ArrayDecl *Decl = Prog.findArray(Dep.Array);
-  if (!Decl || !Decl->Transient)
-    return false;
-  // Subscripts must not reference the carrier's iterator or any iterator
-  // of an enclosing common loop: the accessed elements are then the same
-  // in every carrier iteration and a private copy is self-contained.
-  auto SubscriptsInnerOnly = [&](const ArrayAccess &Access) {
-    for (const AffineExpr &Index : Access.Indices)
-      for (const auto &[Name, Coeff] : Index.terms())
-        for (size_t I = 0; I <= CarrierLevel; ++I)
-          if (Dep.CommonLoops[I]->iterator() == Name)
-            return false;
-    return true;
-  };
-  auto AccessesOf = [&](const Computation &C) {
-    std::vector<ArrayAccess> Result;
-    if (C.write().Array == Dep.Array)
-      Result.push_back(C.write());
-    for (const ArrayAccess &R : C.reads())
-      if (R.Array == Dep.Array)
-        Result.push_back(R);
-    return Result;
-  };
-  for (const ArrayAccess &A : AccessesOf(*Dep.Src))
-    if (!SubscriptsInnerOnly(A))
-      return false;
-  for (const ArrayAccess &A : AccessesOf(*Dep.Dst))
-    if (!SubscriptsInnerOnly(A))
-      return false;
-  // The first computation accessing the array under the carrier loop must
-  // define it (write without reading it): each iteration then starts with
-  // its own values.
-  NodePtr Carrier = Dep.CommonLoops[CarrierLevel];
-  for (const StmtInfo &S : collectStatements(Carrier)) {
-    bool Writes = S.Comp->write().Array == Dep.Array;
-    bool Reads = false;
-    for (const ArrayAccess &R : S.Comp->reads())
-      Reads |= R.Array == Dep.Array;
-    if (!Writes && !Reads)
-      continue;
-    return Writes && !Reads;
+/// Value signature of the loops enclosing a statement strictly below the
+/// carrier: two statements with equal signatures run under the same
+/// iteration space in every carrier iteration.
+using LoopContext = std::vector<std::tuple<std::string, AffineExpr,
+                                           AffineExpr, int64_t>>;
+
+LoopContext belowCarrierContext(const StmtInfo &S) {
+  LoopContext Ctx;
+  for (size_t I = 1; I < S.Path.size(); ++I) {
+    const auto &L = S.Path[I];
+    Ctx.emplace_back(L->iterator(), L->lower(), L->upper(), L->step());
   }
-  return false;
+  return Ctx;
 }
 
 } // namespace
 
+std::set<std::string> daisy::privatizableArraysUnder(
+    const NodePtr &Carrier, const std::vector<std::string> &EnclosingIters,
+    const Program &Prog) {
+  const auto *CarrierLoop = dynCast<Loop>(Carrier);
+  assert(CarrierLoop && "privatization carrier must be a loop");
+
+  std::set<std::string> Forbidden(EnclosingIters.begin(),
+                                  EnclosingIters.end());
+  Forbidden.insert(CarrierLoop->iterator());
+  auto MentionsForbidden = [&](const AffineExpr &Expr) {
+    for (const auto &[Name, Coeff] : Expr.terms())
+      if (Forbidden.count(Name))
+        return true;
+    return false;
+  };
+
+  std::vector<StmtInfo> Stmts = collectStatements(Carrier);
+  std::set<std::string> Candidates;
+  for (const StmtInfo &S : Stmts) {
+    const ArrayDecl *Decl = Prog.findArray(S.Comp->write().Array);
+    if (Decl && Decl->Transient)
+      Candidates.insert(Decl->Name);
+  }
+
+  std::set<std::string> Result;
+  for (const std::string &Array : Candidates) {
+    bool Ok = true;
+    // One write per (subscripts, context) form seen so far, in order.
+    std::vector<std::pair<std::vector<AffineExpr>, LoopContext>> Defined;
+    for (const StmtInfo &S : Stmts) {
+      auto Touches = [&](const ArrayAccess &A) { return A.Array == Array; };
+      bool Writes = Touches(S.Comp->write());
+      std::vector<ArrayAccess> Reads;
+      for (const ArrayAccess &R : S.Comp->reads())
+        if (Touches(R))
+          Reads.push_back(R);
+      if (!Writes && Reads.empty())
+        continue;
+
+      // Subscripts and the below-carrier iteration space must be
+      // identical across carrier iterations.
+      LoopContext Ctx = belowCarrierContext(S);
+      for (const auto &[It, Lower, Upper, Step] : Ctx)
+        if (MentionsForbidden(Lower) || MentionsForbidden(Upper))
+          Ok = false;
+      auto SubscriptsOk = [&](const ArrayAccess &A) {
+        for (const AffineExpr &Index : A.Indices)
+          if (MentionsForbidden(Index))
+            return false;
+        return true;
+      };
+      if (Writes && !SubscriptsOk(S.Comp->write()))
+        Ok = false;
+      for (const ArrayAccess &R : Reads)
+        if (!SubscriptsOk(R))
+          Ok = false;
+
+      // Define-before-use: every read must repeat the subscripts and
+      // context of an earlier write (a computation reads its operands
+      // before writing, so its own write does not count).
+      for (const ArrayAccess &R : Reads) {
+        bool Found = false;
+        for (const auto &[Indices, WriteCtx] : Defined)
+          if (Indices == R.Indices && WriteCtx == Ctx) {
+            Found = true;
+            break;
+          }
+        Ok &= Found;
+      }
+      if (Writes)
+        Defined.emplace_back(S.Comp->write().Indices, std::move(Ctx));
+      if (!Ok)
+        break;
+    }
+    if (Ok && !Defined.empty())
+      Result.insert(Array);
+  }
+  return Result;
+}
+
 std::set<const Loop *> daisy::parallelizableLoops(const NodePtr &Root,
                                                   const ValueEnv &Params,
                                                   const Program *Prog) {
+  // Privatizable sets are per carrier loop; compute them lazily, once.
+  std::map<const Loop *, std::set<std::string>> PrivCache;
+  auto Privatizable = [&](const Dependence &Dep, size_t Level) {
+    const Loop *Carrier = Dep.CommonLoops[Level].get();
+    auto It = PrivCache.find(Carrier);
+    if (It == PrivCache.end()) {
+      std::vector<std::string> Enclosing;
+      for (size_t I = 0; I < Level; ++I)
+        Enclosing.push_back(Dep.CommonLoops[I]->iterator());
+      It = PrivCache
+               .emplace(Carrier, privatizableArraysUnder(
+                                     Dep.CommonLoops[Level], Enclosing,
+                                     *Prog))
+               .first;
+    }
+    return It->second.count(Dep.Array) != 0;
+  };
+
   std::set<const Loop *> Carriers;
   for (const Dependence &Dep : computeDependences(Root, Params)) {
     int Level = Dep.carrierLevel();
     if (Level < 0)
       continue;
-    if (Prog &&
-        isPrivatizableDependence(Dep, static_cast<size_t>(Level), *Prog))
+    if (Prog && Privatizable(Dep, static_cast<size_t>(Level)))
       continue;
     Carriers.insert(Dep.CommonLoops[static_cast<size_t>(Level)].get());
   }

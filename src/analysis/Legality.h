@@ -50,6 +50,29 @@ std::set<const Loop *> parallelizableLoops(const NodePtr &Root,
                                            const ValueEnv &Params,
                                            const Program *Prog = nullptr);
 
+/// Transient arrays accessed under the loop \p Carrier that an OpenMP-style
+/// parallelizer may give a fresh private copy per iteration of \p Carrier.
+/// An array qualifies iff, under \p Carrier:
+///
+/// - no subscript of any access references \p Carrier's iterator or any of
+///   \p EnclosingIters (every iteration touches the same elements),
+/// - no loop bound below \p Carrier on a path to an access references
+///   those iterators (every iteration runs the same accessing iteration
+///   space),
+/// - every read of the array is preceded, in execution order, by a write
+///   of the same element: an earlier statement writing with identical
+///   subscripts under a value-identical below-carrier loop context (each
+///   iteration defines what it uses before using it).
+///
+/// The define-before-use condition makes the buffer's pre-iteration
+/// contents unobservable within one iteration, which is what both the
+/// parallelization legality discount and the parallel execution backend's
+/// per-thread private copies rely on; keeping them on this one helper is
+/// what keeps transform and exec in agreement.
+std::set<std::string> privatizableArraysUnder(
+    const NodePtr &Carrier, const std::vector<std::string> &EnclosingIters,
+    const Program &Prog);
+
 /// True if \p Target carries only reduction-style self-dependences: every
 /// dependence carried by \p Target has identical source and sink whose
 /// right-hand side is an associative update (add/mul/min/max at the root)

@@ -6,15 +6,43 @@
 
 #include "exec/ExecPlan.h"
 
+#include "analysis/Legality.h"
 #include "blas/Kernels.h"
 #include "exec/EvalOps.h"
+#include "exec/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <optional>
 
 using namespace daisy;
+
+namespace {
+
+/// Kernels address loads through small fixed-size scratch arrays.
+constexpr size_t MaxKernelLoads = 16;
+
+} // namespace
+
+std::vector<std::pair<int64_t, int64_t>>
+daisy::chunkLoopRange(int64_t Lo, int64_t Hi, int64_t Step, int MaxChunks) {
+  assert(Step > 0 && "chunking requires a positive step");
+  std::vector<std::pair<int64_t, int64_t>> Chunks;
+  if (Lo >= Hi || MaxChunks <= 0)
+    return Chunks;
+  int64_t Iters = (Hi - Lo + Step - 1) / Step;
+  int64_t Count = std::min<int64_t>(MaxChunks, Iters);
+  Chunks.reserve(static_cast<size_t>(Count));
+  for (int64_t C = 0; C < Count; ++C) {
+    int64_t Begin = Lo + (Iters * C / Count) * Step;
+    int64_t End = Lo + (Iters * (C + 1) / Count) * Step;
+    Chunks.emplace_back(Begin, std::min(End, Hi));
+  }
+  return Chunks;
+}
 
 namespace daisy {
 
@@ -24,10 +52,14 @@ namespace daisy {
 /// arrays to DataEnv slot ids, parameters to folded constants.
 class PlanCompiler {
 public:
-  explicit PlanCompiler(const Program &Prog) : Prog(Prog) {
+  PlanCompiler(const Program &Prog, const PlanOptions &Options)
+      : Prog(Prog), Options(Options) {
     const auto &Arrays = Prog.arrays();
     for (size_t Slot = 0; Slot < Arrays.size(); ++Slot)
       Slots.emplace(Arrays[Slot].Name, static_cast<int32_t>(Slot));
+    Plan.ThreadCount = Options.NumThreads > 0
+                           ? Options.NumThreads
+                           : ThreadPool::defaultThreadCount();
   }
 
   ExecPlan compile() {
@@ -38,6 +70,7 @@ public:
 
 private:
   const Program &Prog;
+  PlanOptions Options;
   ExecPlan Plan;
   std::map<std::string, int32_t> Slots;
   std::map<std::string, int32_t> Scope;
@@ -68,9 +101,9 @@ private:
     return Result;
   }
 
-  void emitExpr(const Expr &E, PlanOp &Op, int &Cur, int &Max) {
+  void emitExpr(const Expr &E, CompiledStmt &S, int &Cur, int &Max) {
     auto Push = [&](TapeInstr Instr) {
-      Op.Tape.push_back(Instr);
+      S.Tape.push_back(Instr);
       Max = std::max(Max, ++Cur);
     };
     switch (E.kind()) {
@@ -78,8 +111,8 @@ private:
       Push({TapeOpKind::Const, 0, 0, E.constantValue()});
       return;
     case ExprKind::Read: {
-      int32_t Idx = static_cast<int32_t>(Op.Loads.size());
-      Op.Loads.push_back(compileAccess(E.access()));
+      int32_t Idx = static_cast<int32_t>(S.Loads.size());
+      S.Loads.push_back(compileAccess(E.access()));
       Push({TapeOpKind::Load, 0, Idx, 0.0});
       return;
     }
@@ -99,44 +132,45 @@ private:
             static_cast<double>(Prog.param(E.name()))});
       return;
     case ExprKind::Unary:
-      emitExpr(*E.operands()[0], Op, Cur, Max);
-      Op.Tape.push_back({TapeOpKind::Unary,
-                         static_cast<uint8_t>(E.unaryOp()), 0, 0.0});
+      emitExpr(*E.operands()[0], S, Cur, Max);
+      S.Tape.push_back({TapeOpKind::Unary,
+                        static_cast<uint8_t>(E.unaryOp()), 0, 0.0});
       return;
     case ExprKind::Binary:
-      emitExpr(*E.operands()[0], Op, Cur, Max);
-      emitExpr(*E.operands()[1], Op, Cur, Max);
-      Op.Tape.push_back({TapeOpKind::Binary,
-                         static_cast<uint8_t>(E.binaryOp()), 0, 0.0});
+      emitExpr(*E.operands()[0], S, Cur, Max);
+      emitExpr(*E.operands()[1], S, Cur, Max);
+      S.Tape.push_back({TapeOpKind::Binary,
+                        static_cast<uint8_t>(E.binaryOp()), 0, 0.0});
       --Cur;
       return;
     case ExprKind::Select: {
       // Short-circuit like the tree-walker: only the taken branch runs (a
       // select may guard an otherwise out-of-bounds read).
-      emitExpr(*E.operands()[0], Op, Cur, Max);
-      size_t CondJump = Op.Tape.size();
-      Op.Tape.push_back({TapeOpKind::JumpIfZero, 0, 0, 0.0});
+      emitExpr(*E.operands()[0], S, Cur, Max);
+      size_t CondJump = S.Tape.size();
+      S.Tape.push_back({TapeOpKind::JumpIfZero, 0, 0, 0.0});
       --Cur; // JumpIfZero pops the condition.
       int Base = Cur;
-      emitExpr(*E.operands()[1], Op, Cur, Max);
-      size_t EndJump = Op.Tape.size();
-      Op.Tape.push_back({TapeOpKind::Jump, 0, 0, 0.0});
-      Op.Tape[CondJump].A = static_cast<int32_t>(Op.Tape.size());
+      emitExpr(*E.operands()[1], S, Cur, Max);
+      size_t EndJump = S.Tape.size();
+      S.Tape.push_back({TapeOpKind::Jump, 0, 0, 0.0});
+      S.Tape[CondJump].A = static_cast<int32_t>(S.Tape.size());
       Cur = Base; // The false branch starts from the same stack depth.
-      emitExpr(*E.operands()[2], Op, Cur, Max);
-      Op.Tape[EndJump].A = static_cast<int32_t>(Op.Tape.size());
+      emitExpr(*E.operands()[2], S, Cur, Max);
+      S.Tape[EndJump].A = static_cast<int32_t>(S.Tape.size());
       return;
     }
     }
   }
 
-  void buildStmtPayload(const Computation &C, PlanOp &Op) {
-    Op.Write = compileAccess(C.write());
+  CompiledStmt buildStmtPayload(const Computation &C) {
+    CompiledStmt S;
+    S.Write = compileAccess(C.write());
     int Cur = 0, Max = 0;
-    emitExpr(*C.rhs(), Op, Cur, Max);
+    emitExpr(*C.rhs(), S, Cur, Max);
     assert(Cur == 1 && "malformed expression tape");
     Plan.MaxStack = std::max(Plan.MaxStack, static_cast<size_t>(Max));
-    Plan.MaxLoads = std::max(Plan.MaxLoads, Op.Loads.size());
+    return S;
   }
 
   /// Removes register \p Reg's term from \p Form, returning its
@@ -149,6 +183,14 @@ private:
         return Coeff;
       }
     return 0;
+  }
+
+  static std::vector<PlanAccess *> accessesOf(CompiledStmt &S) {
+    std::vector<PlanAccess *> All;
+    All.push_back(&S.Write);
+    for (PlanAccess &Acc : S.Loads)
+      All.push_back(&Acc);
+    return All;
   }
 
   /// Binds \p Iterator to \p Reg for the duration of \p Body, shadowing
@@ -169,30 +211,204 @@ private:
       Scope.erase(Iterator);
   }
 
-  void compileLoop(const Loop &L) {
+  //===--- Kernel-shape matching ------------------------------------------===//
+
+  static bool isRead(const Expr &E) { return E.kind() == ExprKind::Read; }
+  static bool isConst(const Expr &E) {
+    return E.kind() == ExprKind::Constant;
+  }
+  static bool isBin(const Expr &E, BinaryOpKind Op) {
+    return E.kind() == ExprKind::Binary && E.binaryOp() == Op;
+  }
+
+  /// True if \p E is a left-leaning chain `((R0 + R1) + ...) + Rk` of at
+  /// least \p MinLeaves reads. Left-leaning only: the kernel folds the sum
+  /// left to right, and any other association would change FP results.
+  static bool isLeftSumOfReads(const Expr &E, size_t MinLeaves) {
+    size_t Leaves = 1;
+    const Expr *Cur = &E;
+    while (isBin(*Cur, BinaryOpKind::Add) &&
+           isRead(*Cur->operands()[1])) {
+      ++Leaves;
+      Cur = Cur->operands()[0].get();
+    }
+    return isRead(*Cur) && Leaves >= MinLeaves;
+  }
+
+  /// Matches the product term of an fma shape; sets \p S.Prod / \p S.Coef.
+  static bool matchProduct(const Expr &P, CompiledStmt &S) {
+    if (!isBin(P, BinaryOpKind::Mul))
+      return false;
+    const Expr &A = *P.operands()[0];
+    const Expr &B = *P.operands()[1];
+    if (isRead(A) && isRead(B)) {
+      S.Prod = ProdShape::AB;
+      return true;
+    }
+    if (isConst(A) && isBin(B, BinaryOpKind::Mul) &&
+        isRead(*B.operands()[0]) && isRead(*B.operands()[1])) {
+      S.Prod = ProdShape::CAB;
+      S.Coef = A.constantValue();
+      return true;
+    }
+    if (isBin(A, BinaryOpKind::Mul) && isConst(*A.operands()[0]) &&
+        isRead(*A.operands()[1]) && isRead(B)) {
+      S.Prod = ProdShape::CA_B;
+      S.Coef = A.operands()[0]->constantValue();
+      return true;
+    }
+    return false;
+  }
+
+  /// Recognizes the common kernel shapes on the expression tree of a
+  /// single-statement inner loop. Loads were emitted in left-to-right read
+  /// order, so tree positions map directly to load indices. Must run after
+  /// the inner term split (FmaAcc keys on InnerCoeff).
+  void matchKernel(const Computation &C, CompiledStmt &S) const {
+    if (S.Loads.size() > MaxKernelLoads)
+      return;
+    const Expr &E = *C.rhs();
+
+    if (isRead(E)) {
+      S.Kernel = InnerKernel::Copy;
+      return;
+    }
+
+    if (isBin(E, BinaryOpKind::Mul)) {
+      const Expr &A = *E.operands()[0];
+      const Expr &B = *E.operands()[1];
+      if (isConst(A) && isRead(B)) {
+        S.Kernel = InnerKernel::Scale;
+        S.Coef = A.constantValue();
+        S.CoefLeft = true;
+        return;
+      }
+      if (isRead(A) && isConst(B)) {
+        S.Kernel = InnerKernel::Scale;
+        S.Coef = B.constantValue();
+        S.CoefLeft = false;
+        return;
+      }
+      if (isConst(A) && isLeftSumOfReads(B, 2)) {
+        S.Kernel = InnerKernel::ScaledSum;
+        S.Coef = A.constantValue();
+        S.CoefLeft = S.HasCoef = true;
+        return;
+      }
+      if (isLeftSumOfReads(A, 2) && isConst(B)) {
+        S.Kernel = InnerKernel::ScaledSum;
+        S.Coef = B.constantValue();
+        S.HasCoef = true;
+        return;
+      }
+      return;
+    }
+
+    if (!isBin(E, BinaryOpKind::Add))
+      return;
+    const Expr &L = *E.operands()[0];
+    const Expr &R = *E.operands()[1];
+
+    if (isLeftSumOfReads(E, 2)) {
+      S.Kernel = InnerKernel::ScaledSum; // plain stencil sum, no coefficient
+      return;
+    }
+    if (!isRead(L))
+      return;
+
+    if (isBin(R, BinaryOpKind::Mul)) {
+      const Expr &RA = *R.operands()[0];
+      const Expr &RB = *R.operands()[1];
+      if (isConst(RA) && isRead(RB)) {
+        S.Kernel = InnerKernel::Axpy;
+        S.Coef = RA.constantValue();
+        S.CoefLeft = true;
+        return;
+      }
+      if (isRead(RA) && isConst(RB)) {
+        S.Kernel = InnerKernel::Axpy;
+        S.Coef = RB.constantValue();
+        S.CoefLeft = false;
+        return;
+      }
+    }
+    if (matchProduct(R, S)) {
+      // Loads: [0] addend, [1]/[2] product factors.
+      assert(S.Loads.size() == 3 && "fma shape must have three loads");
+      bool Accumulates =
+          S.Write.InnerCoeff == 0 && S.Loads[0].InnerCoeff == 0 &&
+          S.Loads[0].Slot == S.Write.Slot && S.Loads[0].Base == S.Write.Base;
+      // Register accumulation skips the per-iteration store, so no product
+      // load may alias the written element.
+      bool ProductAliasFree = S.Loads[1].Slot != S.Write.Slot &&
+                              S.Loads[2].Slot != S.Write.Slot;
+      S.Kernel = Accumulates && ProductAliasFree ? InnerKernel::FmaAcc
+                                                 : InnerKernel::Fma;
+    }
+  }
+
+  //===--- Parallel marking ------------------------------------------------===//
+
+  /// Applies a trusted `parallel` mark to \p Op: record the fork and the
+  /// transient buffers each thread must privatize, using the same legality
+  /// helper the transform used to discount their dependences.
+  void markParallel(const NodePtr &Node, const Loop &L, PlanOp &Op) {
+    if (!L.isParallel() || L.usesAtomicReduction())
+      return;
+    Op.Parallel = true;
+    std::vector<std::string> Enclosing;
+    for (const auto &[Name, Reg] : Scope)
+      Enclosing.push_back(Name);
+    for (const std::string &Array :
+         privatizableArraysUnder(Node, Enclosing, Prog)) {
+      const ArrayDecl &Decl = Prog.array(Array);
+      Op.PrivateSlots.emplace_back(
+          Slots.at(Array), std::max<int64_t>(Decl.elementCount(), 1));
+    }
+  }
+
+  //===--- Node lowering ---------------------------------------------------===//
+
+  void compileLoop(const NodePtr &Node, const Loop &L) {
     assert(L.step() > 0 && "plan requires positive loop steps");
     LinearForm Lower = compileAffine(L.lower());
     LinearForm Upper = compileAffine(L.upper());
     int32_t Reg = Depth;
 
-    // Fast path: an innermost loop over a single computation becomes one
-    // fused op with hoisted loop-invariant offsets.
-    if (L.body().size() == 1) {
-      if (const auto *C = dynCast<Computation>(L.body()[0])) {
-        PlanOp Op;
-        Op.K = PlanOp::Kind::InnerStmt;
-        Op.Reg = Reg;
-        Op.Lower = std::move(Lower);
-        Op.Upper = std::move(Upper);
-        Op.Step = L.step();
-        withIterator(L.iterator(), Reg, [&] { buildStmtPayload(*C, Op); });
-        for (PlanAccess *Acc : accessesOf(Op)) {
+    // Fast path: an innermost loop whose body is only computations (one or
+    // many) becomes one fused op with hoisted loop-invariant offsets.
+    bool AllComputations = !L.body().empty();
+    for (const NodePtr &Child : L.body())
+      if (!dynCast<Computation>(Child))
+        AllComputations = false;
+    if (AllComputations) {
+      PlanOp Op;
+      Op.K = PlanOp::Kind::InnerStmt;
+      Op.Reg = Reg;
+      Op.Lower = std::move(Lower);
+      Op.Upper = std::move(Upper);
+      Op.Step = L.step();
+      markParallel(Node, L, Op);
+      withIterator(L.iterator(), Reg, [&] {
+        for (const NodePtr &Child : L.body())
+          Op.Stmts.push_back(buildStmtPayload(*dynCast<Computation>(Child)));
+      });
+      int32_t OffsetBase = 0;
+      for (CompiledStmt &S : Op.Stmts) {
+        for (PlanAccess *Acc : accessesOf(S)) {
           Acc->InnerCoeff = splitInnerTerm(Acc->Base, Reg);
           Acc->InnerStep = Acc->InnerCoeff * Op.Step;
         }
-        Plan.Ops.push_back(std::move(Op));
-        return;
+        S.OffsetBase = OffsetBase;
+        OffsetBase += static_cast<int32_t>(S.Loads.size());
       }
+      Plan.MaxLoads =
+          std::max(Plan.MaxLoads, static_cast<size_t>(OffsetBase));
+      Plan.MaxSubs = std::max(Plan.MaxSubs, Op.Stmts.size());
+      if (Options.EnableSpecialization && Op.Stmts.size() == 1)
+        matchKernel(*dynCast<Computation>(L.body()[0]), Op.Stmts[0]);
+      Plan.Ops.push_back(std::move(Op));
+      return;
     }
 
     size_t BeginPc = Plan.Ops.size();
@@ -203,6 +419,7 @@ private:
       Op.Lower = std::move(Lower);
       Op.Upper = std::move(Upper);
       Op.Step = L.step();
+      markParallel(Node, L, Op);
       Plan.Ops.push_back(std::move(Op));
     }
     withIterator(L.iterator(), Reg, [&] {
@@ -220,20 +437,12 @@ private:
     Plan.Ops[BeginPc].Jump = static_cast<int32_t>(Plan.Ops.size());
   }
 
-  static std::vector<PlanAccess *> accessesOf(PlanOp &Op) {
-    std::vector<PlanAccess *> All;
-    All.push_back(&Op.Write);
-    for (PlanAccess &Acc : Op.Loads)
-      All.push_back(&Acc);
-    return All;
-  }
-
   void compileNode(const NodePtr &Node) {
     Plan.MaxDepth = std::max(Plan.MaxDepth, Depth + 1);
     if (const auto *C = dynCast<Computation>(Node)) {
       PlanOp Op;
       Op.K = PlanOp::Kind::Stmt;
-      buildStmtPayload(*C, Op);
+      Op.Stmts.push_back(buildStmtPayload(*C));
       Plan.Ops.push_back(std::move(Op));
       return;
     }
@@ -251,14 +460,14 @@ private:
     }
     const auto *L = dynCast<Loop>(Node);
     assert(L && "unknown node kind");
-    compileLoop(*L);
+    compileLoop(Node, *L);
   }
 };
 
 } // namespace daisy
 
-ExecPlan ExecPlan::compile(const Program &Prog) {
-  return PlanCompiler(Prog).compile();
+ExecPlan ExecPlan::compile(const Program &Prog, const PlanOptions &Options) {
+  return PlanCompiler(Prog, Options).compile();
 }
 
 namespace {
@@ -267,11 +476,11 @@ namespace {
 /// (by PlanAccess and load index) to its element offset, so the plain and
 /// fast-path statement loops share one evaluator.
 template <typename OffsetFn>
-double evalTape(const PlanOp &Op, const int64_t *Regs, double *const *Ptrs,
-                double *Stack, OffsetFn Off) {
+double evalTape(const CompiledStmt &S, const int64_t *Regs,
+                double *const *Ptrs, double *Stack, OffsetFn Off) {
   double *Sp = Stack;
-  const TapeInstr *Base = Op.Tape.data();
-  const TapeInstr *End = Base + Op.Tape.size();
+  const TapeInstr *Base = S.Tape.data();
+  const TapeInstr *End = Base + S.Tape.size();
   for (const TapeInstr *I = Base; I != End;) {
     switch (I->Kind) {
     case TapeOpKind::Const:
@@ -281,7 +490,7 @@ double evalTape(const PlanOp &Op, const int64_t *Regs, double *const *Ptrs,
       *Sp++ = static_cast<double>(Regs[I->A]);
       break;
     case TapeOpKind::Load: {
-      const PlanAccess &Acc = Op.Loads[static_cast<size_t>(I->A)];
+      const PlanAccess &Acc = S.Loads[static_cast<size_t>(I->A)];
       *Sp++ = Ptrs[Acc.Slot][Off(Acc, static_cast<size_t>(I->A))];
       break;
     }
@@ -309,24 +518,82 @@ double evalTape(const PlanOp &Op, const int64_t *Regs, double *const *Ptrs,
 
 } // namespace
 
-void ExecPlan::run(DataEnv &Env) const {
-  std::vector<int64_t> Regs(static_cast<size_t>(std::max(MaxDepth, 1)), 0);
-  std::vector<int64_t> LoopHi(Regs.size(), 0);
-  std::vector<double> Stack(std::max<size_t>(MaxStack, 1));
-  std::vector<int64_t> Offs(std::max<size_t>(MaxLoads, 1));
-  std::vector<double *> Ptrs(Env.slotCount());
-  std::vector<size_t> Sizes(Env.slotCount());
-  for (size_t Slot = 0; Slot < Env.slotCount(); ++Slot) {
-    Ptrs[Slot] = Env.bufferAt(Slot).data();
-    Sizes[Slot] = Env.bufferAt(Slot).size();
+namespace daisy {
+
+/// Run-time state of one executing thread: register file, tape stack,
+/// hoisted-offset scratch, and the slot-to-buffer table (rebound to private
+/// copies inside parallel regions). The root executor aliases the DataEnv;
+/// thread executors clone the parent's state at the fork point.
+class PlanExecutor {
+public:
+  PlanExecutor(const ExecPlan &Plan, DataEnv &Env)
+      : Plan(Plan),
+        Regs(static_cast<size_t>(std::max(Plan.MaxDepth, 1)), 0),
+        LoopHi(Regs.size(), 0), Offs(std::max<size_t>(Plan.MaxLoads, 1)),
+        WOffs(std::max<size_t>(Plan.MaxSubs, 1)),
+        Stack(std::max<size_t>(Plan.MaxStack, 1)),
+        Ptrs(Env.slotCount()), Sizes(Env.slotCount()) {
+    for (size_t Slot = 0; Slot < Env.slotCount(); ++Slot) {
+      Ptrs[Slot] = Env.bufferAt(Slot).data();
+      Sizes[Slot] = Env.bufferAt(Slot).size();
+    }
   }
+
+  /// Thread-local clone for one chunk of parallel op \p Op: copies the
+  /// parent's registers (inner bounds may reference outer loops) and
+  /// rebinds each privatized slot to a private copy of the shared buffer.
+  /// Legality guarantees no iteration reads an element it did not write
+  /// first, so the initial contents are invisible to the loop itself —
+  /// they are carried so the lastprivate copy-back leaves elements the
+  /// loop never writes exactly as serial execution would.
+  PlanExecutor(const PlanExecutor &Parent, const PlanOp &Op)
+      : Plan(Parent.Plan), InParallel(true), Regs(Parent.Regs),
+        LoopHi(Parent.LoopHi), Offs(Parent.Offs.size()),
+        WOffs(Parent.WOffs.size()), Stack(Parent.Stack.size()),
+        Ptrs(Parent.Ptrs), Sizes(Parent.Sizes) {
+    Privates.reserve(Op.PrivateSlots.size());
+    for (const auto &[Slot, Count] : Op.PrivateSlots) {
+      const double *Shared = Ptrs[Slot];
+      Privates.push_back({Slot, Ptrs[Slot],
+                          std::vector<double>(Shared, Shared + Count)});
+      Ptrs[Slot] = Privates.back().Buf.data();
+    }
+  }
+
+  void exec(size_t Begin, size_t End);
+
+  /// Lastprivate semantics: the thread that ran the chunk containing the
+  /// final iterations copies its private buffers back to the shared ones,
+  /// so the observable end state matches serial execution exactly.
+  void copyBackPrivates() {
+    for (const PrivateCopy &P : Privates)
+      std::copy(P.Buf.begin(), P.Buf.end(), P.Shared);
+  }
+
+private:
+  const ExecPlan &Plan;
+  bool InParallel = false;
+  std::vector<int64_t> Regs, LoopHi, Offs, WOffs;
+  std::vector<double> Stack;
+  std::vector<double *> Ptrs;
+  std::vector<size_t> Sizes;
+
+  struct PrivateCopy {
+    int32_t Slot;
+    double *Shared;
+    std::vector<double> Buf;
+  };
+  std::vector<PrivateCopy> Privates;
+
   // Debug-only: the linearized offset must be in range, and so must every
   // per-dimension subscript (a compensated violation like A[i+1][j-8] can
   // linearize into range; the tree-walker catches it per dimension).
-  auto CheckAccess = [&](const PlanAccess &Acc, int64_t Offset) {
+  void checkAccess(const PlanAccess &Acc, int64_t Offset) const {
     (void)Acc;
     (void)Offset;
-    assert(Offset >= 0 && static_cast<size_t>(Offset) < Sizes[Acc.Slot] &&
+    assert(Offset >= 0 &&
+           static_cast<size_t>(Offset) < Sizes[static_cast<size_t>(
+               Acc.Slot)] &&
            "subscript out of bounds");
 #ifndef NDEBUG
     for (const auto &[Form, Extent] : Acc.DimChecks) {
@@ -336,15 +603,286 @@ void ExecPlan::run(DataEnv &Env) const {
       (void)Extent;
     }
 #endif
-  };
+  }
 
-  size_t Pc = 0;
-  while (Pc < Ops.size()) {
-    const PlanOp &Op = Ops[Pc];
+  void runStmt(const PlanOp &Op) {
+    const CompiledStmt &S = Op.Stmts[0];
+    double Value = evalTape(S, Regs.data(), Ptrs.data(), Stack.data(),
+                            [&](const PlanAccess &Acc, size_t) {
+                              int64_t Offset = Acc.Base.eval(Regs.data());
+                              checkAccess(Acc, Offset);
+                              return Offset;
+                            });
+    int64_t WOff = S.Write.Base.eval(Regs.data());
+    checkAccess(S.Write, WOff);
+    Ptrs[S.Write.Slot][WOff] = Value;
+  }
+
+  void runInner(const PlanOp &Op, int64_t Lo, int64_t Hi);
+  void runKernel(const PlanOp &Op, const CompiledStmt &S, int64_t Lo,
+                 int64_t N);
+  void runCall(const PlanOp &Op);
+  void forkLoop(const PlanOp &Op, size_t Pc,
+                const std::vector<std::pair<int64_t, int64_t>> &Chunks);
+};
+
+} // namespace daisy
+
+void PlanExecutor::runCall(const PlanOp &Op) {
+  const auto &Args = Op.ArgSlots;
+  const auto &Dims = Op.CallDims;
+  switch (Op.Callee) {
+  case BlasKind::Gemm:
+    gemm(Ptrs[Args[0]], Ptrs[Args[1]], Ptrs[Args[2]], Dims[0], Dims[1],
+         Dims[2], Op.Alpha, Op.Beta);
+    break;
+  case BlasKind::Syrk:
+    syrk(Ptrs[Args[0]], Ptrs[Args[1]], Dims[0], Dims[1], Op.Alpha, Op.Beta);
+    break;
+  case BlasKind::Syr2k:
+    syr2k(Ptrs[Args[0]], Ptrs[Args[1]], Ptrs[Args[2]], Dims[0], Dims[1],
+          Op.Alpha, Op.Beta);
+    break;
+  case BlasKind::Gemv:
+    gemv(Ptrs[Args[0]], Ptrs[Args[1]], Ptrs[Args[2]], Dims[0], Dims[1],
+         Op.Alpha, Op.Beta);
+    break;
+  }
+}
+
+void PlanExecutor::runKernel(const PlanOp &Op, const CompiledStmt &S,
+                             int64_t Lo, int64_t N) {
+  (void)Op; // only the debug endpoint checks need the loop op
+  int64_t WOff = S.Write.Base.eval(Regs.data()) + S.Write.InnerCoeff * Lo;
+  int64_t LOff[MaxKernelLoads];
+  const double *L[MaxKernelLoads];
+  int64_t LS[MaxKernelLoads];
+  const size_t K = S.Loads.size();
+  for (size_t A = 0; A < K; ++A) {
+    LOff[A] = S.Loads[A].Base.eval(Regs.data()) + S.Loads[A].InnerCoeff * Lo;
+    L[A] = Ptrs[S.Loads[A].Slot] + LOff[A];
+    LS[A] = S.Loads[A].InnerStep;
+  }
+#ifndef NDEBUG
+  // Offsets and per-dimension subscripts are affine in the inner iterator,
+  // so in-range at both endpoints implies in-range throughout.
+  for (int64_t I : {Lo, Lo + (N - 1) * Op.Step}) {
+    Regs[Op.Reg] = I;
+    checkAccess(S.Write,
+                S.Write.Base.eval(Regs.data()) + S.Write.InnerCoeff * I);
+    for (size_t A = 0; A < K; ++A)
+      checkAccess(S.Loads[A],
+                  S.Loads[A].Base.eval(Regs.data()) +
+                      S.Loads[A].InnerCoeff * I);
+  }
+#endif
+  double *W = Ptrs[S.Write.Slot] + WOff;
+  const int64_t Ws = S.Write.InnerStep;
+  const double C = S.Coef;
+
+  switch (S.Kernel) {
+  case InnerKernel::None:
+    assert(false && "generic statements do not reach runKernel");
+    break;
+  case InnerKernel::Copy: {
+    const double *A = L[0];
+    const int64_t As = LS[0];
+    if (Ws == 1 && As == 1)
+      for (int64_t I = 0; I < N; ++I)
+        W[I] = A[I];
+    else
+      for (int64_t I = 0; I < N; ++I)
+        W[I * Ws] = A[I * As];
+    break;
+  }
+  case InnerKernel::Scale: {
+    const double *A = L[0];
+    const int64_t As = LS[0];
+    if (S.CoefLeft) {
+      if (Ws == 1 && As == 1)
+        for (int64_t I = 0; I < N; ++I)
+          W[I] = C * A[I];
+      else
+        for (int64_t I = 0; I < N; ++I)
+          W[I * Ws] = C * A[I * As];
+    } else {
+      if (Ws == 1 && As == 1)
+        for (int64_t I = 0; I < N; ++I)
+          W[I] = A[I] * C;
+      else
+        for (int64_t I = 0; I < N; ++I)
+          W[I * Ws] = A[I * As] * C;
+    }
+    break;
+  }
+  case InnerKernel::ScaledSum: {
+    bool Unit = Ws == 1;
+    for (size_t A = 0; A < K; ++A)
+      Unit &= LS[A] == 1;
+    if (Unit) {
+      for (int64_t I = 0; I < N; ++I) {
+        double T = L[0][I];
+        for (size_t A = 1; A < K; ++A)
+          T = T + L[A][I];
+        W[I] = !S.HasCoef ? T : (S.CoefLeft ? C * T : T * C);
+      }
+    } else {
+      for (int64_t I = 0; I < N; ++I) {
+        double T = L[0][I * LS[0]];
+        for (size_t A = 1; A < K; ++A)
+          T = T + L[A][I * LS[A]];
+        W[I * Ws] = !S.HasCoef ? T : (S.CoefLeft ? C * T : T * C);
+      }
+    }
+    break;
+  }
+  case InnerKernel::Axpy: {
+    const double *A = L[0], *X = L[1];
+    const int64_t As = LS[0], Xs = LS[1];
+    if (S.CoefLeft) {
+      if (Ws == 1 && As == 1 && Xs == 1)
+        for (int64_t I = 0; I < N; ++I)
+          W[I] = A[I] + (C * X[I]);
+      else
+        for (int64_t I = 0; I < N; ++I)
+          W[I * Ws] = A[I * As] + (C * X[I * Xs]);
+    } else {
+      if (Ws == 1 && As == 1 && Xs == 1)
+        for (int64_t I = 0; I < N; ++I)
+          W[I] = A[I] + (X[I] * C);
+      else
+        for (int64_t I = 0; I < N; ++I)
+          W[I * Ws] = A[I * As] + (X[I * Xs] * C);
+    }
+    break;
+  }
+  case InnerKernel::Fma: {
+    const double *Y = L[0], *A = L[1], *B = L[2];
+    const int64_t Ys = LS[0], As = LS[1], Bs = LS[2];
+    switch (S.Prod) {
+    case ProdShape::AB:
+      for (int64_t I = 0; I < N; ++I)
+        W[I * Ws] = Y[I * Ys] + (A[I * As] * B[I * Bs]);
+      break;
+    case ProdShape::CAB:
+      for (int64_t I = 0; I < N; ++I)
+        W[I * Ws] = Y[I * Ys] + (C * (A[I * As] * B[I * Bs]));
+      break;
+    case ProdShape::CA_B:
+      for (int64_t I = 0; I < N; ++I)
+        W[I * Ws] = Y[I * Ys] + ((C * A[I * As]) * B[I * Bs]);
+      break;
+    }
+    break;
+  }
+  case InnerKernel::FmaAcc: {
+    // W is loop-invariant and equals load 0: keep the running sum in a
+    // register. The adds happen on the same values in the same order as
+    // the per-iteration store/reload, so the result is bit-identical.
+    const double *A = L[1], *B = L[2];
+    const int64_t As = LS[1], Bs = LS[2];
+    double Acc = *W;
+    switch (S.Prod) {
+    case ProdShape::AB:
+      for (int64_t I = 0; I < N; ++I)
+        Acc = Acc + (A[I * As] * B[I * Bs]);
+      break;
+    case ProdShape::CAB:
+      for (int64_t I = 0; I < N; ++I)
+        Acc = Acc + (C * (A[I * As] * B[I * Bs]));
+      break;
+    case ProdShape::CA_B:
+      for (int64_t I = 0; I < N; ++I)
+        Acc = Acc + ((C * A[I * As]) * B[I * Bs]);
+      break;
+    }
+    *W = Acc;
+    break;
+  }
+  }
+}
+
+void PlanExecutor::runInner(const PlanOp &Op, int64_t Lo, int64_t Hi) {
+  if (Lo >= Hi)
+    return;
+  if (Op.Stmts.size() == 1 &&
+      Op.Stmts[0].Kernel != InnerKernel::None) {
+    runKernel(Op, Op.Stmts[0], Lo, (Hi - Lo + Op.Step - 1) / Op.Step);
+    return;
+  }
+  for (size_t Si = 0; Si < Op.Stmts.size(); ++Si) {
+    const CompiledStmt &S = Op.Stmts[Si];
+    for (size_t A = 0; A < S.Loads.size(); ++A)
+      Offs[S.OffsetBase + A] =
+          S.Loads[A].Base.eval(Regs.data()) + S.Loads[A].InnerCoeff * Lo;
+    WOffs[Si] = S.Write.Base.eval(Regs.data()) + S.Write.InnerCoeff * Lo;
+  }
+  for (int64_t I = Lo; I < Hi; I += Op.Step) {
+    Regs[Op.Reg] = I;
+    for (size_t Si = 0; Si < Op.Stmts.size(); ++Si) {
+      const CompiledStmt &S = Op.Stmts[Si];
+      double Value = evalTape(S, Regs.data(), Ptrs.data(), Stack.data(),
+                              [&](const PlanAccess &Acc, size_t A) {
+                                int64_t Offset = Offs[S.OffsetBase + A];
+                                checkAccess(Acc, Offset);
+                                return Offset;
+                              });
+      checkAccess(S.Write, WOffs[Si]);
+      Ptrs[S.Write.Slot][WOffs[Si]] = Value;
+      for (size_t A = 0; A < S.Loads.size(); ++A)
+        Offs[S.OffsetBase + A] += S.Loads[A].InnerStep;
+      WOffs[Si] += S.Write.InnerStep;
+    }
+  }
+}
+
+void PlanExecutor::forkLoop(
+    const PlanOp &Op, size_t Pc,
+    const std::vector<std::pair<int64_t, int64_t>> &Chunks) {
+  const bool Inner = Op.K == PlanOp::Kind::InnerStmt;
+  const size_t BodyBegin = Pc + 1;
+  const size_t BodyEnd = Inner ? 0 : static_cast<size_t>(Op.Jump) - 1;
+  // Clone one executor per chunk up front, in the forking thread: every
+  // private copy must be taken from the shared buffers before the
+  // lastprivate copy-back below mutates them.
+  std::vector<std::unique_ptr<PlanExecutor>> Workers;
+  Workers.reserve(Chunks.size());
+  for (size_t C = 0; C < Chunks.size(); ++C)
+    Workers.push_back(std::make_unique<PlanExecutor>(*this, Op));
+  ThreadPool::global().run(
+      static_cast<int>(Chunks.size()), [&](int C) {
+        PlanExecutor &Worker = *Workers[static_cast<size_t>(C)];
+        const auto &[ChunkLo, ChunkHi] = Chunks[static_cast<size_t>(C)];
+        if (Inner) {
+          Worker.runInner(Op, ChunkLo, ChunkHi);
+        } else {
+          for (int64_t I = ChunkLo; I < ChunkHi; I += Op.Step) {
+            Worker.Regs[Op.Reg] = I;
+            Worker.exec(BodyBegin, BodyEnd);
+          }
+        }
+      });
+  // After the join, the chunk that ran the final iterations holds the
+  // serially-last state of every privatized buffer.
+  Workers.back()->copyBackPrivates();
+}
+
+void PlanExecutor::exec(size_t Begin, size_t End) {
+  size_t Pc = Begin;
+  while (Pc < End) {
+    const PlanOp &Op = Plan.Ops[Pc];
     switch (Op.K) {
     case PlanOp::Kind::LoopBegin: {
       int64_t Lo = Op.Lower.eval(Regs.data());
       int64_t Hi = Op.Upper.eval(Regs.data());
+      if (Op.Parallel && !InParallel && Plan.ThreadCount > 1) {
+        auto Chunks = chunkLoopRange(Lo, Hi, Op.Step, Plan.ThreadCount);
+        if (Chunks.size() > 1) {
+          forkLoop(Op, Pc, Chunks);
+          Pc = static_cast<size_t>(Op.Jump);
+          break;
+        }
+      }
       if (Lo >= Hi) {
         Pc = static_cast<size_t>(Op.Jump);
         break;
@@ -364,72 +902,36 @@ void ExecPlan::run(DataEnv &Env) const {
       }
       break;
     }
-    case PlanOp::Kind::Stmt: {
-      double Value = evalTape(Op, Regs.data(), Ptrs.data(), Stack.data(),
-                              [&](const PlanAccess &Acc, size_t) {
-                                int64_t Offset = Acc.Base.eval(Regs.data());
-                                CheckAccess(Acc, Offset);
-                                return Offset;
-                              });
-      int64_t WOff = Op.Write.Base.eval(Regs.data());
-      CheckAccess(Op.Write, WOff);
-      Ptrs[Op.Write.Slot][WOff] = Value;
+    case PlanOp::Kind::Stmt:
+      runStmt(Op);
       ++Pc;
       break;
-    }
     case PlanOp::Kind::InnerStmt: {
       int64_t Lo = Op.Lower.eval(Regs.data());
       int64_t Hi = Op.Upper.eval(Regs.data());
-      if (Lo < Hi) {
-        for (size_t A = 0; A < Op.Loads.size(); ++A)
-          Offs[A] = Op.Loads[A].Base.eval(Regs.data()) +
-                    Op.Loads[A].InnerCoeff * Lo;
-        int64_t WOff =
-            Op.Write.Base.eval(Regs.data()) + Op.Write.InnerCoeff * Lo;
-        double *WBuf = Ptrs[Op.Write.Slot];
-        for (int64_t I = Lo; I < Hi; I += Op.Step) {
-          Regs[Op.Reg] = I;
-          double Value = evalTape(Op, Regs.data(), Ptrs.data(), Stack.data(),
-                                  [&](const PlanAccess &Acc, size_t A) {
-                                    CheckAccess(Acc, Offs[A]);
-                                    return Offs[A];
-                                  });
-          CheckAccess(Op.Write, WOff);
-          WBuf[WOff] = Value;
-          for (size_t A = 0; A < Op.Loads.size(); ++A)
-            Offs[A] += Op.Loads[A].InnerStep;
-          WOff += Op.Write.InnerStep;
+      if (Op.Parallel && !InParallel && Plan.ThreadCount > 1) {
+        auto Chunks = chunkLoopRange(Lo, Hi, Op.Step, Plan.ThreadCount);
+        if (Chunks.size() > 1) {
+          forkLoop(Op, Pc, Chunks);
+          ++Pc;
+          break;
         }
       }
+      runInner(Op, Lo, Hi);
       ++Pc;
       break;
     }
-    case PlanOp::Kind::Call: {
-      const auto &Args = Op.ArgSlots;
-      const auto &Dims = Op.CallDims;
-      switch (Op.Callee) {
-      case BlasKind::Gemm:
-        gemm(Ptrs[Args[0]], Ptrs[Args[1]], Ptrs[Args[2]], Dims[0], Dims[1],
-             Dims[2], Op.Alpha, Op.Beta);
-        break;
-      case BlasKind::Syrk:
-        syrk(Ptrs[Args[0]], Ptrs[Args[1]], Dims[0], Dims[1], Op.Alpha,
-             Op.Beta);
-        break;
-      case BlasKind::Syr2k:
-        syr2k(Ptrs[Args[0]], Ptrs[Args[1]], Ptrs[Args[2]], Dims[0], Dims[1],
-              Op.Alpha, Op.Beta);
-        break;
-      case BlasKind::Gemv:
-        gemv(Ptrs[Args[0]], Ptrs[Args[1]], Ptrs[Args[2]], Dims[0], Dims[1],
-             Op.Alpha, Op.Beta);
-        break;
-      }
+    case PlanOp::Kind::Call:
+      runCall(Op);
       ++Pc;
       break;
-    }
     }
   }
+}
+
+void ExecPlan::run(DataEnv &Env) const {
+  PlanExecutor Executor(*this, Env);
+  Executor.exec(0, Ops.size());
 }
 
 ExecPlan::Stats ExecPlan::stats() const {
@@ -438,9 +940,19 @@ ExecPlan::Stats ExecPlan::stats() const {
   Result.MaxLoopDepth = MaxDepth;
   for (const PlanOp &Op : Ops) {
     if (Op.K == PlanOp::Kind::Stmt || Op.K == PlanOp::Kind::InnerStmt)
-      ++Result.Statements;
-    if (Op.K == PlanOp::Kind::InnerStmt)
-      ++Result.FastPathStatements;
+      Result.Statements += Op.Stmts.size();
+    if (Op.K == PlanOp::Kind::InnerStmt) {
+      Result.FastPathStatements += Op.Stmts.size();
+      if (Op.Stmts.size() > 1)
+        ++Result.MultiStmtInnerLoops;
+    }
+    for (const CompiledStmt &S : Op.Stmts)
+      if (S.Kernel != InnerKernel::None)
+        ++Result.SpecializedKernels;
+    if (Op.Parallel) {
+      ++Result.ParallelLoops;
+      Result.PrivatizedBuffers += Op.PrivateSlots.size();
+    }
   }
   return Result;
 }

@@ -20,14 +20,29 @@
 ///   into the constant,
 /// - every right-hand-side expression tree is flattened into a postfix
 ///   bytecode tape evaluated over a small value stack,
-/// - an innermost loop whose body is a single computation is fused into
-///   one InnerStmt op: the loop-invariant part of each access offset is
-///   hoisted out of the loop and offsets advance by a precomputed stride
-///   per iteration (stride-1 for the common contiguous case).
+/// - an innermost loop whose body consists only of computations (one or
+///   many — the fissioned and the fused CLOUDSC shapes both qualify) is
+///   fused into one InnerStmt op: the loop-invariant part of each access
+///   offset is hoisted out of the loop and offsets advance by a
+///   precomputed stride per iteration,
+/// - a single-statement InnerStmt whose expression matches a common kernel
+///   shape (copy, scale, scaled stencil sum, axpy, fma-accumulate) is
+///   lowered to a dedicated inner kernel: a tight loop over raw pointers
+///   with no tape dispatch, auto-vectorizable when the strides are unit,
+/// - a loop carrying the `parallel` mark (placed by transform/Parallelize,
+///   proven dependence-free by analysis/Legality) is executed by chunking
+///   its iteration range over the persistent thread pool
+///   (exec/ThreadPool.h), with a private register file per thread and
+///   per-thread private copies of the transient buffers the legality
+///   analysis privatized (analysis/Legality.h privatizableArraysUnder —
+///   the same helper the transform used, so marking and execution agree).
 ///
 /// Semantics are identical to the tree-walker (exec/Interpreter.h), which
 /// remains the executable definition of the IR; differential tests assert
-/// bit-identical results on every frontend kernel.
+/// bit-identical results on every frontend kernel, at every thread count,
+/// with specialization on and off. Parallel loops carry no dependence
+/// (atomic-reduction marks are executed serially), so no atomics and no
+/// nondeterministic reduction orders exist anywhere in the engine.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +53,7 @@
 #include "ir/Program.h"
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace daisy {
@@ -56,6 +72,10 @@ struct LinearForm {
     for (const auto &[Reg, Coeff] : Terms)
       Result += Coeff * Regs[Reg];
     return Result;
+  }
+
+  bool operator==(const LinearForm &Other) const {
+    return Constant == Other.Constant && Terms == Other.Terms;
   }
 };
 
@@ -96,6 +116,44 @@ struct TapeInstr {
   double Value = 0.0;
 };
 
+/// Specialized inner-loop forms a single-statement InnerStmt can lower to
+/// when its expression matches. Every kernel performs the exact scalar
+/// operations of the tape in the exact order, so results stay bit-identical;
+/// what it removes is the per-element tape dispatch (and, for FmaAcc, the
+/// store/reload of the loop-invariant accumulator).
+enum class InnerKernel : uint8_t {
+  None,      ///< Generic tape evaluation.
+  Copy,      ///< W = L0
+  Scale,     ///< W = c * L0 (or L0 * c; CoefLeft)
+  ScaledSum, ///< W = c * (L0 + L1 + ...), coefficient optional (HasCoef)
+  Axpy,      ///< W = L0 + c * L1 (or L1 * c)
+  Fma,       ///< W = L0 + product, streaming (see ProdShape)
+  FmaAcc     ///< W += product with W loop-invariant: register accumulator
+};
+
+/// Association shape of the product term of Fma / FmaAcc, preserved so the
+/// kernel multiplies in the same order as the expression tree.
+enum class ProdShape : uint8_t {
+  AB,  ///< L1 * L2
+  CAB, ///< c * (L1 * L2)
+  CA_B ///< (c * L1) * L2
+};
+
+/// One compiled computation: write access, load accesses, and the postfix
+/// tape over them — plus the specialized kernel form if one matched.
+struct CompiledStmt {
+  std::vector<TapeInstr> Tape;
+  std::vector<PlanAccess> Loads;
+  PlanAccess Write;
+  int32_t OffsetBase = 0; ///< First index into the per-op offset scratch.
+
+  InnerKernel Kernel = InnerKernel::None;
+  ProdShape Prod = ProdShape::AB;
+  double Coef = 0.0;
+  bool CoefLeft = false; ///< Coefficient is the left multiplicand.
+  bool HasCoef = false;  ///< ScaledSum: coefficient present at all.
+};
+
 /// One op of the flat plan. Loops become LoopBegin/LoopEnd pairs driving a
 /// register; computations become Stmt (or fused InnerStmt) ops; BLAS calls
 /// keep their resolved argument slots.
@@ -111,10 +169,19 @@ struct PlanOp {
   /// LoopEnd: pc of the first body op (back edge).
   int32_t Jump = -1;
 
-  // Stmt / InnerStmt payload.
-  std::vector<TapeInstr> Tape;
-  std::vector<PlanAccess> Loads;
-  PlanAccess Write;
+  /// LoopBegin / InnerStmt: fork the iteration range over the thread pool
+  /// (the loop carried a trusted `parallel` mark without atomic
+  /// reduction).
+  bool Parallel = false;
+  /// Parallel ops: (slot, element count) of transient buffers each thread
+  /// must replace with a private copy of the shared buffer (its contents
+  /// are invisible to the loop — legality proves define-before-use — but
+  /// carrying them keeps the lastprivate copy-back exact for elements the
+  /// loop never writes).
+  std::vector<std::pair<int32_t, int64_t>> PrivateSlots;
+
+  // Stmt (exactly one) / InnerStmt (one or more) payload.
+  std::vector<CompiledStmt> Stmts;
 
   // Call payload.
   BlasKind Callee = BlasKind::Gemm;
@@ -123,6 +190,27 @@ struct PlanOp {
   double Alpha = 1.0, Beta = 1.0;
 };
 
+/// Knobs of ExecPlan::compile.
+struct PlanOptions {
+  /// Number of chunks a parallel loop's range is split into (and the upper
+  /// bound on threads executing them). 1 executes everything serially;
+  /// 0 resolves to ThreadPool::defaultThreadCount() (DAISY_THREADS or the
+  /// hardware concurrency).
+  int NumThreads = 0;
+  /// Lower matching single-statement inner loops to specialized kernels.
+  /// Off compiles every statement to the generic tape (used by the
+  /// differential tests to isolate the two mechanisms).
+  bool EnableSpecialization = true;
+};
+
+/// Splits the iteration set {Lo, Lo+Step, ...} ∩ [Lo, Hi) into at most
+/// \p MaxChunks contiguous, step-aligned, non-empty half-open ranges of
+/// near-equal iteration counts, in iteration order. Empty ranges yield no
+/// chunks; ranges with fewer iterations than MaxChunks yield one chunk per
+/// iteration. \p Step must be positive.
+std::vector<std::pair<int64_t, int64_t>>
+chunkLoopRange(int64_t Lo, int64_t Hi, int64_t Step, int MaxChunks);
+
 /// A program compiled to a flat op sequence, executable against any
 /// DataEnv allocated for the same program.
 class ExecPlan {
@@ -130,28 +218,43 @@ public:
   /// Compile-time statistics (for tests and the micro benchmark).
   struct Stats {
     size_t Ops = 0;
-    size_t Statements = 0;         ///< Stmt + InnerStmt ops.
-    size_t FastPathStatements = 0; ///< InnerStmt ops only.
+    size_t Statements = 0;         ///< Stmt ops + InnerStmt sub-statements.
+    size_t FastPathStatements = 0; ///< Sub-statements of InnerStmt ops.
+    size_t MultiStmtInnerLoops = 0; ///< InnerStmt ops with > 1 statement.
+    size_t SpecializedKernels = 0; ///< Statements lowered to InnerKernel.
+    size_t ParallelLoops = 0;      ///< Ops that fork onto the thread pool.
+    size_t PrivatizedBuffers = 0;  ///< Per-thread private buffers (slots).
     int MaxLoopDepth = 0;
   };
 
   /// Lowers \p Prog. Every parameter referenced by bounds or subscripts
-  /// must be bound in the program; asserts otherwise.
-  static ExecPlan compile(const Program &Prog);
+  /// must be bound in the program; asserts otherwise. Parallel marks are
+  /// trusted as placed by transform/Parallelize (legality-proven,
+  /// dependence-free); loops marked for atomic reduction are compiled
+  /// serial.
+  static ExecPlan compile(const Program &Prog,
+                          const PlanOptions &Options = {});
 
   /// Executes the plan on \p Env, which must have been allocated from the
-  /// same program (slot order is the contract; see DataEnv).
+  /// same program (slot order is the contract; see DataEnv). Results are
+  /// bit-identical for every NumThreads value.
   void run(DataEnv &Env) const;
 
   Stats stats() const;
 
+  /// Resolved thread count this plan forks parallel loops into.
+  int threadCount() const { return ThreadCount; }
+
 private:
   std::vector<PlanOp> Ops;
   int MaxDepth = 0;
+  int ThreadCount = 1;
   size_t MaxStack = 0;
-  size_t MaxLoads = 0;
+  size_t MaxLoads = 0; ///< Max total loads of one op (offset scratch).
+  size_t MaxSubs = 0;  ///< Max statements of one op (write-offset scratch).
 
   friend class PlanCompiler;
+  friend class PlanExecutor;
 };
 
 } // namespace daisy

@@ -20,10 +20,13 @@
 
 namespace daisy {
 
-/// Executes \p Prog on \p Env. Parallel/vector marks are ignored (they do
-/// not change semantics); Call nodes run the reference BLAS kernels.
-/// Dispatches to the compiled execution plan (exec/ExecPlan.h); use
-/// ExecPlan::compile directly to amortize compilation over repeated runs.
+/// Executes \p Prog on \p Env; Call nodes run the reference BLAS kernels.
+/// Dispatches to the compiled execution plan (exec/ExecPlan.h) with
+/// default options: `parallel` marks execute on the thread pool when
+/// DAISY_THREADS (or the hardware concurrency) exceeds 1, with results
+/// bit-identical to serial execution; vector marks do not change
+/// semantics. Use ExecPlan::compile directly to amortize compilation over
+/// repeated runs or to pin PlanOptions.
 void interpret(const Program &Prog, DataEnv &Env);
 
 /// Executes \p Prog with the original tree-walking evaluator. This is the

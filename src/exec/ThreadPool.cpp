@@ -1,0 +1,137 @@
+//===- exec/ThreadPool.cpp ------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace daisy;
+
+namespace {
+
+/// True while the current thread is executing pool tasks (as a worker or
+/// as a participating caller). Nested run() calls then execute inline,
+/// which both prevents deadlock and keeps nested parallel regions serial.
+thread_local bool InsidePool = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(int Concurrency) {
+  int WorkerCount = std::max(Concurrency, 1) - 1;
+  Workers.reserve(static_cast<size_t>(WorkerCount));
+  for (int I = 0; I < WorkerCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stop = true;
+  }
+  JobCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workOnJob() {
+  for (;;) {
+    int Index = NextIndex.fetch_add(1, std::memory_order_acq_rel);
+    if (Index >= JobCount)
+      return;
+    (*JobTask)(Index);
+    if (DoneCount.fetch_add(1, std::memory_order_acq_rel) + 1 == JobCount) {
+      // Take the mutex so the waiter cannot check the predicate and sleep
+      // between our increment and our notify.
+      std::lock_guard<std::mutex> Lock(Mutex);
+      DoneCV.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      JobCV.wait(Lock, [&] { return Stop || Generation != SeenGeneration; });
+      if (Stop)
+        return;
+      SeenGeneration = Generation;
+      // Announce, in the same critical section that observed the job,
+      // that this thread is inside workOnJob: the next run() must not
+      // reset the job fields while any worker may still read them.
+      ++BusyWorkers;
+    }
+    InsidePool = true;
+    workOnJob();
+    InsidePool = false;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--BusyWorkers == 0)
+        IdleCV.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(int TaskCount, const std::function<void(int)> &Task) {
+  if (TaskCount <= 0)
+    return;
+  if (InsidePool || Workers.empty() || TaskCount == 1) {
+    for (int I = 0; I < TaskCount; ++I)
+      Task(I);
+    return;
+  }
+  std::lock_guard<std::mutex> RunLock(RunMutex);
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    // A worker may linger in workOnJob after the previous job completed
+    // (between claiming an exhausted index and re-checking the bounds).
+    // Installing the next job while it is there would race its reads of
+    // JobTask/JobCount and re-issue indices it already claimed, so wait
+    // for every worker to leave first. Completion of the previous job
+    // guarantees they leave without blocking.
+    IdleCV.wait(Lock, [&] { return BusyWorkers == 0; });
+    JobTask = &Task;
+    JobCount = TaskCount;
+    DoneCount.store(0, std::memory_order_relaxed);
+    NextIndex.store(0, std::memory_order_release);
+    ++Generation;
+  }
+  JobCV.notify_all();
+  InsidePool = true;
+  workOnJob();
+  InsidePool = false;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    DoneCV.wait(Lock, [&] {
+      return DoneCount.load(std::memory_order_acquire) == JobCount;
+    });
+    // JobTask intentionally stays set: a straggler may still compare its
+    // stale index against JobCount, and the fields remain valid until the
+    // next install (which waits for BusyWorkers == 0). Stragglers never
+    // dereference JobTask — every index of a completed job was claimed,
+    // so their claims are out of bounds.
+  }
+}
+
+int ThreadPool::defaultThreadCount() {
+  static const int Cached = [] {
+    if (const char *Env = std::getenv("DAISY_THREADS")) {
+      long Value = std::strtol(Env, nullptr, 10);
+      if (Value >= 1 && Value <= 1024)
+        return static_cast<int>(Value);
+    }
+    unsigned Hardware = std::thread::hardware_concurrency();
+    return Hardware ? static_cast<int>(Hardware) : 1;
+  }();
+  return Cached;
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool(std::max(defaultThreadCount(), 4));
+  return Pool;
+}

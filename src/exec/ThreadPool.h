@@ -1,0 +1,89 @@
+//===- exec/ThreadPool.h - Persistent fork-join worker pool ------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent fork-join thread pool used by the compiled execution
+/// plan to run loops carrying the `parallel` mark. There is no work
+/// stealing: a job is a dense index range [0, Count) and idle threads claim
+/// the next index from a shared atomic counter. Workers park on a condition
+/// variable between jobs, so a pool costs nothing while execution is
+/// serial.
+///
+/// The pool expresses W-way parallelism with W-1 worker threads: the
+/// caller of run() executes tasks alongside the workers and returns only
+/// when every task has completed (fork-join).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_EXEC_THREADPOOL_H
+#define DAISY_EXEC_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace daisy {
+
+class ThreadPool {
+public:
+  /// Creates a pool expressing \p Concurrency-way parallelism
+  /// (Concurrency - 1 parked worker threads plus the calling thread).
+  explicit ThreadPool(int Concurrency);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of threads that can execute tasks concurrently (workers plus
+  /// the caller of run()).
+  int concurrency() const { return static_cast<int>(Workers.size()) + 1; }
+
+  /// Runs Task(0) .. Task(TaskCount - 1), each exactly once, distributed
+  /// over the workers and the calling thread; blocks until all complete.
+  /// Tasks must not throw. Reentrant calls (a task calling run() on any
+  /// pool) and calls from within a worker degrade to serial execution on
+  /// the calling thread, so nested parallel regions cannot deadlock.
+  /// Concurrent top-level calls from different user threads are serialized.
+  void run(int TaskCount, const std::function<void(int)> &Task);
+
+  /// Thread count requested from the environment: DAISY_THREADS if set to
+  /// a positive integer, else std::thread::hardware_concurrency(), else 1.
+  static int defaultThreadCount();
+
+  /// The process-wide pool used by ExecPlan::run. Sized to at least 4 so
+  /// correctness tests exercise real concurrency even on small CI
+  /// machines; sizing the *work* is the plan's NumThreads option, not the
+  /// pool.
+  static ThreadPool &global();
+
+private:
+  void workerLoop();
+  void workOnJob();
+
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable JobCV;  ///< Signals a new job (or shutdown).
+  std::condition_variable DoneCV; ///< Signals job completion.
+  std::condition_variable IdleCV; ///< Signals all workers left workOnJob.
+  std::mutex RunMutex;            ///< Serializes top-level run() calls.
+
+  const std::function<void(int)> *JobTask = nullptr;
+  int JobCount = 0;
+  int BusyWorkers = 0; ///< Workers currently inside workOnJob.
+  std::atomic<int> NextIndex{0};
+  std::atomic<int> DoneCount{0};
+  uint64_t Generation = 0;
+  bool Stop = false;
+};
+
+} // namespace daisy
+
+#endif // DAISY_EXEC_THREADPOOL_H

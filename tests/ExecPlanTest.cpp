@@ -16,6 +16,7 @@
 #include "exec/Interpreter.h"
 #include "frontends/PolyBench.h"
 #include "ir/Builder.h"
+#include "transform/Parallelize.h"
 
 #include <gtest/gtest.h>
 
@@ -27,18 +28,51 @@ namespace {
 
 constexpr uint64_t DiffSeed = 17;
 
-/// Runs \p Prog through both engines from identical initial data and
-/// returns the largest absolute difference over observable arrays.
-double engineDifference(const Program &Prog) {
+/// Runs \p Prog through the tree-walker and the plan compiled with
+/// \p Options from identical initial data and returns the largest absolute
+/// difference over observable arrays.
+double engineDifference(const Program &Prog,
+                        const PlanOptions &Options = {}) {
   DataEnv Walked(Prog);
   Walked.initDeterministic(DiffSeed);
   interpretTreeWalk(Prog, Walked);
 
   DataEnv Planned(Prog);
   Planned.initDeterministic(DiffSeed);
-  ExecPlan::compile(Prog).run(Planned);
+  ExecPlan::compile(Prog, Options).run(Planned);
 
   return DataEnv::maxAbsDifference(Walked, Planned, Prog);
+}
+
+/// Asserts the plan is bit-identical to the tree-walker under every
+/// (thread count, specialization) combination the backend distinguishes.
+/// The tree-walker (the slow engine) runs once per program.
+void expectBitIdenticalEverywhere(const Program &Prog, const char *Label) {
+  DataEnv Walked(Prog);
+  Walked.initDeterministic(DiffSeed);
+  interpretTreeWalk(Prog, Walked);
+
+  for (int Threads : {1, 2, 4}) {
+    for (bool Specialize : {false, true}) {
+      PlanOptions Options;
+      Options.NumThreads = Threads;
+      Options.EnableSpecialization = Specialize;
+      DataEnv Planned(Prog);
+      Planned.initDeterministic(DiffSeed);
+      ExecPlan::compile(Prog, Options).run(Planned);
+      EXPECT_EQ(DataEnv::maxAbsDifference(Walked, Planned, Prog), 0.0)
+          << Label << " threads=" << Threads << " spec=" << Specialize;
+    }
+  }
+}
+
+/// Clone of \p Prog with parallel marks applied the way the schedulers
+/// apply them (outermost legal loop per nest, privatization-aware).
+Program withParallelMarks(const Program &Prog) {
+  Program Marked = Prog.clone();
+  for (const NodePtr &Node : Marked.topLevel())
+    parallelizeOutermost(Node, Marked.params(), &Marked);
+  return Marked;
 }
 
 } // namespace
@@ -256,7 +290,282 @@ TEST(ExecPlanTest, RunIsRepeatable) {
 }
 
 //===----------------------------------------------------------------------===//
-// Differential: PolyBench (all kernels, all variants) and CLOUDSC
+// Kernel-shape detection (specialized inner kernels)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One innermost loop `W[i] = <Rhs>` over [0, N).
+Program singleLoopProgram(ExprPtr Rhs, int N = 64) {
+  Program Prog("kern");
+  Prog.addArray("A", {N});
+  Prog.addArray("B", {N});
+  Prog.addArray("W", {N});
+  Prog.append(forLoop("i", 0, N,
+                      {assign("S0", "W", {ax("i")}, std::move(Rhs))}));
+  return Prog;
+}
+
+size_t specializedKernels(const Program &Prog) {
+  return ExecPlan::compile(Prog).stats().SpecializedKernels;
+}
+
+} // namespace
+
+TEST(KernelShapeTest, CopyScaleAxpyDetected) {
+  Program Copy = singleLoopProgram(read("A", {ax("i")}));
+  EXPECT_EQ(specializedKernels(Copy), 1u);
+  expectBitIdenticalEverywhere(Copy, "copy");
+
+  Program ScaleR = singleLoopProgram(read("A", {ax("i")}) * lit(0.5));
+  EXPECT_EQ(specializedKernels(ScaleR), 1u);
+  expectBitIdenticalEverywhere(ScaleR, "scale-right");
+
+  Program ScaleL = singleLoopProgram(lit(1.5) * read("A", {ax("i")}));
+  EXPECT_EQ(specializedKernels(ScaleL), 1u);
+  expectBitIdenticalEverywhere(ScaleL, "scale-left");
+
+  Program Axpy = singleLoopProgram(
+      read("W", {ax("i")}) + lit(2.5) * read("A", {ax("i")}));
+  EXPECT_EQ(specializedKernels(Axpy), 1u);
+  expectBitIdenticalEverywhere(Axpy, "axpy");
+}
+
+TEST(KernelShapeTest, StencilSumDetected) {
+  // Scaled five-point stencil add (the jacobi2d shape) plus a plain sum.
+  int N = 32;
+  Program Prog("stencil");
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.append(forLoop(
+      "i", 1, N - 1,
+      {forLoop("j", 1, N - 1,
+               {assign("S0", "A", {ax("i"), ax("j")},
+                       lit(0.2) * (read("B", {ax("i"), ax("j")}) +
+                                   read("B", {ax("i"), ax("j") - 1}) +
+                                   read("B", {ax("i"), ax("j") + 1}) +
+                                   read("B", {ax("i") + 1, ax("j")}) +
+                                   read("B", {ax("i") - 1, ax("j")})))})}));
+  EXPECT_EQ(specializedKernels(Prog), 1u);
+  expectBitIdenticalEverywhere(Prog, "stencil");
+
+  Program Sum = singleLoopProgram(read("A", {ax("i")}) +
+                                  read("B", {ax("i")}) +
+                                  read("A", {ax("i")}));
+  EXPECT_EQ(specializedKernels(Sum), 1u);
+  expectBitIdenticalEverywhere(Sum, "plain-sum");
+}
+
+TEST(KernelShapeTest, FmaStreamingAndAccumulating) {
+  // Streaming elementwise fma: the write advances with i.
+  Program Stream = singleLoopProgram(
+      read("W", {ax("i")}) +
+      read("A", {ax("i")}) * read("B", {ax("i")}));
+  EXPECT_EQ(specializedKernels(Stream), 1u);
+  expectBitIdenticalEverywhere(Stream, "fma-stream");
+
+  // Accumulating fma: gemm's k loop, the write is loop-invariant.
+  Program Gemm = buildPolyBench(PolyBenchKernel::Gemm, VariantKind::A);
+  EXPECT_GE(specializedKernels(Gemm), 1u);
+}
+
+TEST(KernelShapeTest, NonUnitStepStaysSpecializedAndExact) {
+  Program Prog("step");
+  Prog.addArray("A", {32});
+  Prog.addArray("W", {32});
+  Prog.append(forLoop("i", 1, 30,
+                      {assign("S0", "W", {ax("i")},
+                              read("A", {ax("i")}) * lit(3.0))},
+                      /*Step=*/3));
+  EXPECT_EQ(specializedKernels(Prog), 1u);
+  expectBitIdenticalEverywhere(Prog, "strided-scale");
+}
+
+TEST(KernelShapeTest, TapesWithSelectsFallBackToGeneric) {
+  Program Prog = singleLoopProgram(Expr::makeSelect(
+      Expr::makeBinary(BinaryOpKind::Lt, read("A", {ax("i")}), lit(0.5)),
+      read("A", {ax("i")}), lit(0.0)));
+  EXPECT_EQ(specializedKernels(Prog), 0u);
+  expectBitIdenticalEverywhere(Prog, "select-fallback");
+}
+
+TEST(KernelShapeTest, SpecializationKnobDisablesLowering) {
+  Program Prog = singleLoopProgram(read("A", {ax("i")}));
+  PlanOptions Off;
+  Off.EnableSpecialization = false;
+  EXPECT_EQ(ExecPlan::compile(Prog, Off).stats().SpecializedKernels, 0u);
+  EXPECT_EQ(ExecPlan::compile(Prog).stats().SpecializedKernels, 1u);
+}
+
+TEST(KernelShapeTest, GemmAndJacobiSpecialize) {
+  // The two ROADMAP perf-baseline kernels must land on dedicated kernels.
+  EXPECT_GE(specializedKernels(
+                buildPolyBench(PolyBenchKernel::Gemm, VariantKind::A)),
+            1u);
+  EXPECT_GE(specializedKernels(
+                buildPolyBench(PolyBenchKernel::Jacobi2d, VariantKind::A)),
+            1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-statement inner loops (the fused CLOUDSC shape)
+//===----------------------------------------------------------------------===//
+
+TEST(MultiStmtTest, ErosionBodyFusesIntoOneInnerOp) {
+  CloudscConfig Config;
+  Config.Nproma = 16;
+  Config.Klev = 8;
+  Program Erosion = buildErosionKernel(Config);
+  ExecPlan::Stats Stats = ExecPlan::compile(Erosion).stats();
+  // The 14-computation jl body stays on the fast path as one fused op.
+  EXPECT_GE(Stats.MultiStmtInnerLoops, 1u);
+  EXPECT_GE(Stats.FastPathStatements, 14u);
+}
+
+TEST(MultiStmtTest, OrderSensitiveScalarChainIsExact) {
+  // Scalar defined then read then redefined within one iteration: the
+  // fused loop must execute statements in order, per iteration.
+  int N = 16;
+  Program Prog("chain");
+  Prog.addArray("A", {N});
+  Prog.addArray("B", {N});
+  Prog.addArray("t", {}, /*Transient=*/true);
+  Prog.append(forLoop(
+      "i", 0, N,
+      {assignScalar("S0", "t", read("A", {ax("i")}) + lit(1.0)),
+       assign("S1", "B", {ax("i")}, read("t") * read("t")),
+       assignScalar("S2", "t", read("t") * lit(0.5)),
+       assign("S3", "A", {ax("i")}, read("t") + read("B", {ax("i")}))}));
+  ExecPlan::Stats Stats = ExecPlan::compile(Prog).stats();
+  EXPECT_EQ(Stats.MultiStmtInnerLoops, 1u);
+  EXPECT_EQ(Stats.FastPathStatements, 4u);
+  expectBitIdenticalEverywhere(Prog, "scalar-chain");
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel execution
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelExecTest, MarkedGemmCompilesParallelLoops) {
+  Program Marked =
+      withParallelMarks(buildPolyBench(PolyBenchKernel::Gemm, VariantKind::A));
+  PlanOptions Options;
+  Options.NumThreads = 4;
+  ExecPlan Plan = ExecPlan::compile(Marked, Options);
+  EXPECT_GE(Plan.stats().ParallelLoops, 1u);
+  EXPECT_EQ(Plan.threadCount(), 4);
+  expectBitIdenticalEverywhere(Marked, "gemm-marked");
+}
+
+TEST(ParallelExecTest, InnermostParallelLoopForks) {
+  // A parallel mark directly on an innermost (InnerStmt) loop chunks the
+  // fused loop itself.
+  int N = 4096;
+  Program Prog("inner-par");
+  Prog.addArray("A", {N});
+  Prog.addArray("W", {N});
+  Prog.append(forLoop("i", 0, N,
+                      {assign("S0", "W", {ax("i")},
+                              read("A", {ax("i")}) * lit(2.0))}));
+  dynCast<Loop>(Prog.topLevel()[0])->setParallel(true);
+  PlanOptions Options;
+  Options.NumThreads = 4;
+  EXPECT_GE(ExecPlan::compile(Prog, Options).stats().ParallelLoops, 1u);
+  expectBitIdenticalEverywhere(Prog, "inner-par");
+}
+
+TEST(ParallelExecTest, AtomicReductionMarksStaySerial) {
+  Program Prog("red");
+  Prog.addArray("A", {64});
+  Prog.addArray("s", {});
+  Prog.append(forLoop("i", 0, 64,
+                      {assignScalar("S0", "s",
+                                    read("s") + read("A", {ax("i")}))}));
+  auto *L = dynCast<Loop>(Prog.topLevel()[0]);
+  L->setParallel(true);
+  L->setAtomicReduction(true);
+  PlanOptions Options;
+  Options.NumThreads = 4;
+  EXPECT_EQ(ExecPlan::compile(Prog, Options).stats().ParallelLoops, 0u);
+  expectBitIdenticalEverywhere(Prog, "atomic-serial");
+}
+
+TEST(ParallelExecTest, PrivatizedScalarWithLastprivateCopyBack) {
+  // A transient scalar defined and used per iteration of a parallel loop
+  // gets per-thread private copies; reading it after the loop must still
+  // see the serially-last value (lastprivate copy-back).
+  int N = 512;
+  Program Prog("priv");
+  Prog.addArray("A", {N});
+  Prog.addArray("B", {N});
+  Prog.addArray("C", {1});
+  Prog.addArray("t", {}, /*Transient=*/true);
+  Prog.append(forLoop(
+      "i", 0, N,
+      {assignScalar("S0", "t", read("A", {ax("i")}) + lit(1.0)),
+       assign("S1", "B", {ax("i")}, read("t") * lit(2.0))}));
+  dynCast<Loop>(Prog.topLevel()[0])->setParallel(true);
+  Prog.append(assign("S2", "C", {ac(0)}, read("t")));
+
+  PlanOptions Options;
+  Options.NumThreads = 4;
+  ExecPlan::Stats Stats = ExecPlan::compile(Prog, Options).stats();
+  EXPECT_GE(Stats.ParallelLoops, 1u);
+  EXPECT_GE(Stats.PrivatizedBuffers, 1u);
+  expectBitIdenticalEverywhere(Prog, "privatized-scalar");
+}
+
+TEST(ParallelExecTest, PrivateCopiesPreserveUntouchedElements) {
+  // Elements of a privatized transient that the parallel loop never
+  // writes (here t[0], defined before the loop and read after it) must
+  // survive the lastprivate copy-back: private copies carry the shared
+  // contents rather than starting from zero.
+  int N = 8192;
+  Program Prog("priv-footprint");
+  Prog.addArray("A", {N});
+  Prog.addArray("B", {N});
+  Prog.addArray("C", {1});
+  Prog.addArray("t", {2}, /*Transient=*/true);
+  Prog.append(assign("S0", "t", {ac(0)}, lit(7.0)));
+  Prog.append(forLoop(
+      "i", 0, N,
+      {assign("S1", "t", {ac(1)}, read("A", {ax("i")}) + lit(1.0)),
+       assign("S2", "B", {ax("i")}, read("t", {ac(1)}) * lit(2.0))}));
+  Prog.append(assign("S3", "C", {ac(0)}, read("t", {ac(0)})));
+  EXPECT_TRUE(
+      parallelizeOutermost(Prog.topLevel()[1], Prog.params(), &Prog));
+
+  PlanOptions Options;
+  Options.NumThreads = 4;
+  ExecPlan::Stats Stats = ExecPlan::compile(Prog, Options).stats();
+  EXPECT_GE(Stats.ParallelLoops, 1u);
+  EXPECT_GE(Stats.PrivatizedBuffers, 1u);
+  expectBitIdenticalEverywhere(Prog, "private-footprint");
+
+  DataEnv Env(Prog);
+  Env.initDeterministic(DiffSeed);
+  ExecPlan::compile(Prog, Options).run(Env);
+  EXPECT_DOUBLE_EQ(Env.buffer("C")[0], 7.0);
+}
+
+TEST(ParallelExecTest, OptimizedCloudscParallelizesAndPrivatizes) {
+  CloudscConfig Config;
+  Config.Nproma = 32;
+  Config.Klev = 8;
+  Config.Nblocks = 4;
+  Program Optimized =
+      optimizeCloudsc(buildCloudsc(Config, CloudscVariant::Fortran));
+  PlanOptions Options;
+  Options.NumThreads = 2;
+  ExecPlan::Stats Stats = ExecPlan::compile(Optimized, Options).stats();
+  EXPECT_GE(Stats.ParallelLoops, 1u);
+  EXPECT_GE(Stats.PrivatizedBuffers, 1u);
+  expectBitIdenticalEverywhere(Optimized, "cloudsc-optimized");
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: PolyBench (all kernels, all variants) and CLOUDSC, under
+// every engine configuration, serial and Parallelize-marked
 //===----------------------------------------------------------------------===//
 
 TEST(ExecPlanDifferentialTest, PolyBenchAllKernelsAllVariants) {
@@ -264,10 +573,16 @@ TEST(ExecPlanDifferentialTest, PolyBenchAllKernelsAllVariants) {
     for (VariantKind Variant :
          {VariantKind::A, VariantKind::B, VariantKind::NPBench}) {
       Program Prog = buildPolyBench(Kernel, Variant);
-      EXPECT_EQ(engineDifference(Prog), 0.0)
-          << polyBenchName(Kernel) << " variant "
-          << static_cast<int>(Variant);
+      expectBitIdenticalEverywhere(Prog, polyBenchName(Kernel).c_str());
     }
+  }
+}
+
+TEST(ExecPlanDifferentialTest, PolyBenchParallelized) {
+  for (PolyBenchKernel Kernel : allPolyBenchKernels()) {
+    Program Marked =
+        withParallelMarks(buildPolyBench(Kernel, VariantKind::A));
+    expectBitIdenticalEverywhere(Marked, polyBenchName(Kernel).c_str());
   }
 }
 
@@ -279,8 +594,8 @@ TEST(ExecPlanDifferentialTest, CloudscAllVariants) {
   for (CloudscVariant Variant :
        {CloudscVariant::Fortran, CloudscVariant::C, CloudscVariant::DaCe}) {
     Program Prog = buildCloudsc(Config, Variant);
-    EXPECT_EQ(engineDifference(Prog), 0.0)
-        << "cloudsc variant " << static_cast<int>(Variant);
+    expectBitIdenticalEverywhere(Prog, "cloudsc");
+    expectBitIdenticalEverywhere(withParallelMarks(Prog), "cloudsc-marked");
   }
 }
 
@@ -290,9 +605,9 @@ TEST(ExecPlanDifferentialTest, CloudscErosionAndOptimized) {
   Config.Klev = 8;
   Config.Nblocks = 2;
   Program Erosion = buildErosionKernel(Config);
-  EXPECT_EQ(engineDifference(Erosion), 0.0);
+  expectBitIdenticalEverywhere(Erosion, "erosion");
 
   Program Optimized =
       optimizeCloudsc(buildCloudsc(Config, CloudscVariant::Fortran));
-  EXPECT_EQ(engineDifference(Optimized), 0.0);
+  expectBitIdenticalEverywhere(Optimized, "optimized");
 }

@@ -1,0 +1,158 @@
+//===- tests/ThreadPoolTest.cpp - pool and chunk partitioning tests -------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Units for the fork-join thread pool (exec/ThreadPool.h) and the loop
+// range partitioner the parallel execution backend chunks with
+// (exec/ExecPlan.h chunkLoopRange).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecPlan.h"
+#include "exec/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+using namespace daisy;
+
+//===----------------------------------------------------------------------===//
+// chunkLoopRange
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Expands a chunk list back into the concrete iteration values.
+std::vector<int64_t> iterationsOf(
+    const std::vector<std::pair<int64_t, int64_t>> &Chunks, int64_t Step) {
+  std::vector<int64_t> Result;
+  for (const auto &[Lo, Hi] : Chunks)
+    for (int64_t I = Lo; I < Hi; I += Step)
+      Result.push_back(I);
+  return Result;
+}
+
+std::vector<int64_t> referenceIterations(int64_t Lo, int64_t Hi,
+                                         int64_t Step) {
+  std::vector<int64_t> Result;
+  for (int64_t I = Lo; I < Hi; I += Step)
+    Result.push_back(I);
+  return Result;
+}
+
+} // namespace
+
+TEST(ChunkLoopRangeTest, EmptyRangeYieldsNoChunks) {
+  EXPECT_TRUE(chunkLoopRange(0, 0, 1, 4).empty());
+  EXPECT_TRUE(chunkLoopRange(5, 5, 1, 4).empty());
+  EXPECT_TRUE(chunkLoopRange(7, 3, 1, 4).empty());
+  EXPECT_TRUE(chunkLoopRange(0, 100, 1, 0).empty());
+}
+
+TEST(ChunkLoopRangeTest, RangeSmallerThanChunkCount) {
+  // 3 iterations over 8 requested chunks: one chunk per iteration.
+  auto Chunks = chunkLoopRange(0, 3, 1, 8);
+  ASSERT_EQ(Chunks.size(), 3u);
+  for (size_t C = 0; C < Chunks.size(); ++C) {
+    EXPECT_EQ(Chunks[C].first, static_cast<int64_t>(C));
+    EXPECT_EQ(Chunks[C].second, static_cast<int64_t>(C) + 1);
+  }
+}
+
+TEST(ChunkLoopRangeTest, CoversExactlyAndInOrder) {
+  for (int MaxChunks : {1, 2, 3, 4, 7}) {
+    auto Chunks = chunkLoopRange(2, 19, 1, MaxChunks);
+    EXPECT_LE(Chunks.size(), static_cast<size_t>(MaxChunks));
+    EXPECT_EQ(iterationsOf(Chunks, 1), referenceIterations(2, 19, 1));
+    // Contiguous, non-empty, ordered.
+    for (size_t C = 0; C < Chunks.size(); ++C) {
+      EXPECT_LT(Chunks[C].first, Chunks[C].second);
+      if (C + 1 < Chunks.size()) {
+        EXPECT_EQ(Chunks[C].second, Chunks[C + 1].first);
+      }
+    }
+  }
+}
+
+TEST(ChunkLoopRangeTest, NonUnitStepsStayAligned) {
+  // Iterations {1, 4, 7, 10, 13}: chunk boundaries must land on the step
+  // grid so no iteration is lost or duplicated and none shifts phase.
+  for (int MaxChunks : {1, 2, 3, 4, 5, 9}) {
+    auto Chunks = chunkLoopRange(1, 15, 3, MaxChunks);
+    EXPECT_EQ(iterationsOf(Chunks, 3), referenceIterations(1, 15, 3))
+        << "MaxChunks=" << MaxChunks;
+    for (const auto &[Lo, Hi] : Chunks)
+      EXPECT_EQ((Lo - 1) % 3, 0);
+  }
+}
+
+TEST(ChunkLoopRangeTest, BalancedSplit) {
+  auto Chunks = chunkLoopRange(0, 10, 1, 3);
+  ASSERT_EQ(Chunks.size(), 3u);
+  // 10 iterations over 3 chunks: sizes 3 or 4.
+  for (const auto &[Lo, Hi] : Chunks) {
+    EXPECT_GE(Hi - Lo, 3);
+    EXPECT_LE(Hi - Lo, 4);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.concurrency(), 4);
+  constexpr int Tasks = 100;
+  std::vector<std::atomic<int>> Ran(Tasks);
+  for (auto &Counter : Ran)
+    Counter.store(0); // C++17 atomics default-construct uninitialized
+  Pool.run(Tasks, [&](int I) { Ran[static_cast<size_t>(I)]++; });
+  for (int I = 0; I < Tasks; ++I)
+    EXPECT_EQ(Ran[static_cast<size_t>(I)].load(), 1) << "task " << I;
+}
+
+TEST(ThreadPoolTest, BlocksUntilAllTasksComplete) {
+  ThreadPool Pool(3);
+  std::atomic<int> Sum{0};
+  Pool.run(37, [&](int I) { Sum += I; });
+  EXPECT_EQ(Sum.load(), 37 * 36 / 2);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool Pool(2);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::atomic<int> Count{0};
+    Pool.run(8, [&](int) { Count++; });
+    EXPECT_EQ(Count.load(), 8);
+  }
+}
+
+TEST(ThreadPoolTest, NestedRunDegradesToSerialWithoutDeadlock) {
+  ThreadPool Pool(4);
+  std::atomic<int> Inner{0};
+  Pool.run(4, [&](int) {
+    // A task forking again must not deadlock; it runs inline.
+    ThreadPool::global().run(5, [&](int) { Inner++; });
+  });
+  EXPECT_EQ(Inner.load(), 20);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.concurrency(), 1);
+  std::vector<int> Order;
+  Pool.run(4, [&](int I) { Order.push_back(I); });
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+  EXPECT_GE(ThreadPool::global().concurrency(), 2);
+}
