@@ -6,6 +6,9 @@
 
 #include "exec/DataEnv.h"
 
+#include "support/Hashing.h"
+
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -20,6 +23,7 @@ DataEnv::DataEnv(const Program &Prog) {
         static_cast<size_t>(std::max<int64_t>(Decl.elementCount(), 1)), 0.0);
     SlotNames.push_back(Decl.Name);
     Slots.emplace(Decl.Name, Slot);
+    TransientFlags.push_back(Decl.Transient);
     if (!Decl.Transient)
       NonTransient.push_back(Slot);
   }
@@ -55,19 +59,35 @@ bool DataEnv::contains(const std::string &Array) const {
 
 void DataEnv::initDeterministic(uint64_t Seed) {
   for (size_t Slot : NonTransient) {
-    const std::string &Name = SlotNames[Slot];
     std::vector<double> &Buffer = Buffers[Slot];
     // Mix the array name into the pattern so different operands differ.
-    uint64_t NameHash = 1469598103934665603ull;
-    for (char C : Name) {
-      NameHash ^= static_cast<unsigned char>(C);
-      NameHash *= 1099511628211ull;
-    }
+    uint64_t NameHash = fnv1a(SlotNames[Slot]);
     double Scale = 1.0 + static_cast<double>((NameHash ^ Seed) % 7);
     for (size_t I = 0; I < Buffer.size(); ++I)
       Buffer[I] =
           std::fmod(Scale * static_cast<double>(I % 251) + 1.0, 13.0) / 13.0;
   }
+}
+
+bool DataEnv::resetFor(const Program &Prog, uint64_t Seed) {
+  if (Prog.arrays().size() != Buffers.size())
+    return false;
+  for (size_t Slot = 0; Slot < Buffers.size(); ++Slot) {
+    const ArrayDecl &Decl = Prog.arrays()[Slot];
+    if (Decl.Name != SlotNames[Slot] ||
+        Decl.Transient != TransientFlags[Slot] ||
+        static_cast<size_t>(std::max<int64_t>(Decl.elementCount(), 1)) !=
+            Buffers[Slot].size())
+      return false;
+  }
+  // Transients return to their allocation-time zeros; initDeterministic
+  // overwrites every observable element, so the combination reproduces a
+  // fresh environment exactly.
+  for (size_t Slot = 0; Slot < Buffers.size(); ++Slot)
+    if (TransientFlags[Slot])
+      std::fill(Buffers[Slot].begin(), Buffers[Slot].end(), 0.0);
+  initDeterministic(Seed);
+  return true;
 }
 
 double DataEnv::maxAbsDifference(const DataEnv &A, const DataEnv &B,

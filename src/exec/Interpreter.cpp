@@ -9,9 +9,13 @@
 #include "blas/Kernels.h"
 #include "exec/EvalOps.h"
 #include "exec/ExecPlan.h"
+#include "exec/ThreadPool.h"
+#include "support/Statistics.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 
 using namespace daisy;
 
@@ -157,4 +161,54 @@ bool daisy::semanticallyEquivalent(const Program &A, const Program &B,
   DataEnv EnvA = runProgram(A, Seed);
   DataEnv EnvB = runProgram(B, Seed);
   return DataEnv::maxAbsDifference(EnvA, EnvB, A) <= Eps;
+}
+
+std::vector<char> daisy::semanticallyEquivalentBatch(
+    const Program &Ref, const std::vector<const Program *> &Candidates,
+    double Eps, uint64_t Seed, int NumThreads) {
+  // The reference is compiled and executed once for the whole batch; its
+  // end state is read-only from here on and shared by every checker.
+  addStatsCounter("SemEquivBatch.RefCompiles");
+  ExecPlan RefPlan = ExecPlan::compile(Ref);
+  DataEnv RefEnv(Ref);
+  RefEnv.initDeterministic(Seed);
+  RefPlan.run(RefEnv);
+
+  std::vector<char> Results(Candidates.size(), 0);
+  auto Check = [&](size_t I) {
+    addStatsCounter("SemEquivBatch.Checks");
+    const Program &Cand = *Candidates[I];
+    ExecPlan Plan = ExecPlan::compile(Cand);
+    // Per-thread scratch: the environment survives across checks (and
+    // across batches) on each pool thread and is reused whenever the next
+    // candidate declares the same arrays — variants of one kernel differ
+    // in loop structure, not data, so reuse is the common case.
+    static thread_local std::unique_ptr<DataEnv> Scratch;
+    if (Scratch && Scratch->resetFor(Cand, Seed)) {
+      addStatsCounter("SemEquivBatch.EnvReuses");
+    } else {
+      Scratch = std::make_unique<DataEnv>(Cand);
+      Scratch->initDeterministic(Seed);
+    }
+    Plan.run(*Scratch);
+    Results[I] = DataEnv::maxAbsDifference(RefEnv, *Scratch, Ref) <= Eps;
+  };
+
+  size_t Count = Candidates.size();
+  int Threads = NumThreads > 0 ? NumThreads : ThreadPool::defaultThreadCount();
+  int Lanes =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(Threads), Count));
+  if (Lanes <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Check(I);
+    return Results;
+  }
+  // Lane L verifies candidates L, L+Lanes, ...: concurrency is bounded by
+  // the requested thread count and each verdict lands in its input slot.
+  ThreadPool::global().run(Lanes, [&](int Lane) {
+    for (size_t I = static_cast<size_t>(Lane); I < Count;
+         I += static_cast<size_t>(Lanes))
+      Check(I);
+  });
+  return Results;
 }

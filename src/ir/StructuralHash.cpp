@@ -6,6 +6,8 @@
 
 #include "ir/StructuralHash.h"
 
+#include "support/Hashing.h"
+
 #include <cassert>
 #include <map>
 
@@ -13,26 +15,10 @@ using namespace daisy;
 
 namespace {
 
-/// FNV-1a style combiner.
-class HashState {
+/// Shared combiner with the structural-hash seed.
+class HashState : public HashCombiner {
 public:
-  void combine(uint64_t Value) {
-    Hash ^= Value + 0x9E3779B97F4A7C15ull + (Hash << 6) + (Hash >> 2);
-  }
-
-  void combine(const std::string &Text) {
-    uint64_t H = 1469598103934665603ull;
-    for (char C : Text) {
-      H ^= static_cast<unsigned char>(C);
-      H *= 1099511628211ull;
-    }
-    combine(H);
-  }
-
-  uint64_t value() const { return Hash; }
-
-private:
-  uint64_t Hash = 0x2545F4914F6CDD1Dull;
+  HashState() : HashCombiner(0x2545F4914F6CDD1Dull) {}
 };
 
 /// Maps iterator names to canonical indices in first-seen order.
@@ -67,14 +53,9 @@ void hashExpr(const ExprPtr &Node, IterNaming &Naming, HashState &H) {
   }
   H.combine(static_cast<uint64_t>(Node->kind()));
   switch (Node->kind()) {
-  case ExprKind::Constant: {
-    double Value = Node->constantValue();
-    uint64_t Bits;
-    static_assert(sizeof(Bits) == sizeof(Value));
-    __builtin_memcpy(&Bits, &Value, sizeof(Bits));
-    H.combine(Bits);
+  case ExprKind::Constant:
+    H.combineDouble(Node->constantValue());
     break;
-  }
   case ExprKind::Read:
     H.combine(Node->access().Array);
     for (const AffineExpr &Index : Node->access().Indices)
@@ -99,7 +80,8 @@ void hashExpr(const ExprPtr &Node, IterNaming &Naming, HashState &H) {
     hashExpr(Operand, Naming, H);
 }
 
-void hashNode(const NodePtr &Node, IterNaming &Naming, HashState &H) {
+void hashNode(const NodePtr &Node, IterNaming &Naming, HashState &H,
+              bool IncludeMarks = false) {
   assert(Node && "null node");
   H.combine(static_cast<uint64_t>(Node->kind()));
   if (const auto *C = dynCast<Computation>(Node)) {
@@ -123,9 +105,14 @@ void hashNode(const NodePtr &Node, IterNaming &Naming, HashState &H) {
   hashAffine(L->lower(), Naming, H);
   hashAffine(L->upper(), Naming, H);
   H.combine(static_cast<uint64_t>(L->step()));
+  if (IncludeMarks)
+    H.combine((L->isParallel() ? 1ull : 0ull) |
+              (L->isVectorized() ? 2ull : 0ull) |
+              (L->usesAtomicReduction() ? 4ull : 0ull) |
+              (L->isOpaque() ? 8ull : 0ull));
   H.combine(static_cast<uint64_t>(L->body().size()));
   for (const NodePtr &Child : L->body())
-    hashNode(Child, Naming, H);
+    hashNode(Child, Naming, H, IncludeMarks);
 }
 
 bool affineEqualModulo(const AffineExpr &Lhs, const AffineExpr &Rhs,
@@ -257,6 +244,22 @@ uint64_t daisy::structuralHash(const Program &Prog) {
   for (const NodePtr &Node : Prog.topLevel()) {
     IterNaming Naming;
     hashNode(Node, Naming, H);
+  }
+  return H.value();
+}
+
+uint64_t daisy::structuralHashWithMarks(const NodePtr &Node) {
+  HashState H;
+  IterNaming Naming;
+  hashNode(Node, Naming, H, /*IncludeMarks=*/true);
+  return H.value();
+}
+
+uint64_t daisy::structuralHashWithMarks(const Program &Prog) {
+  HashState H;
+  for (const NodePtr &Node : Prog.topLevel()) {
+    IterNaming Naming;
+    hashNode(Node, Naming, H, /*IncludeMarks=*/true);
   }
   return H.value();
 }

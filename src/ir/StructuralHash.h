@@ -34,6 +34,17 @@ bool structurallyEqual(const NodePtr &Lhs, const NodePtr &Rhs);
 /// Hash over a whole program's top-level sequence.
 uint64_t structuralHash(const Program &Prog);
 
+/// Like structuralHash, but additionally mixes in the scheduling marks
+/// (parallel / vectorized / atomic-reduction / opaque) of every loop.
+/// structuralHash deliberately ignores marks so the database recognizes
+/// the same canonical form regardless of applied schedules; the simulation
+/// cache cannot, because marks change the simulated cost of an otherwise
+/// identical nest.
+uint64_t structuralHashWithMarks(const NodePtr &Node);
+
+/// Marks-aware hash over a whole program's top-level sequence.
+uint64_t structuralHashWithMarks(const Program &Prog);
+
 } // namespace daisy
 
 #endif // DAISY_IR_STRUCTURALHASH_H

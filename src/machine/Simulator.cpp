@@ -7,6 +7,7 @@
 #include "machine/Simulator.h"
 
 #include "blas/Kernels.h"
+#include "support/Hashing.h"
 
 #include <cassert>
 #include <map>
@@ -16,6 +17,32 @@ using namespace daisy;
 double daisy::machinePeakMflops(const CpuConfig &Cpu, int Threads) {
   return Cpu.FrequencyGHz * 1e9 * Cpu.PeakFlopsPerCycle *
          static_cast<double>(Threads) / 1e6;
+}
+
+uint64_t daisy::simOptionsDigest(const SimOptions &Options) {
+  HashCombiner D(0x6D616368696E65ull); // "machine"
+  const CpuConfig &Cpu = Options.Cpu;
+  D.combineDouble(Cpu.FrequencyGHz);
+  D.combine(static_cast<uint64_t>(Cpu.SimdWidth));
+  D.combineDouble(Cpu.ScalarFlopsPerCycle);
+  D.combineDouble(Cpu.PeakFlopsPerCycle);
+  D.combine(static_cast<uint64_t>(Cpu.HitLatency.size()));
+  for (double Latency : Cpu.HitLatency)
+    D.combineDouble(Latency);
+  D.combineDouble(Cpu.MemoryLatency);
+  D.combineDouble(Cpu.AtomicCost);
+  D.combineDouble(Cpu.SyncOverheadCycles);
+  D.combineDouble(Cpu.ParallelEfficiencyLoss);
+  D.combine(static_cast<uint64_t>(Cpu.RegisterPressureThreshold));
+  D.combine(static_cast<uint64_t>(Cpu.SpillAccessesPerComputation));
+  D.combine(static_cast<uint64_t>(Options.Caches.size()));
+  for (const CacheConfig &Cache : Options.Caches) {
+    D.combine(static_cast<uint64_t>(Cache.SizeBytes));
+    D.combine(static_cast<uint64_t>(Cache.Associativity));
+    D.combine(static_cast<uint64_t>(Cache.LineSize));
+  }
+  D.combine(static_cast<uint64_t>(Options.Threads));
+  return D.value();
 }
 
 namespace {

@@ -98,6 +98,13 @@ struct SimReport {
 /// Peak MFLOP/s of the simulated machine with \p Threads cores.
 double machinePeakMflops(const CpuConfig &Cpu, int Threads);
 
+/// 64-bit digest of every field of \p Options (CPU model, cache
+/// hierarchy, thread count). Two SimOptions with equal digests simulate
+/// any program to the same report; the scheduler's simulation cache
+/// (sched/Evaluator.h) mixes this into its keys so results obtained under
+/// one machine model are never served under another.
+uint64_t simOptionsDigest(const SimOptions &Options);
+
 /// Simulates one execution of \p Prog and returns the cost report.
 SimReport simulateProgram(const Program &Prog, const SimOptions &Options);
 

@@ -113,23 +113,24 @@ std::optional<Program> TiramisuScheduler::schedule(const Program &Prog) {
     if (!tiramisuConvertible(Node, Result))
       return std::nullopt; // the paper's X
 
+  // One evaluator (and simulation cache) for the whole program: the
+  // top-3 re-measurement below hits the cache the MCTS just filled.
+  Evaluator Eval(EvalOptions);
   for (size_t I = 0; I < Result.topLevel().size(); ++I) {
     std::vector<Recipe> Candidates =
-        mctsCandidates(Result, I, EvalOptions, Budget, /*TopK=*/3);
+        mctsCandidates(Result, I, Eval, Budget, /*TopK=*/3);
     if (Candidates.empty())
       continue;
     // "We test the top three candidates and apply the best optimization
     // among these."
-    double BestSeconds = 0.0;
-    const Recipe *Best = nullptr;
-    for (const Recipe &Candidate : Candidates) {
-      double Seconds = evaluateRecipe(Candidate, Result, I, EvalOptions);
-      if (!Best || Seconds < BestSeconds) {
-        Best = &Candidate;
-        BestSeconds = Seconds;
-      }
-    }
-    Result.topLevel()[I] = applyRecipe(*Best, Result.topLevel()[I], Result);
+    std::vector<double> Seconds =
+        Eval.recipeSecondsBatch(Result, I, Candidates);
+    size_t BestIdx = 0;
+    for (size_t C = 1; C < Candidates.size(); ++C)
+      if (Seconds[C] < Seconds[BestIdx])
+        BestIdx = C;
+    Result.topLevel()[I] =
+        applyRecipe(Candidates[BestIdx], Result.topLevel()[I], Result);
   }
   return Result;
 }
@@ -168,8 +169,7 @@ std::optional<Program> DaisyScheduler::schedule(const Program &Prog) {
 }
 
 void DaisyScheduler::seedDatabase(TransferTuningDatabase &Db,
-                                  const Program &AVariant,
-                                  const SimOptions &EvalOptions,
+                                  const Program &AVariant, Evaluator &Eval,
                                   const SearchBudget &Budget, Rng &Rand,
                                   const DaisyOptions &Options) {
   Program Norm = normalize(AVariant);
@@ -184,8 +184,16 @@ void DaisyScheduler::seedDatabase(TransferTuningDatabase &Db,
     if (detectBlasIdiom(Node, Norm, Options.Idioms))
       Entry.Optimization = Recipe::blasRecipe();
     else
-      Entry.Optimization =
-          evolveRecipe(Norm, I, Db, EvalOptions, Budget, Rand);
+      Entry.Optimization = evolveRecipe(Norm, I, Db, Eval, Budget, Rand);
     Db.insert(std::move(Entry));
   }
+}
+
+void DaisyScheduler::seedDatabase(TransferTuningDatabase &Db,
+                                  const Program &AVariant,
+                                  const SimOptions &EvalOptions,
+                                  const SearchBudget &Budget, Rng &Rand,
+                                  const DaisyOptions &Options) {
+  Evaluator Eval(EvalOptions);
+  seedDatabase(Db, AVariant, Eval, Budget, Rand, Options);
 }

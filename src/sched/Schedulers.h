@@ -125,7 +125,17 @@ public:
 
   /// Seeds \p Db from the normalized nests of \p AVariant: BLAS-3 nests
   /// get the idiom recipe; all others are optimized by the evolutionary
-  /// search (paper §4, "Seeding a Scheduling Database").
+  /// search (paper §4, "Seeding a Scheduling Database"). Candidate
+  /// scoring goes through \p Eval — sharing one Evaluator across several
+  /// seedDatabase calls carries the simulation cache from benchmark to
+  /// benchmark. Database contents are bit-identical at every evaluator
+  /// thread count and cache setting.
+  static void seedDatabase(TransferTuningDatabase &Db,
+                           const Program &AVariant, Evaluator &Eval,
+                           const SearchBudget &Budget, Rng &Rand,
+                           const DaisyOptions &Options = {});
+
+  /// Convenience overload scoring through a fresh default Evaluator.
   static void seedDatabase(TransferTuningDatabase &Db,
                            const Program &AVariant,
                            const SimOptions &EvalOptions,

@@ -8,6 +8,7 @@
 
 #include "analysis/Legality.h"
 #include "ir/StructuralHash.h"
+#include "sched/Embedding.h"
 
 #include <algorithm>
 #include <cmath>
@@ -17,17 +18,18 @@ using namespace daisy;
 double daisy::evaluateNestRuntime(const Program &Prog, size_t Index,
                                   const NodePtr &Nest,
                                   const SimOptions &Options) {
-  Program Copy = Prog.clone();
-  Copy.topLevel()[Index] = Nest->clone();
-  return simulateProgram(Copy, Options).Seconds;
+  // Shallow copy: sibling nests are shared (simulation only reads them);
+  // only the top-level slot under evaluation is rebound.
+  Program Ctx = Prog;
+  Ctx.topLevel()[Index] = Nest;
+  return simulateProgram(Ctx, Options).Seconds;
 }
 
 double daisy::evaluateRecipe(const Recipe &R, const Program &Prog,
                              size_t Index, const SimOptions &Options) {
-  Program Copy = Prog.clone();
-  NodePtr Transformed = applyRecipe(R, Copy.topLevel()[Index], Copy);
-  Copy.topLevel()[Index] = Transformed;
-  return simulateProgram(Copy, Options).Seconds;
+  Program Ctx = Prog;
+  Ctx.topLevel()[Index] = applyRecipe(R, Prog.topLevel()[Index], Ctx);
+  return simulateProgram(Ctx, Options).Seconds;
 }
 
 namespace {
@@ -92,7 +94,7 @@ Recipe buildRecipe(const ActionSpace &Space, size_t PermChoice,
 } // namespace
 
 std::vector<Recipe> daisy::mctsCandidates(const Program &Prog, size_t Index,
-                                          const SimOptions &Options,
+                                          Evaluator &Eval,
                                           const SearchBudget &Budget,
                                           int TopK) {
   const NodePtr &Nest = Prog.topLevel()[Index];
@@ -104,49 +106,81 @@ std::vector<Recipe> daisy::mctsCandidates(const Program &Prog, size_t Index,
   // Flat UCB over the first decision (permutation); rollouts complete the
   // remaining decisions at random. This is a faithful, small-scale MCTS:
   // the statistics concentrate simulation effort on promising subtrees.
-  Rng Rand(structuralHash(Nest)); // structure-dependent seed
+  //
+  // Rollouts proceed in waves of Budget.MctsWave: a wave's arms are
+  // selected up front by UCB1 with virtual visits (each selection counts
+  // as a visit for the next, so one wave spreads over the tree the way
+  // sequential selection would), the wave's candidates are scored as one
+  // batch over the thread pool, and the statistics advance in rollout
+  // order. Each rollout's random completions come from an Rng derived
+  // from (structuralHash(Nest), Rollout), so neither wave shape nor
+  // evaluation order can change any draw.
+  uint64_t NestSeed = structuralHash(Nest); // structure-dependent seed
   size_t Arms = Space.Permutations.size();
   std::vector<double> BestReward(Arms, 0.0);
   std::vector<int> Visits(Arms, 0);
   std::vector<Recipe> BestRecipePerArm(Arms);
   int TotalVisits = 0;
 
-  for (int Rollout = 0; Rollout < Budget.MctsRollouts; ++Rollout) {
-    // Select arm by UCB1 (untried arms first).
-    size_t Arm = 0;
-    bool Untried = false;
-    for (size_t A = 0; A < Arms; ++A)
-      if (Visits[A] == 0) {
-        Arm = A;
-        Untried = true;
-        break;
-      }
-    if (!Untried) {
-      double BestScore = -1.0;
-      for (size_t A = 0; A < Arms; ++A) {
-        double Score = BestReward[A] +
-                       1.4 * std::sqrt(std::log(TotalVisits + 1.0) /
-                                       Visits[A]);
-        if (Score > BestScore) {
-          BestScore = Score;
+  int Wave = std::max(1, Budget.MctsWave);
+  for (int Rollout = 0; Rollout < Budget.MctsRollouts;) {
+    int WaveSize = std::min(Wave, Budget.MctsRollouts - Rollout);
+
+    std::vector<int> Virtual(Arms, 0);
+    std::vector<size_t> WaveArms;
+    WaveArms.reserve(static_cast<size_t>(WaveSize));
+    for (int W = 0; W < WaveSize; ++W) {
+      // Select arm by UCB1 (untried arms first), counting this wave's
+      // earlier selections as virtual visits.
+      size_t Arm = 0;
+      bool Untried = false;
+      for (size_t A = 0; A < Arms; ++A)
+        if (Visits[A] + Virtual[A] == 0) {
           Arm = A;
+          Untried = true;
+          break;
+        }
+      if (!Untried) {
+        double BestScore = -1.0;
+        for (size_t A = 0; A < Arms; ++A) {
+          double Score =
+              BestReward[A] +
+              1.4 * std::sqrt(std::log(TotalVisits + W + 1.0) /
+                              (Visits[A] + Virtual[A]));
+          if (Score > BestScore) {
+            BestScore = Score;
+            Arm = A;
+          }
         }
       }
+      ++Virtual[Arm];
+      WaveArms.push_back(Arm);
     }
 
-    size_t TileChoice = Rand.nextBelow(Space.TileChoices.size());
-    bool Parallel = Rand.nextBool(0.7);
-    bool Vectorize = Rand.nextBool(0.7);
-    Recipe Candidate =
-        buildRecipe(Space, Arm, TileChoice, Parallel, Vectorize);
-    double Seconds = evaluateRecipe(Candidate, Prog, Index, Options);
-    double Reward = 1.0 / (1.0 + Seconds * 1e3);
-    ++Visits[Arm];
-    ++TotalVisits;
-    if (Reward > BestReward[Arm]) {
-      BestReward[Arm] = Reward;
-      BestRecipePerArm[Arm] = Candidate;
+    std::vector<Recipe> Candidates;
+    Candidates.reserve(static_cast<size_t>(WaveSize));
+    for (int W = 0; W < WaveSize; ++W) {
+      Rng Rand(deriveSeed(NestSeed, static_cast<uint64_t>(Rollout + W)));
+      size_t TileChoice = Rand.nextBelow(Space.TileChoices.size());
+      bool Parallel = Rand.nextBool(0.7);
+      bool Vectorize = Rand.nextBool(0.7);
+      Candidates.push_back(
+          buildRecipe(Space, WaveArms[W], TileChoice, Parallel, Vectorize));
     }
+    std::vector<double> Seconds =
+        Eval.recipeSecondsBatch(Prog, Index, Candidates);
+
+    for (int W = 0; W < WaveSize; ++W) {
+      size_t Arm = WaveArms[static_cast<size_t>(W)];
+      double Reward = 1.0 / (1.0 + Seconds[static_cast<size_t>(W)] * 1e3);
+      ++Visits[Arm];
+      ++TotalVisits;
+      if (Reward > BestReward[Arm]) {
+        BestReward[Arm] = Reward;
+        BestRecipePerArm[Arm] = Candidates[static_cast<size_t>(W)];
+      }
+    }
+    Rollout += WaveSize;
   }
 
   // Rank arms by their best observed reward.
@@ -164,6 +198,14 @@ std::vector<Recipe> daisy::mctsCandidates(const Program &Prog, size_t Index,
       break;
   }
   return Result;
+}
+
+std::vector<Recipe> daisy::mctsCandidates(const Program &Prog, size_t Index,
+                                          const SimOptions &Options,
+                                          const SearchBudget &Budget,
+                                          int TopK) {
+  Evaluator Eval(Options);
+  return mctsCandidates(Prog, Index, Eval, Budget, TopK);
 }
 
 Recipe daisy::mutateRecipe(const Recipe &R, size_t BandSize, Rng &Rand) {
@@ -237,8 +279,7 @@ Recipe daisy::mutateRecipe(const Recipe &R, size_t BandSize, Rng &Rand) {
 }
 
 Recipe daisy::evolveRecipe(const Program &Prog, size_t Index,
-                           const TransferTuningDatabase &Db,
-                           const SimOptions &Options,
+                           const TransferTuningDatabase &Db, Evaluator &Eval,
                            const SearchBudget &Budget, Rng &Rand) {
   const NodePtr &Nest = Prog.topLevel()[Index];
   size_t BandSize = perfectNestBand(Nest).size();
@@ -248,39 +289,52 @@ Recipe daisy::evolveRecipe(const Program &Prog, size_t Index,
     Recipe R;
     double Seconds;
   };
-  auto Score = [&](const Recipe &R) {
-    return Scored{R, evaluateRecipe(R, Prog, Index, Options)};
+  // Mutations are drawn from the shared Rng serially (scoring consumes no
+  // randomness), then the whole generation is scored as one batch.
+  auto ScoreBatch = [&](const std::vector<Recipe> &Recipes) {
+    std::vector<double> Seconds =
+        Eval.recipeSecondsBatch(Prog, Index, Recipes);
+    std::vector<Scored> Result;
+    Result.reserve(Recipes.size());
+    for (size_t I = 0; I < Recipes.size(); ++I)
+      Result.push_back(Scored{Recipes[I], Seconds[I]});
+    return Result;
   };
 
   std::vector<Scored> Population;
   Scored Best{Recipe::defaultParallelRecipe(), 0.0};
-  Best.Seconds = evaluateRecipe(Best.R, Prog, Index, Options);
+  Best.Seconds = Eval.recipeSeconds(Prog, Index, Best.R);
 
   for (int Epoch = 0; Epoch < Budget.Epochs; ++Epoch) {
     // (Re-)seed the population.
-    Population.clear();
+    std::vector<Recipe> Seeds;
     if (Epoch == 0) {
-      for (const Recipe &Seed :
-           mctsCandidates(Prog, Index, Options, Budget,
-                          Budget.PopulationSize))
-        Population.push_back(Score(Seed));
+      Seeds = mctsCandidates(Prog, Index, Eval, Budget,
+                             Budget.PopulationSize);
     } else {
       for (const DatabaseEntry *Entry :
            Db.nearest(Key, static_cast<size_t>(Budget.ReSeedNeighbours)))
-        if (static_cast<int>(Population.size()) < Budget.PopulationSize)
-          Population.push_back(Score(Entry->Optimization));
+        if (static_cast<int>(Seeds.size()) < Budget.PopulationSize)
+          Seeds.push_back(Entry->Optimization);
     }
+    Population = ScoreBatch(Seeds);
     Population.push_back(Best);
-    while (static_cast<int>(Population.size()) < Budget.PopulationSize)
-      Population.push_back(
-          Score(mutateRecipe(Best.R, BandSize, Rand)));
+    std::vector<Recipe> Fill;
+    while (static_cast<int>(Population.size() + Fill.size()) <
+           Budget.PopulationSize)
+      Fill.push_back(mutateRecipe(Best.R, BandSize, Rand));
+    for (Scored &S : ScoreBatch(Fill))
+      Population.push_back(std::move(S));
 
     // Refine with mutation + truncation selection.
     for (int Iter = 0; Iter < Budget.IterationsPerEpoch; ++Iter) {
       size_t CurrentSize = Population.size();
+      std::vector<Recipe> Mutants;
+      Mutants.reserve(CurrentSize);
       for (size_t I = 0; I < CurrentSize; ++I)
-        Population.push_back(
-            Score(mutateRecipe(Population[I].R, BandSize, Rand)));
+        Mutants.push_back(mutateRecipe(Population[I].R, BandSize, Rand));
+      for (Scored &S : ScoreBatch(Mutants))
+        Population.push_back(std::move(S));
       std::stable_sort(Population.begin(), Population.end(),
                        [](const Scored &A, const Scored &B) {
                          return A.Seconds < B.Seconds;
@@ -292,4 +346,12 @@ Recipe daisy::evolveRecipe(const Program &Prog, size_t Index,
       Best = Population.front();
   }
   return Best.R;
+}
+
+Recipe daisy::evolveRecipe(const Program &Prog, size_t Index,
+                           const TransferTuningDatabase &Db,
+                           const SimOptions &Options,
+                           const SearchBudget &Budget, Rng &Rand) {
+  Evaluator Eval(Options);
+  return evolveRecipe(Prog, Index, Db, Eval, Budget, Rand);
 }

@@ -19,6 +19,14 @@
 ///   In the second and third epochs, the population is re-seeded using
 ///   the current best optimization of the ten most similar loop nests."
 ///
+/// Both searches score candidates through the sched/Evaluator.h
+/// subsystem: simulations are memoized in its SimCache and candidate
+/// sets are fanned over the thread pool. Every random draw a rollout or
+/// mutation makes is derived from a deterministic stream — the MCTS
+/// completes rollout R from an Rng seeded by (structuralHash(Nest), R),
+/// never from a shared sequential generator — so search results are
+/// bit-identical at every thread count and with the cache on or off.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAISY_SCHED_SEARCH_H
@@ -26,6 +34,7 @@
 
 #include "machine/Simulator.h"
 #include "sched/Database.h"
+#include "sched/Evaluator.h"
 #include "sched/Recipe.h"
 #include "support/Random.h"
 
@@ -34,11 +43,14 @@
 namespace daisy {
 
 /// Fitness: simulated runtime of \p Prog with nest \p Index replaced by
-/// \p Nest (lower is better).
+/// \p Nest (lower is better). Shares the untouched sibling nests with
+/// \p Prog instead of cloning the whole program.
 double evaluateNestRuntime(const Program &Prog, size_t Index,
                            const NodePtr &Nest, const SimOptions &Options);
 
 /// Applies \p R to nest \p Index of \p Prog and returns its runtime.
+/// Clones only the nest under evaluation (inside applyRecipe); use an
+/// Evaluator to additionally memoize and batch.
 double evaluateRecipe(const Recipe &R, const Program &Prog, size_t Index,
                       const SimOptions &Options);
 
@@ -49,13 +61,25 @@ struct SearchBudget {
   int IterationsPerEpoch = 3;
   int Epochs = 3;
   int ReSeedNeighbours = 10;
+  /// Rollouts selected (by UCB with virtual visits) and evaluated as one
+  /// batch per MCTS wave. Part of the budget — not a thread count — so
+  /// wave composition, and with it the search result, is identical no
+  /// matter how many threads evaluate the wave.
+  int MctsWave = 8;
 };
 
 /// Monte-Carlo tree search over the schedule space of nest \p Index.
 /// Returns up to \p TopK candidate recipes ordered best-first. The search
-/// is deterministic for a given seed; the seed is derived from the nest
-/// structure, modeling the search's sensitivity to the input loop
-/// structure.
+/// is deterministic for a given nest structure: arm statistics advance in
+/// rollout order and each rollout's random completions come from its own
+/// (structuralHash(Nest), Rollout)-derived stream, so the result is
+/// independent of evaluation order, thread count, and cache state.
+std::vector<Recipe> mctsCandidates(const Program &Prog, size_t Index,
+                                   Evaluator &Eval,
+                                   const SearchBudget &Budget, int TopK = 3);
+
+/// Convenience overload evaluating through a fresh Evaluator with default
+/// configuration (memoized, DAISY_THREADS-wide batches).
 std::vector<Recipe> mctsCandidates(const Program &Prog, size_t Index,
                                    const SimOptions &Options,
                                    const SearchBudget &Budget, int TopK = 3);
@@ -65,7 +89,15 @@ std::vector<Recipe> mctsCandidates(const Program &Prog, size_t Index,
 Recipe mutateRecipe(const Recipe &R, size_t BandSize, Rng &R2);
 
 /// Evolutionary recipe search for nest \p Index, optionally re-seeding
-/// from \p Db (the database built so far).
+/// from \p Db (the database built so far). Mutations are drawn from
+/// \p Rand in a fixed serial order; only the scoring is batched, so the
+/// returned recipe is bit-identical at every evaluator thread count.
+Recipe evolveRecipe(const Program &Prog, size_t Index,
+                    const TransferTuningDatabase &Db, Evaluator &Eval,
+                    const SearchBudget &Budget, Rng &Rand);
+
+/// Convenience overload evaluating through a fresh Evaluator with default
+/// configuration.
 Recipe evolveRecipe(const Program &Prog, size_t Index,
                     const TransferTuningDatabase &Db,
                     const SimOptions &Options, const SearchBudget &Budget,

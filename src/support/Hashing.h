@@ -1,0 +1,63 @@
+//===- support/Hashing.h - Shared hash combining -----------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one hash combiner used by every 64-bit digest in the project:
+/// structural hashing (ir/StructuralHash), the machine-model digest
+/// (machine/Simulator simOptionsDigest), and the simulation-cache keys
+/// (sched/Evaluator). Keeping a single definition keeps the mixings
+/// compatible by construction — cache keys embed structural hashes, so
+/// the combiners must never drift apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SUPPORT_HASHING_H
+#define DAISY_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <string>
+
+namespace daisy {
+
+/// FNV-1a hash of \p Text.
+inline uint64_t fnv1a(const std::string &Text) {
+  uint64_t Hash = 1469598103934665603ull;
+  for (char C : Text) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+/// Order-sensitive 64-bit hash accumulator (boost::hash_combine-style
+/// mixing). Distinct uses pick distinct seeds so equal value sequences
+/// hashed for different purposes do not collide by construction.
+class HashCombiner {
+public:
+  explicit HashCombiner(uint64_t Seed) : Hash(Seed) {}
+
+  void combine(uint64_t Value) {
+    Hash ^= Value + 0x9E3779B97F4A7C15ull + (Hash << 6) + (Hash >> 2);
+  }
+
+  void combine(const std::string &Text) { combine(fnv1a(Text)); }
+
+  void combineDouble(double Value) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(Value));
+    __builtin_memcpy(&Bits, &Value, sizeof(Bits));
+    combine(Bits);
+  }
+
+  uint64_t value() const { return Hash; }
+
+private:
+  uint64_t Hash;
+};
+
+} // namespace daisy
+
+#endif // DAISY_SUPPORT_HASHING_H

@@ -62,3 +62,12 @@ double Rng::nextDouble() {
 }
 
 bool Rng::nextBool(double P) { return nextDouble() < P; }
+
+uint64_t daisy::deriveSeed(uint64_t Base, uint64_t Stream) {
+  // Scramble the stream index before mixing so adjacent streams of the
+  // same base share no low-bit structure, then run the combination
+  // through SplitMix64 once more.
+  SplitMix64 StreamMixer(Stream);
+  SplitMix64 Seeder(Base ^ StreamMixer.next());
+  return Seeder.next();
+}

@@ -77,6 +77,13 @@ private:
   uint64_t State[4];
 };
 
+/// Derives the seed of an independent Rng stream \p Stream from \p Base by
+/// scrambling both through SplitMix64. Parallel and reordered consumers
+/// (per-rollout draws in the MCTS, per-candidate streams in batch
+/// evaluation) seed their own Rng from (Base, index) so results do not
+/// depend on evaluation order or thread count.
+uint64_t deriveSeed(uint64_t Base, uint64_t Stream);
+
 } // namespace daisy
 
 #endif // DAISY_SUPPORT_RANDOM_H

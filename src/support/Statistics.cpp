@@ -9,8 +9,47 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <mutex>
 
 using namespace daisy;
+
+namespace {
+
+/// Counter registry. A plain map under a mutex: every counted event
+/// (a whole-program simulation, a plan compile) costs orders of magnitude
+/// more than the guarded lookup, so contention is not a concern.
+struct CounterRegistry {
+  std::mutex Mutex;
+  std::map<std::string, int64_t> Counters;
+};
+
+CounterRegistry &registry() {
+  static CounterRegistry R;
+  return R;
+}
+
+} // namespace
+
+void daisy::addStatsCounter(const std::string &Name, int64_t Delta) {
+  CounterRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Counters[Name] += Delta;
+}
+
+int64_t daisy::statsCounter(const std::string &Name) {
+  CounterRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Counters.find(Name);
+  return It == R.Counters.end() ? 0 : It->second;
+}
+
+void daisy::resetStatsCounters() {
+  CounterRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (auto &[Name, Value] : R.Counters)
+    Value = 0;
+}
 
 double daisy::mean(const std::vector<double> &Values) {
   if (Values.empty())

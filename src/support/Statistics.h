@@ -19,10 +19,33 @@
 #define DAISY_SUPPORT_STATISTICS_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace daisy {
+
+//===----------------------------------------------------------------------===//
+// Global named counters
+//===----------------------------------------------------------------------===//
+//
+// Process-wide monotonic counters keyed by dotted names ("SimCache.Hits",
+// "SemEquivBatch.RefCompiles", ...). Subsystems report cheap-to-maintain
+// event counts through these; tests assert on deltas (compile-once
+// guarantees, cache hit rates) and the micro benchmarks report them next
+// to wall-clock numbers. Increments are thread-safe — batch evaluation
+// bumps them from pool workers.
+
+/// Adds \p Delta to counter \p Name (registering it on first use).
+void addStatsCounter(const std::string &Name, int64_t Delta = 1);
+
+/// Current value of counter \p Name; 0 if it was never touched.
+int64_t statsCounter(const std::string &Name);
+
+/// Resets every registered counter to 0 (tests and benches isolate their
+/// measurement windows with this).
+void resetStatsCounters();
 
 /// Arithmetic mean of \p Values; 0 for an empty vector.
 double mean(const std::vector<double> &Values);

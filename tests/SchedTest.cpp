@@ -7,10 +7,12 @@
 #include "exec/Interpreter.h"
 #include "ir/Builder.h"
 #include "normalize/Pipeline.h"
+#include "sched/Evaluator.h"
 #include "sched/FrameworkModels.h"
 #include "ir/StructuralHash.h"
 #include "sched/Idiom.h"
 #include "sched/Schedulers.h"
+#include "support/Statistics.h"
 
 #include <gtest/gtest.h>
 
@@ -66,6 +68,209 @@ SearchBudget tinyBudget() {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// SimCache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// gemm with every iterator (loops and subscripts) spelled as given —
+/// unlike makeGemmVariant, which only permutes the loop order.
+Program makeRenamedGemm(const std::string &I, const std::string &J,
+                        const std::string &K, int N) {
+  Program Prog("gemm");
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      I, 0, N,
+      {forLoop(J, 0, N,
+               {forLoop(K, 0, N,
+                        {assign("S0", "C", {ax(I), ax(J)},
+                                read("C", {ax(I), ax(J)}) +
+                                    lit(1.5) * read("A", {ax(I), ax(K)}) *
+                                        read("B", {ax(K), ax(J)}))})})}));
+  return Prog;
+}
+
+} // namespace
+
+TEST(SimCacheTest, HitsOnStructurallyIdenticalNests) {
+  // Same nest modulo iterator spelling: the canonicalized hash matches,
+  // so the second simulation is served from the cache.
+  Program P1 = makeRenamedGemm("i", "j", "k", 16);
+  Program P2 = makeRenamedGemm("x", "y", "z", 16);
+  ASSERT_TRUE(structurallyEqual(P1.topLevel()[0], P2.topLevel()[0]));
+  SimOptions Options;
+  resetStatsCounters();
+  SimCache Cache;
+  double S1 = Cache.seconds(P1, Options);
+  double S2 = Cache.seconds(P2, Options);
+  EXPECT_EQ(S1, S2);
+  EXPECT_EQ(statsCounter("SimCache.Misses"), 1);
+  EXPECT_EQ(statsCounter("SimCache.Hits"), 1);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(SimCacheTest, MissesOnDifferingSimOptions) {
+  Program Prog = makeGemmVariant("i", "j", "k", 16);
+  SimOptions OneThread;
+  SimOptions FourThreads;
+  FourThreads.Threads = 4;
+  resetStatsCounters();
+  SimCache Cache;
+  Cache.seconds(Prog, OneThread);
+  Cache.seconds(Prog, FourThreads);
+  EXPECT_EQ(statsCounter("SimCache.Misses"), 2);
+  EXPECT_EQ(statsCounter("SimCache.Hits"), 0);
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST(SimCacheTest, MissesOnDifferingMarks) {
+  // structuralHash ignores scheduling marks; the cache key must not —
+  // a parallel-marked nest simulates to a different runtime.
+  Program Plain = makeGemmVariant("i", "j", "k", 16);
+  Program Marked = Plain.clone();
+  dynCast<Loop>(Marked.topLevel()[0])->setParallel(true);
+  ASSERT_EQ(structuralHash(Plain.topLevel()[0]),
+            structuralHash(Marked.topLevel()[0]));
+  SimOptions Options;
+  Options.Threads = 4;
+  resetStatsCounters();
+  SimCache Cache;
+  Cache.seconds(Plain, Options);
+  Cache.seconds(Marked, Options);
+  EXPECT_EQ(statsCounter("SimCache.Misses"), 2);
+  EXPECT_EQ(statsCounter("SimCache.Hits"), 0);
+}
+
+TEST(SimCacheTest, CachedValueMatchesUncachedEvaluation) {
+  Program Prog = makeGemmVariant("i", "j", "k", 16);
+  Recipe R = Recipe::defaultParallelRecipe();
+  EvalConfig Cached;
+  Cached.NumThreads = 1;
+  EvalConfig Uncached;
+  Uncached.NumThreads = 1;
+  Uncached.EnableCache = false;
+  Evaluator WithCache(fastOptions(), Cached);
+  Evaluator WithoutCache(fastOptions(), Uncached);
+  double First = WithCache.recipeSeconds(Prog, 0, R);
+  double Second = WithCache.recipeSeconds(Prog, 0, R); // served from cache
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(First, WithoutCache.recipeSeconds(Prog, 0, R));
+  EXPECT_EQ(First, evaluateRecipe(R, Prog, 0, fastOptions()));
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluator batches
+//===----------------------------------------------------------------------===//
+
+TEST(EvaluatorTest, BatchMatchesSerialAtEveryThreadCount) {
+  Program Prog = makeGemmVariant("j", "k", "i", 16);
+  std::vector<Recipe> Recipes;
+  Recipes.push_back(Recipe::defaultParallelRecipe());
+  Recipes.push_back(Recipe::blasRecipe());
+  Rng Rand(3);
+  for (int I = 0; I < 6; ++I)
+    Recipes.push_back(mutateRecipe(Recipe::defaultParallelRecipe(), 3, Rand));
+
+  std::vector<double> Reference;
+  for (const Recipe &R : Recipes)
+    Reference.push_back(evaluateRecipe(R, Prog, 0, fastOptions()));
+
+  for (int Threads : {1, 2, 4})
+    for (bool Cache : {false, true}) {
+      EvalConfig Config;
+      Config.NumThreads = Threads;
+      Config.EnableCache = Cache;
+      Evaluator Eval(fastOptions(), Config);
+      std::vector<double> Batch = Eval.recipeSecondsBatch(Prog, 0, Recipes);
+      ASSERT_EQ(Batch.size(), Reference.size());
+      for (size_t I = 0; I < Batch.size(); ++I)
+        EXPECT_EQ(Batch[I], Reference[I])
+            << "threads=" << Threads << " cache=" << Cache << " i=" << I;
+    }
+}
+
+TEST(EvaluatorTest, SharedContextIsNotMutated) {
+  Program Prog = makeGemmVariant("i", "j", "k", 16);
+  uint64_t Before = structuralHashWithMarks(Prog.topLevel()[0]);
+  Evaluator Eval(fastOptions());
+  Eval.recipeSeconds(Prog, 0, Recipe::defaultParallelRecipe());
+  EXPECT_EQ(structuralHashWithMarks(Prog.topLevel()[0]), Before);
+  EXPECT_EQ(Prog.topLevel().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Search determinism matrix
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Joined digest of an ordered recipe list.
+std::string recipesDigest(const std::vector<Recipe> &Recipes) {
+  std::string Result;
+  for (const Recipe &R : Recipes)
+    Result += R.toString() + "\n";
+  return Result;
+}
+
+/// Runs \p Body under every (threads, cache) evaluator configuration and
+/// expects the digest it returns to be identical everywhere.
+template <typename Fn> void expectDeterministicAcrossConfigs(const Fn &Body) {
+  std::string Reference;
+  for (int Threads : {1, 2, 4})
+    for (bool Cache : {false, true}) {
+      EvalConfig Config;
+      Config.NumThreads = Threads;
+      Config.EnableCache = Cache;
+      Evaluator Eval(fastOptions(), Config);
+      std::string Digest = Body(Eval);
+      if (Reference.empty())
+        Reference = Digest;
+      EXPECT_EQ(Digest, Reference)
+          << "diverged at threads=" << Threads << " cache=" << Cache;
+    }
+}
+
+} // namespace
+
+TEST(SearchDeterminismTest, MctsCandidatesMatrix) {
+  Program Prog = makeGemmVariant("j", "k", "i", 16);
+  expectDeterministicAcrossConfigs([&](Evaluator &Eval) {
+    return recipesDigest(
+        mctsCandidates(Prog, 0, Eval, tinyBudget(), /*TopK=*/3));
+  });
+}
+
+TEST(SearchDeterminismTest, EvolveRecipeMatrix) {
+  Program Prog = makeGemmVariant("i", "j", "k", 16);
+  expectDeterministicAcrossConfigs([&](Evaluator &Eval) {
+    TransferTuningDatabase Db;
+    Rng Rand(7);
+    return evolveRecipe(Prog, 0, Db, Eval, tinyBudget(), Rand).toString();
+  });
+}
+
+TEST(SearchDeterminismTest, SeedDatabaseMatrix) {
+  // Two-nest program (scale + matmul after normalization stays one nest
+  // each); idioms disabled so every nest runs the evolutionary search.
+  Program Prog = makeGemmVariant("i", "j", "k", 16);
+  DaisyOptions Options;
+  Options.Idioms.clear();
+  expectDeterministicAcrossConfigs([&](Evaluator &Eval) {
+    TransferTuningDatabase Db;
+    Rng Rand(7);
+    DaisyScheduler::seedDatabase(Db, Prog, Eval, tinyBudget(), Rand,
+                                 Options);
+    std::string Digest;
+    for (const DatabaseEntry &Entry : Db.entries())
+      Digest += Entry.Name + "#" + std::to_string(Entry.CanonicalHash) +
+                "=" + Entry.Optimization.toString() + "\n";
+    return Digest;
+  });
+}
 
 //===----------------------------------------------------------------------===//
 // Embeddings
