@@ -15,6 +15,7 @@
 #ifndef DAISY_BENCH_BENCHCOMMON_H
 #define DAISY_BENCH_BENCHCOMMON_H
 
+#include "api/Engine.h"
 #include "frontends/PolyBench.h"
 #include "machine/Simulator.h"
 #include "sched/FrameworkModels.h"
@@ -67,17 +68,25 @@ inline std::optional<double> scheduleAndMeasure(Scheduler &S,
   return measureSeconds(*Scheduled, Options);
 }
 
-/// Seeds the transfer-tuning database from all 15 PolyBench A variants
-/// (paper §4, "Seeding a Scheduling Database").
+/// Engine configuration of all experiments: the bench machine model on
+/// \p Threads simulated cores, default plan/evaluator settings.
+inline EngineOptions benchEngineOptions(int Threads = 1) {
+  EngineOptions Options;
+  Options.Sim = machineOptions(Threads);
+  return Options;
+}
+
+/// Seeds the engine's transfer-tuning database from all 15 PolyBench A
+/// variants (paper §4, "Seeding a Scheduling Database"). One engine means
+/// one Evaluator, so the simulation cache carries from benchmark to
+/// benchmark.
 inline std::shared_ptr<TransferTuningDatabase>
-seedPolyBenchDatabase(const SimOptions &Options) {
-  auto Db = std::make_shared<TransferTuningDatabase>();
-  Rng Rand(0xDA15Eull);
-  for (PolyBenchKernel Kernel : allPolyBenchKernels()) {
-    Program A = buildPolyBench(Kernel, VariantKind::A);
-    DaisyScheduler::seedDatabase(*Db, A, Options, benchBudget(), Rand);
-  }
-  return Db;
+seedPolyBenchDatabase(Engine &Eng) {
+  TuneOptions Tune;
+  Tune.Budget = benchBudget();
+  for (PolyBenchKernel Kernel : allPolyBenchKernels())
+    Eng.seedDatabase(buildPolyBench(Kernel, VariantKind::A), Tune);
+  return Eng.databasePtr();
 }
 
 /// Prints one row of a normalized-runtime table.

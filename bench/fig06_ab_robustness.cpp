@@ -22,7 +22,8 @@ int main() {
 
   std::printf("Seeding the transfer-tuning database from the normalized A "
               "variants...\n");
-  auto Db = seedPolyBenchDatabase(Par);
+  Engine Eng(benchEngineOptions(8));
+  auto Db = seedPolyBenchDatabase(Eng);
   std::printf("database entries: %zu\n\n", Db->size());
 
   DaisyScheduler Daisy(Db);

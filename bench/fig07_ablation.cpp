@@ -20,7 +20,8 @@ int main() {
   SimOptions Par = machineOptions(8);
 
   std::printf("Seeding the transfer-tuning database...\n");
-  auto Db = seedPolyBenchDatabase(Par);
+  Engine Eng(benchEngineOptions(8));
+  auto Db = seedPolyBenchDatabase(Eng);
 
   ClangScheduler Clang;
   DaisyOptions OptOnlyOptions;

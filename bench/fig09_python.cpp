@@ -22,7 +22,8 @@ int main() {
 
   std::printf("Seeding the transfer-tuning database from the C A "
               "variants...\n");
-  auto Db = seedPolyBenchDatabase(Par);
+  Engine Eng(benchEngineOptions(8));
+  auto Db = seedPolyBenchDatabase(Eng);
 
   DaisyScheduler Daisy(Db);
   DaisyOptions NoNormOptions;

@@ -1,23 +1,25 @@
-//===- examples/quickstart.cpp - build, normalize, schedule, measure ------==//
+//===- examples/quickstart.cpp - build, optimize, run ---------------------==//
 //
 // Part of the daisy project. MIT license.
 //
-// The five-minute tour: construct a loop nest in the IR, normalize it,
-// let the daisy auto-scheduler optimize it, and compare simulated
-// runtimes. Build and run:
+// The five-minute tour of the public API: construct a loop nest in the
+// IR, hand it to a daisy::Engine, and run the optimized daisy::Kernel on
+// your own buffers — compile once, run many, from any number of threads.
+// Build and run:
 //
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/quickstart
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Engine.h"
 #include "ir/Builder.h"
 #include "ir/Printer.h"
 #include "machine/Simulator.h"
-#include "normalize/Pipeline.h"
-#include "sched/Schedulers.h"
+#include "support/Statistics.h"
 
 #include <cstdio>
+#include <vector>
 
 using namespace daisy;
 
@@ -39,27 +41,47 @@ int main() {
                                         read("B", {ax("k"), ax("j")}))})})}));
   std::printf("--- input program ---\n%s\n", printProgram(Prog).c_str());
 
-  // 2. Normalize: maximal fission + stride minimization (paper Fig. 5).
-  NormalizationStats Stats;
-  Program Norm = normalize(Prog, {}, &Stats);
-  std::printf("--- after a priori normalization ---\n%s\n",
-              printProgram(Norm).c_str());
-  std::printf("(nests permuted: %d, permutations enumerated: %d)\n\n",
-              Stats.StrideMin.NestsPermuted,
-              Stats.StrideMin.EnumeratedPermutations);
+  // 2. One Engine per process (or per machine configuration). It owns the
+  //    plan cache, the transfer-tuning database, and the search evaluator.
+  Engine Eng;
 
-  // 3. Schedule with daisy: the canonical form matches the BLAS-3 GEMM
-  //    idiom, so the nest becomes a library call.
-  auto Db = std::make_shared<TransferTuningDatabase>();
-  DaisyScheduler Daisy(Db);
-  Program Scheduled = *Daisy.schedule(Prog);
-  std::printf("--- after daisy scheduling ---\n%s\n",
-              printProgram(Scheduled).c_str());
+  // 3. Optimize end to end: a priori normalization (paper Fig. 5), BLAS-3
+  //    idiom replacement, transfer tuning, and compilation in one call.
+  //    The canonical form matches the GEMM idiom, so the nest becomes a
+  //    library call.
+  Kernel Optimized = Eng.optimize(Prog);
+  std::printf("--- after daisy optimization ---\n%s\n",
+              printProgram(Optimized.program()).c_str());
 
-  // 4. Measure on the simulated machine.
+  // 4. Run the kernel on caller-owned storage — zero-copy. Bindings are
+  //    validated against the program's array declarations, so a shape
+  //    mismatch is a diagnostic, not UB.
+  std::vector<double> A(N * N), B(N * N), C(N * N);
+  for (int I = 0; I < N * N; ++I) {
+    A[I] = 0.001 * I;
+    B[I] = I % 7;
+    C[I] = 0.0;
+  }
+  ArgBinding Args;
+  Args.bind("A", A).bind("B", B).bind("C", C);
+  if (RunStatus Status = Optimized.run(Args); !Status)
+    std::printf("run failed: %s\n", Status.Error.c_str());
+  std::printf("C[0][0] = %.6f, C[%d][%d] = %.6f\n", C[0], N - 1, N - 1,
+              C[N * N - 1]);
+
+  // 5. Compile-once, run-many: asking the engine again for the same
+  //    program hits the plan cache instead of recompiling.
+  Kernel Again = Eng.optimize(Prog);
+  std::printf("\nplan cache: %lld compiles, %lld hits (handles share one "
+              "kernel: %s)\n",
+              static_cast<long long>(statsCounter("Engine.PlanCompiles")),
+              static_cast<long long>(statsCounter("Engine.PlanCacheHits")),
+              &Again.plan() == &Optimized.plan() ? "yes" : "no");
+
+  // 6. Measure the schedule on the simulated machine.
   SimOptions Options;
   double Before = simulateProgram(Prog, Options).Seconds;
-  double After = simulateProgram(Scheduled, Options).Seconds;
+  double After = simulateProgram(Optimized.program(), Options).Seconds;
   std::printf("simulated runtime: %.6f s -> %.6f s  (%.1fx)\n", Before,
               After, Before / After);
   return 0;

@@ -7,47 +7,50 @@
 // the structurally different B variant: after normalization both reduce
 // to the same canonical nests, so the recipes transfer.
 //
+// Everything runs through the daisy::Engine facade: the engine owns the
+// database, the search evaluator (one simulation cache for the whole
+// session), and the plan cache behind Engine::optimize.
+//
 //===----------------------------------------------------------------------===//
 
+#include "api/Engine.h"
 #include "frontends/PolyBench.h"
 #include "machine/Simulator.h"
-#include "sched/Schedulers.h"
 
 #include <cstdio>
 
 using namespace daisy;
 
 int main() {
-  SimOptions Options;
-  Options.Threads = 8;
-  SearchBudget Budget;
-  Budget.MctsRollouts = 16;
-  Budget.PopulationSize = 4;
-  Budget.IterationsPerEpoch = 2;
-  Budget.Epochs = 2;
+  EngineOptions Options;
+  Options.Sim.Threads = 8; // the simulated machine tuning targets
+  Engine Eng(Options);
+
+  TuneOptions Tune;
+  Tune.Budget.MctsRollouts = 16;
+  Tune.Budget.PopulationSize = 4;
+  Tune.Budget.IterationsPerEpoch = 2;
+  Tune.Budget.Epochs = 2;
 
   std::printf("=== transfer tuning: atax A -> atax B ===\n\n");
   Program A = buildPolyBench(PolyBenchKernel::Atax, VariantKind::A);
   Program B = buildPolyBench(PolyBenchKernel::Atax, VariantKind::B);
 
   // Seed from the A variant (evolutionary search over recipes).
-  auto Db = std::make_shared<TransferTuningDatabase>();
-  Rng Rand(42);
   std::printf("seeding database from '%s' (A variant)...\n",
               A.name().c_str());
-  DaisyScheduler::seedDatabase(*Db, A, Options, Budget, Rand);
-  for (const DatabaseEntry &Entry : Db->entries())
+  Eng.seedDatabase(A, Tune);
+  for (const DatabaseEntry &Entry : Eng.database().entries())
     std::printf("  %-16s -> %s\n", Entry.Name.c_str(),
                 Entry.Optimization.toString().c_str());
 
   // Apply to both variants.
-  DaisyScheduler Daisy(Db);
   double TimeA =
-      simulateProgram(*Daisy.schedule(A), Options).Seconds;
+      simulateProgram(Eng.schedule(A, Tune), Options.Sim).Seconds;
   double TimeB =
-      simulateProgram(*Daisy.schedule(B), Options).Seconds;
-  double RawA = simulateProgram(A, Options).Seconds;
-  double RawB = simulateProgram(B, Options).Seconds;
+      simulateProgram(Eng.schedule(B, Tune), Options.Sim).Seconds;
+  double RawA = simulateProgram(A, Options.Sim).Seconds;
+  double RawB = simulateProgram(B, Options.Sim).Seconds;
 
   std::printf("\n%-22s  %12s  %12s\n", "", "A variant", "B variant");
   std::printf("%-22s  %12.6f  %12.6f\n", "unoptimized [s]", RawA, RawB);

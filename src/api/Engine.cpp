@@ -1,0 +1,215 @@
+//===- api/Engine.cpp -----------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Engine.h"
+
+#include "ir/StructuralHash.h"
+#include "support/Hashing.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+using namespace daisy;
+
+namespace {
+
+#ifndef NDEBUG
+/// Collision insurance for the 64-bit cache key: a hit must hand back a
+/// kernel whose snapshot really is the requested program (modulo the
+/// iterator renamings the key canonicalizes away). Debug-only — a false
+/// hit would silently execute the wrong program.
+bool sameProgramForExecution(const Program &A, const Program &B) {
+  if (A.topLevel().size() != B.topLevel().size() ||
+      A.arrays().size() != B.arrays().size() || A.params() != B.params())
+    return false;
+  for (size_t I = 0; I < A.arrays().size(); ++I) {
+    const ArrayDecl &DA = A.arrays()[I], &DB = B.arrays()[I];
+    if (DA.Name != DB.Name || DA.Shape != DB.Shape ||
+        DA.Transient != DB.Transient)
+      return false;
+  }
+  for (size_t I = 0; I < A.topLevel().size(); ++I)
+    if (!structurallyEqual(A.topLevel()[I], B.topLevel()[I]))
+      return false;
+  return true;
+}
+#endif
+
+
+/// Cache identity of compiling \p Prog under \p Options. The marks-aware
+/// structural hash covers the nest structure and scheduling marks, the
+/// data digest covers array declarations and bound parameter values
+/// (both folded into the compiled plan), and the options digest covers
+/// the resolved thread count and specialization flag.
+uint64_t planKey(const Program &Prog, const PlanOptions &Options) {
+  HashCombiner D(0x656E67696E65ull); // "engine"
+  D.combine(structuralHashWithMarks(Prog));
+  D.combine(programDataDigest(Prog));
+  D.combine(planOptionsDigest(Options));
+  return D.value();
+}
+
+/// Engines constructed over the same shared database must serialize
+/// against each other, not just against themselves: the registry hands
+/// every engine holding the same database instance the same mutex.
+/// Entries are never removed — a process hosts a handful of engines, and
+/// an address-reused key would only mean sharing a mutex with a
+/// stranger (harmless contention), never a dangling reference.
+std::mutex &dbMutexFor(const TransferTuningDatabase *Db) {
+  static std::mutex RegistryMutex;
+  static std::unordered_map<const TransferTuningDatabase *,
+                            std::unique_ptr<std::mutex>>
+      Registry;
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  std::unique_ptr<std::mutex> &Slot = Registry[Db];
+  if (!Slot)
+    Slot = std::make_unique<std::mutex>();
+  return *Slot;
+}
+
+} // namespace
+
+Engine::Engine(EngineOptions Options)
+    : Opts(std::move(Options)),
+      Db(Opts.Database ? Opts.Database
+                       : std::make_shared<TransferTuningDatabase>()),
+      Eval(Opts.Sim, Opts.Eval), DbMutex(dbMutexFor(Db.get())) {}
+
+Engine::~Engine() = default;
+
+Kernel Engine::compile(const Program &Prog) {
+  return compile(Prog, Opts.Plan);
+}
+
+Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
+  if (Opts.PlanCacheCapacity == 0) {
+    addStatsCounter("Engine.PlanCompiles");
+    return Kernel::compile(Prog, Options);
+  }
+  uint64_t Key = planKey(Prog, Options);
+  // First requester of a key claims it by inserting a pending future and
+  // compiles outside the lock; later requesters of the same key wait on
+  // that future (compile-once, counter-asserted), while requests for
+  // every other key — hit or miss — proceed without stalling behind the
+  // in-flight compile.
+  std::promise<Kernel> Claimed;
+  std::shared_future<Kernel> Result;
+  bool CompileHere = false;
+  uint64_t MyClaim = 0;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    ++Tick;
+    auto It = PlanCache.find(Key);
+    if (It != PlanCache.end()) {
+      addStatsCounter("Engine.PlanCacheHits");
+      It->second.Tick = Tick;
+      Result = It->second.K;
+      assert((It->second.K.wait_for(std::chrono::seconds(0)) !=
+                  std::future_status::ready ||
+              sameProgramForExecution(Prog, It->second.K.get().program())) &&
+             "plan-cache key collision: hit returned a different program");
+    } else {
+      addStatsCounter("Engine.PlanCacheMisses");
+      addStatsCounter("Engine.PlanCompiles");
+      if (PlanCache.size() >= Opts.PlanCacheCapacity) {
+        // Waiters of an evicted in-flight entry keep their own
+        // shared_future copy, so eviction never invalidates a wait.
+        auto Oldest = PlanCache.begin();
+        for (auto Entry = PlanCache.begin(); Entry != PlanCache.end();
+             ++Entry)
+          if (Entry->second.Tick < Oldest->second.Tick)
+            Oldest = Entry;
+        PlanCache.erase(Oldest);
+        addStatsCounter("Engine.PlanCacheEvictions");
+      }
+      Result = Claimed.get_future().share();
+      MyClaim = Tick;
+      PlanCache.emplace(Key, CacheEntry{Result, Tick, MyClaim});
+      CompileHere = true;
+    }
+  }
+  if (CompileHere) {
+    try {
+      Claimed.set_value(Kernel::compile(Prog, Options));
+    } catch (...) {
+      // Do not leave a forever-broken promise in the cache: waiters get
+      // the real error, later requests recompile from scratch. Erase
+      // only this thread's own claim — the entry at Key may meanwhile be
+      // a different claimant's (ours evicted, key re-claimed).
+      {
+        std::lock_guard<std::mutex> Lock(CacheMutex);
+        auto It = PlanCache.find(Key);
+        if (It != PlanCache.end() && It->second.Claim == MyClaim)
+          PlanCache.erase(It);
+      }
+      Claimed.set_exception(std::current_exception());
+    }
+  }
+  return Result.get();
+}
+
+Program Engine::schedule(const Program &Prog, const TuneOptions &Options) {
+  // Transfer lookups iterate the database's entry vector, which a
+  // concurrent seedDatabase may grow — but the scheduling pipeline
+  // around them (normalization, idiom matching) has no business inside
+  // the lock. Snapshot the entries briefly and schedule unlocked, so
+  // concurrent schedule/optimize calls run fully in parallel.
+  auto Snapshot = std::make_shared<TransferTuningDatabase>();
+  {
+    std::lock_guard<std::mutex> Lock(DbMutex);
+    *Snapshot = *Db;
+  }
+  DaisyScheduler Daisy(std::move(Snapshot), Options.Daisy);
+  std::optional<Program> Result = Daisy.schedule(Prog);
+  assert(Result && "the daisy scheduler applies to every program");
+  return std::move(*Result);
+}
+
+Kernel Engine::optimize(const Program &Prog, const TuneOptions &Options) {
+  return compile(schedule(Prog, Options), Opts.Plan);
+}
+
+void Engine::seedDatabase(const Program &AVariant,
+                          const TuneOptions &Options) {
+  // Per-program stream: a program's random draws are independent of the
+  // order the A variants are fed in (multi-epoch searches still consult
+  // the similar entries seeded so far — see TuneOptions::SearchSeed).
+  Rng Rand(deriveSeed(Options.SearchSeed, structuralHash(AVariant)));
+  // The evolutionary search takes seconds; running it under DbMutex
+  // would stall every concurrent schedule/optimize. Search against a
+  // snapshot (the re-seeding neighbours the search consults are the
+  // entries visible at call time, exactly as a serial caller sees them)
+  // and merge only the new entries under the lock.
+  TransferTuningDatabase Local;
+  {
+    std::lock_guard<std::mutex> Lock(DbMutex);
+    Local = *Db;
+  }
+  size_t Before = Local.size();
+  DaisyScheduler::seedDatabase(Local, AVariant, Eval, Options.Budget, Rand,
+                               Options.Daisy);
+  std::lock_guard<std::mutex> Lock(DbMutex);
+  for (size_t I = Before; I < Local.entries().size(); ++I)
+    Db->insert(Local.entries()[I]);
+}
+
+size_t Engine::planCacheSize() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return PlanCache.size();
+}
+
+void Engine::clearPlanCache() {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  PlanCache.clear();
+}
+
+Engine &Engine::shared() {
+  static Engine Shared;
+  return Shared;
+}

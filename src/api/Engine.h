@@ -1,0 +1,168 @@
+//===- api/Engine.h - Compile-once service facade ----------------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-once half of the public facade (api/Kernel.h is the
+/// run-many half).
+///
+/// An Engine is the long-lived service object a daisy-embedding system
+/// creates once and serves traffic from: it owns
+///
+/// - a plan cache mapping structurally identical programs (marks-aware
+///   structural hash + program data digest + resolved plan options) to
+///   one shared compiled Kernel, with LRU eviction at a configurable
+///   capacity and hit/miss/compile counters in support/Statistics
+///   ("Engine.PlanCacheHits" / "Engine.PlanCacheMisses" /
+///   "Engine.PlanCompiles");
+/// - a TransferTuningDatabase (engine-owned by default, shareable across
+///   engines via EngineOptions);
+/// - the search Evaluator — one simulation cache and one batch-thread
+///   configuration for every optimize/seedDatabase call this engine runs,
+///   so tuning state accumulates across programs the way the paper's
+///   database seeding expects.
+///
+/// Engine::optimize chains the paper's whole pipeline — a priori
+/// normalization, BLAS idiom replacement, transfer tuning from the
+/// database — and compiles the scheduled program in one call. All entry
+/// points are thread-safe; the free functions interpret() / runProgram()
+/// / semanticallyEquivalent() route through a process-wide
+/// Engine::shared() so repeated executions of the same program compile
+/// once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_API_ENGINE_H
+#define DAISY_API_ENGINE_H
+
+#include "api/Kernel.h"
+#include "machine/Simulator.h"
+#include "sched/Evaluator.h"
+#include "sched/Schedulers.h"
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace daisy {
+
+/// Construction-time configuration of an Engine (options-struct + handle
+/// style: everything an engine holds fixed for its lifetime).
+struct EngineOptions {
+  /// Default compile options of compile(Prog) and optimize().
+  PlanOptions Plan;
+  /// Machine model the engine's Evaluator scores candidates on.
+  SimOptions Sim;
+  /// Concurrency and memoization of the engine's Evaluator.
+  EvalConfig Eval;
+  /// Plan-cache capacity in entries; least-recently-used kernels are
+  /// evicted beyond it. 0 disables caching (every compile() compiles).
+  size_t PlanCacheCapacity = 1024;
+  /// Transfer-tuning database to share; null allocates an engine-owned
+  /// empty database.
+  std::shared_ptr<TransferTuningDatabase> Database;
+};
+
+/// Per-call knobs of the tuning entry points.
+struct TuneOptions {
+  /// Normalization / idiom / transfer configuration of the daisy
+  /// scheduler.
+  DaisyOptions Daisy;
+  /// Search budget of seedDatabase's evolutionary runs.
+  SearchBudget Budget;
+  /// Base seed of seedDatabase's random streams. The effective stream is
+  /// derived per program from (SearchSeed, structuralHash(program)), so
+  /// the *random draws* of a program's search never depend on what was
+  /// seeded before it. (With Budget.Epochs > 1 the search additionally
+  /// re-seeds its population from the most similar database entries —
+  /// the paper's design — so results still reflect seeding order through
+  /// that deliberate channel.)
+  uint64_t SearchSeed = 0xDA15Eull;
+};
+
+/// The service facade. Thread-safe; create one per machine configuration
+/// and share it.
+class Engine {
+public:
+  explicit Engine(EngineOptions Options = {});
+  ~Engine();
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Compiles \p Prog with the engine's default plan options, reusing the
+  /// cached kernel when a structurally identical program (same marks,
+  /// arrays, parameter values) was compiled with the same options before.
+  Kernel compile(const Program &Prog);
+
+  /// Compiles with explicit plan options (cached under those options).
+  Kernel compile(const Program &Prog, const PlanOptions &Options);
+
+  /// The paper's pipeline without execution: normalize, replace BLAS
+  /// idioms, transfer-tune from the database. Returns the scheduled
+  /// program for inspection or simulation.
+  Program schedule(const Program &Prog, const TuneOptions &Options = {});
+
+  /// schedule() followed by compile(): one call from source program to
+  /// runnable kernel.
+  Kernel optimize(const Program &Prog, const TuneOptions &Options = {});
+
+  /// Seeds the engine's database from \p AVariant (paper §4, "Seeding a
+  /// Scheduling Database") through the engine's shared Evaluator, so the
+  /// simulation cache carries from program to program.
+  void seedDatabase(const Program &AVariant, const TuneOptions &Options = {});
+
+  /// Direct database access. The engine's own entry points (schedule /
+  /// optimize / seedDatabase) synchronize their reads and writes against
+  /// each other; mutating the database through this reference while
+  /// another thread is inside one of them is the caller's race to avoid.
+  TransferTuningDatabase &database() { return *Db; }
+  const std::shared_ptr<TransferTuningDatabase> &databasePtr() const {
+    return Db;
+  }
+
+  /// The engine's candidate-scoring evaluator (shared simulation cache).
+  Evaluator &evaluator() { return Eval; }
+
+  const EngineOptions &options() const { return Opts; }
+
+  /// Number of kernels currently cached.
+  size_t planCacheSize() const;
+
+  /// Drops every cached kernel (outstanding Kernel handles stay valid;
+  /// the next compile of any program recompiles).
+  void clearPlanCache();
+
+  /// The process-wide engine behind the exec-layer free functions
+  /// (default options; DAISY_THREADS-resolved plan threading).
+  static Engine &shared();
+
+private:
+  EngineOptions Opts;
+  std::shared_ptr<TransferTuningDatabase> Db;
+  Evaluator Eval;
+
+  /// Serializes database writes (seedDatabase) against database reads
+  /// (schedule / optimize), which iterate the entry vector. Engines
+  /// sharing one database (EngineOptions::Database) resolve to the same
+  /// mutex, so the thread-safety contract holds across engines too.
+  std::mutex &DbMutex;
+
+  /// Entries hold a future so a cold compile blocks only requests for
+  /// the *same* program; hits on other keys never wait behind it.
+  struct CacheEntry {
+    std::shared_future<Kernel> K;
+    uint64_t Tick = 0;  ///< Last-use stamp for LRU eviction.
+    uint64_t Claim = 0; ///< Tick at insertion; identifies the claimant.
+  };
+  mutable std::mutex CacheMutex;
+  std::unordered_map<uint64_t, CacheEntry> PlanCache;
+  uint64_t Tick = 0;
+};
+
+} // namespace daisy
+
+#endif // DAISY_API_ENGINE_H

@@ -1,0 +1,174 @@
+//===- api/Kernel.cpp -----------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+using namespace daisy;
+
+namespace daisy {
+
+/// The shared state behind Kernel handles: the program snapshot, its
+/// compiled plan, and a pool of reusable per-run contexts. The program
+/// and plan are immutable after construction; the pool is mutex-guarded.
+class KernelImpl {
+public:
+  KernelImpl(const Program &P, const PlanOptions &Options)
+      : Prog(P.clone()), Plan(ExecPlan::compile(Prog, Options)) {}
+
+  /// One run's worth of reusable state: the exec-layer scratch, the slot
+  /// table of the zero-copy path, and kernel-managed transient storage
+  /// (per slot; empty vectors for caller-bound slots).
+  struct RunContext {
+    ExecContext Exec;
+    std::vector<BufferRef> Slots;
+    std::vector<std::vector<double>> Transients;
+  };
+
+  std::unique_ptr<RunContext> acquire() const {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    if (!Pool.empty()) {
+      std::unique_ptr<RunContext> Ctx = std::move(Pool.back());
+      Pool.pop_back();
+      return Ctx;
+    }
+    return std::make_unique<RunContext>();
+  }
+
+  void release(std::unique_ptr<RunContext> Ctx) const {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    Pool.push_back(std::move(Ctx));
+  }
+
+  size_t poolSize() const {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    return Pool.size();
+  }
+
+  const Program Prog;
+  const ExecPlan Plan;
+
+private:
+  mutable std::mutex PoolMutex;
+  mutable std::vector<std::unique_ptr<RunContext>> Pool;
+};
+
+} // namespace daisy
+
+namespace {
+
+/// Returns a borrowed context to the pool when the run ends, whichever
+/// way it ends.
+class PooledContext {
+public:
+  explicit PooledContext(const KernelImpl &Impl)
+      : Impl(Impl), Ctx(Impl.acquire()) {}
+  ~PooledContext() { Impl.release(std::move(Ctx)); }
+
+  KernelImpl::RunContext &operator*() { return *Ctx; }
+  KernelImpl::RunContext *operator->() { return Ctx.get(); }
+
+private:
+  const KernelImpl &Impl;
+  std::unique_ptr<KernelImpl::RunContext> Ctx;
+};
+
+} // namespace
+
+Kernel Kernel::compile(const Program &Prog, const PlanOptions &Options) {
+  return Kernel(std::make_shared<const KernelImpl>(Prog, Options));
+}
+
+const Program &Kernel::program() const {
+  assert(Impl && "empty kernel handle");
+  return Impl->Prog;
+}
+
+const ExecPlan &Kernel::plan() const {
+  assert(Impl && "empty kernel handle");
+  return Impl->Plan;
+}
+
+size_t Kernel::contextPoolSize() const {
+  assert(Impl && "empty kernel handle");
+  return Impl->poolSize();
+}
+
+RunStatus Kernel::run(const ArgBinding &Args) const {
+  assert(Impl && "empty kernel handle");
+  const std::vector<ArrayDecl> &Arrays = Impl->Prog.arrays();
+
+  // Validate before touching any state: every binding must name a
+  // declared, non-transient array with its exact element count, and every
+  // non-transient array must end up bound exactly once.
+  std::vector<const BufferRef *> BySlot(Arrays.size(), nullptr);
+  for (const auto &[Name, Ref] : Args.bindings()) {
+    size_t Slot = Arrays.size();
+    for (size_t S = 0; S < Arrays.size(); ++S)
+      if (Arrays[S].Name == Name) {
+        Slot = S;
+        break;
+      }
+    if (Slot == Arrays.size())
+      return {"unknown array '" + Name + "'"};
+    const ArrayDecl &Decl = Arrays[Slot];
+    if (Decl.Transient)
+      return {"array '" + Name +
+              "' is transient (kernel-managed scratch) and cannot be bound"};
+    if (BySlot[Slot])
+      return {"array '" + Name + "' is bound twice"};
+    if (!Ref.Data)
+      return {"array '" + Name + "' is bound to null storage"};
+    size_t Expected = static_cast<size_t>(std::max<int64_t>(
+        Decl.elementCount(), 1));
+    if (Ref.Size != Expected)
+      return {"array '" + Name + "' shape mismatch: bound " +
+              std::to_string(Ref.Size) + " elements, declared " +
+              std::to_string(Expected)};
+    BySlot[Slot] = &Ref;
+  }
+  for (size_t S = 0; S < Arrays.size(); ++S)
+    if (!Arrays[S].Transient && !BySlot[S])
+      return {"array '" + Arrays[S].Name + "' is not bound"};
+
+  PooledContext Ctx(*Impl);
+  Ctx->Slots.resize(Arrays.size());
+  Ctx->Transients.resize(Arrays.size());
+  for (size_t S = 0; S < Arrays.size(); ++S) {
+    if (BySlot[S]) {
+      Ctx->Slots[S] = *BySlot[S];
+      continue;
+    }
+    // Kernel-managed transient scratch: zeroed each run so semantics match
+    // a freshly allocated DataEnv; assign() reuses pooled capacity.
+    std::vector<double> &Buf = Ctx->Transients[S];
+    Buf.assign(static_cast<size_t>(std::max<int64_t>(
+                   Arrays[S].elementCount(), 1)),
+               0.0);
+    Ctx->Slots[S] = {Buf.data(), Buf.size()};
+  }
+  Impl->Plan.run(Ctx->Slots.data(), Ctx->Slots.size(), Ctx->Exec);
+  return {};
+}
+
+void Kernel::run(DataEnv &Env) const {
+  assert(Impl && "empty kernel handle");
+  assert(Env.slotCount() == Impl->Prog.arrays().size() &&
+         "environment was not allocated for this kernel's program");
+  PooledContext Ctx(*Impl);
+  Impl->Plan.run(Env, Ctx->Exec);
+}
+
+DataEnv Kernel::run(uint64_t Seed) const {
+  assert(Impl && "empty kernel handle");
+  DataEnv Env(Impl->Prog);
+  Env.initDeterministic(Seed);
+  run(Env);
+  return Env;
+}

@@ -1,0 +1,144 @@
+//===- api/Kernel.h - Compiled, reusable kernel handle -----------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run-many half of the public facade (api/Engine.h is the
+/// compile-once half).
+///
+/// A Kernel is an immutable compiled program: a snapshot of the Program it
+/// was compiled from plus its ExecPlan, behind a shared handle. Handles
+/// are cheap to copy and safe to share across threads; the engine's plan
+/// cache hands out handles to the same underlying kernel for structurally
+/// identical programs.
+///
+/// Every run borrows a per-run execution context from a pool owned by the
+/// kernel: the register file, tape stack, offset scratch, and
+/// kernel-managed transient storage survive from run to run instead of
+/// being reallocated (the per-thread plan scratch reuse the batch
+/// equivalence checker pioneered, now available to every caller).
+/// Concurrent Kernel::run calls each borrow their own context, so a single
+/// kernel serves any number of threads with results bit-identical to
+/// serial execution.
+///
+/// Three run forms, from fastest to most convenient:
+///
+/// - run(ArgBinding): zero-copy — the caller owns every observable
+///   array's storage and the plan executes directly on it. Bindings are
+///   validated against the program's array declarations (unknown names,
+///   shape mismatches, missing or duplicate arrays are rejected with a
+///   diagnostic instead of UB). Transient arrays introduced by
+///   transformations are kernel-managed scratch and must not be bound.
+/// - run(DataEnv&): executes on a caller-allocated environment (the
+///   classic interpret() contract).
+/// - run(Seed): allocates an environment, fills it deterministically, and
+///   returns it (the classic runProgram() contract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_API_KERNEL_H
+#define DAISY_API_KERNEL_H
+
+#include "exec/DataEnv.h"
+#include "exec/ExecPlan.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace daisy {
+
+/// Outcome of a validated Kernel::run call. Success is an empty error.
+struct RunStatus {
+  std::string Error;
+  bool ok() const { return Error.empty(); }
+  explicit operator bool() const { return ok(); }
+};
+
+/// Caller-owned argument set for the zero-copy run path: array name to
+/// borrowed buffer. The binding holds no sizes or shapes of its own —
+/// validation happens against the kernel's array declarations at run
+/// time, so one ArgBinding can be reused across runs (and across kernels
+/// declaring the same arrays).
+class ArgBinding {
+public:
+  /// Binds \p Array to \p Size elements at \p Data. The memory must stay
+  /// valid for the duration of every run using this binding.
+  ArgBinding &bind(const std::string &Array, double *Data, size_t Size) {
+    Bindings.push_back({Array, {Data, Size}});
+    return *this;
+  }
+
+  /// Convenience: binds \p Array to the contents of \p Storage.
+  ArgBinding &bind(const std::string &Array, std::vector<double> &Storage) {
+    return bind(Array, Storage.data(), Storage.size());
+  }
+
+  const std::vector<std::pair<std::string, BufferRef>> &bindings() const {
+    return Bindings;
+  }
+
+private:
+  std::vector<std::pair<std::string, BufferRef>> Bindings;
+};
+
+class KernelImpl;
+
+/// Shared handle to an immutable compiled program. Default-constructed
+/// handles are empty (boolean-testable); all other members require a
+/// non-empty handle.
+class Kernel {
+public:
+  Kernel() = default;
+
+  /// Compiles \p Prog into a self-contained kernel (the program is
+  /// snapshotted; later caller-side mutation does not affect the kernel).
+  /// Prefer Engine::compile, which memoizes structurally identical
+  /// programs in its plan cache.
+  static Kernel compile(const Program &Prog, const PlanOptions &Options = {});
+
+  explicit operator bool() const { return Impl != nullptr; }
+
+  /// The compiled program snapshot (after any scheduling, for kernels
+  /// produced by Engine::optimize).
+  const Program &program() const;
+
+  /// The compiled execution plan (stats, thread count).
+  const ExecPlan &plan() const;
+
+  /// Zero-copy execution on caller-owned buffers. Validates \p Args
+  /// against the program's array declarations: every non-transient array
+  /// must be bound exactly once with its exact element count; transient
+  /// arrays are kernel-managed scratch (zeroed each run) and must not be
+  /// bound. Thread-safe: concurrent runs borrow separate pooled contexts.
+  RunStatus run(const ArgBinding &Args) const;
+
+  /// Executes on \p Env, which must have been allocated for this
+  /// kernel's program (DataEnv slot order is the contract). Thread-safe
+  /// for distinct environments.
+  void run(DataEnv &Env) const;
+
+  /// Deterministic-init convenience: allocates an environment, fills it
+  /// from \p Seed, runs, and returns it.
+  DataEnv run(uint64_t Seed = 1) const;
+
+  /// Number of idle pooled run contexts (observability; grows to the peak
+  /// run concurrency this kernel has seen).
+  size_t contextPoolSize() const;
+
+private:
+  friend class Engine;
+  explicit Kernel(std::shared_ptr<const KernelImpl> Impl)
+      : Impl(std::move(Impl)) {}
+
+  std::shared_ptr<const KernelImpl> Impl;
+};
+
+} // namespace daisy
+
+#endif // DAISY_API_KERNEL_H

@@ -10,6 +10,7 @@
 #include "blas/Kernels.h"
 #include "exec/EvalOps.h"
 #include "exec/ThreadPool.h"
+#include "support/Hashing.h"
 
 #include <algorithm>
 #include <cassert>
@@ -470,6 +471,31 @@ ExecPlan ExecPlan::compile(const Program &Prog, const PlanOptions &Options) {
   return PlanCompiler(Prog, Options).compile();
 }
 
+uint64_t daisy::planOptionsDigest(const PlanOptions &Options) {
+  HashCombiner D(0x706C616E6F7074ull); // "planopt"
+  D.combine(static_cast<uint64_t>(
+      Options.NumThreads > 0 ? Options.NumThreads
+                             : ThreadPool::defaultThreadCount()));
+  D.combine(Options.EnableSpecialization ? 1ull : 0ull);
+  return D.value();
+}
+
+/// The allocations one executing thread reuses across runs. The root
+/// executor of a run borrows the vectors of the caller's ExecContext;
+/// the per-chunk thread clones of a parallel region own a fresh State
+/// each (their lifetime is one fork).
+struct ExecContext::State {
+  std::vector<int64_t> Regs, LoopHi, Offs, WOffs;
+  std::vector<double> Stack;
+  std::vector<double *> Ptrs;
+  std::vector<size_t> Sizes;
+};
+
+ExecContext::ExecContext() : St(std::make_unique<State>()) {}
+ExecContext::~ExecContext() = default;
+ExecContext::ExecContext(ExecContext &&Other) noexcept = default;
+ExecContext &ExecContext::operator=(ExecContext &&Other) noexcept = default;
+
 namespace {
 
 /// Evaluates a statement's tape over \p Stack. \p Off maps a load access
@@ -526,17 +552,20 @@ namespace daisy {
 /// thread executors clone the parent's state at the fork point.
 class PlanExecutor {
 public:
-  PlanExecutor(const ExecPlan &Plan, DataEnv &Env)
-      : Plan(Plan),
-        Regs(static_cast<size_t>(std::max(Plan.MaxDepth, 1)), 0),
-        LoopHi(Regs.size(), 0), Offs(std::max<size_t>(Plan.MaxLoads, 1)),
-        WOffs(std::max<size_t>(Plan.MaxSubs, 1)),
-        Stack(std::max<size_t>(Plan.MaxStack, 1)),
-        Ptrs(Env.slotCount()), Sizes(Env.slotCount()) {
-    for (size_t Slot = 0; Slot < Env.slotCount(); ++Slot) {
-      Ptrs[Slot] = Env.bufferAt(Slot).data();
-      Sizes[Slot] = Env.bufferAt(Slot).size();
-    }
+  /// Root executor of one run, reusing the allocations of \p S. The
+  /// caller (ExecPlan::run) has already filled S.Ptrs / S.Sizes with the
+  /// slot table; the remaining scratch is sized to the plan here —
+  /// assign/resize keep the capacity a previous run grew, so a pooled
+  /// context makes repeated runs allocation-free.
+  PlanExecutor(const ExecPlan &Plan, ExecContext::State &S)
+      : Plan(Plan), Regs(S.Regs), LoopHi(S.LoopHi), Offs(S.Offs),
+        WOffs(S.WOffs), Stack(S.Stack), Ptrs(S.Ptrs), Sizes(S.Sizes) {
+    size_t Depth = static_cast<size_t>(std::max(Plan.MaxDepth, 1));
+    Regs.assign(Depth, 0);
+    LoopHi.assign(Depth, 0);
+    Offs.resize(std::max<size_t>(Plan.MaxLoads, 1));
+    WOffs.resize(std::max<size_t>(Plan.MaxSubs, 1));
+    Stack.resize(std::max<size_t>(Plan.MaxStack, 1));
   }
 
   /// Thread-local clone for one chunk of parallel op \p Op: copies the
@@ -547,10 +576,17 @@ public:
   /// they are carried so the lastprivate copy-back leaves elements the
   /// loop never writes exactly as serial execution would.
   PlanExecutor(const PlanExecutor &Parent, const PlanOp &Op)
-      : Plan(Parent.Plan), InParallel(true), Regs(Parent.Regs),
-        LoopHi(Parent.LoopHi), Offs(Parent.Offs.size()),
-        WOffs(Parent.WOffs.size()), Stack(Parent.Stack.size()),
-        Ptrs(Parent.Ptrs), Sizes(Parent.Sizes) {
+      : Plan(Parent.Plan), InParallel(true),
+        Owned(std::make_unique<ExecContext::State>()), Regs(Owned->Regs),
+        LoopHi(Owned->LoopHi), Offs(Owned->Offs), WOffs(Owned->WOffs),
+        Stack(Owned->Stack), Ptrs(Owned->Ptrs), Sizes(Owned->Sizes) {
+    Regs = Parent.Regs;
+    LoopHi = Parent.LoopHi;
+    Offs.resize(Parent.Offs.size());
+    WOffs.resize(Parent.WOffs.size());
+    Stack.resize(Parent.Stack.size());
+    Ptrs = Parent.Ptrs;
+    Sizes = Parent.Sizes;
     Privates.reserve(Op.PrivateSlots.size());
     for (const auto &[Slot, Count] : Op.PrivateSlots) {
       const double *Shared = Ptrs[Slot];
@@ -573,10 +609,13 @@ public:
 private:
   const ExecPlan &Plan;
   bool InParallel = false;
-  std::vector<int64_t> Regs, LoopHi, Offs, WOffs;
-  std::vector<double> Stack;
-  std::vector<double *> Ptrs;
-  std::vector<size_t> Sizes;
+  /// Thread clones own their state; the root executor borrows the
+  /// caller's ExecContext. Declared before the references bound to it.
+  std::unique_ptr<ExecContext::State> Owned;
+  std::vector<int64_t> &Regs, &LoopHi, &Offs, &WOffs;
+  std::vector<double> &Stack;
+  std::vector<double *> &Ptrs;
+  std::vector<size_t> &Sizes;
 
   struct PrivateCopy {
     int32_t Slot;
@@ -929,8 +968,41 @@ void PlanExecutor::exec(size_t Begin, size_t End) {
   }
 }
 
+ExecContext::State &ExecPlan::healedState(ExecContext &Ctx) {
+  if (!Ctx.St)
+    Ctx.St = std::make_unique<ExecContext::State>();
+  Ctx.St->Ptrs.clear();
+  Ctx.St->Sizes.clear();
+  return *Ctx.St;
+}
+
 void ExecPlan::run(DataEnv &Env) const {
-  PlanExecutor Executor(*this, Env);
+  ExecContext Ctx;
+  run(Env, Ctx);
+}
+
+void ExecPlan::run(DataEnv &Env, ExecContext &Ctx) const {
+  ExecContext::State &St = healedState(Ctx);
+  St.Ptrs.reserve(Env.slotCount());
+  St.Sizes.reserve(Env.slotCount());
+  for (size_t Slot = 0; Slot < Env.slotCount(); ++Slot) {
+    St.Ptrs.push_back(Env.bufferAt(Slot).data());
+    St.Sizes.push_back(Env.bufferAt(Slot).size());
+  }
+  PlanExecutor Executor(*this, St);
+  Executor.exec(0, Ops.size());
+}
+
+void ExecPlan::run(const BufferRef *Slots, size_t SlotCount,
+                   ExecContext &Ctx) const {
+  ExecContext::State &St = healedState(Ctx);
+  St.Ptrs.reserve(SlotCount);
+  St.Sizes.reserve(SlotCount);
+  for (size_t Slot = 0; Slot < SlotCount; ++Slot) {
+    St.Ptrs.push_back(Slots[Slot].Data);
+    St.Sizes.push_back(Slots[Slot].Size);
+  }
+  PlanExecutor Executor(*this, St);
   Executor.exec(0, Ops.size());
 }
 

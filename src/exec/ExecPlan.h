@@ -52,7 +52,9 @@
 #include "exec/DataEnv.h"
 #include "ir/Program.h"
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -203,6 +205,44 @@ struct PlanOptions {
   bool EnableSpecialization = true;
 };
 
+/// Digest of everything in \p Options a compiled plan depends on, with
+/// NumThreads resolved the way ExecPlan::compile resolves it. Keys the
+/// engine's plan cache (api/Engine.h) together with the marks-aware
+/// structural hash and the program data digest.
+uint64_t planOptionsDigest(const PlanOptions &Options);
+
+/// A non-owning view of one dense double buffer (the element storage of
+/// one declared array). The zero-copy execution path addresses
+/// caller-owned memory through a table of these, one per DataEnv slot.
+struct BufferRef {
+  double *Data = nullptr;
+  size_t Size = 0; ///< Element count, not bytes.
+};
+
+/// Reusable per-run execution scratch: the loop-register file, tape value
+/// stack, hoisted-offset scratch, and slot table one executing thread
+/// needs. ExecPlan::run allocates this state afresh when none is passed;
+/// handing the same context to repeated runs reuses the allocations
+/// instead (the per-run cost drops to a few bounds-checked resizes). A
+/// context is plan-agnostic — it grows to fit whatever plan it is used
+/// with — but must not be shared by concurrently executing runs; pool one
+/// context per thread (api/Kernel.h does exactly that).
+class ExecContext {
+public:
+  ExecContext();
+  ~ExecContext();
+  ExecContext(ExecContext &&Other) noexcept;
+  ExecContext &operator=(ExecContext &&Other) noexcept;
+  ExecContext(const ExecContext &) = delete;
+  ExecContext &operator=(const ExecContext &) = delete;
+
+private:
+  friend class ExecPlan;
+  friend class PlanExecutor;
+  struct State;
+  std::unique_ptr<State> St;
+};
+
 /// Splits the iteration set {Lo, Lo+Step, ...} ∩ [Lo, Hi) into at most
 /// \p MaxChunks contiguous, step-aligned, non-empty half-open ranges of
 /// near-equal iteration counts, in iteration order. Empty ranges yield no
@@ -240,12 +280,29 @@ public:
   /// bit-identical for every NumThreads value.
   void run(DataEnv &Env) const;
 
+  /// Like run(Env), but reuses the allocations of \p Ctx for the run's
+  /// scratch (register file, tape stack, offset and slot tables).
+  void run(DataEnv &Env, ExecContext &Ctx) const;
+
+  /// Zero-copy execution: \p Slots[I] is the storage of
+  /// Program::arrays()[I], with Size its exact element count. The caller
+  /// owns every buffer; nothing is copied. Sizes are the caller's
+  /// contract — the api layer (api/Kernel.h ArgBinding) validates them
+  /// against the array declarations before calling; debug builds assert
+  /// every access in range.
+  void run(const BufferRef *Slots, size_t SlotCount, ExecContext &Ctx) const;
+
   Stats stats() const;
 
   /// Resolved thread count this plan forks parallel loops into.
   int threadCount() const { return ThreadCount; }
 
 private:
+  /// Shared head of the run overloads: heals a moved-from context
+  /// (instead of dereferencing its null state) and returns the state
+  /// with an emptied slot table, ready to fill.
+  static ExecContext::State &healedState(ExecContext &Ctx);
+
   std::vector<PlanOp> Ops;
   int MaxDepth = 0;
   int ThreadCount = 1;

@@ -21,12 +21,14 @@
 namespace daisy {
 
 /// Executes \p Prog on \p Env; Call nodes run the reference BLAS kernels.
-/// Dispatches to the compiled execution plan (exec/ExecPlan.h) with
-/// default options: `parallel` marks execute on the thread pool when
-/// DAISY_THREADS (or the hardware concurrency) exceeds 1, with results
-/// bit-identical to serial execution; vector marks do not change
-/// semantics. Use ExecPlan::compile directly to amortize compilation over
-/// repeated runs or to pin PlanOptions.
+/// Dispatches to the compiled execution plan (exec/ExecPlan.h) through
+/// the process-wide engine (api/Engine.h), so repeated calls on
+/// structurally identical programs compile once and hit the plan cache.
+/// Default options apply: `parallel` marks execute on the thread pool
+/// when DAISY_THREADS (or the hardware concurrency) exceeds 1, with
+/// results bit-identical to serial execution; vector marks do not change
+/// semantics. Use Engine::compile / Kernel::run directly to pin
+/// PlanOptions or to run on caller-owned buffers.
 void interpret(const Program &Prog, DataEnv &Env);
 
 /// Executes \p Prog with the original tree-walking evaluator. This is the
@@ -51,9 +53,11 @@ bool semanticallyEquivalent(const Program &A, const Program &B,
 /// verifies whole candidate sets at once, so the hot-path costs are paid
 /// per batch instead of per check:
 ///
-/// - the reference program is compiled and executed exactly once
-///   (support/Statistics counter "SemEquivBatch.RefCompiles" — the scalar
-///   API re-compiles and re-runs it for every comparison);
+/// - the reference program is compiled and executed at most once per
+///   batch (counter "SemEquivBatch.Batches" counts batch entries;
+///   "Engine.PlanCompiles" counts actual compiles, which the shared
+///   engine's plan cache can elide entirely across batches — the scalar
+///   API re-runs the reference for every comparison);
 /// - each pool thread keeps its data environment alive across checks and
 ///   reuses it whenever the next candidate declares the same arrays
 ///   (DataEnv::resetFor; counter "SemEquivBatch.EnvReuses"), so register

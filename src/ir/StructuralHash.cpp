@@ -98,6 +98,8 @@ void hashNode(const NodePtr &Node, IterNaming &Naming, HashState &H,
       H.combine(Arg);
     for (int64_t Dim : Call->dims())
       H.combine(static_cast<uint64_t>(Dim));
+    H.combineDouble(Call->alpha());
+    H.combineDouble(Call->beta());
     return;
   }
   const auto *L = dynCast<Loop>(Node);
@@ -209,7 +211,10 @@ bool nodeEqualModulo(const NodePtr &Lhs, const NodePtr &Rhs,
   if (const auto *LCall = dynCast<CallNode>(Lhs)) {
     const auto *RCall = dynCast<CallNode>(Rhs);
     return LCall->callee() == RCall->callee() &&
-           LCall->args() == RCall->args() && LCall->dims() == RCall->dims();
+           LCall->args() == RCall->args() &&
+           LCall->dims() == RCall->dims() &&
+           LCall->alpha() == RCall->alpha() &&
+           LCall->beta() == RCall->beta();
   }
   const auto *LL = dynCast<Loop>(Lhs);
   const auto *RL = dynCast<Loop>(Rhs);
@@ -262,4 +267,22 @@ uint64_t daisy::structuralHashWithMarks(const Program &Prog) {
     hashNode(Node, Naming, H, /*IncludeMarks=*/true);
   }
   return H.value();
+}
+
+uint64_t daisy::programDataDigest(const Program &Prog) {
+  HashCombiner D(0x65766C756174ull); // "evluat" (historic Evaluator seed)
+  D.combine(static_cast<uint64_t>(Prog.arrays().size()));
+  for (const ArrayDecl &Decl : Prog.arrays()) {
+    D.combine(Decl.Name);
+    D.combine(static_cast<uint64_t>(Decl.Shape.size()));
+    for (int64_t Extent : Decl.Shape)
+      D.combine(static_cast<uint64_t>(Extent));
+    D.combine(Decl.Transient ? 1ull : 0ull);
+  }
+  D.combine(static_cast<uint64_t>(Prog.params().size()));
+  for (const auto &[Name, Value] : Prog.params()) {
+    D.combine(Name);
+    D.combine(static_cast<uint64_t>(Value));
+  }
+  return D.value();
 }

@@ -45,6 +45,14 @@ uint64_t structuralHashWithMarks(const NodePtr &Node);
 /// Marks-aware hash over a whole program's top-level sequence.
 uint64_t structuralHashWithMarks(const Program &Prog);
 
+/// Digest of the program state the structural hashes do not cover but
+/// compiled plans and simulations depend on: array declarations (slot
+/// order, shapes, transient flags) and bound parameter values (loop
+/// bounds). Combined with structuralHashWithMarks this identifies a
+/// program for the simulation cache (sched/Evaluator.h) and the engine's
+/// plan cache (api/Engine.h).
+uint64_t programDataDigest(const Program &Prog);
+
 } // namespace daisy
 
 #endif // DAISY_IR_STRUCTURALHASH_H

@@ -15,31 +15,6 @@
 
 using namespace daisy;
 
-namespace {
-
-/// Digest of the program state the structural hash does not cover but the
-/// simulation depends on: array declarations (bases and strides follow
-/// declaration order and shapes) and bound parameter values (loop bounds).
-uint64_t programDataDigest(const Program &Prog) {
-  HashCombiner D(0x65766C756174ull); // "evaluat"
-  D.combine(static_cast<uint64_t>(Prog.arrays().size()));
-  for (const ArrayDecl &Decl : Prog.arrays()) {
-    D.combine(Decl.Name);
-    D.combine(static_cast<uint64_t>(Decl.Shape.size()));
-    for (int64_t Extent : Decl.Shape)
-      D.combine(static_cast<uint64_t>(Extent));
-    D.combine(Decl.Transient ? 1ull : 0ull);
-  }
-  D.combine(static_cast<uint64_t>(Prog.params().size()));
-  for (const auto &[Name, Value] : Prog.params()) {
-    D.combine(Name);
-    D.combine(static_cast<uint64_t>(Value));
-  }
-  return D.value();
-}
-
-} // namespace
-
 uint64_t SimCache::keyFor(const Program &Prog, const SimOptions &Options) {
   HashCombiner D(0x73696D6B6579ull); // "simkey"
   D.combine(structuralHashWithMarks(Prog));

@@ -189,11 +189,3 @@ void DaisyScheduler::seedDatabase(TransferTuningDatabase &Db,
   }
 }
 
-void DaisyScheduler::seedDatabase(TransferTuningDatabase &Db,
-                                  const Program &AVariant,
-                                  const SimOptions &EvalOptions,
-                                  const SearchBudget &Budget, Rng &Rand,
-                                  const DaisyOptions &Options) {
-  Evaluator Eval(EvalOptions);
-  seedDatabase(Db, AVariant, Eval, Budget, Rand, Options);
-}

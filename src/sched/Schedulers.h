@@ -135,13 +135,6 @@ public:
                            const SearchBudget &Budget, Rng &Rand,
                            const DaisyOptions &Options = {});
 
-  /// Convenience overload scoring through a fresh default Evaluator.
-  static void seedDatabase(TransferTuningDatabase &Db,
-                           const Program &AVariant,
-                           const SimOptions &EvalOptions,
-                           const SearchBudget &Budget, Rng &Rand,
-                           const DaisyOptions &Options = {});
-
 private:
   std::shared_ptr<TransferTuningDatabase> Db;
   DaisyOptions Options;

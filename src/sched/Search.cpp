@@ -200,14 +200,6 @@ std::vector<Recipe> daisy::mctsCandidates(const Program &Prog, size_t Index,
   return Result;
 }
 
-std::vector<Recipe> daisy::mctsCandidates(const Program &Prog, size_t Index,
-                                          const SimOptions &Options,
-                                          const SearchBudget &Budget,
-                                          int TopK) {
-  Evaluator Eval(Options);
-  return mctsCandidates(Prog, Index, Eval, Budget, TopK);
-}
-
 Recipe daisy::mutateRecipe(const Recipe &R, size_t BandSize, Rng &Rand) {
   Recipe Mutated = R;
   if (Mutated.Steps.empty() || BandSize == 0)
@@ -346,12 +338,4 @@ Recipe daisy::evolveRecipe(const Program &Prog, size_t Index,
       Best = Population.front();
   }
   return Best.R;
-}
-
-Recipe daisy::evolveRecipe(const Program &Prog, size_t Index,
-                           const TransferTuningDatabase &Db,
-                           const SimOptions &Options,
-                           const SearchBudget &Budget, Rng &Rand) {
-  Evaluator Eval(Options);
-  return evolveRecipe(Prog, Index, Db, Eval, Budget, Rand);
 }

@@ -78,12 +78,6 @@ std::vector<Recipe> mctsCandidates(const Program &Prog, size_t Index,
                                    Evaluator &Eval,
                                    const SearchBudget &Budget, int TopK = 3);
 
-/// Convenience overload evaluating through a fresh Evaluator with default
-/// configuration (memoized, DAISY_THREADS-wide batches).
-std::vector<Recipe> mctsCandidates(const Program &Prog, size_t Index,
-                                   const SimOptions &Options,
-                                   const SearchBudget &Budget, int TopK = 3);
-
 /// Random recipe mutation (tile sizes, permutation, parallel/vector
 /// toggles).
 Recipe mutateRecipe(const Recipe &R, size_t BandSize, Rng &R2);
@@ -95,13 +89,6 @@ Recipe mutateRecipe(const Recipe &R, size_t BandSize, Rng &R2);
 Recipe evolveRecipe(const Program &Prog, size_t Index,
                     const TransferTuningDatabase &Db, Evaluator &Eval,
                     const SearchBudget &Budget, Rng &Rand);
-
-/// Convenience overload evaluating through a fresh Evaluator with default
-/// configuration.
-Recipe evolveRecipe(const Program &Prog, size_t Index,
-                    const TransferTuningDatabase &Db,
-                    const SimOptions &Options, const SearchBudget &Budget,
-                    Rng &Rand);
 
 } // namespace daisy
 

@@ -31,7 +31,7 @@ namespace daisy {
 //===----------------------------------------------------------------------===//
 //
 // Process-wide monotonic counters keyed by dotted names ("SimCache.Hits",
-// "SemEquivBatch.RefCompiles", ...). Subsystems report cheap-to-maintain
+// "Engine.PlanCompiles", ...). Subsystems report cheap-to-maintain
 // event counts through these; tests assert on deltas (compile-once
 // guarantees, cache hit rates) and the micro benchmarks report them next
 // to wall-clock numbers. Increments are thread-safe — batch evaluation

@@ -259,9 +259,20 @@ TEST(SemEquivBatchTest, CompilesReferenceOncePerBatch) {
   std::vector<const Program *> Candidates = {&B, &NP, &A, &B, &NP};
   resetStatsCounters();
   semanticallyEquivalentBatch(A, Candidates, 1e-9, 1, /*NumThreads=*/4);
-  EXPECT_EQ(statsCounter("SemEquivBatch.RefCompiles"), 1);
+  // One batch entry, five per-candidate checks. The reference compile
+  // goes through the shared engine's plan cache: at most one real
+  // compile for this batch, none if the reference was already cached.
+  EXPECT_EQ(statsCounter("SemEquivBatch.Batches"), 1);
   EXPECT_EQ(statsCounter("SemEquivBatch.Checks"),
             static_cast<int64_t>(Candidates.size()));
+  EXPECT_LE(statsCounter("Engine.PlanCompiles"), 1);
+
+  // A second batch against the same reference pays zero reference
+  // compiles — the cached kernel is reused.
+  resetStatsCounters();
+  semanticallyEquivalentBatch(A, Candidates, 1e-9, 1, /*NumThreads=*/4);
+  EXPECT_EQ(statsCounter("Engine.PlanCompiles"), 0);
+  EXPECT_EQ(statsCounter("Engine.PlanCacheHits"), 1);
 }
 
 TEST(DataEnvTest, ResetForReproducesFreshEnvironment) {

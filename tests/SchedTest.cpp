@@ -617,7 +617,8 @@ TEST(SchedulerTest, SeededDatabaseTransfersToBVariant) {
   auto Db = std::make_shared<TransferTuningDatabase>();
   Rng Rand(7);
   Program A = makeGemmVariant("i", "j", "k", 16);
-  DaisyScheduler::seedDatabase(*Db, A, Options, Budget, Rand);
+  Evaluator Eval(Options);
+  DaisyScheduler::seedDatabase(*Db, A, Eval, Budget, Rand);
   EXPECT_GT(Db->size(), 0u);
 
   DaisyScheduler Daisy(Db);
