@@ -1,0 +1,368 @@
+//===- bench/micro_serve.cpp - serving-runtime throughput -----------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Micro benchmark of the serving runtime (serve/Server.h) on two
+// workloads:
+//
+//   - gemm (3 arrays, ~260k element writes): compute-bound — shows the
+//     async machinery adds no measurable per-request cost when requests
+//     are heavy;
+//   - blend (24 arrays, 2k element writes): binding-bound — the serving
+//     profile the validate-once BoundArgs path exists for. Synchronous
+//     run(ArgBinding) re-resolves 24 names against 24 declarations with
+//     string compares on every request; the prepared submit path pays
+//     that once at bind time.
+//
+// Measured paths per workload: synchronous run(ArgBinding), synchronous
+// run(BoundArgs), and Server::submit with prepared BoundArgs at workers
+// {1, 2, 4} x micro-batching {off, on}, pipelined 32 requests deep, plus
+// the queue-depth histogram per async configuration.
+//
+// Self-checks (always on, regardless of flags): async/batched results
+// are bit-identical to synchronous Kernel::run at every shard {1,2} x
+// worker {1,2,4} x batch {off,on} configuration, on both workloads.
+//
+// Gate: on the binding-bound workload, the prepared-BoundArgs submit
+// path at 1 worker must reach synchronous run(ArgBinding) throughput
+// (>= 1x). The two paths are sampled interleaved and compared by the
+// median of per-pair ratios, so machine-wide drift cancels. --no-gate
+// records instead of failing (CI runners have unpredictable scheduling).
+//
+// Usage: micro_serve [--no-gate] [output.json]   (default BENCH_serve.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "ir/Builder.h"
+#include "support/Statistics.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace daisy;
+using namespace daisy::serve;
+
+namespace {
+
+constexpr int InFlight = 32; ///< Pipeline depth of the async rounds.
+
+Program makeGemm(int N) {
+  Program Prog("serve_gemm");
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      "i", 0, N,
+      {forLoop("j", 0, N,
+               {forLoop("k", 0, N,
+                        {assign("S0", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    read("A", {ax("i"), ax("k")}) *
+                                        read("B", {ax("k"), ax("j")}))})})}));
+  return Prog;
+}
+
+/// The binding-bound serving microkernel: Outj[i] = In2j[i] + c*In2j+1[i]
+/// over \p Pairs output arrays of \p N elements — 3x'Pairs' named arrays,
+/// a few thousand element writes.
+Program makeBlend(int Pairs, int N) {
+  Program Prog("serve_blend");
+  std::vector<NodePtr> Body;
+  for (int J = 0; J < Pairs; ++J) {
+    std::string A = "InA" + std::to_string(J);
+    std::string B = "InB" + std::to_string(J);
+    std::string Out = "Out" + std::to_string(J);
+    Prog.addArray(A, {N});
+    Prog.addArray(B, {N});
+    Prog.addArray(Out, {N});
+    Body.push_back(assign("S" + std::to_string(J), Out, {ax("i")},
+                          read(A, {ax("i")}) +
+                              lit(0.5) * read(B, {ax("i")})));
+  }
+  Prog.append(forLoop("i", 0, N, std::move(Body)));
+  return Prog;
+}
+
+/// One request's caller-owned buffers, initialized like a deterministic
+/// DataEnv so every path starts from identical inputs.
+struct OwnedArgs {
+  std::vector<std::pair<std::string, std::vector<double>>> Buffers;
+
+  explicit OwnedArgs(const Program &Prog, uint64_t Seed = 1) {
+    DataEnv Env(Prog);
+    Env.initDeterministic(Seed);
+    for (const ArrayDecl &Decl : Prog.arrays())
+      if (!Decl.Transient)
+        Buffers.emplace_back(Decl.Name, Env.buffer(Decl.Name));
+  }
+
+  ArgBinding binding() {
+    ArgBinding Args;
+    for (auto &[Name, Storage] : Buffers)
+      Args.bind(Name, Storage);
+    return Args;
+  }
+};
+
+double now() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+[[noreturn]] void fail(const char *Message) {
+  std::fprintf(stderr, "FAIL: %s\n", Message);
+  std::exit(1);
+}
+
+/// Requests/s of repeated synchronous runs, measured for ~MinSeconds.
+template <typename Fn> double syncRps(Fn Run, double MinSeconds = 0.2) {
+  int Reps = 0;
+  double Start = now(), Elapsed = 0.0;
+  do {
+    Run();
+    ++Reps;
+    Elapsed = now() - Start;
+  } while (Elapsed < MinSeconds);
+  return Reps / Elapsed;
+}
+
+/// A server + prebound in-flight request slots for one async workload.
+struct AsyncHarness {
+  Server S;
+  Kernel K;
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<BoundArgs> Bound;
+  std::vector<std::future<RunStatus>> Futures;
+
+  AsyncHarness(const Program &Prog, int Workers, size_t MaxBatch)
+      : S([&] {
+          ServerOptions Options;
+          Options.Workers = Workers;
+          Options.MaxBatch = MaxBatch;
+          return Options;
+        }()),
+        K(S.compile(Prog)), Futures(InFlight) {
+    for (int I = 0; I < InFlight; ++I) {
+      Owned.push_back(std::make_unique<OwnedArgs>(Prog));
+      Bound.push_back(K.bind(Owned.back()->binding()));
+      if (!Bound.back().ok())
+        fail("bind failed in async harness");
+    }
+  }
+
+  /// One pipelined round: submit every slot, await every future.
+  void round() {
+    for (int I = 0; I < InFlight; ++I)
+      Futures[I] = S.submit(K, Bound[I]);
+    for (int I = 0; I < InFlight; ++I)
+      if (!Futures[I].get().ok())
+        fail("async run failed");
+  }
+
+  double rps(double MinSeconds = 0.2) {
+    int Reps = 0;
+    double Start = now(), Elapsed = 0.0;
+    do {
+      round();
+      Reps += InFlight;
+      Elapsed = now() - Start;
+    } while (Elapsed < MinSeconds);
+    return Reps / Elapsed;
+  }
+};
+
+/// Bit-identity: four fresh requests through a (Shards, Workers, Batch)
+/// server must reproduce the synchronous reference exactly.
+void checkIdentity(const Program &Prog, const char *Name) {
+  OwnedArgs Reference(Prog);
+  Kernel Direct = Kernel::compile(Prog);
+  if (!Direct.run(Reference.binding()))
+    fail("reference run failed");
+  for (size_t Shards : {size_t(1), size_t(2)})
+    for (int Workers : {1, 2, 4})
+      for (size_t MaxBatch : {size_t(1), size_t(8)}) {
+        ServerOptions Options;
+        Options.Shards = Shards;
+        Options.Workers = Workers;
+        Options.MaxBatch = MaxBatch;
+        Server S(Options);
+        Kernel K = S.compile(Prog);
+        constexpr int Requests = 4;
+        std::vector<std::unique_ptr<OwnedArgs>> Owned;
+        std::vector<std::future<RunStatus>> Futures;
+        for (int I = 0; I < Requests; ++I) {
+          Owned.push_back(std::make_unique<OwnedArgs>(Prog));
+          Futures.push_back(S.submit(K, K.bind(Owned.back()->binding())));
+        }
+        for (int I = 0; I < Requests; ++I) {
+          if (!Futures[I].get().ok())
+            fail("async request failed during identity check");
+          if (Owned[I]->Buffers != Reference.Buffers) {
+            std::fprintf(stderr,
+                         "FAIL: %s async results diverge from synchronous "
+                         "run at shards=%zu workers=%d batch=%zu\n",
+                         Name, Shards, Workers, MaxBatch);
+            std::exit(1);
+          }
+        }
+      }
+}
+
+struct AsyncRow {
+  int Workers = 0;
+  bool Batched = false;
+  double Rps = 0.0;
+  std::vector<uint64_t> DepthHist;
+};
+
+struct WorkloadResult {
+  std::string Name;
+  double SyncRps = 0.0;
+  double PreparedRps = 0.0;
+  std::vector<AsyncRow> Async;
+};
+
+WorkloadResult benchWorkload(const std::string &Name, const Program &Prog) {
+  WorkloadResult Result;
+  Result.Name = Name;
+
+  Kernel K = Kernel::compile(Prog);
+  OwnedArgs SyncArgs(Prog);
+  ArgBinding SyncBinding = SyncArgs.binding();
+  Result.SyncRps = syncRps([&] { K.run(SyncBinding); });
+  BoundArgs Prepared = K.bind(SyncArgs.binding());
+  if (!Prepared.ok())
+    fail("bind failed for prepared sync row");
+  Result.PreparedRps = syncRps([&] { K.run(Prepared); });
+
+  for (int Workers : {1, 2, 4})
+    for (bool Batched : {false, true}) {
+      AsyncHarness H(Prog, Workers, Batched ? 8 : 1);
+      AsyncRow Row;
+      Row.Workers = Workers;
+      Row.Batched = Batched;
+      Row.Rps = H.rps();
+      Row.DepthHist = H.S.queueDepthHistogram();
+      Result.Async.push_back(std::move(Row));
+    }
+  return Result;
+}
+
+void printWorkload(const WorkloadResult &R) {
+  std::printf("%s:\n", R.Name.c_str());
+  std::printf("  %-26s %12.0f\n", "sync run(ArgBinding)", R.SyncRps);
+  std::printf("  %-26s %12.0f\n", "sync run(BoundArgs)", R.PreparedRps);
+  for (const AsyncRow &Row : R.Async)
+    std::printf("  async w%d %-17s %12.0f\n", Row.Workers,
+                Row.Batched ? "batched" : "unbatched", Row.Rps);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *JsonPath = "BENCH_serve.json";
+  bool Gate = true;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--no-gate")
+      Gate = false;
+    else
+      JsonPath = Argv[I];
+  }
+
+  Program Gemm = makeGemm(64);
+  Program Blend = makeBlend(/*Pairs=*/16, /*N=*/32);
+
+  checkIdentity(Gemm, "gemm");
+  checkIdentity(Blend, "blend");
+  std::printf("bit-identity: async == sync at shards {1,2} x workers "
+              "{1,2,4} x batch {off,on} on both workloads\n\n");
+
+  std::printf("requests/s (pipelined %d deep on the async rows):\n",
+              InFlight);
+  WorkloadResult GemmResult = benchWorkload("gemm 64x64x64 (3 arrays)",
+                                            Gemm);
+  printWorkload(GemmResult);
+  WorkloadResult BlendResult =
+      benchWorkload("blend 16x32 (48 arrays)", Blend);
+  printWorkload(BlendResult);
+
+  // Gate measurement: sync run(ArgBinding) vs prepared submit at 1
+  // worker (batched) on the binding-bound workload, sampled interleaved;
+  // the median of per-pair ratios cancels machine-wide drift.
+  Kernel BlendK = Kernel::compile(Blend);
+  OwnedArgs BlendArgs(Blend);
+  ArgBinding BlendBinding = BlendArgs.binding();
+  AsyncHarness GateHarness(Blend, /*Workers=*/1, /*MaxBatch=*/8);
+  std::vector<double> Ratios;
+  for (int Pair = 0; Pair < 7; ++Pair) {
+    double Sync = syncRps([&] { BlendK.run(BlendBinding); }, 0.1);
+    double Async = GateHarness.rps(0.1);
+    Ratios.push_back(Async / Sync);
+  }
+  double GateRatio = median(Ratios);
+  std::printf("\ngate (blend, 1 worker): prepared submit / sync = %.3fx "
+              "(median of %zu interleaved pairs)\n",
+              GateRatio, Ratios.size());
+  std::printf("serve counters: submitted %lld, completed %lld, batched "
+              "%lld, queue-depth max %lld\n",
+              static_cast<long long>(statsCounter("Serve.Submitted")),
+              static_cast<long long>(statsCounter("Serve.Completed")),
+              static_cast<long long>(statsCounter("Serve.BatchedRuns")),
+              static_cast<long long>(statsCounter("Serve.QueueDepthMax")));
+
+  if (std::FILE *Json = std::fopen(JsonPath, "w")) {
+    std::fprintf(Json, "{\n  \"in_flight\": %d,\n", InFlight);
+    std::fprintf(Json, "  \"workloads\": [\n");
+    const WorkloadResult *Results[] = {&GemmResult, &BlendResult};
+    for (size_t W = 0; W < 2; ++W) {
+      const WorkloadResult &R = *Results[W];
+      std::fprintf(Json,
+                   "    {\"name\": \"%s\",\n"
+                   "     \"sync_argbinding_rps\": %.1f,\n"
+                   "     \"sync_prepared_rps\": %.1f,\n"
+                   "     \"async\": [\n",
+                   R.Name.c_str(), R.SyncRps, R.PreparedRps);
+      for (size_t I = 0; I < R.Async.size(); ++I) {
+        const AsyncRow &Row = R.Async[I];
+        std::fprintf(Json,
+                     "       {\"workers\": %d, \"batched\": %s, "
+                     "\"rps\": %.1f, \"queue_depth_histogram\": [",
+                     Row.Workers, Row.Batched ? "true" : "false", Row.Rps);
+        for (size_t B = 0; B < Row.DepthHist.size(); ++B)
+          std::fprintf(Json, "%s%llu", B ? ", " : "",
+                       static_cast<unsigned long long>(Row.DepthHist[B]));
+        std::fprintf(Json, "]}%s\n", I + 1 < R.Async.size() ? "," : "");
+      }
+      std::fprintf(Json, "     ]}%s\n", W == 0 ? "," : "");
+    }
+    std::fprintf(Json, "  ],\n");
+    std::fprintf(Json,
+                 "  \"gate\": {\"workload\": \"blend\", "
+                 "\"prepared_submit_over_sync\": %.3f}\n}\n",
+                 GateRatio);
+    std::fclose(Json);
+    std::printf("wrote %s\n", JsonPath);
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", JsonPath);
+  }
+
+  if (GateRatio < 1.0) {
+    std::printf("%s: prepared-BoundArgs submit path below sync "
+                "run(ArgBinding) throughput at 1 worker (%.3fx)\n",
+                Gate ? "FAIL" : "WARN", GateRatio);
+    return Gate ? 1 : 0;
+  }
+  std::printf("OK: prepared submit path >= sync throughput at 1 worker "
+              "(%.3fx)\n",
+              GateRatio);
+  return 0;
+}

@@ -87,6 +87,19 @@ Kernel Engine::compile(const Program &Prog) {
   return compile(Prog, Opts.Plan);
 }
 
+void Engine::lruUnlink(CacheEntry *E) {
+  (E->Prev ? E->Prev->Next : LruHead) = E->Next;
+  (E->Next ? E->Next->Prev : LruTail) = E->Prev;
+  E->Prev = E->Next = nullptr;
+}
+
+void Engine::lruPushFront(CacheEntry *E) {
+  E->Prev = nullptr;
+  E->Next = LruHead;
+  (LruHead ? LruHead->Prev : LruTail) = E;
+  LruHead = E;
+}
+
 Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
   if (Opts.PlanCacheCapacity == 0) {
     addStatsCounter("Engine.PlanCompiles");
@@ -104,11 +117,11 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
   uint64_t MyClaim = 0;
   {
     std::lock_guard<std::mutex> Lock(CacheMutex);
-    ++Tick;
     auto It = PlanCache.find(Key);
     if (It != PlanCache.end()) {
       addStatsCounter("Engine.PlanCacheHits");
-      It->second.Tick = Tick;
+      lruUnlink(&It->second);
+      lruPushFront(&It->second);
       Result = It->second.K;
       assert((It->second.K.wait_for(std::chrono::seconds(0)) !=
                   std::future_status::ready ||
@@ -118,19 +131,23 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
       addStatsCounter("Engine.PlanCacheMisses");
       addStatsCounter("Engine.PlanCompiles");
       if (PlanCache.size() >= Opts.PlanCacheCapacity) {
-        // Waiters of an evicted in-flight entry keep their own
-        // shared_future copy, so eviction never invalidates a wait.
-        auto Oldest = PlanCache.begin();
-        for (auto Entry = PlanCache.begin(); Entry != PlanCache.end();
-             ++Entry)
-          if (Entry->second.Tick < Oldest->second.Tick)
-            Oldest = Entry;
-        PlanCache.erase(Oldest);
+        // O(1): pop the list tail. Waiters of an evicted in-flight entry
+        // keep their own shared_future copy, so eviction never
+        // invalidates a wait.
+        CacheEntry *Victim = LruTail;
+        assert(Victim && "full cache with an empty LRU list");
+        lruUnlink(Victim);
+        PlanCache.erase(Victim->Key);
         addStatsCounter("Engine.PlanCacheEvictions");
       }
       Result = Claimed.get_future().share();
-      MyClaim = Tick;
-      PlanCache.emplace(Key, CacheEntry{Result, Tick, MyClaim});
+      MyClaim = ++NextClaim;
+      auto [NewIt, Inserted] =
+          PlanCache.emplace(Key, CacheEntry{Result, MyClaim, Key, nullptr,
+                                            nullptr});
+      assert(Inserted && "missed entry reappeared under the same lock");
+      (void)Inserted;
+      lruPushFront(&NewIt->second);
       CompileHere = true;
     }
   }
@@ -145,8 +162,10 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
       {
         std::lock_guard<std::mutex> Lock(CacheMutex);
         auto It = PlanCache.find(Key);
-        if (It != PlanCache.end() && It->second.Claim == MyClaim)
+        if (It != PlanCache.end() && It->second.Claim == MyClaim) {
+          lruUnlink(&It->second);
           PlanCache.erase(It);
+        }
       }
       Claimed.set_exception(std::current_exception());
     }
@@ -158,8 +177,10 @@ Program Engine::schedule(const Program &Prog, const TuneOptions &Options) {
   // Transfer lookups iterate the database's entry vector, which a
   // concurrent seedDatabase may grow — but the scheduling pipeline
   // around them (normalization, idiom matching) has no business inside
-  // the lock. Snapshot the entries briefly and schedule unlocked, so
-  // concurrent schedule/optimize calls run fully in parallel.
+  // the lock. Snapshot under the lock and schedule unlocked; the
+  // snapshot is an O(1) copy-on-write share of the immutable entry
+  // vector (sched/Database.h), so the critical section stays constant
+  // size however large the database grows.
   auto Snapshot = std::make_shared<TransferTuningDatabase>();
   {
     std::lock_guard<std::mutex> Lock(DbMutex);
@@ -185,7 +206,9 @@ void Engine::seedDatabase(const Program &AVariant,
   // would stall every concurrent schedule/optimize. Search against a
   // snapshot (the re-seeding neighbours the search consults are the
   // entries visible at call time, exactly as a serial caller sees them)
-  // and merge only the new entries under the lock.
+  // and merge only the new entries under the lock. The snapshot copy is
+  // an O(1) copy-on-write share; the search's own first insert into
+  // Local un-shares it outside the lock.
   TransferTuningDatabase Local;
   {
     std::lock_guard<std::mutex> Lock(DbMutex);
@@ -207,6 +230,14 @@ size_t Engine::planCacheSize() const {
 void Engine::clearPlanCache() {
   std::lock_guard<std::mutex> Lock(CacheMutex);
   PlanCache.clear();
+  LruHead = LruTail = nullptr;
+}
+
+uint64_t Engine::routingKey(const Program &Prog) {
+  HashCombiner D(0x726F757465ull); // "route"
+  D.combine(structuralHashWithMarks(Prog));
+  D.combine(programDataDigest(Prog));
+  return D.value();
 }
 
 Engine &Engine::shared() {

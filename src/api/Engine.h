@@ -140,6 +140,14 @@ public:
   /// (default options; DAISY_THREADS-resolved plan threading).
   static Engine &shared();
 
+  /// Stable routing identity of \p Prog: the marks-aware structural hash
+  /// combined with the array/param digest — the plan-cache key minus the
+  /// plan options. The serving runtime (serve/Server.h) routes programs
+  /// to engine shards by this key, so structurally identical programs
+  /// always land on the shard whose plan cache and tuning database
+  /// already know them.
+  static uint64_t routingKey(const Program &Prog);
+
 private:
   EngineOptions Opts;
   std::shared_ptr<TransferTuningDatabase> Db;
@@ -153,14 +161,26 @@ private:
 
   /// Entries hold a future so a cold compile blocks only requests for
   /// the *same* program; hits on other keys never wait behind it.
+  /// Recency is an intrusive doubly-linked list threaded through the
+  /// entries (Prev/Next; LruHead = most recent): a hit relinks in O(1)
+  /// and eviction pops LruTail in O(1), where the previous tick-stamp
+  /// scheme scanned up to PlanCacheCapacity entries per miss once full.
+  /// unordered_map is node-based, so entry addresses are stable across
+  /// rehash and the list pointers never dangle.
   struct CacheEntry {
     std::shared_future<Kernel> K;
-    uint64_t Tick = 0;  ///< Last-use stamp for LRU eviction.
-    uint64_t Claim = 0; ///< Tick at insertion; identifies the claimant.
+    uint64_t Claim = 0; ///< Insertion stamp; identifies the claimant.
+    uint64_t Key = 0;   ///< Back-pointer into PlanCache for eviction.
+    CacheEntry *Prev = nullptr, *Next = nullptr;
   };
+  void lruUnlink(CacheEntry *E);
+  void lruPushFront(CacheEntry *E);
+
   mutable std::mutex CacheMutex;
   std::unordered_map<uint64_t, CacheEntry> PlanCache;
-  uint64_t Tick = 0;
+  CacheEntry *LruHead = nullptr; ///< Most recently used.
+  CacheEntry *LruTail = nullptr; ///< Eviction candidate.
+  uint64_t NextClaim = 0;
 };
 
 } // namespace daisy

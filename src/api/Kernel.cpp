@@ -2,84 +2,19 @@
 //
 // Part of the daisy project. MIT license.
 //
+// Kernel::bind and the BoundArgs overload of run are defined in
+// serve/BoundArgs.cpp, next to the BoundArgs class they return/consume —
+// api stays free of upward includes (see api/KernelImpl.h).
+//
 //===----------------------------------------------------------------------===//
 
 #include "api/Kernel.h"
 
-#include <algorithm>
+#include "api/KernelImpl.h"
+
 #include <cassert>
-#include <mutex>
 
 using namespace daisy;
-
-namespace daisy {
-
-/// The shared state behind Kernel handles: the program snapshot, its
-/// compiled plan, and a pool of reusable per-run contexts. The program
-/// and plan are immutable after construction; the pool is mutex-guarded.
-class KernelImpl {
-public:
-  KernelImpl(const Program &P, const PlanOptions &Options)
-      : Prog(P.clone()), Plan(ExecPlan::compile(Prog, Options)) {}
-
-  /// One run's worth of reusable state: the exec-layer scratch, the slot
-  /// table of the zero-copy path, and kernel-managed transient storage
-  /// (per slot; empty vectors for caller-bound slots).
-  struct RunContext {
-    ExecContext Exec;
-    std::vector<BufferRef> Slots;
-    std::vector<std::vector<double>> Transients;
-  };
-
-  std::unique_ptr<RunContext> acquire() const {
-    std::lock_guard<std::mutex> Lock(PoolMutex);
-    if (!Pool.empty()) {
-      std::unique_ptr<RunContext> Ctx = std::move(Pool.back());
-      Pool.pop_back();
-      return Ctx;
-    }
-    return std::make_unique<RunContext>();
-  }
-
-  void release(std::unique_ptr<RunContext> Ctx) const {
-    std::lock_guard<std::mutex> Lock(PoolMutex);
-    Pool.push_back(std::move(Ctx));
-  }
-
-  size_t poolSize() const {
-    std::lock_guard<std::mutex> Lock(PoolMutex);
-    return Pool.size();
-  }
-
-  const Program Prog;
-  const ExecPlan Plan;
-
-private:
-  mutable std::mutex PoolMutex;
-  mutable std::vector<std::unique_ptr<RunContext>> Pool;
-};
-
-} // namespace daisy
-
-namespace {
-
-/// Returns a borrowed context to the pool when the run ends, whichever
-/// way it ends.
-class PooledContext {
-public:
-  explicit PooledContext(const KernelImpl &Impl)
-      : Impl(Impl), Ctx(Impl.acquire()) {}
-  ~PooledContext() { Impl.release(std::move(Ctx)); }
-
-  KernelImpl::RunContext &operator*() { return *Ctx; }
-  KernelImpl::RunContext *operator->() { return Ctx.get(); }
-
-private:
-  const KernelImpl &Impl;
-  std::unique_ptr<KernelImpl::RunContext> Ctx;
-};
-
-} // namespace
 
 Kernel Kernel::compile(const Program &Prog, const PlanOptions &Options) {
   return Kernel(std::make_shared<const KernelImpl>(Prog, Options));
@@ -102,58 +37,13 @@ size_t Kernel::contextPoolSize() const {
 
 RunStatus Kernel::run(const ArgBinding &Args) const {
   assert(Impl && "empty kernel handle");
-  const std::vector<ArrayDecl> &Arrays = Impl->Prog.arrays();
-
-  // Validate before touching any state: every binding must name a
-  // declared, non-transient array with its exact element count, and every
-  // non-transient array must end up bound exactly once.
-  std::vector<const BufferRef *> BySlot(Arrays.size(), nullptr);
-  for (const auto &[Name, Ref] : Args.bindings()) {
-    size_t Slot = Arrays.size();
-    for (size_t S = 0; S < Arrays.size(); ++S)
-      if (Arrays[S].Name == Name) {
-        Slot = S;
-        break;
-      }
-    if (Slot == Arrays.size())
-      return {"unknown array '" + Name + "'"};
-    const ArrayDecl &Decl = Arrays[Slot];
-    if (Decl.Transient)
-      return {"array '" + Name +
-              "' is transient (kernel-managed scratch) and cannot be bound"};
-    if (BySlot[Slot])
-      return {"array '" + Name + "' is bound twice"};
-    if (!Ref.Data)
-      return {"array '" + Name + "' is bound to null storage"};
-    size_t Expected = static_cast<size_t>(std::max<int64_t>(
-        Decl.elementCount(), 1));
-    if (Ref.Size != Expected)
-      return {"array '" + Name + "' shape mismatch: bound " +
-              std::to_string(Ref.Size) + " elements, declared " +
-              std::to_string(Expected)};
-    BySlot[Slot] = &Ref;
-  }
-  for (size_t S = 0; S < Arrays.size(); ++S)
-    if (!Arrays[S].Transient && !BySlot[S])
-      return {"array '" + Arrays[S].Name + "' is not bound"};
-
-  PooledContext Ctx(*Impl);
-  Ctx->Slots.resize(Arrays.size());
-  Ctx->Transients.resize(Arrays.size());
-  for (size_t S = 0; S < Arrays.size(); ++S) {
-    if (BySlot[S]) {
-      Ctx->Slots[S] = *BySlot[S];
-      continue;
-    }
-    // Kernel-managed transient scratch: zeroed each run so semantics match
-    // a freshly allocated DataEnv; assign() reuses pooled capacity.
-    std::vector<double> &Buf = Ctx->Transients[S];
-    Buf.assign(static_cast<size_t>(std::max<int64_t>(
-                   Arrays[S].elementCount(), 1)),
-               0.0);
-    Ctx->Slots[S] = {Buf.data(), Buf.size()};
-  }
-  Impl->Plan.run(Ctx->Slots.data(), Ctx->Slots.size(), Ctx->Exec);
+  // Validate before touching any state, then execute on the resolved
+  // slot table (transient slots stay null and become pooled scratch).
+  std::vector<BufferRef> Slots;
+  if (std::string Error = resolveBinding(Impl->Prog, Args, Slots);
+      !Error.empty())
+    return {std::move(Error)};
+  runPreparedSlots(*Impl, Slots.data());
   return {};
 }
 

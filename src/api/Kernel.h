@@ -53,9 +53,36 @@
 
 namespace daisy {
 
-/// Outcome of a validated Kernel::run call. Success is an empty error.
+/// Outcome of a validated Kernel::run call (and, through the serving
+/// runtime's futures, of every Server::submit). Success is an empty
+/// error; failures carry a diagnostic plus a machine-checkable reason so
+/// serving clients can branch on backpressure without parsing strings.
 struct RunStatus {
+  /// Why a run did not succeed. Unscoped on purpose: clients spell it
+  /// RunStatus::Overloaded.
+  enum Kind : uint8_t {
+    Ok,         ///< The run executed.
+    BindError,  ///< The argument binding failed validation.
+    Overloaded, ///< Rejected by server backpressure (queue full).
+    ShutDown    ///< Rejected because the server is shutting down.
+  };
+
+  RunStatus() = default;
+  /// Implicit from a diagnostic: `return {"array 'A' is not bound"};`
+  /// stays a binding error, the historical meaning of a failed run.
+  RunStatus(std::string Error, Kind Why = BindError)
+      : Error(std::move(Error)), Why(Why) {}
+
+  static RunStatus overloaded() {
+    return {"server overloaded: request queue is full", Overloaded};
+  }
+  static RunStatus shutDown() {
+    return {"server is shutting down", ShutDown};
+  }
+
   std::string Error;
+  Kind Why = Ok;
+
   bool ok() const { return Error.empty(); }
   explicit operator bool() const { return ok(); }
 };
@@ -88,6 +115,7 @@ private:
 };
 
 class KernelImpl;
+class BoundArgs; // serve/BoundArgs.h: validate-once resolved bindings.
 
 /// Shared handle to an immutable compiled program. Default-constructed
 /// handles are empty (boolean-testable); all other members require a
@@ -117,6 +145,35 @@ public:
   /// arrays are kernel-managed scratch (zeroed each run) and must not be
   /// bound. Thread-safe: concurrent runs borrow separate pooled contexts.
   RunStatus run(const ArgBinding &Args) const;
+
+  /// Validates \p Args once and resolves every array name to its buffer
+  /// slot, returning a reusable BoundArgs handle (serve/BoundArgs.h).
+  /// run(BoundArgs) then skips validation entirely — no string compares
+  /// on the hot serving loop. A failed validation yields a non-ok handle
+  /// carrying the diagnostic. Defined in serve/BoundArgs.cpp.
+  BoundArgs bind(const ArgBinding &Args) const;
+
+  /// Prepared-argument execution: \p Args must have been produced by
+  /// bind() on this kernel (a handle bound against a different kernel is
+  /// rejected as stale — slot tables do not transfer). Thread-safe like
+  /// run(ArgBinding), and bit-identical to it. Defined in
+  /// serve/BoundArgs.cpp.
+  RunStatus run(const BoundArgs &Args) const;
+
+  /// Micro-batch execution: runs \p Count prepared argument sets
+  /// back-to-back on a single pooled context, writing one status per
+  /// request to \p Statuses. Semantically identical to \p Count run()
+  /// calls (requests are independent; non-ok or stale entries fail their
+  /// status without disturbing the rest) but pays one context
+  /// acquisition for the whole batch — the serving runtime's coalesced
+  /// dispatch. Defined in serve/BoundArgs.cpp.
+  void runBatch(const BoundArgs *const *Args, RunStatus *Statuses,
+                size_t Count) const;
+
+  /// Identity of the compiled kernel behind this handle (equal tokens ==
+  /// same compiled plan and context pool). The serving runtime matches
+  /// it against BoundArgs::kernelToken to coalesce batches.
+  const void *token() const { return Impl.get(); }
 
   /// Executes on \p Env, which must have been allocated for this
   /// kernel's program (DataEnv slot order is the contract). Thread-safe

@@ -1,0 +1,178 @@
+//===- api/KernelImpl.h - Kernel internals (library-private) -----*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared state behind Kernel handles, plus the binding-validation and
+/// prepared-run helpers the run paths are assembled from. This header is
+/// library-private: it is included by api/Kernel.cpp and by
+/// serve/BoundArgs.cpp (which defines the Kernel members that return or
+/// consume serve-layer BoundArgs, keeping api headers free of upward
+/// includes). Embedding systems program against api/Kernel.h only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_API_KERNELIMPL_H
+#define DAISY_API_KERNELIMPL_H
+
+#include "api/Kernel.h"
+#include "exec/ExecPlan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace daisy {
+
+/// The shared state behind Kernel handles: the program snapshot, its
+/// compiled plan, and a pool of reusable per-run contexts. The program
+/// and plan are immutable after construction; the pool is mutex-guarded.
+class KernelImpl {
+public:
+  KernelImpl(const Program &P, const PlanOptions &Options)
+      : Prog(P.clone()), Plan(ExecPlan::compile(Prog, Options)) {}
+
+  /// One run's worth of reusable state: the exec-layer scratch, the slot
+  /// table of the zero-copy path, and kernel-managed transient storage
+  /// (per slot; empty vectors for caller-bound slots).
+  struct RunContext {
+    ExecContext Exec;
+    std::vector<BufferRef> Slots;
+    std::vector<std::vector<double>> Transients;
+  };
+
+  std::unique_ptr<RunContext> acquire() const {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    if (!Pool.empty()) {
+      std::unique_ptr<RunContext> Ctx = std::move(Pool.back());
+      Pool.pop_back();
+      return Ctx;
+    }
+    return std::make_unique<RunContext>();
+  }
+
+  void release(std::unique_ptr<RunContext> Ctx) const {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    Pool.push_back(std::move(Ctx));
+  }
+
+  size_t poolSize() const {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    return Pool.size();
+  }
+
+  const Program Prog;
+  const ExecPlan Plan;
+
+private:
+  mutable std::mutex PoolMutex;
+  mutable std::vector<std::unique_ptr<RunContext>> Pool;
+};
+
+/// Returns a borrowed context to the pool when the run ends, whichever
+/// way it ends.
+class PooledContext {
+public:
+  explicit PooledContext(const KernelImpl &Impl)
+      : Impl(Impl), Ctx(Impl.acquire()) {}
+  ~PooledContext() { Impl.release(std::move(Ctx)); }
+  PooledContext(const PooledContext &) = delete;
+  PooledContext &operator=(const PooledContext &) = delete;
+
+  KernelImpl::RunContext &operator*() { return *Ctx; }
+  KernelImpl::RunContext *operator->() { return Ctx.get(); }
+
+private:
+  const KernelImpl &Impl;
+  std::unique_ptr<KernelImpl::RunContext> Ctx;
+};
+
+/// Element count a binding for \p Decl must provide (degenerate shapes
+/// still occupy one element, matching DataEnv allocation).
+inline size_t boundElementCount(const ArrayDecl &Decl) {
+  return static_cast<size_t>(std::max<int64_t>(Decl.elementCount(), 1));
+}
+
+/// Resolves \p Args against \p Prog's array declarations into a full slot
+/// table: every binding must name a declared, non-transient array with its
+/// exact element count, every non-transient array must end up bound
+/// exactly once, and transient slots are left null (kernel-managed
+/// scratch, filled per run). Returns an empty string on success, the
+/// diagnostic otherwise (\p Slots is then unspecified). This is the one
+/// place binding names are string-compared: Kernel::run(ArgBinding) pays
+/// it per run, Kernel::bind exactly once per BoundArgs.
+inline std::string resolveBinding(const Program &Prog, const ArgBinding &Args,
+                                  std::vector<BufferRef> &Slots) {
+  const std::vector<ArrayDecl> &Arrays = Prog.arrays();
+  Slots.assign(Arrays.size(), BufferRef{});
+  std::vector<char> Bound(Arrays.size(), 0);
+  for (const auto &[Name, Ref] : Args.bindings()) {
+    size_t Slot = Arrays.size();
+    for (size_t S = 0; S < Arrays.size(); ++S)
+      if (Arrays[S].Name == Name) {
+        Slot = S;
+        break;
+      }
+    if (Slot == Arrays.size())
+      return "unknown array '" + Name + "'";
+    const ArrayDecl &Decl = Arrays[Slot];
+    if (Decl.Transient)
+      return "array '" + Name +
+             "' is transient (kernel-managed scratch) and cannot be bound";
+    if (Bound[Slot])
+      return "array '" + Name + "' is bound twice";
+    if (!Ref.Data)
+      return "array '" + Name + "' is bound to null storage";
+    size_t Expected = boundElementCount(Decl);
+    if (Ref.Size != Expected)
+      return "array '" + Name + "' shape mismatch: bound " +
+             std::to_string(Ref.Size) + " elements, declared " +
+             std::to_string(Expected);
+    Slots[Slot] = Ref;
+    Bound[Slot] = 1;
+  }
+  for (size_t S = 0; S < Arrays.size(); ++S)
+    if (!Arrays[S].Transient && !Bound[S])
+      return "array '" + Arrays[S].Name + "' is not bound";
+  return {};
+}
+
+/// Executes \p Impl's plan on a resolved slot table (as produced by
+/// resolveBinding) reusing \p Ctx's allocations: caller-bound slots are
+/// used as-is, null slots must be transient and are filled with
+/// kernel-managed scratch zeroed each run so semantics match a freshly
+/// allocated DataEnv. Serving micro-batches call this once per request on
+/// a single borrowed context.
+inline void runPreparedSlotsOn(const KernelImpl &Impl, const BufferRef *Slots,
+                               KernelImpl::RunContext &Ctx) {
+  const std::vector<ArrayDecl> &Arrays = Impl.Prog.arrays();
+  Ctx.Slots.resize(Arrays.size());
+  Ctx.Transients.resize(Arrays.size());
+  for (size_t S = 0; S < Arrays.size(); ++S) {
+    if (Slots[S].Data) {
+      Ctx.Slots[S] = Slots[S];
+      continue;
+    }
+    assert(Arrays[S].Transient && "null slot for a caller-bound array");
+    std::vector<double> &Buf = Ctx.Transients[S];
+    Buf.assign(boundElementCount(Arrays[S]), 0.0);
+    Ctx.Slots[S] = {Buf.data(), Buf.size()};
+  }
+  Impl.Plan.run(Ctx.Slots.data(), Ctx.Slots.size(), Ctx.Exec);
+}
+
+/// Single-run convenience: borrows a pooled context for one prepared run.
+/// Thread-safe for concurrent calls.
+inline void runPreparedSlots(const KernelImpl &Impl, const BufferRef *Slots) {
+  PooledContext Ctx(Impl);
+  runPreparedSlotsOn(Impl, Slots, *Ctx);
+}
+
+} // namespace daisy
+
+#endif // DAISY_API_KERNELIMPL_H

@@ -6,23 +6,15 @@
 
 #include "exec/Interpreter.h"
 
-// Deliberate upward include: the exec-layer convenience entry points are
-// defined to route through the process-wide engine's plan cache, and the
-// repo builds as one library (headers stay acyclic — only this .cpp sees
-// the facade). If exec is ever split into its own library, these cached
-// wrappers move to src/api/ and exec keeps the direct ExecPlan
-// primitives.
-#include "api/Engine.h"
+// This file is the tree-walking semantics definition only. The cached
+// convenience wrappers (interpret / runProgram /
+// semanticallyEquivalent{,Batch}) route through the process-wide engine
+// and are defined in api/Facade.cpp, so exec never includes the facade
+// and the library's include graph stays strictly layered.
 #include "blas/Kernels.h"
 #include "exec/EvalOps.h"
-#include "exec/ExecPlan.h"
-#include "exec/ThreadPool.h"
-#include "support/Statistics.h"
 
-#include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <memory>
 
 using namespace daisy;
 
@@ -148,87 +140,6 @@ private:
 
 } // namespace
 
-void daisy::interpret(const Program &Prog, DataEnv &Env) {
-  Engine::shared().compile(Prog).run(Env);
-}
-
 void daisy::interpretTreeWalk(const Program &Prog, DataEnv &Env) {
   InterpreterImpl(Prog, Env).run();
-}
-
-DataEnv daisy::runProgram(const Program &Prog, uint64_t Seed) {
-  return Engine::shared().compile(Prog).run(Seed);
-}
-
-bool daisy::semanticallyEquivalent(const Program &A, const Program &B,
-                                   double Eps, uint64_t Seed) {
-  // Mirror the batch API's caching convention: the reference \p A is the
-  // program with a future (searches compare many candidates against one
-  // original), so it goes through the shared engine; the candidate \p B
-  // is typically checked exactly once — caching it would evict kernels
-  // worth keeping, and wrapping it in a Kernel would pay a needless
-  // whole-program clone, so it compiles and runs directly.
-  DataEnv EnvA = Engine::shared().compile(A).run(Seed);
-  DataEnv EnvB(B);
-  EnvB.initDeterministic(Seed);
-  ExecPlan::compile(B).run(EnvB);
-  return DataEnv::maxAbsDifference(EnvA, EnvB, A) <= Eps;
-}
-
-std::vector<char> daisy::semanticallyEquivalentBatch(
-    const Program &Ref, const std::vector<const Program *> &Candidates,
-    double Eps, uint64_t Seed, int NumThreads) {
-  // The reference is compiled and executed once for the whole batch; its
-  // end state is read-only from here on and shared by every checker. The
-  // compile goes through the shared engine, so repeated batches against
-  // the same reference (every search epoch) skip even that one compile —
-  // Engine.PlanCompiles counts real reference compiles; this counter
-  // counts batch entries (each is at most one reference compile, where
-  // the scalar API would pay one per comparison).
-  addStatsCounter("SemEquivBatch.Batches");
-  DataEnv RefEnv = Engine::shared().compile(Ref).run(Seed);
-
-  std::vector<char> Results(Candidates.size(), 0);
-  auto Check = [&](size_t I) {
-    addStatsCounter("SemEquivBatch.Checks");
-    const Program &Cand = *Candidates[I];
-    // Candidates are transient (most exist for exactly one check), so
-    // they are compiled directly instead of through the engine's plan
-    // cache — caching them would evict kernels with a future.
-    ExecPlan Plan = ExecPlan::compile(Cand);
-    // Per-thread scratch: the environment and the execution context
-    // survive across checks (and across batches) on each pool thread.
-    // The environment is reused whenever the next candidate declares the
-    // same arrays — variants of one kernel differ in loop structure, not
-    // data, so reuse is the common case; the context is plan-agnostic
-    // and reused always.
-    static thread_local std::unique_ptr<DataEnv> Scratch;
-    static thread_local ExecContext Ctx;
-    if (Scratch && Scratch->resetFor(Cand, Seed)) {
-      addStatsCounter("SemEquivBatch.EnvReuses");
-    } else {
-      Scratch = std::make_unique<DataEnv>(Cand);
-      Scratch->initDeterministic(Seed);
-    }
-    Plan.run(*Scratch, Ctx);
-    Results[I] = DataEnv::maxAbsDifference(RefEnv, *Scratch, Ref) <= Eps;
-  };
-
-  size_t Count = Candidates.size();
-  int Threads = NumThreads > 0 ? NumThreads : ThreadPool::defaultThreadCount();
-  int Lanes =
-      static_cast<int>(std::min<size_t>(static_cast<size_t>(Threads), Count));
-  if (Lanes <= 1) {
-    for (size_t I = 0; I < Count; ++I)
-      Check(I);
-    return Results;
-  }
-  // Lane L verifies candidates L, L+Lanes, ...: concurrency is bounded by
-  // the requested thread count and each verdict lands in its input slot.
-  ThreadPool::global().run(Lanes, [&](int Lane) {
-    for (size_t I = static_cast<size_t>(Lane); I < Count;
-         I += static_cast<size_t>(Lanes))
-      Check(I);
-  });
-  return Results;
 }

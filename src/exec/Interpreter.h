@@ -10,6 +10,12 @@
 /// is correct iff interpreting the transformed program produces the same
 /// observable arrays as the original.
 ///
+/// Layering note: everything here except interpretTreeWalk routes through
+/// the process-wide engine's plan cache and is therefore *defined* in
+/// api/Facade.cpp — the declarations stay in this header (they are
+/// contracts over Program/DataEnv only), but exec/ sources never include
+/// the facade.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAISY_EXEC_INTERPRETER_H

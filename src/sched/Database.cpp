@@ -11,7 +11,11 @@
 using namespace daisy;
 
 void TransferTuningDatabase::insert(DatabaseEntry Entry) {
-  Entries.push_back(std::move(Entry));
+  // Copy-on-write: outstanding snapshots (and database copies) keep the
+  // vector they saw; only the first insert after a share pays the clone.
+  if (Entries.use_count() > 1)
+    Entries = std::make_shared<std::vector<DatabaseEntry>>(*Entries);
+  Entries->push_back(std::move(Entry));
 }
 
 const DatabaseEntry *
@@ -20,7 +24,7 @@ TransferTuningDatabase::lookup(const PerformanceEmbedding &Key,
                                double MaxDistance) const {
   const DatabaseEntry *Best = nullptr;
   double BestDistance = MaxDistance;
-  for (const DatabaseEntry &Entry : Entries) {
+  for (const DatabaseEntry &Entry : *Entries) {
     if (Entry.CanonicalHash == CanonicalHash)
       return &Entry;
     double Distance = Key.distance(Entry.Embedding);
@@ -36,7 +40,7 @@ std::vector<const DatabaseEntry *>
 TransferTuningDatabase::nearest(const PerformanceEmbedding &Key,
                                 size_t K) const {
   std::vector<const DatabaseEntry *> Result;
-  for (const DatabaseEntry &Entry : Entries)
+  for (const DatabaseEntry &Entry : *Entries)
     Result.push_back(&Entry);
   std::stable_sort(Result.begin(), Result.end(),
                    [&Key](const DatabaseEntry *A, const DatabaseEntry *B) {

@@ -26,6 +26,7 @@
 #include "sched/Recipe.h"
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,9 +42,25 @@ struct DatabaseEntry {
 };
 
 /// The embedding-keyed store of optimization recipes.
+///
+/// The entry vector is held behind a copy-on-write shared_ptr: copying a
+/// database (or taking snapshot()) is O(1) pointer sharing, and insert
+/// clones the vector only while snapshots are outstanding. This is what
+/// lets Engine::schedule/optimize/seedDatabase take a consistent snapshot
+/// under the database lock in constant time and run the scheduling
+/// pipeline unlocked — the former deep copy per call was fine at tens of
+/// entries and wrong at thousands. The database itself is not
+/// thread-safe; callers (api/Engine.h) serialize mutation against
+/// snapshot-taking.
 class TransferTuningDatabase {
 public:
-  /// Inserts an entry.
+  TransferTuningDatabase()
+      : Entries(std::make_shared<std::vector<DatabaseEntry>>()) {}
+
+  /// Inserts an entry. Copy-on-write: when snapshots (or database
+  /// copies) share the entry vector, it is cloned first, so existing
+  /// readers keep their immutable view. Like vector growth, insertion
+  /// invalidates pointers previously returned by lookup/nearest.
   void insert(DatabaseEntry Entry);
 
   /// Nearest entry by embedding distance (exact hash matches win
@@ -58,11 +75,20 @@ public:
   std::vector<const DatabaseEntry *>
   nearest(const PerformanceEmbedding &Key, size_t K) const;
 
-  size_t size() const { return Entries.size(); }
-  const std::vector<DatabaseEntry> &entries() const { return Entries; }
+  size_t size() const { return Entries->size(); }
+  const std::vector<DatabaseEntry> &entries() const { return *Entries; }
+
+  /// An immutable O(1) snapshot of the current entries: stays valid and
+  /// unchanged however the database is mutated afterwards (inserts then
+  /// copy-on-write into a fresh vector).
+  std::shared_ptr<const std::vector<DatabaseEntry>> snapshot() const {
+    return Entries;
+  }
 
 private:
-  std::vector<DatabaseEntry> Entries;
+  /// Never null. Shared with snapshots and database copies; insert
+  /// un-shares before mutating.
+  std::shared_ptr<std::vector<DatabaseEntry>> Entries;
 };
 
 } // namespace daisy

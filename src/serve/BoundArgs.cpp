@@ -1,0 +1,75 @@
+//===- serve/BoundArgs.cpp ------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+// Defines the two Kernel members that produce/consume BoundArgs. They are
+// declared in api/Kernel.h (the natural call-site surface) but defined
+// here so the api layer never includes serve headers; this file sees both
+// sides through the library-private api/KernelImpl.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/BoundArgs.h"
+
+#include "api/KernelImpl.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace daisy;
+
+BoundArgs Kernel::bind(const ArgBinding &Args) const {
+  assert(Impl && "empty kernel handle");
+  BoundArgs Result;
+  std::string Error = resolveBinding(Impl->Prog, Args, Result.Slots);
+  if (!Error.empty()) {
+    Result.Slots.clear();
+    Result.Error = std::move(Error);
+    return Result;
+  }
+  Result.Bound = Impl;
+  return Result;
+}
+
+namespace {
+
+RunStatus staleStatus() {
+  return {"stale BoundArgs: bound against a different kernel (slot "
+          "tables do not transfer; re-bind against this kernel)"};
+}
+
+} // namespace
+
+RunStatus Kernel::run(const BoundArgs &Args) const {
+  assert(Impl && "empty kernel handle");
+  if (!Args.ok())
+    return invalidBoundArgsStatus(Args);
+  if (Args.Bound.get() != Impl.get())
+    return staleStatus();
+  runPreparedSlots(*Impl, Args.Slots.data());
+  return {};
+}
+
+void Kernel::runBatch(const BoundArgs *const *Args, RunStatus *Statuses,
+                      size_t Count) const {
+  assert(Impl && "empty kernel handle");
+  // One pooled context serves the whole batch: same-kernel requests are
+  // the common case in a serving micro-batch, so the register file, tape
+  // stack, slot table, and transient scratch stay warm from request to
+  // request (transients are still re-zeroed per request — semantics are
+  // exactly Count independent run() calls).
+  PooledContext Ctx(*Impl);
+  for (size_t I = 0; I < Count; ++I) {
+    const BoundArgs &A = *Args[I];
+    if (!A.ok()) {
+      Statuses[I] = invalidBoundArgsStatus(A);
+      continue;
+    }
+    if (A.Bound.get() != Impl.get()) {
+      Statuses[I] = staleStatus();
+      continue;
+    }
+    runPreparedSlotsOn(*Impl, A.Slots.data(), *Ctx);
+    Statuses[I] = {};
+  }
+}

@@ -1,0 +1,111 @@
+//===- serve/RequestQueue.cpp ---------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/RequestQueue.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace daisy;
+using namespace daisy::serve;
+
+RequestQueue::PushResult RequestQueue::push(Request &R, size_t *DepthAfter) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (Policy == BackpressurePolicy::Block) {
+    while (!Closed && Q.size() >= Capacity) {
+      ++WaitingPush;
+      NotFull.wait(Lock);
+      --WaitingPush;
+    }
+  } else if (!Closed && Q.size() >= Capacity) {
+    return PushResult::Overloaded;
+  }
+  if (Closed)
+    return PushResult::ShutDown;
+  Q.push_back(std::move(R));
+  MaxDepth = std::max(MaxDepth, Q.size());
+  if (DepthAfter)
+    *DepthAfter = Q.size();
+  bool Wake = WaitingPop > PendingPopWakes;
+  if (Wake)
+    ++PendingPopWakes;
+  Lock.unlock();
+  if (Wake)
+    NotEmpty.notify_one();
+  return PushResult::Ok;
+}
+
+bool RequestQueue::popBatch(std::vector<Request> &Batch, size_t MaxBatch) {
+  Batch.clear();
+  if (MaxBatch == 0)
+    MaxBatch = 1;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (!Closed && Q.empty()) {
+    ++WaitingPop;
+    NotEmpty.wait(Lock);
+    --WaitingPop;
+    // Every wait return — woken, stolen-from, or spurious — consumes the
+    // in-flight wake so the next push re-arms notification.
+    if (PendingPopWakes)
+      --PendingPopWakes;
+  }
+  if (Q.empty())
+    return false; // Closed and drained: the worker-exit signal.
+
+  Batch.push_back(std::move(Q.front()));
+  Q.pop_front();
+  // Micro-batch: coalesce further requests for the same kernel, skipping
+  // past other kernels' requests (their relative order is untouched).
+  // Matching by kernel token means every request of a batch shares one
+  // compiled plan; the worker amortizes its dispatch over all of them.
+  // One forward compaction pass extracts every match — per-element
+  // deque::erase would shift the tail once per coalesced request, an
+  // O(depth) spike inside the lock exactly when the queue runs full.
+  const void *Token = Batch.front().Args.kernelToken();
+  if (Token && MaxBatch > 1 && !Q.empty()) {
+    size_t Size = Q.size(), Write = 0, Read = 0;
+    for (; Read < Size; ++Read) {
+      if (Batch.size() < MaxBatch && Q[Read].Args.kernelToken() == Token) {
+        Batch.push_back(std::move(Q[Read]));
+        continue;
+      }
+      if (Write == Read && Batch.size() == MaxBatch)
+        break; // Nothing displaced yet and the batch is full: done.
+      if (Write != Read)
+        Q[Write] = std::move(Q[Read]);
+      ++Write;
+    }
+    if (Read == Size)
+      Q.erase(Q.begin() + static_cast<ptrdiff_t>(Write), Q.end());
+  }
+  bool WakePushers = WaitingPush > 0;
+  Lock.unlock();
+  // Removed slots unblock pushers; blocked pushers exist only under
+  // overload, so the steady state pays no wake here. Closing wakes
+  // everyone through close() instead.
+  if (WakePushers)
+    NotFull.notify_all();
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = true;
+  }
+  NotEmpty.notify_all();
+  NotFull.notify_all();
+}
+
+size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Q.size();
+}
+
+size_t RequestQueue::maxDepthSeen() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return MaxDepth;
+}

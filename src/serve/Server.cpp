@@ -1,0 +1,189 @@
+//===- serve/Server.cpp ---------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "exec/ThreadPool.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+using namespace daisy;
+using namespace daisy::serve;
+
+namespace {
+
+/// Histogram bucket of a depth sample: floor(log2(Depth)), clamped.
+size_t depthBucket(size_t Depth, size_t Buckets) {
+  size_t B = 0;
+  while (Depth > 1 && B + 1 < Buckets) {
+    Depth >>= 1;
+    ++B;
+  }
+  return B;
+}
+
+} // namespace
+
+Server::Server(ServerOptions Options)
+    : Opts(std::move(Options)), Queue(Opts.QueueCapacity, Opts.Policy),
+      CSubmitted(statsCounterCell("Serve.Submitted")),
+      CCompleted(statsCounterCell("Serve.Completed")),
+      CRejected(statsCounterCell("Serve.Rejected")),
+      CBatchedRuns(statsCounterCell("Serve.BatchedRuns")),
+      CDepthMax(statsCounterCell("Serve.QueueDepthMax")) {
+  for (auto &Bucket : DepthHist)
+    Bucket.store(0, std::memory_order_relaxed);
+  size_t ShardCount = std::max<size_t>(Opts.Shards, 1);
+  Shards.reserve(ShardCount);
+  for (size_t I = 0; I < ShardCount; ++I)
+    Shards.push_back(std::make_unique<Engine>(Opts.Engine));
+
+  int Workers =
+      Opts.Workers > 0 ? Opts.Workers : ThreadPool::defaultThreadCount();
+  // The pool's lanes become queue drainers for the server's lifetime: the
+  // dispatcher parks inside one fork-join run() whose W tasks are the
+  // worker loops, and returns when close() lets every lane drain out.
+  // Reusing ThreadPool keeps the nesting rule: a kernel executed by a
+  // lane runs its parallel-marked loops serially (bit-identical by the
+  // ExecPlan contract); concurrency comes from serving W requests at
+  // once instead.
+  Pool = std::make_unique<ThreadPool>(Workers);
+  Dispatcher = std::thread(
+      [this, Workers] { Pool->run(Workers, [this](int) { workerLane(); }); });
+}
+
+Server::~Server() {
+  Queue.close();
+  if (Dispatcher.joinable())
+    Dispatcher.join();
+  // All lanes have exited: every admitted request was executed and every
+  // future fulfilled. ~ThreadPool joins the parked workers.
+}
+
+Engine &Server::shardFor(const Program &Prog) {
+  return *Shards[Engine::routingKey(Prog) % Shards.size()];
+}
+
+Kernel Server::compile(const Program &Prog) {
+  return shardFor(Prog).compile(Prog);
+}
+
+Kernel Server::optimize(const Program &Prog, const TuneOptions &Options) {
+  return shardFor(Prog).optimize(Prog, Options);
+}
+
+std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args) {
+  CSubmitted.fetch_add(1, std::memory_order_relaxed);
+  Request R;
+  R.K = K;
+  R.Args = std::move(Args);
+  std::future<RunStatus> Result = R.Done.get_future();
+
+  // Fail fast on arguments that could never execute; the worker-side
+  // stale-kernel check still guards requests that race a rebind.
+  if (!R.Args.ok()) {
+    R.Done.set_value(invalidBoundArgsStatus(R.Args));
+    CCompleted.fetch_add(1, std::memory_order_relaxed);
+    return Result;
+  }
+
+  // Count admission before the push: a worker may complete the request
+  // before push() even returns, and drain()'s Finished must never
+  // overtake Admitted.
+  Admitted.fetch_add(1);
+  size_t DepthAfter = 0;
+  RequestQueue::PushResult Pushed = Queue.push(R, &DepthAfter);
+  if (Pushed != RequestQueue::PushResult::Ok) {
+    {
+      // The rollback can complete a drain, so it synchronizes like
+      // Finished does.
+      std::lock_guard<std::mutex> Lock(DrainMutex);
+      Admitted.fetch_sub(1);
+    }
+    DrainCV.notify_all();
+    CRejected.fetch_add(1, std::memory_order_relaxed);
+    R.Done.set_value(Pushed == RequestQueue::PushResult::Overloaded
+                         ? RunStatus::overloaded()
+                         : RunStatus::shutDown());
+    return Result;
+  }
+  maxStatsCounter(CDepthMax, static_cast<int64_t>(DepthAfter));
+  DepthHist[depthBucket(DepthAfter, DepthHist.size())].fetch_add(
+      1, std::memory_order_relaxed);
+  return Result;
+}
+
+std::future<RunStatus> Server::submit(const Kernel &K,
+                                      const ArgBinding &Args) {
+  return submit(K, K.bind(Args));
+}
+
+void Server::workerLane() {
+  std::vector<Request> Batch;
+  std::vector<RunStatus> Statuses;
+  std::vector<size_t> Grouped;
+  std::vector<const BoundArgs *> GroupArgs;
+  std::vector<RunStatus> GroupStatuses;
+  while (Queue.popBatch(Batch, std::max<size_t>(Opts.MaxBatch, 1))) {
+    size_t B = Batch.size();
+    if (B > 1)
+      CBatchedRuns.fetch_add(static_cast<int64_t>(B),
+                             std::memory_order_relaxed);
+
+    // The batch shares one BoundArgs kernel token (popBatch coalesces by
+    // it). Requests whose submitted kernel really owns those arguments —
+    // the common case, all of them — execute as one coalesced dispatch
+    // on a single pooled context (Kernel::runBatch); a request whose
+    // kernel does not match its arguments is executed alone so it earns
+    // its stale diagnostic without disturbing the batch.
+    Statuses.assign(B, RunStatus());
+    Grouped.clear();
+    GroupArgs.clear();
+    for (size_t I = 0; I < B; ++I) {
+      if (Batch[I].K.token() == Batch[I].Args.kernelToken()) {
+        Grouped.push_back(I);
+        GroupArgs.push_back(&Batch[I].Args);
+      } else {
+        Statuses[I] = Batch[I].K.run(Batch[I].Args);
+      }
+    }
+    if (!Grouped.empty()) {
+      GroupStatuses.assign(Grouped.size(), RunStatus());
+      Batch[Grouped.front()].K.runBatch(GroupArgs.data(),
+                                        GroupStatuses.data(),
+                                        Grouped.size());
+      for (size_t J = 0; J < Grouped.size(); ++J)
+        Statuses[Grouped[J]] = std::move(GroupStatuses[J]);
+    }
+    for (size_t I = 0; I < B; ++I)
+      Batch[I].Done.set_value(std::move(Statuses[I]));
+    CCompleted.fetch_add(static_cast<int64_t>(B), std::memory_order_relaxed);
+    finishMany(B);
+  }
+}
+
+void Server::finishMany(uint64_t N) {
+  {
+    std::lock_guard<std::mutex> Lock(DrainMutex);
+    Finished += N;
+  }
+  DrainCV.notify_all();
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> Lock(DrainMutex);
+  DrainCV.wait(Lock, [&] { return Finished == Admitted.load(); });
+}
+
+std::vector<uint64_t> Server::queueDepthHistogram() const {
+  std::vector<uint64_t> Result(DepthHist.size());
+  for (size_t I = 0; I < DepthHist.size(); ++I)
+    Result[I] = DepthHist[I].load(std::memory_order_relaxed);
+  return Result;
+}

@@ -1,0 +1,179 @@
+//===- serve/Server.h - Asynchronous kernel-serving runtime ------*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer on top of the api/ facade: the object a
+/// daisy-embedding service creates once to serve compiled kernels to many
+/// concurrent clients.
+///
+/// A Server owns
+///
+/// - one or more Engine shards: programs are routed to a shard by
+///   Engine::routingKey (marks-aware structural hash + data digest), so
+///   each shard's plan cache and transfer-tuning database see a stable
+///   partition of the kernel population instead of contending on one
+///   global instance;
+/// - a bounded MPMC request queue (serve/RequestQueue.h) with an explicit
+///   backpressure policy — Block the submitter or Reject with
+///   RunStatus::Overloaded — so overload is a decision, not an accident;
+/// - a worker pool (one dedicated exec/ThreadPool instance driven by a
+///   dispatcher thread) that drains requests into pooled per-kernel
+///   ExecContexts; per-kernel micro-batching coalesces same-kernel
+///   requests into one dispatch, amortizing the queue round-trip and
+///   keeping one warm context stretch per batch.
+///
+/// Server::submit(kernel, boundArgs) returns a std::future<RunStatus>.
+/// The hot path is string-compare-free: arguments are prepared once with
+/// Kernel::bind and the workers execute on resolved slot tables. Results
+/// are bit-identical to synchronous Kernel::run at every shard, worker,
+/// and batch configuration — workers execute on the pool, so
+/// parallel-marked loops inside a kernel degrade to serial per the
+/// ThreadPool nesting rule (bit-identical by the ExecPlan contract) and
+/// request-level parallelism takes their place.
+///
+/// drain() blocks until every admitted request has completed; the
+/// destructor closes admission, drains, and joins — every future a submit
+/// ever returned is completed or failed, never leaked.
+///
+/// Counters (support/Statistics): Serve.Submitted, Serve.Completed,
+/// Serve.Rejected, Serve.BatchedRuns, Serve.QueueDepthMax. Invariant
+/// after drain(): Submitted == Completed + Rejected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SERVE_SERVER_H
+#define DAISY_SERVE_SERVER_H
+
+#include "api/Engine.h"
+#include "serve/BoundArgs.h"
+#include "serve/RequestQueue.h"
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace daisy {
+
+class ThreadPool;
+
+namespace serve {
+
+/// Construction-time configuration of a Server.
+struct ServerOptions {
+  /// Number of Engine shards kernels are routed over. Each shard has its
+  /// own plan cache and (unless EngineOptions::Database is set, which
+  /// all shards then share) its own tuning database.
+  size_t Shards = 1;
+  /// Worker lanes draining the queue; 0 resolves to
+  /// ThreadPool::defaultThreadCount() (DAISY_THREADS or the hardware
+  /// concurrency).
+  int Workers = 0;
+  /// Bound of the request queue; admission beyond it triggers Policy.
+  size_t QueueCapacity = 1024;
+  /// What submit does when the queue is full.
+  BackpressurePolicy Policy = BackpressurePolicy::Block;
+  /// Largest same-kernel micro-batch one worker dispatch coalesces;
+  /// 1 disables micro-batching.
+  size_t MaxBatch = 16;
+  /// Configuration every Engine shard is constructed with.
+  EngineOptions Engine;
+};
+
+/// The serving runtime. Thread-safe: submit/compile/drain may be called
+/// from any number of threads. Destroying the server while a submit call
+/// is still executing is the usual object-lifetime race and remains the
+/// caller's to avoid; futures obtained before destruction stay valid.
+class Server {
+public:
+  explicit Server(ServerOptions Options = {});
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Compiles \p Prog through the shard owning its routing key (plan
+  /// caches stay shard-local).
+  Kernel compile(const Program &Prog);
+
+  /// Engine::optimize through the owning shard (shard-local database).
+  Kernel optimize(const Program &Prog, const TuneOptions &Options = {});
+
+  /// The shard \p Prog routes to.
+  Engine &shardFor(const Program &Prog);
+  Engine &shard(size_t I) { return *Shards[I]; }
+  size_t shardCount() const { return Shards.size(); }
+
+  /// Enqueues one run of \p K on prepared arguments and returns the
+  /// future completed by a worker. Non-ok or mismatched \p Args fail the
+  /// future with the diagnostic instead of executing; a full queue
+  /// blocks or rejects per the backpressure policy.
+  std::future<RunStatus> submit(const Kernel &K, BoundArgs Args);
+
+  /// Convenience: validates \p Args against \p K (the one string-compare
+  /// pass) and submits the resulting BoundArgs.
+  std::future<RunStatus> submit(const Kernel &K, const ArgBinding &Args);
+
+  /// Blocks until every request admitted so far (and any admitted while
+  /// draining) has completed. The server keeps serving afterwards.
+  void drain();
+
+  /// Requests admitted but not yet picked up by a worker.
+  size_t queueDepth() const { return Queue.depth(); }
+
+  /// High-water mark of the queue depth since construction.
+  size_t queueDepthMax() const { return Queue.maxDepthSeen(); }
+
+  /// Log2-bucketed histogram of the queue depth sampled after every
+  /// admitted request: bucket B counts samples with depth in
+  /// [2^B, 2^(B+1)).
+  std::vector<uint64_t> queueDepthHistogram() const;
+
+  const ServerOptions &options() const { return Opts; }
+
+private:
+  void workerLane();
+  void finishMany(uint64_t N);
+
+  ServerOptions Opts;
+  std::vector<std::unique_ptr<Engine>> Shards;
+  RequestQueue Queue;
+
+  /// Pre-resolved Serve.* counter cells (support/Statistics): the hot
+  /// path increments relaxed atomics instead of paying a name lookup
+  /// under the registry mutex per request.
+  std::atomic<int64_t> &CSubmitted, &CCompleted, &CRejected, &CBatchedRuns,
+      &CDepthMax;
+
+  /// Depth-after-push samples, log2 buckets (relaxed: observability).
+  std::array<std::atomic<uint64_t>, 16> DepthHist;
+
+  /// Admitted vs finished request counts backing drain(). Admitted is
+  /// incremented lock-free on the submit path (an increment can never
+  /// satisfy a drain waiter, so no notification is needed); Finished
+  /// advances under DrainMutex so waiters cannot miss the final
+  /// transition, batched once per worker dispatch. The rejected-submit
+  /// rollback decrement also notifies under the mutex.
+  std::mutex DrainMutex;
+  std::condition_variable DrainCV;
+  std::atomic<uint64_t> Admitted{0};
+  uint64_t Finished = 0;
+
+  /// The worker pool and the dispatcher thread whose ThreadPool::run
+  /// call turns the pool's lanes into queue drainers. Last members, so
+  /// they stop before anything they use is destroyed.
+  std::unique_ptr<ThreadPool> Pool;
+  std::thread Dispatcher;
+};
+
+} // namespace serve
+} // namespace daisy
+
+#endif // DAISY_SERVE_SERVER_H

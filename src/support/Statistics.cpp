@@ -16,12 +16,19 @@ using namespace daisy;
 
 namespace {
 
-/// Counter registry. A plain map under a mutex: every counted event
-/// (a whole-program simulation, a plan compile) costs orders of magnitude
-/// more than the guarded lookup, so contention is not a concern.
+/// Counter registry. Values are atomic cells in a node-stable map: name
+/// resolution happens under the mutex (it is paid once per counter by the
+/// hot paths, which cache the cell reference via statsCounterCell), while
+/// increments are lock-free — the serving runtime bumps counters at
+/// request rate from every worker lane.
 struct CounterRegistry {
   std::mutex Mutex;
-  std::map<std::string, int64_t> Counters;
+  std::map<std::string, std::atomic<int64_t>> Counters;
+
+  std::atomic<int64_t> &cell(const std::string &Name) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Counters[Name];
+  }
 };
 
 CounterRegistry &registry() {
@@ -32,23 +39,37 @@ CounterRegistry &registry() {
 } // namespace
 
 void daisy::addStatsCounter(const std::string &Name, int64_t Delta) {
-  CounterRegistry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
-  R.Counters[Name] += Delta;
+  registry().cell(Name).fetch_add(Delta, std::memory_order_relaxed);
+}
+
+void daisy::maxStatsCounter(const std::string &Name, int64_t Value) {
+  maxStatsCounter(registry().cell(Name), Value);
+}
+
+void daisy::maxStatsCounter(std::atomic<int64_t> &Cell, int64_t Value) {
+  int64_t Seen = Cell.load(std::memory_order_relaxed);
+  while (Seen < Value &&
+         !Cell.compare_exchange_weak(Seen, Value, std::memory_order_relaxed))
+    ;
+}
+
+std::atomic<int64_t> &daisy::statsCounterCell(const std::string &Name) {
+  return registry().cell(Name);
 }
 
 int64_t daisy::statsCounter(const std::string &Name) {
   CounterRegistry &R = registry();
   std::lock_guard<std::mutex> Lock(R.Mutex);
   auto It = R.Counters.find(Name);
-  return It == R.Counters.end() ? 0 : It->second;
+  return It == R.Counters.end() ? 0
+                                : It->second.load(std::memory_order_relaxed);
 }
 
 void daisy::resetStatsCounters() {
   CounterRegistry &R = registry();
   std::lock_guard<std::mutex> Lock(R.Mutex);
   for (auto &[Name, Value] : R.Counters)
-    Value = 0;
+    Value.store(0, std::memory_order_relaxed);
 }
 
 double daisy::mean(const std::vector<double> &Values) {

@@ -18,6 +18,7 @@
 #ifndef DAISY_SUPPORT_STATISTICS_H
 #define DAISY_SUPPORT_STATISTICS_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -39,6 +40,24 @@ namespace daisy {
 
 /// Adds \p Delta to counter \p Name (registering it on first use).
 void addStatsCounter(const std::string &Name, int64_t Delta = 1);
+
+/// Raises counter \p Name to at least \p Value (registering it on first
+/// use; never lowers it). High-water marks — e.g. the serving runtime's
+/// "Serve.QueueDepthMax" — report through this instead of add.
+void maxStatsCounter(const std::string &Name, int64_t Value);
+
+/// Cell form of maxStatsCounter for hot paths that pre-resolved the
+/// counter with statsCounterCell.
+void maxStatsCounter(std::atomic<int64_t> &Cell, int64_t Value);
+
+/// Registers \p Name and returns its cell. The reference stays valid for
+/// the process lifetime (the registry never erases), so hot paths — the
+/// serving runtime counts per-request events at request rate — can
+/// resolve a counter once and then increment with a relaxed atomic
+/// instead of paying the name lookup under the registry mutex per event.
+/// Cells observe addStatsCounter / resetStatsCounters and are read by
+/// statsCounter like any other counter.
+std::atomic<int64_t> &statsCounterCell(const std::string &Name);
 
 /// Current value of counter \p Name; 0 if it was never touched.
 int64_t statsCounter(const std::string &Name);

@@ -478,6 +478,39 @@ TEST(DatabaseTest, ExactHashWins) {
   EXPECT_EQ(Found->Name, "exact");
 }
 
+TEST(DatabaseTest, SnapshotsAreImmutableAndCopiesAreCheap) {
+  // The entry vector lives behind a copy-on-write shared_ptr: snapshots
+  // and database copies share it in O(1), and insert un-shares before
+  // mutating so existing readers keep the exact view they took. This is
+  // what bounds the engine's DbMutex critical sections to constant size.
+  TransferTuningDatabase Db;
+  DatabaseEntry First;
+  First.Name = "first";
+  Db.insert(First);
+
+  std::shared_ptr<const std::vector<DatabaseEntry>> Snap = Db.snapshot();
+  TransferTuningDatabase Copy = Db;
+  // Copying shares storage, it does not duplicate it.
+  EXPECT_EQ(Copy.snapshot().get(), Snap.get());
+  EXPECT_EQ(&Db.entries(), Snap.get());
+
+  DatabaseEntry Second;
+  Second.Name = "second";
+  Db.insert(Second);
+  // The mutated database re-seated its vector; the snapshot and the copy
+  // still see exactly one entry.
+  EXPECT_EQ(Db.size(), 2u);
+  ASSERT_EQ(Snap->size(), 1u);
+  EXPECT_EQ((*Snap)[0].Name, "first");
+  EXPECT_EQ(Copy.size(), 1u);
+  EXPECT_NE(&Db.entries(), Snap.get());
+
+  // The copy is independently mutable (its own un-share).
+  Copy.insert(Second);
+  EXPECT_EQ(Copy.size(), 2u);
+  EXPECT_EQ(Snap->size(), 1u);
+}
+
 TEST(DatabaseTest, MaxDistanceRespected) {
   TransferTuningDatabase Db;
   DatabaseEntry Far;

@@ -1,0 +1,498 @@
+//===- tests/ServeTest.cpp - serving-runtime tests -------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving runtime's contracts (this suite runs under ThreadSanitizer
+// in CI, DAISY_THREADS=4):
+//
+// - submit-storm bit-identity: results of async submission are identical
+//   to synchronous Kernel::run at every shard count, worker count, and
+//   batching setting;
+// - validate-once BoundArgs: one bind, many string-compare-free runs;
+//   handles bound against a different kernel are rejected as stale, not
+//   executed;
+// - backpressure: a full queue rejects with RunStatus::Overloaded under
+//   the Reject policy and absorbs the burst under Block;
+// - graceful shutdown: destroying a server with queued and in-flight
+//   requests completes every future;
+// - counters: Serve.Submitted == Serve.Completed + Serve.Rejected after
+//   drain; micro-batching shows up in Serve.BatchedRuns only when on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "exec/Interpreter.h"
+#include "ir/Builder.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+using namespace daisy;
+using namespace daisy::serve;
+
+namespace {
+
+/// GEMM with a chosen loop order (the canonical many-variants program).
+Program makeGemm(const std::string &O1, const std::string &O2,
+                 const std::string &O3, int N) {
+  Program Prog("gemm_" + O1 + O2 + O3);
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      O1, 0, N,
+      {forLoop(O2, 0, N,
+               {forLoop(O3, 0, N,
+                        {assign("S0", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    read("A", {ax("i"), ax("k")}) *
+                                        read("B", {ax("k"), ax("j")}))})})}));
+  return Prog;
+}
+
+/// Two-nest program with a kernel-managed transient temporary.
+Program makeTransientProgram(int N) {
+  Program Prog("transient");
+  Prog.addArray("In", {N});
+  Prog.addArray("Out", {N});
+  Prog.addArray("Tmp", {N}, /*Transient=*/true);
+  Prog.append(forLoop("i", 0, N,
+                      {assign("S0", "Tmp", {ax("i")},
+                              read("In", {ax("i")}) * lit(2.0))}));
+  Prog.append(forLoop("i", 0, N,
+                      {assign("S1", "Out", {ax("i")},
+                              read("Tmp", {ax("i")}) + lit(1.0))}));
+  return Prog;
+}
+
+/// Caller-owned argument storage for one request, initialized like a
+/// deterministic DataEnv so results are comparable across paths.
+struct OwnedArgs {
+  std::vector<std::pair<std::string, std::vector<double>>> Buffers;
+
+  explicit OwnedArgs(const Program &Prog, uint64_t Seed = 1) {
+    DataEnv Env(Prog);
+    Env.initDeterministic(Seed);
+    for (const ArrayDecl &Decl : Prog.arrays())
+      if (!Decl.Transient)
+        Buffers.emplace_back(Decl.Name, Env.buffer(Decl.Name));
+  }
+
+  ArgBinding binding() {
+    ArgBinding Args;
+    for (auto &[Name, Storage] : Buffers)
+      Args.bind(Name, Storage);
+    return Args;
+  }
+};
+
+/// A kernel that keeps one worker busy for a few milliseconds — long
+/// enough that a handful of microsecond-scale submits are guaranteed to
+/// land while it is still running.
+Kernel makePlugKernel() {
+  static Program Prog = makeGemm("i", "j", "k", 160);
+  return Kernel::compile(Prog);
+}
+
+/// Spin until the worker has picked up everything queued so far.
+void waitUntilQueueEmpty(Server &S) {
+  while (S.queueDepth() != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// BoundArgs: validate once, run many
+//===----------------------------------------------------------------------===//
+
+TEST(BoundArgsTest, BindValidatesOnceAndRunsMatchArgBinding) {
+  Program Prog = makeGemm("i", "j", "k", 12);
+  Kernel K = Kernel::compile(Prog);
+
+  OwnedArgs Sync(Prog, 7);
+  ASSERT_TRUE(K.run(Sync.binding()));
+
+  OwnedArgs Prepared(Prog, 7);
+  BoundArgs Bound = K.bind(Prepared.binding());
+  ASSERT_TRUE(Bound.ok());
+  EXPECT_EQ(Bound.slots().size(), Prog.arrays().size());
+  ASSERT_TRUE(K.run(Bound));
+  EXPECT_EQ(Prepared.Buffers, Sync.Buffers);
+
+  // The handle is reusable: a second run through the same BoundArgs sees
+  // the same semantics (C accumulates, so refill first).
+  OwnedArgs Fresh(Prog, 7);
+  Prepared.Buffers = Fresh.Buffers; // restore inputs; pointers unchanged?
+  // Vector assignment may reallocate — rebind to be pointer-correct.
+  Bound = K.bind(Prepared.binding());
+  ASSERT_TRUE(K.run(Bound));
+  EXPECT_EQ(Prepared.Buffers, Sync.Buffers);
+}
+
+TEST(BoundArgsTest, TransientProgramPreparedRunsAreExact) {
+  Program Prog = makeTransientProgram(32);
+  Kernel K = Kernel::compile(Prog);
+  std::vector<double> In(32, 3.0), Out(32, 0.0);
+  BoundArgs Bound = K.bind(ArgBinding().bind("In", In).bind("Out", Out));
+  ASSERT_TRUE(Bound.ok());
+  ASSERT_TRUE(K.run(Bound));
+  std::vector<double> First = Out;
+  // Re-run through the pooled (now dirty) context: transient scratch is
+  // re-zeroed, results identical.
+  ASSERT_TRUE(K.run(Bound));
+  EXPECT_EQ(Out, First);
+  EXPECT_EQ(Out[0], 3.0 * 2.0 + 1.0);
+}
+
+TEST(BoundArgsTest, FailedValidationYieldsNonOkHandle) {
+  Kernel K = Kernel::compile(makeGemm("i", "j", "k", 8));
+  std::vector<double> A(64), B(64);
+  BoundArgs Bound = K.bind(ArgBinding().bind("A", A).bind("B", B));
+  EXPECT_FALSE(Bound.ok());
+  EXPECT_NE(Bound.error().find("not bound"), std::string::npos);
+  EXPECT_EQ(Bound.kernelToken(), nullptr);
+
+  RunStatus Status = K.run(Bound);
+  EXPECT_FALSE(Status.ok());
+  EXPECT_EQ(Status.Why, RunStatus::BindError);
+  EXPECT_NE(Status.Error.find("not bound"), std::string::npos);
+}
+
+TEST(BoundArgsTest, StaleRebindAgainstOtherKernelIsRejected) {
+  Program Prog = makeGemm("i", "j", "k", 8);
+  // Two distinct compilations of the same program: structurally equal,
+  // but slot tables must not transfer between kernel instances.
+  Kernel KA = Kernel::compile(Prog);
+  Kernel KB = Kernel::compile(Prog);
+  OwnedArgs Args(Prog);
+  BoundArgs Bound = KA.bind(Args.binding());
+  ASSERT_TRUE(Bound.ok());
+  EXPECT_NE(Bound.kernelToken(), nullptr);
+
+  RunStatus Stale = KB.run(Bound);
+  EXPECT_FALSE(Stale.ok());
+  EXPECT_EQ(Stale.Why, RunStatus::BindError);
+  EXPECT_NE(Stale.Error.find("different kernel"), std::string::npos);
+
+  // The owning kernel still accepts the handle.
+  EXPECT_TRUE(KA.run(Bound));
+}
+
+TEST(BoundArgsTest, DefaultHandleIsRejected) {
+  Kernel K = Kernel::compile(makeGemm("i", "j", "k", 8));
+  RunStatus Status = K.run(BoundArgs());
+  EXPECT_FALSE(Status.ok());
+  EXPECT_NE(Status.Error.find("unbound"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Submit storm: bit-identity across shard/worker/batch configurations
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void submitStorm(size_t Shards, size_t MaxBatch) {
+  std::vector<Program> Programs;
+  Programs.push_back(makeGemm("i", "j", "k", 12));
+  Programs.push_back(makeGemm("j", "k", "i", 12));
+  Programs.push_back(makeTransientProgram(64));
+
+  ServerOptions Options;
+  Options.Shards = Shards;
+  Options.Workers = 4;
+  Options.QueueCapacity = 256;
+  Options.MaxBatch = MaxBatch;
+  Server S(Options);
+
+  std::vector<Kernel> Kernels;
+  for (const Program &Prog : Programs)
+    Kernels.push_back(S.compile(Prog));
+
+  // Synchronous references.
+  std::vector<OwnedArgs> Expected;
+  for (size_t P = 0; P < Programs.size(); ++P) {
+    Expected.emplace_back(Programs[P], 5);
+    ASSERT_TRUE(Kernels[P].run(Expected.back().binding()));
+  }
+
+  constexpr int Threads = 4;
+  constexpr int Reps = 6;
+  std::vector<int> Mismatches(Threads, 0);
+  std::vector<std::thread> Submitters;
+  for (int T = 0; T < Threads; ++T)
+    Submitters.emplace_back([&, T] {
+      // Every request owns its buffers for the whole round trip.
+      std::vector<std::unique_ptr<OwnedArgs>> Owned;
+      std::vector<size_t> Kind;
+      std::vector<std::future<RunStatus>> Futures;
+      for (int R = 0; R < Reps; ++R)
+        for (size_t P = 0; P < Programs.size(); ++P) {
+          Owned.push_back(std::make_unique<OwnedArgs>(Programs[P], 5));
+          Kind.push_back(P);
+          BoundArgs Bound = Kernels[P].bind(Owned.back()->binding());
+          if (!Bound.ok()) {
+            ++Mismatches[T];
+            continue;
+          }
+          Futures.push_back(S.submit(Kernels[P], std::move(Bound)));
+        }
+      for (size_t I = 0; I < Futures.size(); ++I) {
+        RunStatus Status = Futures[I].get();
+        if (!Status.ok() ||
+            Owned[I]->Buffers != Expected[Kind[I]].Buffers)
+          ++Mismatches[T];
+      }
+    });
+  for (std::thread &W : Submitters)
+    W.join();
+  for (int T = 0; T < Threads; ++T)
+    EXPECT_EQ(Mismatches[T], 0) << "submitter " << T;
+
+  S.drain();
+  EXPECT_EQ(S.queueDepth(), 0u);
+}
+
+} // namespace
+
+TEST(ServeStormTest, OneShardUnbatched) { submitStorm(1, 1); }
+TEST(ServeStormTest, OneShardBatched) { submitStorm(1, 8); }
+TEST(ServeStormTest, TwoShardsUnbatched) { submitStorm(2, 1); }
+TEST(ServeStormTest, TwoShardsBatched) { submitStorm(2, 8); }
+
+//===----------------------------------------------------------------------===//
+// Shard routing
+//===----------------------------------------------------------------------===//
+
+TEST(ServeShardTest, RoutingIsStableAndCachesStayShardLocal) {
+  ServerOptions Options;
+  Options.Shards = 2;
+  Options.Workers = 1;
+  Server S(Options);
+  Program Prog = makeGemm("i", "j", "k", 10);
+
+  resetStatsCounters();
+  Kernel K1 = S.compile(Prog);
+  Kernel K2 = S.compile(Prog);
+  // Same routing key -> same shard -> one compile, one shared kernel.
+  EXPECT_EQ(statsCounter("Engine.PlanCompiles"), 1);
+  EXPECT_EQ(&K1.plan(), &K2.plan());
+  EXPECT_EQ(&S.shardFor(Prog), &S.shardFor(Prog));
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure
+//===----------------------------------------------------------------------===//
+
+TEST(ServeBackpressureTest, RejectPolicyFailsFastWithOverloaded) {
+  resetStatsCounters();
+  ServerOptions Options;
+  Options.Workers = 1;
+  Options.QueueCapacity = 4;
+  Options.Policy = BackpressurePolicy::Reject;
+  Options.MaxBatch = 1;
+  Server S(Options);
+
+  Kernel Plug = makePlugKernel();
+  OwnedArgs PlugArgs(Plug.program());
+  std::future<RunStatus> PlugDone =
+      S.submit(Plug, Plug.bind(PlugArgs.binding()));
+  // Wait until the single worker has taken the plug off the queue; it
+  // now executes for milliseconds while we fill the queue in
+  // microseconds.
+  waitUntilQueueEmpty(S);
+
+  Program Small = makeGemm("i", "j", "k", 8);
+  Kernel K = S.compile(Small);
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<std::future<RunStatus>> Accepted;
+  for (size_t I = 0; I < Options.QueueCapacity; ++I) {
+    Owned.push_back(std::make_unique<OwnedArgs>(Small));
+    Accepted.push_back(S.submit(K, K.bind(Owned.back()->binding())));
+  }
+  // The queue is now full and the worker is still inside the plug: the
+  // next submit must be rejected immediately.
+  Owned.push_back(std::make_unique<OwnedArgs>(Small));
+  std::future<RunStatus> Rejected =
+      S.submit(K, K.bind(Owned.back()->binding()));
+  ASSERT_EQ(Rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  RunStatus Status = Rejected.get();
+  EXPECT_FALSE(Status.ok());
+  EXPECT_EQ(Status.Why, RunStatus::Overloaded);
+
+  S.drain();
+  EXPECT_TRUE(PlugDone.get().ok());
+  for (auto &F : Accepted)
+    EXPECT_TRUE(F.get().ok());
+  EXPECT_EQ(statsCounter("Serve.Rejected"), 1);
+  EXPECT_EQ(statsCounter("Serve.Submitted"),
+            statsCounter("Serve.Completed") + statsCounter("Serve.Rejected"));
+  EXPECT_GE(statsCounter("Serve.QueueDepthMax"),
+            static_cast<int64_t>(Options.QueueCapacity));
+}
+
+TEST(ServeBackpressureTest, BlockPolicyAbsorbsTheBurst) {
+  resetStatsCounters();
+  ServerOptions Options;
+  Options.Workers = 1;
+  Options.QueueCapacity = 2;
+  Options.Policy = BackpressurePolicy::Block;
+  Options.MaxBatch = 1;
+  Server S(Options);
+
+  Kernel Plug = makePlugKernel();
+  OwnedArgs PlugArgs(Plug.program());
+  std::future<RunStatus> PlugDone =
+      S.submit(Plug, Plug.bind(PlugArgs.binding()));
+  waitUntilQueueEmpty(S);
+
+  Program Small = makeGemm("i", "j", "k", 8);
+  Kernel K = S.compile(Small);
+  constexpr size_t Burst = 6; // 3x the queue bound: submitters must block.
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<std::future<RunStatus>> Futures;
+  for (size_t I = 0; I < Burst; ++I)
+    Owned.push_back(std::make_unique<OwnedArgs>(Small));
+  std::thread Submitter([&] {
+    for (size_t I = 0; I < Burst; ++I)
+      Futures.push_back(S.submit(K, K.bind(Owned[I]->binding())));
+  });
+  Submitter.join();
+
+  S.drain();
+  EXPECT_TRUE(PlugDone.get().ok());
+  for (auto &F : Futures)
+    EXPECT_TRUE(F.get().ok());
+  EXPECT_EQ(statsCounter("Serve.Rejected"), 0);
+  // Depth after push never exceeds the bound — that is what blocking
+  // buys.
+  EXPECT_LE(statsCounter("Serve.QueueDepthMax"),
+            static_cast<int64_t>(Options.QueueCapacity));
+  EXPECT_EQ(statsCounter("Serve.Submitted"), statsCounter("Serve.Completed"));
+}
+
+//===----------------------------------------------------------------------===//
+// Micro-batching
+//===----------------------------------------------------------------------===//
+
+TEST(ServeBatchingTest, SameKernelRequestsCoalesceOnlyWhenEnabled) {
+  Program Small = makeGemm("i", "j", "k", 8);
+  for (size_t MaxBatch : {size_t(1), size_t(4)}) {
+    resetStatsCounters();
+    ServerOptions Options;
+    Options.Workers = 1;
+    Options.QueueCapacity = 64;
+    Options.MaxBatch = MaxBatch;
+    Server S(Options);
+
+    Kernel Plug = makePlugKernel();
+    OwnedArgs PlugArgs(Plug.program());
+    std::future<RunStatus> PlugDone =
+        S.submit(Plug, Plug.bind(PlugArgs.binding()));
+    waitUntilQueueEmpty(S);
+
+    // Queue 8 same-kernel requests behind the plug; with batching on the
+    // worker drains them in coalesced dispatches.
+    Kernel K = S.compile(Small);
+    std::vector<std::unique_ptr<OwnedArgs>> Owned;
+    std::vector<std::future<RunStatus>> Futures;
+    for (int I = 0; I < 8; ++I) {
+      Owned.push_back(std::make_unique<OwnedArgs>(Small));
+      Futures.push_back(S.submit(K, K.bind(Owned.back()->binding())));
+    }
+    S.drain();
+    EXPECT_TRUE(PlugDone.get().ok());
+    for (auto &F : Futures)
+      EXPECT_TRUE(F.get().ok());
+    if (MaxBatch == 1)
+      EXPECT_EQ(statsCounter("Serve.BatchedRuns"), 0);
+    else
+      EXPECT_GE(statsCounter("Serve.BatchedRuns"), 2);
+    // Histogram samples cover every accepted request.
+    uint64_t Samples = 0;
+    for (uint64_t Bucket : S.queueDepthHistogram())
+      Samples += Bucket;
+    EXPECT_EQ(Samples, 9u); // plug + 8 fillers
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shutdown
+//===----------------------------------------------------------------------===//
+
+TEST(ServeShutdownTest, DestructorCompletesInflightAndQueuedRequests) {
+  Program Small = makeGemm("i", "j", "k", 10);
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<std::future<RunStatus>> Futures;
+  OwnedArgs Expected(Small, 1);
+  {
+    ServerOptions Options;
+    Options.Workers = 2;
+    Options.QueueCapacity = 64;
+    Server S(Options);
+    Kernel K = S.compile(Small);
+    ASSERT_TRUE(K.run(Expected.binding()));
+    for (int I = 0; I < 16; ++I) {
+      Owned.push_back(std::make_unique<OwnedArgs>(Small, 1));
+      Futures.push_back(S.submit(K, K.bind(Owned.back()->binding())));
+    }
+    // Destructor runs with most requests still queued.
+  }
+  for (size_t I = 0; I < Futures.size(); ++I) {
+    ASSERT_EQ(Futures[I].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "request " << I << " leaked through shutdown";
+    EXPECT_TRUE(Futures[I].get().ok());
+    EXPECT_EQ(Owned[I]->Buffers, Expected.Buffers);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stale/misbound submissions through the server
+//===----------------------------------------------------------------------===//
+
+TEST(ServeSubmitTest, StaleAndUnboundArgsFailTheFuture) {
+  ServerOptions Options;
+  Options.Workers = 1;
+  Server S(Options);
+  Program Prog = makeGemm("i", "j", "k", 8);
+  Kernel KA = Kernel::compile(Prog);
+  Kernel KB = Kernel::compile(Prog);
+
+  OwnedArgs Args(Prog);
+  BoundArgs BoundToA = KA.bind(Args.binding());
+  ASSERT_TRUE(BoundToA.ok());
+  EXPECT_EQ(BoundToA.kernelToken(), KA.bind(Args.binding()).kernelToken());
+
+  // Direct run: rejected as stale.
+  RunStatus Direct = KB.run(BoundToA);
+  EXPECT_FALSE(Direct.ok());
+  EXPECT_NE(Direct.Error.find("different kernel"), std::string::npos);
+
+  // Through the server: the future carries the same rejection.
+  RunStatus Via = S.submit(KB, BoundToA).get();
+  EXPECT_FALSE(Via.ok());
+  EXPECT_NE(Via.Error.find("different kernel"), std::string::npos);
+
+  // Unbound handle: fails fast without reaching a worker.
+  RunStatus Unbound = S.submit(KA, BoundArgs()).get();
+  EXPECT_FALSE(Unbound.ok());
+  EXPECT_NE(Unbound.Error.find("unbound"), std::string::npos);
+
+  // The ArgBinding convenience overload pays validation at submit.
+  std::vector<double> OnlyA(64, 0.0);
+  RunStatus Bad = S.submit(KA, ArgBinding().bind("A", OnlyA)).get();
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_NE(Bad.Error.find("not bound"), std::string::npos);
+
+  S.drain();
+}

@@ -92,6 +92,37 @@ TEST(StatisticsTest, GeometricMean) {
   EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
 }
 
+TEST(StatisticsTest, CountersAddMaxCellAndReset) {
+  resetStatsCounters();
+  addStatsCounter("SupportTest.Counter", 2);
+  addStatsCounter("SupportTest.Counter");
+  EXPECT_EQ(statsCounter("SupportTest.Counter"), 3);
+
+  // High-water semantics: raises, never lowers.
+  maxStatsCounter("SupportTest.Max", 5);
+  maxStatsCounter("SupportTest.Max", 3);
+  EXPECT_EQ(statsCounter("SupportTest.Max"), 5);
+  maxStatsCounter("SupportTest.Max", 9);
+  EXPECT_EQ(statsCounter("SupportTest.Max"), 9);
+
+  // Cells are the hot-path form of the same counters: stable references
+  // observing add/max/reset.
+  std::atomic<int64_t> &Cell = statsCounterCell("SupportTest.Counter");
+  EXPECT_EQ(Cell.load(), 3);
+  Cell.fetch_add(4, std::memory_order_relaxed);
+  EXPECT_EQ(statsCounter("SupportTest.Counter"), 7);
+  maxStatsCounter(Cell, 2);
+  EXPECT_EQ(Cell.load(), 7);
+  maxStatsCounter(Cell, 11);
+  EXPECT_EQ(statsCounter("SupportTest.Counter"), 11);
+  EXPECT_EQ(&statsCounterCell("SupportTest.Counter"), &Cell);
+
+  resetStatsCounters();
+  EXPECT_EQ(statsCounter("SupportTest.Counter"), 0);
+  EXPECT_EQ(Cell.load(), 0);
+  EXPECT_EQ(statsCounter("SupportTest.NeverTouched"), 0);
+}
+
 TEST(StatisticsTest, MeasureUntilStableConvergesOnConstant) {
   int Calls = 0;
   MeasurementResult Result = measureUntilStable([&Calls]() {
