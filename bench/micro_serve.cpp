@@ -25,11 +25,19 @@
 // are bit-identical to synchronous Kernel::run at every shard {1,2} x
 // worker {1,2,4} x batch {off,on} configuration, on both workloads.
 //
-// Gate: on the binding-bound workload, the prepared-BoundArgs submit
-// path at 1 worker must reach synchronous run(ArgBinding) throughput
-// (>= 1x). The two paths are sampled interleaved and compared by the
-// median of per-pair ratios, so machine-wide drift cancels. --no-gate
-// records instead of failing (CI runners have unpredictable scheduling).
+// Tail latency: a seeded bursty heavy-tailed trace (Poisson bursts,
+// ~85% tiny blends / ~10% mid gemms / ~5% multi-millisecond heavy gemms,
+// tiny requests deadlined and High priority) replays against a 1-worker
+// server once per scheduling policy {fifo, priority, edf}; p50/p95/p99
+// server-side sojourn and expired counts land in the JSON.
+//
+// Gates: (1) on the binding-bound workload, the prepared-BoundArgs
+// submit path at 1 worker must reach synchronous run(ArgBinding)
+// throughput (>= 1x) — the two paths are sampled interleaved and
+// compared by the median of per-pair ratios, so machine-wide drift
+// cancels; (2) EDF p99 must beat FIFO p99 on the bursty trace.
+// --no-gate records instead of failing (CI runners have unpredictable
+// scheduling).
 //
 // Usage: micro_serve [--no-gate] [output.json]   (default BENCH_serve.json)
 //
@@ -38,12 +46,17 @@
 #include "serve/Server.h"
 
 #include "ir/Builder.h"
+#include "support/Random.h"
 #include "support/Statistics.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace daisy;
@@ -265,6 +278,220 @@ void printWorkload(const WorkloadResult &R) {
                 Row.Batched ? "batched" : "unbatched", Row.Rps);
 }
 
+//===----------------------------------------------------------------------===//
+// Bursty heavy-tailed trace: tail latency per scheduling policy
+//===----------------------------------------------------------------------===//
+
+/// One synthetic request class in the trace mix.
+enum class ReqClass { Tiny, Mid, Heavy };
+
+struct TraceEvent {
+  ReqClass Class = ReqClass::Tiny;
+  uint64_t GapUs = 0;    ///< Idle time before this submit.
+  bool Tight = false;    ///< Tiny request with a 500us budget.
+};
+
+/// Draws a Poisson(Mean) variate by Knuth's product-of-uniforms method —
+/// burst sizes, so the trace has genuine bursts rather than a steady
+/// trickle.
+uint64_t poisson(Rng &R, double Mean) {
+  double L = std::exp(-Mean), P = 1.0;
+  uint64_t K = 0;
+  do {
+    ++K;
+    P *= R.nextDouble();
+  } while (P > L);
+  return K - 1;
+}
+
+/// Exponential inter-burst gap in microseconds.
+uint64_t expGapUs(Rng &R, double MeanUs) {
+  double U = R.nextDouble();
+  if (U <= 0.0)
+    U = 1e-12;
+  return static_cast<uint64_t>(-MeanUs * std::log(U));
+}
+
+/// A seeded bursty trace: Poisson-sized bursts of back-to-back submits
+/// separated by exponential idle gaps, drawing a heavy-tailed class mix
+/// (~85% tiny blends, ~10% mid gemms, ~5% multi-millisecond heavy gemms).
+std::vector<TraceEvent> makeTrace(uint64_t Seed, size_t Count) {
+  Rng Bursts(deriveSeed(Seed, 1)), Mix(deriveSeed(Seed, 2));
+  std::vector<TraceEvent> Trace;
+  while (Trace.size() < Count) {
+    // Near-critical load: bursts arrive slightly slower than the worker
+    // drains them, so the queue empties between bursts and the tail is
+    // set by *ordering within a burst* (what the policies differ on),
+    // not by an ever-growing backlog (which drowns every policy alike).
+    uint64_t Burst = 1 + poisson(Bursts, 7.0);
+    uint64_t Gap = 200 + expGapUs(Bursts, 2000.0);
+    for (uint64_t I = 0; I < Burst && Trace.size() < Count; ++I) {
+      TraceEvent E;
+      E.GapUs = I == 0 ? Gap : 0;
+      double Draw = Mix.nextDouble();
+      E.Class = Draw < 0.85   ? ReqClass::Tiny
+                : Draw < 0.95 ? ReqClass::Mid
+                              : ReqClass::Heavy;
+      E.Tight = E.Class == ReqClass::Tiny && Mix.nextDouble() < 0.10;
+      Trace.push_back(E);
+    }
+  }
+  return Trace;
+}
+
+struct TailRow {
+  const char *Policy = "";
+  double P50Us = 0.0, P95Us = 0.0, P99Us = 0.0; ///< Server-side, global.
+  double TinyP50Us = 0.0, TinyP99Us = 0.0; ///< Client-side, deadlined class.
+  uint64_t Completed = 0, Expired = 0;
+};
+
+double quantileUs(std::vector<double> &Sojourns, double Q) {
+  if (Sojourns.empty())
+    return 0.0;
+  size_t Rank = static_cast<size_t>(Q * (Sojourns.size() - 1));
+  std::nth_element(Sojourns.begin(), Sojourns.begin() + Rank, Sojourns.end());
+  return Sojourns[Rank] * 1e6;
+}
+
+/// Replays \p Trace against a 1-worker server under \p Policy. Tiny
+/// requests carry a loose 100ms deadline (tight ones 500us) and High
+/// priority; mid and heavy requests carry no deadline and lower
+/// priority — so EDF and the priority lanes can keep a burst's heavy
+/// tail from blocking its latency-sensitive head, while FIFO by
+/// construction cannot.
+///
+/// Two latency views land in the row: the server-side sojourn histogram
+/// over all completed requests (global — includes the heavy requests a
+/// deadline-driven policy deliberately defers, so it shows each policy's
+/// trade, not a ranking), and client-observed sojourn quantiles of the
+/// deadlined tiny class (a poller thread stamps each future as it
+/// becomes ready) — the metric the policies compete on.
+TailRow replayTrace(const std::vector<TraceEvent> &Trace,
+                    SchedulerPolicy Policy, const char *Name) {
+  ServerOptions Options;
+  Options.Workers = 1;
+  Options.QueueCapacity = 1024;
+  Options.Policy = BackpressurePolicy::Block;
+  Options.MaxBatch = 8;
+  Options.Scheduling = Policy;
+  Server S(Options);
+
+  Program TinyProg = makeBlend(/*Pairs=*/4, /*N=*/32);
+  Program MidProg = makeGemm(64);
+  Program HeavyProg = makeGemm(160);
+  Kernel Tiny = S.compile(TinyProg);
+  Kernel Mid = S.compile(MidProg);
+  Kernel Heavy = S.compile(HeavyProg);
+
+  // Reference results per class, for the always-on bit-identity check.
+  OwnedArgs TinyRef(TinyProg), MidRef(MidProg), HeavyRef(HeavyProg);
+  if (!Kernel::compile(TinyProg).run(TinyRef.binding()) ||
+      !Kernel::compile(MidProg).run(MidRef.binding()) ||
+      !Kernel::compile(HeavyProg).run(HeavyRef.binding()))
+    fail("trace reference run failed");
+
+  // All request state exists before the clock starts: the replay loop
+  // does nothing but sleep and submit.
+  struct Slot {
+    ReqClass Class;
+    OwnedArgs Args;
+    BoundArgs Bound;
+    std::future<RunStatus> Done;
+    Slot(ReqClass Class, const Program &Prog, const Kernel &K)
+        : Class(Class), Args(Prog), Bound(K.bind(Args.binding())) {}
+  };
+  std::vector<std::unique_ptr<Slot>> Slots;
+  for (const TraceEvent &E : Trace) {
+    const Program &Prog = E.Class == ReqClass::Tiny  ? TinyProg
+                          : E.Class == ReqClass::Mid ? MidProg
+                                                     : HeavyProg;
+    const Kernel &K = E.Class == ReqClass::Tiny  ? Tiny
+                      : E.Class == ReqClass::Mid ? Mid
+                                                 : Heavy;
+    Slots.push_back(std::make_unique<Slot>(E.Class, Prog, K));
+    if (!Slots.back()->Bound.ok())
+      fail("trace bind failed");
+  }
+
+  // A poller thread stamps each future the moment it turns ready, giving
+  // client-observed per-class sojourns without one waiter thread per
+  // request. SubmittedCount publishes slots to the poller.
+  std::vector<double> SubmitAt(Trace.size(), 0.0), DoneAt(Trace.size(), 0.0);
+  std::atomic<size_t> SubmittedCount{0};
+  std::thread Poller([&] {
+    std::vector<bool> Seen(Trace.size(), false);
+    size_t Remaining = Trace.size();
+    while (Remaining > 0) {
+      size_t Limit = SubmittedCount.load(std::memory_order_acquire);
+      for (size_t I = 0; I < Limit; ++I) {
+        if (Seen[I])
+          continue;
+        if (Slots[I]->Done.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+          DoneAt[I] = now();
+          Seen[I] = true;
+          --Remaining;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  });
+
+  for (size_t I = 0; I < Trace.size(); ++I) {
+    const TraceEvent &E = Trace[I];
+    if (E.GapUs)
+      std::this_thread::sleep_for(std::chrono::microseconds(E.GapUs));
+    const Kernel &K = E.Class == ReqClass::Tiny  ? Tiny
+                      : E.Class == ReqClass::Mid ? Mid
+                                                 : Heavy;
+    SubmitOptions SO;
+    if (E.Class == ReqClass::Tiny) {
+      SO.Prio = Priority::High;
+      SO.Timeout = E.Tight ? std::chrono::microseconds(500)
+                           : std::chrono::milliseconds(100);
+    } else {
+      SO.Prio = E.Class == ReqClass::Mid ? Priority::Normal : Priority::Low;
+    }
+    SubmitAt[I] = now();
+    Slots[I]->Done = S.submit(K, Slots[I]->Bound, SO);
+    SubmittedCount.store(I + 1, std::memory_order_release);
+  }
+  S.drain();
+  Poller.join();
+
+  TailRow Row;
+  Row.Policy = Name;
+  std::vector<double> TinySojourns;
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    Slot &TheSlot = *Slots[I];
+    RunStatus Status = TheSlot.Done.get();
+    if (Status.ok()) {
+      ++Row.Completed;
+      const OwnedArgs &Ref = TheSlot.Class == ReqClass::Tiny  ? TinyRef
+                             : TheSlot.Class == ReqClass::Mid ? MidRef
+                                                              : HeavyRef;
+      if (TheSlot.Args.Buffers != Ref.Buffers)
+        fail("trace result diverges from synchronous reference");
+      if (TheSlot.Class == ReqClass::Tiny)
+        TinySojourns.push_back(DoneAt[I] - SubmitAt[I]);
+    } else if (Status.Why == RunStatus::Expired) {
+      ++Row.Expired;
+    } else {
+      fail("trace request neither completed nor expired");
+    }
+  }
+  // Global quantiles are server-side (enqueue to completion) over every
+  // completed request; the deadlined tiny class additionally gets exact
+  // client-observed quantiles. Expired work is reported separately.
+  Row.P50Us = S.latencyQuantileUs(0.50);
+  Row.P95Us = S.latencyQuantileUs(0.95);
+  Row.P99Us = S.latencyQuantileUs(0.99);
+  Row.TinyP50Us = quantileUs(TinySojourns, 0.50);
+  Row.TinyP99Us = quantileUs(TinySojourns, 0.99);
+  return Row;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -312,6 +539,42 @@ int main(int Argc, char **Argv) {
   std::printf("\ngate (blend, 1 worker): prepared submit / sync = %.3fx "
               "(median of %zu interleaved pairs)\n",
               GateRatio, Ratios.size());
+
+  // Tail latency under a bursty heavy-tailed trace, per scheduling
+  // policy. Same seeded trace for every policy; the only variable is
+  // which queued request the worker serves next. Three interleaved
+  // rounds per policy, keeping each policy's best round — transient
+  // machine noise (the usual CI hazard) inflates a round, never
+  // deflates one.
+  std::vector<TraceEvent> Trace = makeTrace(/*Seed=*/42, /*Count=*/400);
+  constexpr int Rounds = 3;
+  TailRow Tails[3];
+  const SchedulerPolicy Policies[3] = {SchedulerPolicy::Fifo,
+                                       SchedulerPolicy::PriorityLane,
+                                       SchedulerPolicy::EarliestDeadlineFirst};
+  const char *PolicyNames[3] = {"fifo", "priority", "edf"};
+  for (int Round = 0; Round < Rounds; ++Round)
+    for (int P = 0; P < 3; ++P) {
+      TailRow Row = replayTrace(Trace, Policies[P], PolicyNames[P]);
+      if (Round == 0 || Row.TinyP99Us < Tails[P].TinyP99Us)
+        Tails[P] = Row;
+    }
+  std::printf("\ntail latency, bursty trace (%zu requests, 1 worker, best "
+              "of %d rounds; us):\n",
+              Trace.size(), Rounds);
+  for (const TailRow &Row : Tails)
+    std::printf("  %-9s all p50 %7.0f p95 %7.0f p99 %7.0f | deadlined p50 "
+                "%7.0f p99 %7.0f | completed %3llu expired %3llu\n",
+                Row.Policy, Row.P50Us, Row.P95Us, Row.P99Us, Row.TinyP50Us,
+                Row.TinyP99Us, static_cast<unsigned long long>(Row.Completed),
+                static_cast<unsigned long long>(Row.Expired));
+  // The gate compares the deadlined class: global p99 straddles the
+  // no-deadline heavy requests EDF deliberately defers, so it measures
+  // each policy's trade rather than ranking them.
+  double TailRatio = Tails[2].TinyP99Us / Tails[0].TinyP99Us;
+  std::printf("gate (bursty trace): edf deadlined-p99 / fifo deadlined-p99 "
+              "= %.3fx\n",
+              TailRatio);
   std::printf("serve counters: submitted %lld, completed %lld, batched "
               "%lld, queue-depth max %lld\n",
               static_cast<long long>(statsCounter("Serve.Submitted")),
@@ -345,24 +608,54 @@ int main(int Argc, char **Argv) {
       std::fprintf(Json, "     ]}%s\n", W == 0 ? "," : "");
     }
     std::fprintf(Json, "  ],\n");
+    std::fprintf(Json, "  \"tail_latency\": {\"requests\": %zu, ",
+                 Trace.size());
+    std::fprintf(Json, "\"policies\": [\n");
+    for (size_t I = 0; I < 3; ++I) {
+      const TailRow &Row = Tails[I];
+      std::fprintf(Json,
+                   "     {\"policy\": \"%s\", \"p50_us\": %.1f, "
+                   "\"p95_us\": %.1f, \"p99_us\": %.1f, "
+                   "\"deadlined_p50_us\": %.1f, \"deadlined_p99_us\": %.1f, "
+                   "\"completed\": %llu, \"expired\": %llu}%s\n",
+                   Row.Policy, Row.P50Us, Row.P95Us, Row.P99Us, Row.TinyP50Us,
+                   Row.TinyP99Us,
+                   static_cast<unsigned long long>(Row.Completed),
+                   static_cast<unsigned long long>(Row.Expired),
+                   I + 1 < 3 ? "," : "");
+    }
+    std::fprintf(Json, "  ]},\n");
     std::fprintf(Json,
                  "  \"gate\": {\"workload\": \"blend\", "
-                 "\"prepared_submit_over_sync\": %.3f}\n}\n",
-                 GateRatio);
+                 "\"prepared_submit_over_sync\": %.3f, "
+                 "\"edf_p99_over_fifo_p99\": %.3f}\n}\n",
+                 GateRatio, TailRatio);
     std::fclose(Json);
     std::printf("wrote %s\n", JsonPath);
   } else {
     std::fprintf(stderr, "warning: cannot write %s\n", JsonPath);
   }
 
+  bool Failed = false;
   if (GateRatio < 1.0) {
     std::printf("%s: prepared-BoundArgs submit path below sync "
                 "run(ArgBinding) throughput at 1 worker (%.3fx)\n",
                 Gate ? "FAIL" : "WARN", GateRatio);
-    return Gate ? 1 : 0;
+    Failed = true;
+  } else {
+    std::printf("OK: prepared submit path >= sync throughput at 1 worker "
+                "(%.3fx)\n",
+                GateRatio);
   }
-  std::printf("OK: prepared submit path >= sync throughput at 1 worker "
-              "(%.3fx)\n",
-              GateRatio);
-  return 0;
+  if (TailRatio >= 1.0) {
+    std::printf("%s: EDF deadlined-class p99 not below FIFO on the bursty "
+                "trace (%.3fx)\n",
+                Gate ? "FAIL" : "WARN", TailRatio);
+    Failed = true;
+  } else {
+    std::printf("OK: EDF deadlined-class p99 below FIFO on the bursty "
+                "trace (%.3fx)\n",
+                TailRatio);
+  }
+  return Failed && Gate ? 1 : 0;
 }

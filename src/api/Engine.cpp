@@ -7,6 +7,7 @@
 #include "api/Engine.h"
 
 #include "ir/StructuralHash.h"
+#include "support/FailPoint.h"
 #include "support/Hashing.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
@@ -103,7 +104,17 @@ void Engine::lruPushFront(CacheEntry *E) {
 Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
   if (Opts.PlanCacheCapacity == 0) {
     addStatsCounter("Engine.PlanCompiles");
-    return Kernel::compile(Prog, Options);
+    try {
+      // Fault site "engine.compile": an armed Throw stands in for any
+      // real plan-compilation failure.
+      (void)DAISY_FAILPOINT("engine.compile");
+      return Kernel::compile(Prog, Options);
+    } catch (...) {
+      if (!Opts.FallbackOnCompileError)
+        throw;
+      addStatsCounter("Engine.CompileFallbacks");
+      return Kernel::treeWalk(Prog);
+    }
   }
   uint64_t Key = planKey(Prog, Options);
   // First requester of a key claims it by inserting a pending future and
@@ -152,22 +163,38 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
     }
   }
   if (CompileHere) {
+    // A failed compile must not poison the cache either way: erase only
+    // this thread's own claim — the entry at Key may meanwhile be a
+    // different claimant's (ours evicted, key re-claimed).
+    auto eraseOwnClaim = [&] {
+      std::lock_guard<std::mutex> Lock(CacheMutex);
+      auto It = PlanCache.find(Key);
+      if (It != PlanCache.end() && It->second.Claim == MyClaim) {
+        lruUnlink(&It->second);
+        PlanCache.erase(It);
+      }
+    };
     try {
+      // Fault site "engine.compile": an armed Throw stands in for any
+      // real plan-compilation failure.
+      (void)DAISY_FAILPOINT("engine.compile");
       Claimed.set_value(Kernel::compile(Prog, Options));
     } catch (...) {
-      // Do not leave a forever-broken promise in the cache: waiters get
-      // the real error, later requests recompile from scratch. Erase
-      // only this thread's own claim — the entry at Key may meanwhile be
-      // a different claimant's (ours evicted, key re-claimed).
-      {
-        std::lock_guard<std::mutex> Lock(CacheMutex);
-        auto It = PlanCache.find(Key);
-        if (It != PlanCache.end() && It->second.Claim == MyClaim) {
-          lruUnlink(&It->second);
-          PlanCache.erase(It);
-        }
+      if (!Opts.FallbackOnCompileError) {
+        // Do not leave a forever-broken promise in the cache: waiters
+        // get the real error, later requests recompile from scratch.
+        eraseOwnClaim();
+        Claimed.set_exception(std::current_exception());
+      } else {
+        // Graceful degradation: waiters (and this caller) proceed on a
+        // tree-walk kernel — slow but bit-identical — while the cache
+        // forgets the key, so the next compile retries for real instead
+        // of pinning the degraded kernel until eviction. Transient
+        // failures self-heal; persistent ones keep serving degraded.
+        addStatsCounter("Engine.CompileFallbacks");
+        eraseOwnClaim();
+        Claimed.set_value(Kernel::treeWalk(Prog));
       }
-      Claimed.set_exception(std::current_exception());
     }
   }
   return Result.get();

@@ -62,6 +62,15 @@ struct EngineOptions {
   /// Plan-cache capacity in entries; least-recently-used kernels are
   /// evicted beyond it. 0 disables caching (every compile() compiles).
   size_t PlanCacheCapacity = 1024;
+  /// Graceful degradation: when plan compilation throws, compile()
+  /// returns a tree-walk-interpreting Kernel (bit-identical results,
+  /// interpreter speed) instead of propagating the exception into the
+  /// caller — typically the serving loop, where a throw would fail every
+  /// request routed to the program. Each fallback bumps the
+  /// "Engine.CompileFallbacks" counter, and the failed key is not cached,
+  /// so the next compile of the same program retries a real compile.
+  /// Set false to get the exception (differential tests want it).
+  bool FallbackOnCompileError = true;
   /// Transfer-tuning database to share; null allocates an engine-owned
   /// empty database.
   std::shared_ptr<TransferTuningDatabase> Database;

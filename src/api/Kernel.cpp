@@ -20,6 +20,13 @@ Kernel Kernel::compile(const Program &Prog, const PlanOptions &Options) {
   return Kernel(std::make_shared<const KernelImpl>(Prog, Options));
 }
 
+Kernel Kernel::treeWalk(const Program &Prog) {
+  return Kernel(
+      std::make_shared<const KernelImpl>(KernelImpl::TreeWalkTag{}, Prog));
+}
+
+bool Kernel::isTreeWalk() const { return Impl && Impl->TreeWalk; }
+
 const Program &Kernel::program() const {
   assert(Impl && "empty kernel handle");
   return Impl->Prog;
@@ -51,6 +58,12 @@ void Kernel::run(DataEnv &Env) const {
   assert(Impl && "empty kernel handle");
   assert(Env.slotCount() == Impl->Prog.arrays().size() &&
          "environment was not allocated for this kernel's program");
+  if (Impl->TreeWalk) {
+    // Degraded kernel: the environment already is the interpreter's
+    // native storage, so no staging is needed.
+    interpretTreeWalk(Impl->Prog, Env);
+    return;
+  }
   PooledContext Ctx(*Impl);
   Impl->Plan.run(Env, Ctx->Exec);
 }

@@ -64,7 +64,12 @@ struct RunStatus {
     Ok,         ///< The run executed.
     BindError,  ///< The argument binding failed validation.
     Overloaded, ///< Rejected by server backpressure (queue full).
-    ShutDown    ///< Rejected because the server is shutting down.
+    ShutDown,   ///< Rejected because the server is shutting down.
+    Expired,    ///< Shed: the request's deadline passed before it ran.
+    /// Count sentinel, not a status. Exhaustive switches over Kind pair
+    /// with a static_assert on this so a new kind fails to compile until
+    /// every handler learns about it.
+    NumKinds_
   };
 
   RunStatus() = default;
@@ -78,6 +83,9 @@ struct RunStatus {
   }
   static RunStatus shutDown() {
     return {"server is shutting down", ShutDown};
+  }
+  static RunStatus expired() {
+    return {"request deadline expired before execution", Expired};
   }
 
   std::string Error;
@@ -129,6 +137,19 @@ public:
   /// Prefer Engine::compile, which memoizes structurally identical
   /// programs in its plan cache.
   static Kernel compile(const Program &Prog, const PlanOptions &Options = {});
+
+  /// Builds a degraded kernel that executes \p Prog through the reference
+  /// tree-walking interpreter instead of a compiled ExecPlan. Every run
+  /// form works and results are bit-identical to a compiled kernel (the
+  /// tree-walker *is* the reference semantics the ExecPlan contract is
+  /// measured against) — only slower. This is the graceful-degradation
+  /// path Engine::compile falls back to when plan compilation throws; it
+  /// cannot itself fail for any program a compile could have accepted.
+  static Kernel treeWalk(const Program &Prog);
+
+  /// True for kernels built by treeWalk (directly or via the Engine
+  /// compile-fallback path).
+  bool isTreeWalk() const;
 
   explicit operator bool() const { return Impl != nullptr; }
 

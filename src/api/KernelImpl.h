@@ -19,9 +19,11 @@
 
 #include "api/Kernel.h"
 #include "exec/ExecPlan.h"
+#include "exec/Interpreter.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,18 +34,35 @@ namespace daisy {
 /// The shared state behind Kernel handles: the program snapshot, its
 /// compiled plan, and a pool of reusable per-run contexts. The program
 /// and plan are immutable after construction; the pool is mutex-guarded.
+///
+/// A kernel comes in two flavors. The normal one executes through a
+/// compiled ExecPlan. The degraded one (TreeWalkTag, behind
+/// Kernel::treeWalk and the Engine compile-fallback) executes through the
+/// reference tree-walking interpreter instead: Plan then holds a plan for
+/// an empty placeholder program (never run) so the member can stay
+/// immutable, and every run path branches on the TreeWalk flag. The two
+/// flavors are bit-identical by construction — the tree-walker *is* the
+/// semantics the ExecPlan contract is differentially tested against.
 class KernelImpl {
 public:
   KernelImpl(const Program &P, const PlanOptions &Options)
       : Prog(P.clone()), Plan(ExecPlan::compile(Prog, Options)) {}
 
+  struct TreeWalkTag {};
+  KernelImpl(TreeWalkTag, const Program &P)
+      : Prog(P.clone()), Plan(ExecPlan::compile(Program("__fallback__"))),
+        TreeWalk(true) {}
+
   /// One run's worth of reusable state: the exec-layer scratch, the slot
-  /// table of the zero-copy path, and kernel-managed transient storage
-  /// (per slot; empty vectors for caller-bound slots).
+  /// table of the zero-copy path, kernel-managed transient storage (per
+  /// slot; empty vectors for caller-bound slots), and — tree-walk kernels
+  /// only — a pooled interpreter environment so degraded runs reuse
+  /// buffers instead of reallocating a DataEnv per request.
   struct RunContext {
     ExecContext Exec;
     std::vector<BufferRef> Slots;
     std::vector<std::vector<double>> Transients;
+    std::unique_ptr<DataEnv> WalkEnv;
   };
 
   std::unique_ptr<RunContext> acquire() const {
@@ -68,6 +87,7 @@ public:
 
   const Program Prog;
   const ExecPlan Plan;
+  const bool TreeWalk = false;
 
 private:
   mutable std::mutex PoolMutex;
@@ -142,14 +162,48 @@ inline std::string resolveBinding(const Program &Prog, const ArgBinding &Args,
   return {};
 }
 
+/// Degraded (tree-walk) prepared run: stages the caller's buffers into a
+/// pooled interpreter environment, evaluates the program tree, and copies
+/// the observable results back out. Two memcpys per observable array
+/// around an interpretation that costs orders of magnitude more — the
+/// copies are noise, and the caller-owned-storage contract of the
+/// prepared path is preserved exactly.
+inline void runTreeWalkSlotsOn(const KernelImpl &Impl, const BufferRef *Slots,
+                               KernelImpl::RunContext &Ctx) {
+  const std::vector<ArrayDecl> &Arrays = Impl.Prog.arrays();
+  if (!Ctx.WalkEnv)
+    Ctx.WalkEnv = std::make_unique<DataEnv>(Impl.Prog);
+  DataEnv &Env = *Ctx.WalkEnv;
+  assert(Env.slotCount() == Arrays.size() && "pooled env from another program");
+  for (size_t S = 0; S < Arrays.size(); ++S) {
+    std::vector<double> &Buf = Env.bufferAt(S);
+    if (Slots[S].Data) {
+      assert(Buf.size() == Slots[S].Size && "slot size drifted from decl");
+      std::memcpy(Buf.data(), Slots[S].Data, Buf.size() * sizeof(double));
+      continue;
+    }
+    assert(Arrays[S].Transient && "null slot for a caller-bound array");
+    std::fill(Buf.begin(), Buf.end(), 0.0);
+  }
+  interpretTreeWalk(Impl.Prog, Env);
+  for (size_t S = 0; S < Arrays.size(); ++S)
+    if (Slots[S].Data) {
+      const std::vector<double> &Buf = Env.bufferAt(S);
+      std::memcpy(Slots[S].Data, Buf.data(), Buf.size() * sizeof(double));
+    }
+}
+
 /// Executes \p Impl's plan on a resolved slot table (as produced by
 /// resolveBinding) reusing \p Ctx's allocations: caller-bound slots are
 /// used as-is, null slots must be transient and are filled with
 /// kernel-managed scratch zeroed each run so semantics match a freshly
 /// allocated DataEnv. Serving micro-batches call this once per request on
-/// a single borrowed context.
+/// a single borrowed context. Tree-walk kernels take the interpreter
+/// route instead (same observable results, bit for bit).
 inline void runPreparedSlotsOn(const KernelImpl &Impl, const BufferRef *Slots,
                                KernelImpl::RunContext &Ctx) {
+  if (Impl.TreeWalk)
+    return runTreeWalkSlotsOn(Impl, Slots, Ctx);
   const std::vector<ArrayDecl> &Arrays = Impl.Prog.arrays();
   Ctx.Slots.resize(Arrays.size());
   Ctx.Transients.resize(Arrays.size());

@@ -12,6 +12,7 @@
 #include "serve/BoundArgs.h"
 
 #include "api/KernelImpl.h"
+#include "support/FailPoint.h"
 
 #include <cassert>
 #include <utility>
@@ -46,6 +47,9 @@ RunStatus Kernel::run(const BoundArgs &Args) const {
     return invalidBoundArgsStatus(Args);
   if (Args.Bound.get() != Impl.get())
     return staleStatus();
+  // Fault site "kernel.run": an armed Delay makes this kernel slow —
+  // the knob the tail-latency and deadline tests turn.
+  (void)DAISY_FAILPOINT("kernel.run");
   runPreparedSlots(*Impl, Args.Slots.data());
   return {};
 }
@@ -69,6 +73,9 @@ void Kernel::runBatch(const BoundArgs *const *Args, RunStatus *Statuses,
       Statuses[I] = staleStatus();
       continue;
     }
+    // Same fault site as the single-run path: a batch of a slow kernel
+    // is slow per request, not per dispatch.
+    (void)DAISY_FAILPOINT("kernel.run");
     runPreparedSlotsOn(*Impl, A.Slots.data(), *Ctx);
     Statuses[I] = {};
   }

@@ -1,0 +1,48 @@
+//===- serve/FaultInjector.cpp --------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/FaultInjector.h"
+
+#include <cstdlib>
+
+using namespace daisy;
+using namespace daisy::serve;
+
+FaultInjector::FaultInjector(const std::string &Spec, uint64_t Seed)
+    : Seed(Seed) {
+  // armFailPointsFromSpec validates and arms; the site names (everything
+  // before each '=') are recorded here so teardown disarms exactly this
+  // scenario, even when another injector is live in an outer scope.
+  (void)armFailPointsFromSpec(Spec, Seed);
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(';', Pos);
+    std::string Entry = Spec.substr(
+        Pos, End == std::string::npos ? std::string::npos : End - Pos);
+    Pos = End == std::string::npos ? Spec.size() : End + 1;
+    size_t Eq = Entry.find('=');
+    if (Eq != std::string::npos && Eq > 0)
+      Sites.push_back(Entry.substr(0, Eq));
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  for (const std::string &Site : Sites)
+    disarmFailPoint(Site);
+}
+
+void FaultInjector::arm(const std::string &Site,
+                        const FailPointConfig &Config) {
+  armFailPoint(Site, Config, Seed);
+  Sites.push_back(Site);
+}
+
+uint64_t FaultInjector::seedFromEnv(uint64_t Default) {
+  if (const char *Env = std::getenv("DAISY_FAILPOINTS_SEED"))
+    if (*Env)
+      return std::strtoull(Env, nullptr, 10);
+  return Default;
+}

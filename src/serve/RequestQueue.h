@@ -1,118 +1,56 @@
-//===- serve/RequestQueue.h - Bounded MPMC request queue ---------*- C++ -*-=//
+//===- serve/RequestQueue.h - FIFO scheduling policy -------------*- C++ -*-=//
 //
 // Part of the daisy project. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The admission-controlled buffer between request producers
-/// (Server::submit from any thread) and the worker pool draining it.
+/// The FIFO policy of the pluggable serve::Scheduler — historically the
+/// Server's one-and-only bounded MPMC queue, now the strict-admission-
+/// order implementation behind the interface (SchedulerPolicy::Fifo,
+/// the default). All of the bounded-queue behavior lives in the base
+/// class: backpressure (Block/Reject), admission- and pop-time deadline
+/// shedding, waiter-wake accounting, and close()-then-drain shutdown.
+/// This class contributes only the storage: one deque in admission
+/// order, head-first selection with same-kernel micro-batch coalescing.
 ///
-/// The queue is bounded: a full queue exerts explicit backpressure under
-/// one of two policies chosen at construction — Block (the submitting
-/// thread waits for space; end-to-end latency absorbs the overload) or
-/// Reject (push returns Overloaded immediately and the caller's future
-/// fails fast with RunStatus::Overloaded). Unbounded queues are how
-/// serving systems die; the bound makes the failure mode a decision.
-///
-/// popBatch implements per-kernel micro-batching: it removes the head
-/// request plus up to MaxBatch-1 further requests for the same kernel
-/// (matched by BoundArgs::kernelToken), scanning past other kernels'
-/// requests without disturbing their relative order. The head is always
-/// taken first, so no kernel can starve another; same-kernel coalescing
-/// only ever moves requests earlier. A batch executes as one dispatch —
-/// one queue round-trip and one warm context stretch instead of B.
-///
-/// close() stops admission (pushes fail with ShutDown) but lets poppers
-/// drain every admitted request, so shutdown completes or fails every
-/// future and leaks none.
+/// Unbounded queues are how serving systems die; the bound makes the
+/// failure mode a decision. FIFO keeps per-request latency fair (no
+/// request overtakes another) at the cost of tail latency under bursts —
+/// one heavy request delays everything behind it. Deadline-sensitive
+/// traffic wants SchedulerPolicy::EarliestDeadlineFirst instead.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAISY_SERVE_REQUESTQUEUE_H
 #define DAISY_SERVE_REQUESTQUEUE_H
 
-#include "api/Kernel.h"
-#include "serve/BoundArgs.h"
+#include "serve/Scheduler.h"
 
-#include <condition_variable>
-#include <cstddef>
 #include <deque>
-#include <future>
-#include <mutex>
 #include <vector>
 
 namespace daisy {
 namespace serve {
 
-/// What submit does when the queue is full.
-enum class BackpressurePolicy {
-  Block, ///< Wait for a worker to make space.
-  Reject ///< Fail the request immediately with RunStatus::Overloaded.
-};
-
-/// One queued unit of work: the kernel to run, its prepared arguments,
-/// and the promise backing the caller's future. Move-only (the promise).
-struct Request {
-  Kernel K;
-  BoundArgs Args;
-  std::promise<RunStatus> Done;
-};
-
-class RequestQueue {
+class RequestQueue final : public Scheduler {
 public:
-  RequestQueue(size_t Capacity, BackpressurePolicy Policy)
-      : Capacity(Capacity ? Capacity : 1), Policy(Policy) {}
-
-  enum class PushResult { Ok, Overloaded, ShutDown };
-
-  /// Admits \p R, applying the backpressure policy when full. Returns
-  /// ShutDown after close() (\p R is handed back untouched in that case
-  /// and on Overloaded, so the caller can fail its promise). On success,
-  /// \p DepthAfter (when non-null) receives the queue depth including
-  /// \p R — the sample the server's depth histogram is built from.
-  PushResult push(Request &R, size_t *DepthAfter = nullptr);
-
-  /// Blocks until at least one request is available (or the queue is
-  /// closed and empty — returns false, the worker-exit signal). Fills
-  /// \p Batch with the head request plus up to \p MaxBatch - 1 more
-  /// same-kernel requests, in admission order.
-  bool popBatch(std::vector<Request> &Batch, size_t MaxBatch);
-
-  /// Stops admission and wakes every waiter; already-admitted requests
-  /// remain poppable until drained.
-  void close();
-
-  /// Requests currently queued (admitted, not yet popped).
-  size_t depth() const;
-
-  /// High-water mark of depth() over the queue's lifetime, sampled after
-  /// every successful push.
-  size_t maxDepthSeen() const;
-
-  size_t capacity() const { return Capacity; }
+  using Scheduler::Scheduler;
 
 private:
-  const size_t Capacity;
-  const BackpressurePolicy Policy;
+  void enqueueLocked(Request &&R) override { Q.push_back(std::move(R)); }
 
-  mutable std::mutex Mutex;
-  std::condition_variable NotEmpty; ///< Signals poppers: work or close().
-  std::condition_variable NotFull;  ///< Signals blocked pushers.
+  void shedExpiredLocked(TimePoint Now,
+                         std::vector<Request> &Expired) override {
+    shedExpiredFrom(Q, Now, Expired);
+  }
+
+  void selectBatchLocked(std::vector<Request> &Batch,
+                         size_t MaxBatch) override {
+    fifoSelectFrom(Q, Batch, MaxBatch);
+  }
+
   std::deque<Request> Q;
-  size_t MaxDepth = 0;
-  bool Closed = false;
-
-  /// Wake accounting: a push pays a futex wake only when a popper is
-  /// actually waiting and no wake is already in flight toward it —
-  /// without this, a burst of pushes racing one not-yet-scheduled worker
-  /// issues one syscall per request. PendingPopWakes counts notify_one
-  /// calls whose receiver has not left (or re-entered) the wait loop yet;
-  /// every wait return decrements it, so a popper that loses its item to
-  /// another lane and waits again re-arms notification. All under Mutex.
-  size_t WaitingPop = 0;
-  size_t PendingPopWakes = 0;
-  size_t WaitingPush = 0;
 };
 
 } // namespace serve

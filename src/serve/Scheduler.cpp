@@ -1,0 +1,285 @@
+//===- serve/Scheduler.cpp ------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Scheduler.h"
+#include "serve/RequestQueue.h"
+
+#include <array>
+#include <tuple>
+
+namespace daisy {
+namespace serve {
+
+//===----------------------------------------------------------------------===//
+// Base machinery: admission, backpressure, waiting, shedding.
+//===----------------------------------------------------------------------===//
+
+Scheduler::PushResult Scheduler::push(Request &R, size_t *DepthAfter) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  // Admission shedding: work that is already late never enters the queue.
+  if (R.Deadline != noDeadline() && serveNow() >= R.Deadline)
+    return PushResult::Expired;
+  if (Policy == BackpressurePolicy::Block) {
+    while (!Closed && Queued >= Capacity) {
+      ++WaitingPush;
+      if (R.Deadline == noDeadline()) {
+        NotFull.wait(Lock);
+        --WaitingPush;
+      } else {
+        std::cv_status S = NotFull.wait_until(Lock, R.Deadline);
+        --WaitingPush;
+        // A deadline that passes while we wait for space is an admission
+        // expiry: the caller gets the request back un-queued. (If space
+        // appeared at the same instant, the pop-time sweep would shed it
+        // anyway — failing here just skips the round trip.)
+        if (S == std::cv_status::timeout && !Closed && Queued >= Capacity)
+          return PushResult::Expired;
+      }
+    }
+  } else if (!Closed && Queued >= Capacity) {
+    return PushResult::Overloaded;
+  }
+  if (Closed)
+    return PushResult::ShutDown;
+
+  R.Seq = NextSeq++;
+  if (R.Deadline != noDeadline())
+    ++FiniteDeadlines;
+  enqueueLocked(std::move(R));
+  ++Queued;
+
+  size_t Depth = Queued;
+  if (Depth > MaxDepth)
+    MaxDepth = Depth;
+  if (DepthAfter)
+    *DepthAfter = Depth;
+
+  bool Wake = WaitingPop > PendingPopWakes;
+  if (Wake)
+    ++PendingPopWakes;
+  Lock.unlock();
+  if (Wake)
+    NotEmpty.notify_one();
+  return PushResult::Ok;
+}
+
+bool Scheduler::popBatch(std::vector<Request> &Batch,
+                         std::vector<Request> &Expired, size_t MaxBatch) {
+  Batch.clear();
+  Expired.clear();
+  if (MaxBatch == 0)
+    MaxBatch = 1;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    // Shed first, select second: an expired request must not be picked as
+    // the batch head (EDF would otherwise favour exactly the requests that
+    // are already lost). The sweep is skipped entirely while nothing
+    // queued carries a finite deadline.
+    if (FiniteDeadlines > 0 && Queued > 0) {
+      size_t Before = Expired.size();
+      shedExpiredLocked(serveNow(), Expired);
+      size_t Shed = Expired.size() - Before;
+      FiniteDeadlines -= Shed;
+      Queued -= Shed;
+    }
+    if (Queued > 0) {
+      selectBatchLocked(Batch, MaxBatch);
+      Queued -= Batch.size();
+      if (FiniteDeadlines > 0)
+        for (const Request &R : Batch)
+          if (R.Deadline != noDeadline())
+            --FiniteDeadlines;
+      break;
+    }
+    if (!Expired.empty())
+      break; // Nothing runnable, but the caller has futures to fail.
+    if (Closed)
+      return false;
+    ++WaitingPop;
+    NotEmpty.wait(Lock);
+    --WaitingPop;
+    if (PendingPopWakes > 0)
+      --PendingPopWakes;
+  }
+  bool WakePushers = WaitingPush > 0;
+  Lock.unlock();
+  // Both dispatched and shed requests freed space; blocked pushers race
+  // for it, so wake them all.
+  if (WakePushers)
+    NotFull.notify_all();
+  return true;
+}
+
+void Scheduler::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = true;
+  }
+  NotEmpty.notify_all();
+  NotFull.notify_all();
+}
+
+size_t Scheduler::depth() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queued;
+}
+
+size_t Scheduler::maxDepthSeen() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return MaxDepth;
+}
+
+void Scheduler::fifoSelectFrom(std::deque<Request> &Q,
+                               std::vector<Request> &Batch, size_t MaxBatch) {
+  Batch.push_back(std::move(Q.front()));
+  Q.pop_front();
+  const void *Token = Batch.front().Args.kernelToken();
+  if (!Token || Batch.size() >= MaxBatch || Q.empty())
+    return;
+  size_t Size = Q.size();
+  size_t Write = 0, Read = 0;
+  for (; Read < Size; ++Read) {
+    Request &Cand = Q[Read];
+    if (Batch.size() < MaxBatch && Cand.Args.kernelToken() == Token) {
+      Batch.push_back(std::move(Cand));
+      continue;
+    }
+    if (Write == Read && Batch.size() == MaxBatch)
+      break; // No holes behind us and the batch is full: tail stays put.
+    if (Write != Read)
+      Q[Write] = std::move(Q[Read]);
+    ++Write;
+  }
+  if (Read == Size)
+    Q.erase(Q.begin() + Write, Q.end());
+}
+
+void Scheduler::shedExpiredFrom(std::deque<Request> &Q, TimePoint Now,
+                                std::vector<Request> &Expired) {
+  size_t Size = Q.size();
+  size_t Write = 0;
+  for (size_t Read = 0; Read < Size; ++Read) {
+    if (Q[Read].Deadline <= Now) {
+      Expired.push_back(std::move(Q[Read]));
+      continue;
+    }
+    if (Write != Read)
+      Q[Write] = std::move(Q[Read]);
+    ++Write;
+  }
+  Q.erase(Q.begin() + Write, Q.end());
+}
+
+//===----------------------------------------------------------------------===//
+// PriorityLane: one FIFO lane per Priority, highest first.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class PriorityLaneScheduler final : public Scheduler {
+public:
+  using Scheduler::Scheduler;
+
+private:
+  static size_t laneOf(Priority P) {
+    size_t Lane = static_cast<size_t>(P);
+    return Lane < NumPriorityLanes ? Lane : NumPriorityLanes - 1;
+  }
+
+  void enqueueLocked(Request &&R) override {
+    Lanes[laneOf(R.Prio)].push_back(std::move(R));
+  }
+
+  void shedExpiredLocked(TimePoint Now,
+                         std::vector<Request> &Expired) override {
+    for (auto &Lane : Lanes)
+      shedExpiredFrom(Lane, Now, Expired);
+  }
+
+  void selectBatchLocked(std::vector<Request> &Batch,
+                         size_t MaxBatch) override {
+    for (auto &Lane : Lanes)
+      if (!Lane.empty()) {
+        fifoSelectFrom(Lane, Batch, MaxBatch);
+        return;
+      }
+  }
+
+  std::array<std::deque<Request>, NumPriorityLanes> Lanes;
+};
+
+//===----------------------------------------------------------------------===//
+// EarliestDeadlineFirst: min (Deadline, Seq) next; no-deadline requests
+// carry the noDeadline() sentinel and therefore rank after every dated
+// request, tie-broken FIFO among themselves.
+//===----------------------------------------------------------------------===//
+
+class EdfScheduler final : public Scheduler {
+public:
+  using Scheduler::Scheduler;
+
+private:
+  void enqueueLocked(Request &&R) override { Q.push_back(std::move(R)); }
+
+  void shedExpiredLocked(TimePoint Now,
+                         std::vector<Request> &Expired) override {
+    shedExpiredFrom(Q, Now, Expired);
+  }
+
+  void selectBatchLocked(std::vector<Request> &Batch,
+                         size_t MaxBatch) override {
+    // Linear scan beats a heap here: depth is bounded by Capacity (a few
+    // hundred), the scan runs once per *batch* not per request, and a
+    // heap would still need the same-token compaction pass below.
+    size_t Head = 0;
+    for (size_t I = 1; I < Q.size(); ++I)
+      if (std::tie(Q[I].Deadline, Q[I].Seq) <
+          std::tie(Q[Head].Deadline, Q[Head].Seq))
+        Head = I;
+    const void *Token = Q[Head].Args.kernelToken();
+    Batch.push_back(std::move(Q[Head]));
+    // Coalesce same-kernel requests in admission order. A coalesced
+    // request may have a later deadline than queue survivors — batching
+    // trades strict EDF order for amortized dispatch, same as every
+    // policy trades it for MaxBatch > 1.
+    size_t Size = Q.size();
+    size_t Write = 0;
+    for (size_t Read = 0; Read < Size; ++Read) {
+      if (Read == Head)
+        continue;
+      if (Token && Batch.size() < MaxBatch &&
+          Q[Read].Args.kernelToken() == Token) {
+        Batch.push_back(std::move(Q[Read]));
+        continue;
+      }
+      if (Write != Read)
+        Q[Write] = std::move(Q[Read]);
+      ++Write;
+    }
+    Q.erase(Q.begin() + Write, Q.end());
+  }
+
+  std::deque<Request> Q;
+};
+
+} // namespace
+
+std::unique_ptr<Scheduler> Scheduler::create(SchedulerPolicy Which,
+                                             size_t Capacity,
+                                             BackpressurePolicy Policy) {
+  switch (Which) {
+  case SchedulerPolicy::Fifo:
+    return std::make_unique<RequestQueue>(Capacity, Policy);
+  case SchedulerPolicy::PriorityLane:
+    return std::make_unique<PriorityLaneScheduler>(Capacity, Policy);
+  case SchedulerPolicy::EarliestDeadlineFirst:
+    return std::make_unique<EdfScheduler>(Capacity, Policy);
+  }
+  return std::make_unique<RequestQueue>(Capacity, Policy);
+}
+
+} // namespace serve
+} // namespace daisy

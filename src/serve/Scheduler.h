@@ -1,0 +1,224 @@
+//===- serve/Scheduler.h - Pluggable request-scheduling policies -*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission-controlled buffer between request producers
+/// (Server::submit from any thread) and the worker pool draining it —
+/// with the *ordering policy* pluggable at construction, in the style of
+/// a runtime-chosen modular scheduler: one public interface, several
+/// private implementations, selected by ServerOptions.
+///
+/// The Scheduler base class owns everything every policy shares — the
+/// capacity bound, the backpressure decision, the mutex/condvar waiter
+/// machinery with wake accounting, deadline bookkeeping, and the
+/// admission sequence — and delegates only the storage decisions (where
+/// a request waits, which request is served next) to virtual hooks
+/// called under the lock. Three policies exist:
+///
+///   - Fifo (serve/RequestQueue.h): strict admission order; the original
+///     bounded MPMC queue is this policy's implementation.
+///   - PriorityLane: one FIFO lane per Priority level, served
+///     highest-priority-first. Strict lanes can starve Low under
+///     sustained High load — that is the policy's contract, not a bug;
+///     latency-fair serving picks Fifo or EDF.
+///   - EarliestDeadlineFirst: the queued request with the earliest
+///     deadline is served next (no-deadline requests rank last, ties
+///     break in admission order). Under overload this is the policy that
+///     completes the most requests before their deadlines.
+///
+/// Deadlines are enforced in two places, and expired work is *never*
+/// dispatched:
+///
+///   - at admission: push() returns PushResult::Expired for a request
+///     whose deadline already passed (including a Block-policy submitter
+///     whose deadline expires while waiting for space);
+///   - at pop: popBatch() sweeps expired requests out of the queue into
+///     the caller's Expired vector before selecting the batch; the
+///     server completes their futures with RunStatus::Expired
+///     immediately. The sweep is lazy — it runs when a worker pops, not
+///     on a timer — which is exactly when it matters: an expired request
+///     can only waste resources by being dispatched.
+///
+/// popBatch still implements per-kernel micro-batching: the policy picks
+/// the head request, then coalesces up to MaxBatch-1 further requests
+/// for the same kernel (matched by BoundArgs::kernelToken) without
+/// disturbing the relative order of other kernels' requests.
+///
+/// close() stops admission (pushes fail with ShutDown) but lets poppers
+/// drain every admitted request, so shutdown completes or fails every
+/// future and leaks none.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SERVE_SCHEDULER_H
+#define DAISY_SERVE_SCHEDULER_H
+
+#include "api/Kernel.h"
+#include "serve/BoundArgs.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace daisy {
+namespace serve {
+
+/// What submit does when the queue is full.
+enum class BackpressurePolicy {
+  Block, ///< Wait for a worker to make space.
+  Reject ///< Fail the request immediately with RunStatus::Overloaded.
+};
+
+/// Which request-ordering policy a Server's scheduler uses.
+enum class SchedulerPolicy {
+  Fifo,                 ///< Strict admission order (the classic queue).
+  PriorityLane,         ///< One FIFO lane per Priority, highest first.
+  EarliestDeadlineFirst ///< Earliest deadline next; no-deadline last.
+};
+
+/// Per-request urgency class. Values are lane indices: High drains first.
+enum class Priority : uint8_t { High = 0, Normal = 1, Low = 2 };
+constexpr size_t NumPriorityLanes = 3;
+
+/// The serving clock. Deadlines are absolute points on it.
+using ServeClock = std::chrono::steady_clock;
+using TimePoint = ServeClock::time_point;
+
+/// The "no deadline" sentinel: later than every real deadline.
+constexpr TimePoint noDeadline() { return TimePoint::max(); }
+
+inline TimePoint serveNow() { return ServeClock::now(); }
+
+/// One queued unit of work: the kernel to run, its prepared arguments,
+/// the promise backing the caller's future, and the scheduling fields
+/// the policy orders by. Move-only (the promise).
+struct Request {
+  Kernel K;
+  BoundArgs Args;
+  std::promise<RunStatus> Done;
+  Priority Prio = Priority::Normal;
+  TimePoint Deadline = noDeadline();
+  TimePoint EnqueuedAt{}; ///< Submit stamp; sojourn = completion - this.
+  uint64_t Seq = 0;       ///< Admission order, assigned by push().
+};
+
+/// The pluggable scheduler. Public entry points are thread-safe; the
+/// protected storage hooks run under the scheduler's lock.
+class Scheduler {
+public:
+  Scheduler(size_t Capacity, BackpressurePolicy Policy)
+      : Capacity(Capacity ? Capacity : 1), Policy(Policy) {}
+  virtual ~Scheduler() = default;
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  enum class PushResult { Ok, Overloaded, ShutDown, Expired };
+
+  /// Creates the policy implementation ServerOptions selected.
+  static std::unique_ptr<Scheduler>
+  create(SchedulerPolicy Which, size_t Capacity, BackpressurePolicy Policy);
+
+  /// Admits \p R, applying the backpressure policy when full. Returns
+  /// ShutDown after close(), Expired when \p R's deadline has already
+  /// passed (or passes while a Block-policy push waits for space) — in
+  /// every non-Ok case \p R is handed back untouched so the caller can
+  /// fail its promise. On success, \p DepthAfter (when non-null)
+  /// receives the queue depth including \p R.
+  PushResult push(Request &R, size_t *DepthAfter = nullptr);
+
+  /// Blocks until at least one request is available (or the queue is
+  /// closed and empty — returns false, the worker-exit signal). Fills
+  /// \p Batch with the policy's head request plus up to \p MaxBatch - 1
+  /// more same-kernel requests, and \p Expired with every queued request
+  /// whose deadline has passed (shed, never dispatched; the caller
+  /// completes their futures with RunStatus::Expired). Returns true when
+  /// either vector is non-empty.
+  bool popBatch(std::vector<Request> &Batch, std::vector<Request> &Expired,
+                size_t MaxBatch);
+
+  /// Stops admission and wakes every waiter; already-admitted requests
+  /// remain poppable until drained.
+  void close();
+
+  /// Requests currently queued (admitted, not yet popped).
+  size_t depth() const;
+
+  /// High-water mark of depth() over the scheduler's lifetime, sampled
+  /// after every successful push.
+  size_t maxDepthSeen() const;
+
+  size_t capacity() const { return Capacity; }
+
+protected:
+  // Storage hooks, called under Mutex.
+
+  /// Stores \p R in the policy's structure. The base class tracks the
+  /// stored count itself (one enqueue, Batch.size() + Expired.size()
+  /// removals per popBatch), so policies keep no redundant counters and
+  /// the hot paths never pay a virtual call just to read a size.
+  virtual void enqueueLocked(Request &&R) = 0;
+
+  /// Moves every stored request with Deadline <= \p Now into \p Expired
+  /// (relative order of survivors preserved). Called only while requests
+  /// with finite deadlines are queued.
+  virtual void shedExpiredLocked(TimePoint Now,
+                                 std::vector<Request> &Expired) = 0;
+
+  /// Removes the policy's head request plus up to \p MaxBatch - 1 more
+  /// same-kernel requests into \p Batch (head first). Precondition:
+  /// queuedLocked() > 0.
+  virtual void selectBatchLocked(std::vector<Request> &Batch,
+                                 size_t MaxBatch) = 0;
+
+  /// Shared FIFO helpers the Fifo and PriorityLane policies build on:
+  /// head + same-token coalescing via one forward compaction pass (a
+  /// per-element deque::erase would shift the tail once per coalesced
+  /// request — an O(depth) spike inside the lock exactly when the queue
+  /// runs full), and the matching expiry sweep.
+  static void fifoSelectFrom(std::deque<Request> &Q,
+                             std::vector<Request> &Batch, size_t MaxBatch);
+  static void shedExpiredFrom(std::deque<Request> &Q, TimePoint Now,
+                              std::vector<Request> &Expired);
+
+private:
+  const size_t Capacity;
+  const BackpressurePolicy Policy;
+
+  mutable std::mutex Mutex;
+  std::condition_variable NotEmpty; ///< Signals poppers: work or close().
+  std::condition_variable NotFull;  ///< Signals blocked pushers.
+  size_t Queued = 0;   ///< Requests currently stored by the policy.
+  size_t MaxDepth = 0;
+  bool Closed = false;
+  uint64_t NextSeq = 0;
+
+  /// Queued requests with finite deadlines. The expiry sweep is O(depth),
+  /// so popBatch pays it only while this is non-zero — a deadline-free
+  /// workload never scans.
+  size_t FiniteDeadlines = 0;
+
+  /// Wake accounting: a push pays a futex wake only when a popper is
+  /// actually waiting and no wake is already in flight toward it —
+  /// without this, a burst of pushes racing one not-yet-scheduled worker
+  /// issues one syscall per request. PendingPopWakes counts notify_one
+  /// calls whose receiver has not left (or re-entered) the wait loop yet;
+  /// every wait return decrements it, so a popper that loses its item to
+  /// another lane and waits again re-arms notification. All under Mutex.
+  size_t WaitingPop = 0;
+  size_t PendingPopWakes = 0;
+  size_t WaitingPush = 0;
+};
+
+} // namespace serve
+} // namespace daisy
+
+#endif // DAISY_SERVE_SCHEDULER_H

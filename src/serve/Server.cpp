@@ -7,6 +7,7 @@
 #include "serve/Server.h"
 
 #include "exec/ThreadPool.h"
+#include "support/FailPoint.h"
 #include "support/Statistics.h"
 
 #include <algorithm>
@@ -28,16 +29,45 @@ size_t depthBucket(size_t Depth, size_t Buckets) {
   return B;
 }
 
+/// Log-linear latency bucket: exact below 4µs, then four sub-buckets per
+/// octave (resolution ±12.5%) — 256 buckets span past centuries, so the
+/// clamp is theoretical.
+size_t latencyBucket(uint64_t Us) {
+  if (Us < 4)
+    return static_cast<size_t>(Us);
+  size_t E = 63 - static_cast<size_t>(__builtin_clzll(Us));
+  size_t Sub = static_cast<size_t>((Us >> (E - 2)) & 3);
+  size_t Idx = (E - 1) * 4 + Sub;
+  return Idx < 256 ? Idx : 255;
+}
+
+/// Midpoint of a latency bucket's range, the quantile estimate.
+double latencyBucketMidUs(size_t Idx) {
+  if (Idx < 4)
+    return static_cast<double>(Idx);
+  size_t E = Idx / 4 + 1;
+  size_t Sub = Idx % 4;
+  double Lower = static_cast<double>((4ull + Sub) << (E - 2));
+  double Width = static_cast<double>(1ull << (E - 2));
+  return Lower + Width / 2.0;
+}
+
 } // namespace
 
 Server::Server(ServerOptions Options)
-    : Opts(std::move(Options)), Queue(Opts.QueueCapacity, Opts.Policy),
+    : Opts(std::move(Options)),
+      Sched(Scheduler::create(Opts.Scheduling, Opts.QueueCapacity,
+                              Opts.Policy)),
       CSubmitted(statsCounterCell("Serve.Submitted")),
       CCompleted(statsCounterCell("Serve.Completed")),
       CRejected(statsCounterCell("Serve.Rejected")),
+      CExpired(statsCounterCell("Serve.Expired")),
+      CRetries(statsCounterCell("Serve.SubmitRetries")),
       CBatchedRuns(statsCounterCell("Serve.BatchedRuns")),
       CDepthMax(statsCounterCell("Serve.QueueDepthMax")) {
   for (auto &Bucket : DepthHist)
+    Bucket.store(0, std::memory_order_relaxed);
+  for (auto &Bucket : LatencyHist)
     Bucket.store(0, std::memory_order_relaxed);
   size_t ShardCount = std::max<size_t>(Opts.Shards, 1);
   Shards.reserve(ShardCount);
@@ -59,11 +89,12 @@ Server::Server(ServerOptions Options)
 }
 
 Server::~Server() {
-  Queue.close();
+  Sched->close();
   if (Dispatcher.joinable())
     Dispatcher.join();
-  // All lanes have exited: every admitted request was executed and every
-  // future fulfilled. ~ThreadPool joins the parked workers.
+  // All lanes have exited: every admitted request was executed, shed, or
+  // failed and every future fulfilled. ~ThreadPool joins the parked
+  // workers.
 }
 
 Engine &Server::shardFor(const Program &Prog) {
@@ -78,11 +109,17 @@ Kernel Server::optimize(const Program &Prog, const TuneOptions &Options) {
   return shardFor(Prog).optimize(Prog, Options);
 }
 
-std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args) {
+std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args,
+                                      const SubmitOptions &Options) {
   CSubmitted.fetch_add(1, std::memory_order_relaxed);
   Request R;
   R.K = K;
   R.Args = std::move(Args);
+  R.Prio = Options.Prio;
+  R.EnqueuedAt = serveNow();
+  R.Deadline = Options.Deadline;
+  if (R.Deadline == noDeadline() && Options.Timeout.count() > 0)
+    R.Deadline = R.EnqueuedAt + Options.Timeout;
   std::future<RunStatus> Result = R.Done.get_future();
 
   // Fail fast on arguments that could never execute; the worker-side
@@ -98,40 +135,92 @@ std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args) {
   // overtake Admitted.
   Admitted.fetch_add(1);
   size_t DepthAfter = 0;
-  RequestQueue::PushResult Pushed = Queue.push(R, &DepthAfter);
-  if (Pushed != RequestQueue::PushResult::Ok) {
-    {
-      // The rollback can complete a drain, so it synchronizes like
-      // Finished does.
-      std::lock_guard<std::mutex> Lock(DrainMutex);
-      Admitted.fetch_sub(1);
+  std::chrono::microseconds Backoff = Options.Backoff;
+  Scheduler::PushResult Pushed;
+  for (int Attempt = 0;; ++Attempt) {
+    // Fault site "serve.queue.push": a firing Trigger makes this push act
+    // as if the queue were full, exercising the Overloaded/retry paths
+    // without needing a real capacity storm.
+    Pushed = DAISY_FAILPOINT("serve.queue.push")
+                 ? Scheduler::PushResult::Overloaded
+                 : Sched->push(R, &DepthAfter);
+    if (Pushed == Scheduler::PushResult::Ok) {
+      maxStatsCounter(CDepthMax, static_cast<int64_t>(DepthAfter));
+      DepthHist[depthBucket(DepthAfter, DepthHist.size())].fetch_add(
+          1, std::memory_order_relaxed);
+      return Result;
     }
-    DrainCV.notify_all();
-    CRejected.fetch_add(1, std::memory_order_relaxed);
-    R.Done.set_value(Pushed == RequestQueue::PushResult::Overloaded
-                         ? RunStatus::overloaded()
-                         : RunStatus::shutDown());
-    return Result;
+    if (Pushed != Scheduler::PushResult::Overloaded ||
+        Attempt >= Options.MaxRetries)
+      break;
+    // A deadline can lapse during backoff; classify that as Expired, not
+    // Overloaded — the caller's deadline budget, not the queue, decided.
+    if (R.Deadline != noDeadline() && serveNow() >= R.Deadline) {
+      Pushed = Scheduler::PushResult::Expired;
+      break;
+    }
+    CRetries.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(Backoff);
+    Backoff = std::min(Backoff * 2, std::chrono::microseconds(100000));
   }
-  maxStatsCounter(CDepthMax, static_cast<int64_t>(DepthAfter));
-  DepthHist[depthBucket(DepthAfter, DepthHist.size())].fetch_add(
-      1, std::memory_order_relaxed);
+
+  {
+    // The rollback can complete a drain, so it synchronizes like
+    // Finished does.
+    std::lock_guard<std::mutex> Lock(DrainMutex);
+    Admitted.fetch_sub(1);
+  }
+  DrainCV.notify_all();
+  RunStatus Failed;
+  switch (Pushed) {
+  case Scheduler::PushResult::Expired:
+    CExpired.fetch_add(1, std::memory_order_relaxed);
+    Failed = RunStatus::expired();
+    break;
+  case Scheduler::PushResult::ShutDown:
+    CRejected.fetch_add(1, std::memory_order_relaxed);
+    Failed = RunStatus::shutDown();
+    break;
+  default:
+    CRejected.fetch_add(1, std::memory_order_relaxed);
+    Failed = RunStatus::overloaded();
+    break;
+  }
+  R.Done.set_value(std::move(Failed));
   return Result;
 }
 
-std::future<RunStatus> Server::submit(const Kernel &K,
-                                      const ArgBinding &Args) {
-  return submit(K, K.bind(Args));
+std::future<RunStatus> Server::submit(const Kernel &K, const ArgBinding &Args,
+                                      const SubmitOptions &Options) {
+  return submit(K, K.bind(Args), Options);
 }
 
 void Server::workerLane() {
   std::vector<Request> Batch;
+  std::vector<Request> Expired;
   std::vector<RunStatus> Statuses;
   std::vector<size_t> Grouped;
   std::vector<const BoundArgs *> GroupArgs;
   std::vector<RunStatus> GroupStatuses;
-  while (Queue.popBatch(Batch, std::max<size_t>(Opts.MaxBatch, 1))) {
+  while (Sched->popBatch(Batch, Expired, std::max<size_t>(Opts.MaxBatch, 1))) {
+    // Fault site "serve.worker": an armed Delay stalls this lane between
+    // pop and dispatch — the window in which deadlines lapse and other
+    // lanes must pick up the slack.
+    (void)DAISY_FAILPOINT("serve.worker");
+
+    // Shed work first: the futures are already lost causes and cheap to
+    // fail, and doing it before the batch keeps the latency of surviving
+    // requests honest.
+    if (!Expired.empty()) {
+      for (Request &E : Expired)
+        E.Done.set_value(RunStatus::expired());
+      CExpired.fetch_add(static_cast<int64_t>(Expired.size()),
+                         std::memory_order_relaxed);
+      finishMany(Expired.size());
+    }
     size_t B = Batch.size();
+    if (B == 0)
+      continue;
     if (B > 1)
       CBatchedRuns.fetch_add(static_cast<int64_t>(B),
                              std::memory_order_relaxed);
@@ -161,8 +250,11 @@ void Server::workerLane() {
       for (size_t J = 0; J < Grouped.size(); ++J)
         Statuses[Grouped[J]] = std::move(GroupStatuses[J]);
     }
-    for (size_t I = 0; I < B; ++I)
+    TimePoint Now = serveNow();
+    for (size_t I = 0; I < B; ++I) {
+      recordLatency(Batch[I].EnqueuedAt, Now);
       Batch[I].Done.set_value(std::move(Statuses[I]));
+    }
     CCompleted.fetch_add(static_cast<int64_t>(B), std::memory_order_relaxed);
     finishMany(B);
   }
@@ -179,6 +271,43 @@ void Server::finishMany(uint64_t N) {
 void Server::drain() {
   std::unique_lock<std::mutex> Lock(DrainMutex);
   DrainCV.wait(Lock, [&] { return Finished == Admitted.load(); });
+}
+
+void Server::recordLatency(TimePoint EnqueuedAt, TimePoint Now) {
+  auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                Now - EnqueuedAt)
+                .count();
+  if (Us < 0)
+    Us = 0;
+  LatencyHist[latencyBucket(static_cast<uint64_t>(Us))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double Server::latencyQuantileUs(double Q) const {
+  uint64_t Total = 0;
+  std::array<uint64_t, 256> Counts;
+  for (size_t I = 0; I < LatencyHist.size(); ++I) {
+    Counts[I] = LatencyHist[I].load(std::memory_order_relaxed);
+    Total += Counts[I];
+  }
+  if (Total == 0)
+    return 0.0;
+  Q = std::min(std::max(Q, 0.0), 1.0);
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total - 1));
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    Seen += Counts[I];
+    if (Seen > Rank)
+      return latencyBucketMidUs(I);
+  }
+  return latencyBucketMidUs(Counts.size() - 1);
+}
+
+uint64_t Server::latencyCount() const {
+  uint64_t Total = 0;
+  for (const auto &Bucket : LatencyHist)
+    Total += Bucket.load(std::memory_order_relaxed);
+  return Total;
 }
 
 std::vector<uint64_t> Server::queueDepthHistogram() const {

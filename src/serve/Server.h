@@ -16,20 +16,28 @@
 ///   each shard's plan cache and transfer-tuning database see a stable
 ///   partition of the kernel population instead of contending on one
 ///   global instance;
-/// - a bounded MPMC request queue (serve/RequestQueue.h) with an explicit
-///   backpressure policy — Block the submitter or Reject with
-///   RunStatus::Overloaded — so overload is a decision, not an accident;
+/// - a pluggable, bounded scheduler (serve/Scheduler.h) chosen by
+///   ServerOptions::Scheduling — FIFO (the default), priority lanes, or
+///   earliest-deadline-first — with an explicit backpressure policy, so
+///   overload is a decision, not an accident;
 /// - a worker pool (one dedicated exec/ThreadPool instance driven by a
 ///   dispatcher thread) that drains requests into pooled per-kernel
 ///   ExecContexts; per-kernel micro-batching coalesces same-kernel
 ///   requests into one dispatch, amortizing the queue round-trip and
 ///   keeping one warm context stretch per batch.
 ///
-/// Server::submit(kernel, boundArgs) returns a std::future<RunStatus>.
+/// Server::submit(kernel, boundArgs, submitOptions) returns a
+/// std::future<RunStatus>. SubmitOptions adds the robustness surface:
+/// a Priority lane, an absolute Deadline (or relative Timeout), and
+/// retry-with-backoff for transient Overloaded rejections. Work whose
+/// deadline passes is *never* dispatched — it is shed at admission or at
+/// pop time and its future completes immediately with RunStatus whose
+/// Why == RunStatus::Expired.
+///
 /// The hot path is string-compare-free: arguments are prepared once with
 /// Kernel::bind and the workers execute on resolved slot tables. Results
 /// are bit-identical to synchronous Kernel::run at every shard, worker,
-/// and batch configuration — workers execute on the pool, so
+/// scheduler, and batch configuration — workers execute on the pool, so
 /// parallel-marked loops inside a kernel degrade to serial per the
 /// ThreadPool nesting rule (bit-identical by the ExecPlan contract) and
 /// request-level parallelism takes their place.
@@ -39,8 +47,9 @@
 /// ever returned is completed or failed, never leaked.
 ///
 /// Counters (support/Statistics): Serve.Submitted, Serve.Completed,
-/// Serve.Rejected, Serve.BatchedRuns, Serve.QueueDepthMax. Invariant
-/// after drain(): Submitted == Completed + Rejected.
+/// Serve.Rejected, Serve.Expired, Serve.SubmitRetries, Serve.BatchedRuns,
+/// Serve.QueueDepthMax. Invariant after drain():
+/// Submitted == Completed + Rejected + Expired.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,10 +58,11 @@
 
 #include "api/Engine.h"
 #include "serve/BoundArgs.h"
-#include "serve/RequestQueue.h"
+#include "serve/Scheduler.h"
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -77,15 +87,44 @@ struct ServerOptions {
   /// ThreadPool::defaultThreadCount() (DAISY_THREADS or the hardware
   /// concurrency).
   int Workers = 0;
-  /// Bound of the request queue; admission beyond it triggers Policy.
+  /// Bound of the request queue. Admission beyond it applies Policy:
+  /// Block parks the submitting thread on the scheduler's not-full
+  /// waiter list until a worker frees a slot (a blocked submitter whose
+  /// request carries a Deadline gives up when it passes and the future
+  /// completes as Expired without ever enqueuing); Reject fails the push
+  /// immediately with RunStatus::Overloaded — which SubmitOptions
+  /// retry-with-backoff can absorb. A request whose deadline has already
+  /// passed at submit is shed at admission under either policy.
   size_t QueueCapacity = 1024;
   /// What submit does when the queue is full.
   BackpressurePolicy Policy = BackpressurePolicy::Block;
+  /// Which request-ordering policy serves the queue (serve/Scheduler.h).
+  SchedulerPolicy Scheduling = SchedulerPolicy::Fifo;
   /// Largest same-kernel micro-batch one worker dispatch coalesces;
   /// 1 disables micro-batching.
   size_t MaxBatch = 16;
   /// Configuration every Engine shard is constructed with.
   EngineOptions Engine;
+};
+
+/// Per-submit scheduling and resilience knobs. Default-constructed it
+/// reproduces the PR 5 behavior exactly: Normal priority, no deadline,
+/// no retries.
+struct SubmitOptions {
+  /// Lane under SchedulerPolicy::PriorityLane; ignored by Fifo, a
+  /// tie-break-free hint under EDF (deadlines order there).
+  Priority Prio = Priority::Normal;
+  /// Absolute deadline; work not *started* by this point is shed and its
+  /// future completes with Why == RunStatus::Expired.
+  TimePoint Deadline = noDeadline();
+  /// Relative convenience: when non-zero and Deadline is unset, the
+  /// deadline becomes now + Timeout at submit entry.
+  std::chrono::microseconds Timeout{0};
+  /// Transient-Overloaded retries (Reject policy): submit re-pushes up
+  /// to this many extra times before failing the future.
+  int MaxRetries = 0;
+  /// Sleep before the first retry; doubles per retry, capped at 100ms.
+  std::chrono::microseconds Backoff{200};
 };
 
 /// The serving runtime. Thread-safe: submit/compile/drain may be called
@@ -114,46 +153,63 @@ public:
   /// Enqueues one run of \p K on prepared arguments and returns the
   /// future completed by a worker. Non-ok or mismatched \p Args fail the
   /// future with the diagnostic instead of executing; a full queue
-  /// blocks or rejects per the backpressure policy.
-  std::future<RunStatus> submit(const Kernel &K, BoundArgs Args);
+  /// blocks, rejects, or retries per the backpressure policy and
+  /// \p Options; expired work completes as Expired without running.
+  std::future<RunStatus> submit(const Kernel &K, BoundArgs Args,
+                                const SubmitOptions &Options = {});
 
   /// Convenience: validates \p Args against \p K (the one string-compare
   /// pass) and submits the resulting BoundArgs.
-  std::future<RunStatus> submit(const Kernel &K, const ArgBinding &Args);
+  std::future<RunStatus> submit(const Kernel &K, const ArgBinding &Args,
+                                const SubmitOptions &Options = {});
 
   /// Blocks until every request admitted so far (and any admitted while
   /// draining) has completed. The server keeps serving afterwards.
   void drain();
 
   /// Requests admitted but not yet picked up by a worker.
-  size_t queueDepth() const { return Queue.depth(); }
+  size_t queueDepth() const { return Sched->depth(); }
 
   /// High-water mark of the queue depth since construction.
-  size_t queueDepthMax() const { return Queue.maxDepthSeen(); }
+  size_t queueDepthMax() const { return Sched->maxDepthSeen(); }
 
   /// Log2-bucketed histogram of the queue depth sampled after every
   /// admitted request: bucket B counts samples with depth in
   /// [2^B, 2^(B+1)).
   std::vector<uint64_t> queueDepthHistogram() const;
 
+  /// Quantile (0 <= Q <= 1) of completed-request sojourn time in
+  /// microseconds — submit entry to worker completion, measured
+  /// server-side on a log-linear histogram (four sub-buckets per octave,
+  /// so about ±12% resolution). Returns 0 when nothing completed yet.
+  /// Expired and rejected requests are not latency samples.
+  double latencyQuantileUs(double Q) const;
+
+  /// Completed-request latency samples recorded so far.
+  uint64_t latencyCount() const;
+
   const ServerOptions &options() const { return Opts; }
 
 private:
   void workerLane();
   void finishMany(uint64_t N);
+  void recordLatency(TimePoint EnqueuedAt, TimePoint Now);
 
   ServerOptions Opts;
   std::vector<std::unique_ptr<Engine>> Shards;
-  RequestQueue Queue;
+  std::unique_ptr<Scheduler> Sched;
 
   /// Pre-resolved Serve.* counter cells (support/Statistics): the hot
   /// path increments relaxed atomics instead of paying a name lookup
   /// under the registry mutex per request.
-  std::atomic<int64_t> &CSubmitted, &CCompleted, &CRejected, &CBatchedRuns,
-      &CDepthMax;
+  std::atomic<int64_t> &CSubmitted, &CCompleted, &CRejected, &CExpired,
+      &CRetries, &CBatchedRuns, &CDepthMax;
 
   /// Depth-after-push samples, log2 buckets (relaxed: observability).
   std::array<std::atomic<uint64_t>, 16> DepthHist;
+
+  /// Sojourn-time samples, log-linear microsecond buckets (relaxed).
+  std::array<std::atomic<uint64_t>, 256> LatencyHist;
 
   /// Admitted vs finished request counts backing drain(). Admitted is
   /// incremented lock-free on the submit path (an increment can never

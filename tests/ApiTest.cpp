@@ -25,6 +25,7 @@
 #include "exec/Interpreter.h"
 #include "frontends/PolyBench.h"
 #include "ir/Builder.h"
+#include "support/FailPoint.h"
 #include "support/Statistics.h"
 #include "transform/Parallelize.h"
 
@@ -467,3 +468,92 @@ TEST(EngineTest, SeedDatabaseIsOrderIndependent) {
   // seeding order.
   EXPECT_EQ(SeedBoth(G, J), SeedBoth(J, G));
 }
+
+//===----------------------------------------------------------------------===//
+// Degraded-mode kernels: the tree-walk fallback
+//===----------------------------------------------------------------------===//
+
+TEST(TreeWalkKernelTest, FallbackKernelIsBitIdenticalOnEveryRunPath) {
+  Program Prog = makeGemm("i", "j", "k", 12);
+  Kernel Fast = Kernel::compile(Prog);
+  Kernel Slow = Kernel::treeWalk(Prog);
+  EXPECT_FALSE(Fast.isTreeWalk());
+  EXPECT_TRUE(Slow.isTreeWalk());
+
+  // Zero-copy ArgBinding path.
+  std::vector<std::pair<std::string, std::vector<double>>> FastBufs, SlowBufs;
+  fillLikeDataEnv(Prog, 5, FastBufs);
+  fillLikeDataEnv(Prog, 5, SlowBufs);
+  ArgBinding FastArgs, SlowArgs;
+  for (auto &[Name, Storage] : FastBufs)
+    FastArgs.bind(Name, Storage);
+  for (auto &[Name, Storage] : SlowBufs)
+    SlowArgs.bind(Name, Storage);
+  ASSERT_TRUE(Fast.run(FastArgs));
+  ASSERT_TRUE(Slow.run(SlowArgs));
+  EXPECT_EQ(FastBufs, SlowBufs);
+
+  // DataEnv path, repeated so the pooled fallback environment is reused
+  // dirty — transients must still be re-zeroed per run.
+  Program TProg = makeTransientProgram(8);
+  Kernel TSlow = Kernel::treeWalk(TProg);
+  std::vector<double> In(8, 3.0), Out(8, 0.0);
+  ArgBinding TArgs;
+  TArgs.bind("In", In).bind("Out", Out);
+  ASSERT_TRUE(TSlow.run(TArgs));
+  std::vector<double> FirstOut = Out;
+  ASSERT_TRUE(TSlow.run(TArgs));
+  EXPECT_EQ(Out, FirstOut);
+  EXPECT_EQ(Out[0], 3.0 * 2.0 + 1.0);
+}
+
+#if DAISY_ENABLE_FAILPOINTS
+
+TEST(EngineFallbackTest, CompileFailureDegradesToTreeWalkAndSelfHeals) {
+  resetStatsCounters();
+  Program Prog = makeGemm("i", "j", "k", 12);
+
+  FailPointConfig Throws;
+  Throws.Action = FailAction::Throw;
+  armFailPoint("engine.compile", Throws, /*Seed=*/1);
+
+  Engine Eng;
+  Kernel Degraded = Eng.compile(Prog);
+  EXPECT_TRUE(Degraded.isTreeWalk());
+  EXPECT_EQ(statsCounter("Engine.CompileFallbacks"), 1);
+
+  // Degraded, not wrong: results still match the semantics definition.
+  DataEnv Ref(Prog);
+  Ref.initDeterministic(5);
+  interpretTreeWalk(Prog, Ref);
+  std::vector<std::pair<std::string, std::vector<double>>> Buffers;
+  fillLikeDataEnv(Prog, 5, Buffers);
+  ArgBinding Args;
+  for (auto &[Name, Storage] : Buffers)
+    Args.bind(Name, Storage);
+  ASSERT_TRUE(Degraded.run(Args));
+  for (auto &[Name, Storage] : Buffers)
+    EXPECT_EQ(Storage, Ref.buffer(Name)) << Name;
+
+  // Self-healing: the fallback is not cached, so once compilation works
+  // again the same engine produces a real kernel.
+  disarmFailPoint("engine.compile");
+  Kernel Healed = Eng.compile(Prog);
+  EXPECT_FALSE(Healed.isTreeWalk());
+  EXPECT_EQ(statsCounter("Engine.CompileFallbacks"), 1);
+}
+
+TEST(EngineFallbackTest, FallbackOffPropagatesTheCompileError) {
+  FailPointConfig Throws;
+  Throws.Action = FailAction::Throw;
+  armFailPoint("engine.compile", Throws, /*Seed=*/1);
+
+  EngineOptions Options;
+  Options.FallbackOnCompileError = false;
+  Engine Eng(Options);
+  EXPECT_THROW((void)Eng.compile(makeGemm("i", "j", "k", 8)),
+               std::runtime_error);
+  disarmFailPoint("engine.compile");
+}
+
+#endif // DAISY_ENABLE_FAILPOINTS

@@ -1,0 +1,316 @@
+//===- tests/ServeFaultTest.cpp - fault-injection serving tests -----------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving runtime's failure contracts, proven under injected faults
+// (support/FailPoint via serve/FaultInjector; Debug and TSan builds — the
+// whole suite skips itself when DAISY_ENABLE_FAILPOINTS is 0):
+//
+// - determinism: a fault schedule is a pure function of its seed;
+// - the fault matrix — compile-throw, queue-full burst, slow kernel,
+//   worker stall, each crossed with every scheduler policy: every
+//   submitted future completes with a definite status, the counter
+//   invariant Serve.Submitted == Completed + Rejected + Expired holds
+//   after drain, and every Completed result is bit-identical to
+//   synchronous execution on an unfaulted reference kernel;
+// - graceful degradation: a compile that throws serves tree-walk
+//   kernels (Engine.CompileFallbacks) whose results are still exact.
+//
+// CI sweeps this binary across seeds via DAISY_FAILPOINTS_SEED.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/FaultInjector.h"
+#include "serve/Server.h"
+
+#include "ir/Builder.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace daisy;
+using namespace daisy::serve;
+
+namespace {
+
+/// GEMM with a chosen loop order (the canonical many-variants program).
+Program makeGemm(const std::string &O1, const std::string &O2,
+                 const std::string &O3, int N) {
+  Program Prog("gemm_" + O1 + O2 + O3);
+  Prog.addArray("A", {N, N});
+  Prog.addArray("B", {N, N});
+  Prog.addArray("C", {N, N});
+  Prog.append(forLoop(
+      O1, 0, N,
+      {forLoop(O2, 0, N,
+               {forLoop(O3, 0, N,
+                        {assign("S0", "C", {ax("i"), ax("j")},
+                                read("C", {ax("i"), ax("j")}) +
+                                    read("A", {ax("i"), ax("k")}) *
+                                        read("B", {ax("k"), ax("j")}))})})}));
+  return Prog;
+}
+
+/// Two-nest program with a kernel-managed transient temporary.
+Program makeTransientProgram(int N) {
+  Program Prog("transient");
+  Prog.addArray("In", {N});
+  Prog.addArray("Out", {N});
+  Prog.addArray("Tmp", {N}, /*Transient=*/true);
+  Prog.append(forLoop("i", 0, N,
+                      {assign("S0", "Tmp", {ax("i")},
+                              read("In", {ax("i")}) * lit(2.0))}));
+  Prog.append(forLoop("i", 0, N,
+                      {assign("S1", "Out", {ax("i")},
+                              read("Tmp", {ax("i")}) + lit(1.0))}));
+  return Prog;
+}
+
+/// Caller-owned argument storage for one request, initialized like a
+/// deterministic DataEnv so results are comparable across paths.
+struct OwnedArgs {
+  std::vector<std::pair<std::string, std::vector<double>>> Buffers;
+
+  explicit OwnedArgs(const Program &Prog, uint64_t Seed = 1) {
+    DataEnv Env(Prog);
+    Env.initDeterministic(Seed);
+    for (const ArrayDecl &Decl : Prog.arrays())
+      if (!Decl.Transient)
+        Buffers.emplace_back(Decl.Name, Env.buffer(Decl.Name));
+  }
+
+  ArgBinding binding() {
+    ArgBinding Args;
+    for (auto &[Name, Storage] : Buffers)
+      Args.bind(Name, Storage);
+    return Args;
+  }
+};
+
+constexpr uint64_t DefaultSeed = 0xDA15Eull;
+
+//===----------------------------------------------------------------------===//
+// The fault matrix
+//===----------------------------------------------------------------------===//
+
+/// Runs one fault scenario against one scheduler policy: a two-thread
+/// submit storm of two kernels with mixed priorities, deadlines, and
+/// retry budgets, under the armed spec. Asserts the failure contracts.
+void runFaultScenario(const std::string &Spec, const std::string &Site,
+                      SchedulerPolicy Policy) {
+  SCOPED_TRACE("spec '" + Spec + "'");
+  resetStatsCounters();
+  uint64_t Seed = FaultInjector::seedFromEnv(DefaultSeed);
+
+  Program SmallProg = makeGemm("i", "j", "k", 10);
+  Program OtherProg = makeTransientProgram(48);
+
+  // Ground truth bypasses the Engine and is computed before arming, so
+  // no fault site can degrade the reference itself.
+  Kernel RefSmall = Kernel::compile(SmallProg);
+  Kernel RefOther = Kernel::compile(OtherProg);
+  OwnedArgs ExpSmall(SmallProg, 5), ExpOther(OtherProg, 5);
+  ASSERT_TRUE(RefSmall.run(ExpSmall.binding()));
+  ASSERT_TRUE(RefOther.run(ExpOther.binding()));
+
+  FaultInjector Inj(Spec, Seed);
+
+  ServerOptions Options;
+  Options.Shards = 1;
+  Options.Workers = 2;
+  Options.QueueCapacity = 8;
+  Options.Policy = BackpressurePolicy::Reject;
+  Options.Scheduling = Policy;
+  Options.MaxBatch = 4;
+  Server S(Options);
+  // Server-side compiles run with the scenario armed: under the
+  // compile-throw spec these fall back to tree-walk kernels, and the
+  // bit-identity assertion below then proves the degraded path exact.
+  std::vector<Kernel> Kernels{S.compile(SmallProg), S.compile(OtherProg)};
+  std::vector<const Program *> Progs{&SmallProg, &OtherProg};
+  std::vector<OwnedArgs *> Expected{&ExpSmall, &ExpOther};
+
+  constexpr int Threads = 2;
+  constexpr int Reps = 15;
+  struct Pending {
+    std::unique_ptr<OwnedArgs> Args;
+    std::future<RunStatus> Done;
+    size_t Kind = 0;
+  };
+  std::vector<std::vector<Pending>> All(Threads);
+  std::vector<std::thread> Submitters;
+  for (int T = 0; T < Threads; ++T)
+    Submitters.emplace_back([&, T] {
+      for (int R = 0; R < Reps; ++R) {
+        Pending P;
+        P.Kind = static_cast<size_t>((T + R) % 2);
+        P.Args = std::make_unique<OwnedArgs>(*Progs[P.Kind], 5);
+        SubmitOptions SO;
+        SO.Prio = static_cast<Priority>(R % 3);
+        if (R % 3 == 0)
+          SO.Timeout = std::chrono::milliseconds(2);
+        if (R % 4 == 1) {
+          SO.MaxRetries = 3;
+          SO.Backoff = std::chrono::microseconds(100);
+        }
+        P.Done = S.submit(Kernels[P.Kind],
+                          Kernels[P.Kind].bind(P.Args->binding()), SO);
+        All[T].push_back(std::move(P));
+      }
+    });
+  for (std::thread &W : Submitters)
+    W.join();
+  S.drain();
+
+  // Every future has a definite status; completed work is exact.
+  int64_t Ok = 0, Failed = 0;
+  for (auto &PerThread : All)
+    for (Pending &P : PerThread) {
+      ASSERT_EQ(P.Done.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready)
+          << "a submitted future has no status after drain()";
+      RunStatus Status = P.Done.get();
+      switch (Status.Why) {
+      case RunStatus::Ok:
+        EXPECT_TRUE(Status.ok());
+        EXPECT_EQ(P.Args->Buffers, Expected[P.Kind]->Buffers)
+            << "completed request diverged from synchronous execution";
+        ++Ok;
+        break;
+      case RunStatus::Overloaded:
+      case RunStatus::ShutDown:
+      case RunStatus::Expired:
+        EXPECT_FALSE(Status.ok());
+        ++Failed;
+        break;
+      case RunStatus::BindError:
+        ADD_FAILURE() << "unexpected bind error: " << Status.Error;
+        ++Failed;
+        break;
+      case RunStatus::NumKinds_:
+        ADD_FAILURE() << "sentinel kind reached a future";
+        break;
+      }
+    }
+  EXPECT_EQ(Ok + Failed, int64_t(Threads) * Reps);
+
+  // The counter invariant, and the fault actually fired.
+  EXPECT_EQ(statsCounter("Serve.Submitted"), int64_t(Threads) * Reps);
+  EXPECT_EQ(statsCounter("Serve.Submitted"),
+            statsCounter("Serve.Completed") + statsCounter("Serve.Rejected") +
+                statsCounter("Serve.Expired"));
+  EXPECT_GT(Inj.fireCount(Site), 0u) << "scenario never fired " << Site;
+}
+
+const SchedulerPolicy AllPolicies[] = {SchedulerPolicy::Fifo,
+                                       SchedulerPolicy::PriorityLane,
+                                       SchedulerPolicy::EarliestDeadlineFirst};
+
+} // namespace
+
+#define DAISY_REQUIRE_FAILPOINTS()                                             \
+  if (!FaultInjector::enabled())                                               \
+  GTEST_SKIP() << "DAISY_ENABLE_FAILPOINTS is 0 in this build"
+
+TEST(ServeFaultTest, CompileThrowFallsBackAndStaysExact) {
+  DAISY_REQUIRE_FAILPOINTS();
+  for (SchedulerPolicy Policy : AllPolicies) {
+    // x2: exactly the two server-side compiles throw; the per-request
+    // path never re-compiles.
+    runFaultScenario("engine.compile=throw@1.0x2", "engine.compile", Policy);
+    EXPECT_GE(statsCounter("Engine.CompileFallbacks"), 2);
+  }
+}
+
+TEST(ServeFaultTest, QueueFullBurstRejectsOrRetriesEveryRequest) {
+  DAISY_REQUIRE_FAILPOINTS();
+  for (SchedulerPolicy Policy : AllPolicies)
+    runFaultScenario("serve.queue.push=trigger@0.4", "serve.queue.push",
+                     Policy);
+}
+
+TEST(ServeFaultTest, SlowKernelKeepsStatusesDefinite) {
+  DAISY_REQUIRE_FAILPOINTS();
+  for (SchedulerPolicy Policy : AllPolicies)
+    runFaultScenario("kernel.run=delay:1500@0.3", "kernel.run", Policy);
+}
+
+TEST(ServeFaultTest, WorkerStallShedsDeadlinesNotInvariants) {
+  DAISY_REQUIRE_FAILPOINTS();
+  for (SchedulerPolicy Policy : AllPolicies)
+    runFaultScenario("serve.worker=delay:3000@0.8", "serve.worker", Policy);
+}
+
+//===----------------------------------------------------------------------===//
+// FailPoint mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(FailPointTest, SeededStreamsAreReproducible) {
+  DAISY_REQUIRE_FAILPOINTS();
+  auto pattern = [](uint64_t Seed) {
+    FaultInjector Inj(Seed);
+    FailPointConfig Config;
+    Config.Probability = 0.5;
+    Inj.arm("test.det", Config);
+    std::vector<char> Fired;
+    for (int I = 0; I < 64; ++I)
+      Fired.push_back(DAISY_FAILPOINT("test.det") ? 1 : 0);
+    return Fired;
+  };
+  EXPECT_EQ(pattern(7), pattern(7));
+  EXPECT_NE(pattern(7), pattern(8));
+}
+
+TEST(FailPointTest, MaxFiresDisarmsTheSite) {
+  DAISY_REQUIRE_FAILPOINTS();
+  FaultInjector Inj(3);
+  FailPointConfig Config;
+  Config.MaxFires = 2;
+  Inj.arm("test.cap", Config);
+  int Fires = 0;
+  for (int I = 0; I < 10; ++I)
+    Fires += DAISY_FAILPOINT("test.cap") ? 1 : 0;
+  EXPECT_EQ(Fires, 2);
+  EXPECT_EQ(Inj.fireCount("test.cap"), 2u);
+}
+
+TEST(FailPointTest, ThrowActionThrows) {
+  DAISY_REQUIRE_FAILPOINTS();
+  FaultInjector Inj(3);
+  FailPointConfig Config;
+  Config.Action = FailAction::Throw;
+  Inj.arm("test.throw", Config);
+  EXPECT_THROW((void)DAISY_FAILPOINT("test.throw"), std::runtime_error);
+}
+
+TEST(FailPointTest, UnarmedSitesAreFree) {
+  DAISY_REQUIRE_FAILPOINTS();
+  EXPECT_FALSE(DAISY_FAILPOINT("test.never.armed"));
+  EXPECT_EQ(failPointFireCount("test.never.armed"), 0u);
+}
+
+TEST(FailPointTest, SpecGrammarParsesAndRejects) {
+  DAISY_REQUIRE_FAILPOINTS();
+  {
+    FaultInjector Inj("a.site=trigger@0.5;b.site=delay:100@0.25x3;"
+                      "c.site=throw",
+                      1);
+    EXPECT_FALSE(DAISY_FAILPOINT("unrelated.site"));
+  }
+  // Scenario teardown disarmed everything it armed.
+  EXPECT_THROW((void)armFailPointsFromSpec("nonsense", 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)armFailPointsFromSpec("x=explode", 1),
+               std::invalid_argument);
+  disarmAllFailPoints();
+}

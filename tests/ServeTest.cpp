@@ -17,8 +17,15 @@
 //   the Reject policy and absorbs the burst under Block;
 // - graceful shutdown: destroying a server with queued and in-flight
 //   requests completes every future;
-// - counters: Serve.Submitted == Serve.Completed + Serve.Rejected after
-//   drain; micro-batching shows up in Serve.BatchedRuns only when on.
+// - counters: Serve.Submitted == Serve.Completed + Serve.Rejected +
+//   Serve.Expired after drain; micro-batching shows up in
+//   Serve.BatchedRuns only when on;
+// - scheduling policies: FIFO, priority-lane, and EDF pop in their
+//   contractual orders (observed via Request::Seq, no timing races);
+// - deadlines: expired work is shed at admission or pop, never runs, and
+//   drain() still completes every future;
+// - retries: transient Overloaded rejections are absorbed by
+//   SubmitOptions{MaxRetries, Backoff}.
 //
 //===----------------------------------------------------------------------===//
 
@@ -335,7 +342,8 @@ TEST(ServeBackpressureTest, RejectPolicyFailsFastWithOverloaded) {
     EXPECT_TRUE(F.get().ok());
   EXPECT_EQ(statsCounter("Serve.Rejected"), 1);
   EXPECT_EQ(statsCounter("Serve.Submitted"),
-            statsCounter("Serve.Completed") + statsCounter("Serve.Rejected"));
+            statsCounter("Serve.Completed") + statsCounter("Serve.Rejected") +
+                statsCounter("Serve.Expired"));
   EXPECT_GE(statsCounter("Serve.QueueDepthMax"),
             static_cast<int64_t>(Options.QueueCapacity));
 }
@@ -373,6 +381,7 @@ TEST(ServeBackpressureTest, BlockPolicyAbsorbsTheBurst) {
   for (auto &F : Futures)
     EXPECT_TRUE(F.get().ok());
   EXPECT_EQ(statsCounter("Serve.Rejected"), 0);
+  EXPECT_EQ(statsCounter("Serve.Expired"), 0);
   // Depth after push never exceeds the bound — that is what blocking
   // buys.
   EXPECT_LE(statsCounter("Serve.QueueDepthMax"),
@@ -495,4 +504,376 @@ TEST(ServeSubmitTest, StaleAndUnboundArgsFailTheFuture) {
   EXPECT_NE(Bad.Error.find("not bound"), std::string::npos);
 
   S.drain();
+}
+
+//===----------------------------------------------------------------------===//
+// RunStatus::Kind coverage guard
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Exhaustive by construction: no default case, so -Wswitch flags a new
+/// Kind here, and the static_assert turns "forgot to update the
+/// handlers" into a compile error instead of a silent fall-through.
+const char *kindName(RunStatus::Kind K) {
+  static_assert(RunStatus::NumKinds_ == 5,
+                "new RunStatus::Kind: update kindName, the serving "
+                "runtime's status switches, and the README taxonomy");
+  switch (K) {
+  case RunStatus::Ok:
+    return "ok";
+  case RunStatus::BindError:
+    return "bind-error";
+  case RunStatus::Overloaded:
+    return "overloaded";
+  case RunStatus::ShutDown:
+    return "shut-down";
+  case RunStatus::Expired:
+    return "expired";
+  case RunStatus::NumKinds_:
+    break;
+  }
+  return "invalid";
+}
+
+} // namespace
+
+TEST(RunStatusKindTest, EveryKindIsHandledAndFactoriesTagCorrectly) {
+  for (uint8_t K = 0; K < RunStatus::NumKinds_; ++K)
+    EXPECT_STRNE(kindName(static_cast<RunStatus::Kind>(K)), "invalid");
+  EXPECT_EQ(RunStatus().Why, RunStatus::Ok);
+  EXPECT_EQ(RunStatus("boom").Why, RunStatus::BindError);
+  EXPECT_EQ(RunStatus::overloaded().Why, RunStatus::Overloaded);
+  EXPECT_EQ(RunStatus::shutDown().Why, RunStatus::ShutDown);
+  EXPECT_EQ(RunStatus::expired().Why, RunStatus::Expired);
+  EXPECT_FALSE(RunStatus::expired().ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler policies: pop order, observed via admission Seq (no timing)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Drains \p Sched one request at a time and returns the admission
+/// sequence numbers in pop order.
+std::vector<uint64_t> popOrder(serve::Scheduler &Sched) {
+  std::vector<uint64_t> Order;
+  std::vector<Request> Batch, Expired;
+  while (Sched.depth() > 0) {
+    if (!Sched.popBatch(Batch, Expired, 1))
+      break;
+    for (const Request &R : Batch)
+      Order.push_back(R.Seq);
+  }
+  return Order;
+}
+
+serve::Scheduler::PushResult pushWith(serve::Scheduler &Sched, TimePoint Deadline,
+                               Priority Prio = Priority::Normal) {
+  Request R;
+  R.Deadline = Deadline;
+  R.Prio = Prio;
+  return Sched.push(R);
+}
+
+} // namespace
+
+TEST(SchedulerPolicyTest, FifoPopsInAdmissionOrder) {
+  auto Sched = serve::Scheduler::create(SchedulerPolicy::Fifo, 16,
+                                 BackpressurePolicy::Reject);
+  TimePoint Far = serveNow() + std::chrono::hours(1);
+  // Deadlines and priorities are present but must not reorder FIFO.
+  ASSERT_EQ(pushWith(*Sched, Far, Priority::Low), serve::Scheduler::PushResult::Ok);
+  ASSERT_EQ(pushWith(*Sched, noDeadline(), Priority::High),
+            serve::Scheduler::PushResult::Ok);
+  ASSERT_EQ(pushWith(*Sched, Far + std::chrono::hours(1), Priority::Normal),
+            serve::Scheduler::PushResult::Ok);
+  EXPECT_EQ(popOrder(*Sched), (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(SchedulerPolicyTest, PriorityLanesDrainHighestFirst) {
+  auto Sched = serve::Scheduler::create(SchedulerPolicy::PriorityLane, 16,
+                                 BackpressurePolicy::Reject);
+  ASSERT_EQ(pushWith(*Sched, noDeadline(), Priority::Low),
+            serve::Scheduler::PushResult::Ok); // Seq 0
+  ASSERT_EQ(pushWith(*Sched, noDeadline(), Priority::High),
+            serve::Scheduler::PushResult::Ok); // Seq 1
+  ASSERT_EQ(pushWith(*Sched, noDeadline(), Priority::Normal),
+            serve::Scheduler::PushResult::Ok); // Seq 2
+  ASSERT_EQ(pushWith(*Sched, noDeadline(), Priority::High),
+            serve::Scheduler::PushResult::Ok); // Seq 3
+  // High lane FIFO (1, 3), then Normal (2), then Low (0).
+  EXPECT_EQ(popOrder(*Sched), (std::vector<uint64_t>{1, 3, 2, 0}));
+}
+
+TEST(SchedulerPolicyTest, EdfPopsEarliestDeadlineFirstNoDeadlineLast) {
+  auto Sched = serve::Scheduler::create(SchedulerPolicy::EarliestDeadlineFirst, 16,
+                                 BackpressurePolicy::Reject);
+  TimePoint Now = serveNow();
+  ASSERT_EQ(pushWith(*Sched, Now + std::chrono::hours(2)),
+            serve::Scheduler::PushResult::Ok); // Seq 0
+  ASSERT_EQ(pushWith(*Sched, noDeadline()),
+            serve::Scheduler::PushResult::Ok); // Seq 1
+  ASSERT_EQ(pushWith(*Sched, Now + std::chrono::hours(1)),
+            serve::Scheduler::PushResult::Ok); // Seq 2
+  ASSERT_EQ(pushWith(*Sched, noDeadline()),
+            serve::Scheduler::PushResult::Ok); // Seq 3
+  ASSERT_EQ(pushWith(*Sched, Now + std::chrono::hours(1)),
+            serve::Scheduler::PushResult::Ok); // Seq 4: ties break by admission
+  EXPECT_EQ(popOrder(*Sched), (std::vector<uint64_t>{2, 4, 0, 1, 3}));
+}
+
+TEST(SchedulerPolicyTest, ExpiredWorkShedsAtAdmissionAndAtPop) {
+  for (SchedulerPolicy Policy :
+       {SchedulerPolicy::Fifo, SchedulerPolicy::PriorityLane,
+        SchedulerPolicy::EarliestDeadlineFirst}) {
+    auto Sched = serve::Scheduler::create(Policy, 16, BackpressurePolicy::Reject);
+    // Already late at admission: handed back, never queued.
+    EXPECT_EQ(pushWith(*Sched, serveNow() - std::chrono::milliseconds(1)),
+              serve::Scheduler::PushResult::Expired);
+    EXPECT_EQ(Sched->depth(), 0u);
+
+    // Queued, then expires while waiting: shed at pop, not dispatched.
+    ASSERT_EQ(pushWith(*Sched, serveNow() + std::chrono::milliseconds(2)),
+              serve::Scheduler::PushResult::Ok);
+    ASSERT_EQ(pushWith(*Sched, noDeadline()), serve::Scheduler::PushResult::Ok);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::vector<Request> Batch, Expired;
+    ASSERT_TRUE(Sched->popBatch(Batch, Expired, 4));
+    EXPECT_EQ(Expired.size(), 1u);
+    ASSERT_EQ(Batch.size(), 1u);
+    EXPECT_EQ(Batch.front().Deadline, noDeadline());
+  }
+}
+
+TEST(SchedulerPolicyTest, BlockedPushGivesUpWhenDeadlinePasses) {
+  auto Sched =
+      serve::Scheduler::create(SchedulerPolicy::Fifo, 1, BackpressurePolicy::Block);
+  ASSERT_EQ(pushWith(*Sched, noDeadline()), serve::Scheduler::PushResult::Ok);
+  // The queue is full and nobody pops: a dated Block push must return
+  // Expired once its deadline passes instead of waiting forever.
+  TimePoint Before = serveNow();
+  EXPECT_EQ(pushWith(*Sched, Before + std::chrono::milliseconds(3)),
+            serve::Scheduler::PushResult::Expired);
+  EXPECT_GE(serveNow() - Before, std::chrono::milliseconds(3));
+  EXPECT_EQ(Sched->depth(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines through the server
+//===----------------------------------------------------------------------===//
+
+TEST(ServeDeadlineTest, DrainCompletesExpiredRequestsWithoutRunningThem) {
+  resetStatsCounters();
+  ServerOptions Options;
+  Options.Workers = 1;
+  Options.QueueCapacity = 64;
+  Options.Policy = BackpressurePolicy::Block;
+  Options.MaxBatch = 1;
+  Server S(Options);
+
+  // Compile (a multi-millisecond scheduler search) happens before the
+  // plug goes in, so the timing below is submit-only.
+  Program Small = makeGemm("i", "j", "k", 8);
+  Kernel K = S.compile(Small);
+  OwnedArgs Untouched(Small, 5);
+
+  // Two plugs, drained one pop at a time: the first absorbs worker-lane
+  // start-up (its pop can land anywhere in its run), so when the second
+  // leaves the queue the worker has only just *started* it — everything
+  // submitted now sits behind a full multi-millisecond run, and a 1ms
+  // budget is guaranteed to lapse in the queue.
+  Kernel Plug = makePlugKernel();
+  OwnedArgs PlugArgs(Plug.program());
+  std::future<RunStatus> PlugDone =
+      S.submit(Plug, Plug.bind(PlugArgs.binding()));
+  waitUntilQueueEmpty(S);
+  Kernel Plug2 = makePlugKernel();
+  OwnedArgs Plug2Args(Plug2.program());
+  std::future<RunStatus> Plug2Done =
+      S.submit(Plug2, Plug2.bind(Plug2Args.binding()));
+  waitUntilQueueEmpty(S);
+
+  SubmitOptions Dated;
+  Dated.Timeout = std::chrono::milliseconds(1);
+  constexpr int N = 4;
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<std::future<RunStatus>> Futures;
+  for (int I = 0; I < N; ++I) {
+    Owned.push_back(std::make_unique<OwnedArgs>(Small, 5));
+    Futures.push_back(S.submit(K, K.bind(Owned.back()->binding()), Dated));
+  }
+
+  // drain() must terminate even though the queue holds only dead work.
+  S.drain();
+  EXPECT_TRUE(PlugDone.get().ok());
+  EXPECT_TRUE(Plug2Done.get().ok());
+  for (int I = 0; I < N; ++I) {
+    ASSERT_EQ(Futures[I].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    RunStatus Status = Futures[I].get();
+    EXPECT_FALSE(Status.ok());
+    EXPECT_EQ(Status.Why, RunStatus::Expired) << "request " << I;
+    // Never dispatched: the caller's buffers are bit-for-bit untouched.
+    EXPECT_EQ(Owned[I]->Buffers, Untouched.Buffers) << "request " << I;
+  }
+  EXPECT_EQ(statsCounter("Serve.Expired"), N);
+  EXPECT_EQ(statsCounter("Serve.Submitted"),
+            statsCounter("Serve.Completed") + statsCounter("Serve.Rejected") +
+                statsCounter("Serve.Expired"));
+}
+
+//===----------------------------------------------------------------------===//
+// Retry with backoff
+//===----------------------------------------------------------------------===//
+
+TEST(ServeRetryTest, BackoffAbsorbsTransientOverload) {
+  resetStatsCounters();
+  ServerOptions Options;
+  Options.Workers = 1;
+  Options.QueueCapacity = 2;
+  Options.Policy = BackpressurePolicy::Reject;
+  Options.MaxBatch = 1;
+  Server S(Options);
+
+  Program Small = makeGemm("i", "j", "k", 8);
+  Kernel K = S.compile(Small); // before the plug: compile takes ms itself
+
+  // Two plugs: the first absorbs worker-lane start-up, so once the
+  // second leaves the queue the worker has only just started it and
+  // stays busy for its full multi-millisecond run.
+  Kernel Plug = makePlugKernel();
+  OwnedArgs PlugArgs(Plug.program());
+  std::future<RunStatus> PlugDone =
+      S.submit(Plug, Plug.bind(PlugArgs.binding()));
+  waitUntilQueueEmpty(S);
+  Kernel Plug2 = makePlugKernel();
+  OwnedArgs Plug2Args(Plug2.program());
+  std::future<RunStatus> Plug2Done =
+      S.submit(Plug2, Plug2.bind(Plug2Args.binding()));
+  waitUntilQueueEmpty(S);
+
+  // Fill the queue while the worker is inside the plug.
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<std::future<RunStatus>> Fillers;
+  for (size_t I = 0; I < Options.QueueCapacity; ++I) {
+    Owned.push_back(std::make_unique<OwnedArgs>(Small));
+    Fillers.push_back(S.submit(K, K.bind(Owned.back()->binding())));
+  }
+
+  // Overload is transient — it ends when the plug finishes in a few
+  // milliseconds. A patient submit must ride it out and succeed.
+  Owned.push_back(std::make_unique<OwnedArgs>(Small));
+  SubmitOptions Patient;
+  Patient.MaxRetries = 1000;
+  Patient.Backoff = std::chrono::microseconds(200);
+  RunStatus Status =
+      S.submit(K, K.bind(Owned.back()->binding()), Patient).get();
+  EXPECT_TRUE(Status.ok()) << Status.Error;
+  EXPECT_GT(statsCounter("Serve.SubmitRetries"), 0);
+  EXPECT_EQ(statsCounter("Serve.Rejected"), 0);
+
+  S.drain();
+  EXPECT_TRUE(PlugDone.get().ok());
+  EXPECT_TRUE(Plug2Done.get().ok());
+  for (auto &F : Fillers)
+    EXPECT_TRUE(F.get().ok());
+  EXPECT_EQ(statsCounter("Serve.Submitted"),
+            statsCounter("Serve.Completed") + statsCounter("Serve.Rejected") +
+                statsCounter("Serve.Expired"));
+}
+
+TEST(ServeRetryTest, ExhaustedRetriesStillRejectWithOverloaded) {
+  resetStatsCounters();
+  ServerOptions Options;
+  Options.Workers = 1;
+  Options.QueueCapacity = 2;
+  Options.Policy = BackpressurePolicy::Reject;
+  Options.MaxBatch = 1;
+  Server S(Options);
+
+  Program Small = makeGemm("i", "j", "k", 8);
+  Kernel K = S.compile(Small); // before the plug: compile takes ms itself
+
+  // Two plugs: the first absorbs worker-lane start-up, so once the
+  // second leaves the queue the worker has only just started it and
+  // stays busy for its full multi-millisecond run.
+  Kernel Plug = makePlugKernel();
+  OwnedArgs PlugArgs(Plug.program());
+  std::future<RunStatus> PlugDone =
+      S.submit(Plug, Plug.bind(PlugArgs.binding()));
+  waitUntilQueueEmpty(S);
+  Kernel Plug2 = makePlugKernel();
+  OwnedArgs Plug2Args(Plug2.program());
+  std::future<RunStatus> Plug2Done =
+      S.submit(Plug2, Plug2.bind(Plug2Args.binding()));
+  waitUntilQueueEmpty(S);
+
+  // Fill the queue while the worker is inside the plug.
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<std::future<RunStatus>> Fillers;
+  for (size_t I = 0; I < Options.QueueCapacity; ++I) {
+    Owned.push_back(std::make_unique<OwnedArgs>(Small));
+    Fillers.push_back(S.submit(K, K.bind(Owned.back()->binding())));
+  }
+
+  // One retry 50µs later finds the plug (milliseconds) still running and
+  // the queue still full: the rejection stands, and it is counted once.
+  Owned.push_back(std::make_unique<OwnedArgs>(Small));
+  SubmitOptions Impatient;
+  Impatient.MaxRetries = 1;
+  Impatient.Backoff = std::chrono::microseconds(50);
+  RunStatus Status =
+      S.submit(K, K.bind(Owned.back()->binding()), Impatient).get();
+  EXPECT_FALSE(Status.ok());
+  EXPECT_EQ(Status.Why, RunStatus::Overloaded);
+  EXPECT_EQ(statsCounter("Serve.SubmitRetries"), 1);
+  EXPECT_EQ(statsCounter("Serve.Rejected"), 1);
+
+  S.drain();
+  EXPECT_TRUE(PlugDone.get().ok());
+  EXPECT_TRUE(Plug2Done.get().ok());
+  for (auto &F : Fillers)
+    EXPECT_TRUE(F.get().ok());
+  EXPECT_EQ(statsCounter("Serve.Submitted"),
+            statsCounter("Serve.Completed") + statsCounter("Serve.Rejected") +
+                statsCounter("Serve.Expired"));
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduling policies through the server: exactness at every policy
+//===----------------------------------------------------------------------===//
+
+TEST(ServeSchedulingTest, EveryPolicyServesBitIdenticalResults) {
+  Program Small = makeGemm("i", "j", "k", 12);
+  OwnedArgs Expected(Small, 5);
+  ASSERT_TRUE(Kernel::compile(Small).run(Expected.binding()));
+  for (SchedulerPolicy Policy :
+       {SchedulerPolicy::Fifo, SchedulerPolicy::PriorityLane,
+        SchedulerPolicy::EarliestDeadlineFirst}) {
+    ServerOptions Options;
+    Options.Workers = 2;
+    Options.QueueCapacity = 64;
+    Options.Scheduling = Policy;
+    Server S(Options);
+    Kernel K = S.compile(Small);
+    std::vector<std::unique_ptr<OwnedArgs>> Owned;
+    std::vector<std::future<RunStatus>> Futures;
+    for (int I = 0; I < 12; ++I) {
+      Owned.push_back(std::make_unique<OwnedArgs>(Small, 5));
+      SubmitOptions SO;
+      SO.Prio = static_cast<Priority>(I % 3);
+      if (I % 2 == 0)
+        SO.Deadline = serveNow() + std::chrono::hours(1);
+      Futures.push_back(S.submit(K, K.bind(Owned.back()->binding()), SO));
+    }
+    S.drain();
+    for (int I = 0; I < 12; ++I) {
+      EXPECT_TRUE(Futures[I].get().ok());
+      EXPECT_EQ(Owned[I]->Buffers, Expected.Buffers);
+    }
+    EXPECT_GT(S.latencyCount(), 0u);
+    EXPECT_GE(S.latencyQuantileUs(0.99), S.latencyQuantileUs(0.5));
+  }
 }
