@@ -6,6 +6,7 @@
 
 #include "api/Engine.h"
 
+#include "api/KernelImpl.h"
 #include "ir/StructuralHash.h"
 #include "support/FailPoint.h"
 #include "support/Hashing.h"
@@ -78,6 +79,9 @@ std::mutex &dbMutexFor(const TransferTuningDatabase *Db) {
 
 Engine::Engine(EngineOptions Options)
     : Opts(std::move(Options)),
+      Budget(Opts.MemoryBudgetBytes
+                 ? std::make_shared<MemoryBudget>(Opts.MemoryBudgetBytes)
+                 : nullptr),
       Db(Opts.Database ? Opts.Database
                        : std::make_shared<TransferTuningDatabase>()),
       Eval(Opts.Sim, Opts.Eval), DbMutex(dbMutexFor(Db.get())) {}
@@ -101,6 +105,52 @@ void Engine::lruPushFront(CacheEntry *E) {
   LruHead = E;
 }
 
+bool Engine::tryChargeWithEviction(size_t Bytes, uint64_t ProtectClaim) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  for (;;) {
+    if (Budget->tryCharge(Bytes))
+      return true;
+    CacheEntry *Victim = LruTail;
+    // Stop at the entry being compiled for: evicting our own claim would
+    // drop the key this charge is about to back. Pending victims free no
+    // bytes (their kernel is not charged yet) but still leave the loop
+    // making progress — the list shrinks every iteration.
+    if (!Victim || Victim->Claim == ProtectClaim)
+      return false;
+    lruUnlink(Victim);
+    PlanCache.erase(Victim->Key);
+    addStatsCounter("Engine.BudgetEvictions");
+  }
+}
+
+Kernel Engine::finishKernel(std::shared_ptr<KernelImpl> Impl,
+                            uint64_t ProtectClaim) {
+  if (Budget) {
+    size_t Bytes = Impl->memoryFootprint();
+    // Fault site "engine.budget": a firing Trigger makes this charge act
+    // as failed even when room exists, driving the exhaustion path
+    // deterministically. (An armed Throw counts as forced pressure too —
+    // this function must not throw, or a cache claimant's promise would
+    // never be set.)
+    bool Forced;
+    try {
+      Forced = DAISY_FAILPOINT("engine.budget");
+    } catch (...) {
+      Forced = true;
+    }
+    bool Charged = !Forced && (Budget->tryCharge(Bytes) ||
+                               tryChargeWithEviction(Bytes, ProtectClaim));
+    if (!Charged) {
+      addStatsCounter("Engine.ResourceExhausted");
+      auto Ex = std::make_shared<KernelImpl>(KernelImpl::ExhaustedTag{},
+                                             Impl->Prog);
+      return Kernel(std::shared_ptr<const KernelImpl>(std::move(Ex)));
+    }
+    Impl->attachBudget(Budget, Bytes);
+  }
+  return Kernel(std::shared_ptr<const KernelImpl>(std::move(Impl)));
+}
+
 Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
   if (Opts.PlanCacheCapacity == 0) {
     addStatsCounter("Engine.PlanCompiles");
@@ -108,12 +158,13 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
       // Fault site "engine.compile": an armed Throw stands in for any
       // real plan-compilation failure.
       (void)DAISY_FAILPOINT("engine.compile");
-      return Kernel::compile(Prog, Options);
+      return finishKernel(std::make_shared<KernelImpl>(Prog, Options), 0);
     } catch (...) {
       if (!Opts.FallbackOnCompileError)
         throw;
       addStatsCounter("Engine.CompileFallbacks");
-      return Kernel::treeWalk(Prog);
+      return finishKernel(
+          std::make_shared<KernelImpl>(KernelImpl::TreeWalkTag{}, Prog), 0);
     }
   }
   uint64_t Key = planKey(Prog, Options);
@@ -178,7 +229,15 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
       // Fault site "engine.compile": an armed Throw stands in for any
       // real plan-compilation failure.
       (void)DAISY_FAILPOINT("engine.compile");
-      Claimed.set_value(Kernel::compile(Prog, Options));
+      Kernel K =
+          finishKernel(std::make_shared<KernelImpl>(Prog, Options), MyClaim);
+      // An exhausted kernel is never cached: the next compile of the key
+      // retries once budget pressure subsides, mirroring how compile
+      // fallbacks forget their key. Waiters of this attempt still get
+      // the exhausted kernel — their requests surface ResourceExhausted.
+      if (K.isExhausted())
+        eraseOwnClaim();
+      Claimed.set_value(std::move(K));
     } catch (...) {
       if (!Opts.FallbackOnCompileError) {
         // Do not leave a forever-broken promise in the cache: waiters
@@ -191,9 +250,13 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
         // forgets the key, so the next compile retries for real instead
         // of pinning the degraded kernel until eviction. Transient
         // failures self-heal; persistent ones keep serving degraded.
+        // The fallback is budget-accounted like any kernel and may
+        // itself come back exhausted (finishKernel never throws).
         addStatsCounter("Engine.CompileFallbacks");
         eraseOwnClaim();
-        Claimed.set_value(Kernel::treeWalk(Prog));
+        Claimed.set_value(finishKernel(
+            std::make_shared<KernelImpl>(KernelImpl::TreeWalkTag{}, Prog),
+            MyClaim));
       }
     }
   }

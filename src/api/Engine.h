@@ -41,6 +41,7 @@
 #include "machine/Simulator.h"
 #include "sched/Evaluator.h"
 #include "sched/Schedulers.h"
+#include "support/MemoryBudget.h"
 
 #include <cstdint>
 #include <future>
@@ -71,6 +72,18 @@ struct EngineOptions {
   /// so the next compile of the same program retries a real compile.
   /// Set false to get the exception (differential tests want it).
   bool FallbackOnCompileError = true;
+  /// Byte budget of engine-retained memory: plan-cache entries (program
+  /// snapshot + compiled plan, including tree-walk fallbacks) and pooled
+  /// per-run contexts. 0 = unlimited. Under pressure the plan cache
+  /// evicts LRU entries ("Engine.BudgetEvictions") and the context pools
+  /// drop contexts instead of retaining them ("Engine.ContextsDropped");
+  /// a kernel that cannot fit even after eviction is returned as a
+  /// resource-exhausted kernel whose runs complete with
+  /// RunStatus::ResourceExhausted instead of executing (surfaced, never
+  /// thrown; "Engine.ResourceExhausted"). Every charge goes through
+  /// MemoryBudget::tryCharge, so the accounted total never exceeds this
+  /// bound at any instant.
+  size_t MemoryBudgetBytes = 0;
   /// Transfer-tuning database to share; null allocates an engine-owned
   /// empty database.
   std::shared_ptr<TransferTuningDatabase> Database;
@@ -141,6 +154,17 @@ public:
   /// Number of kernels currently cached.
   size_t planCacheSize() const;
 
+  /// Bytes currently charged against the memory budget (0 when no budget
+  /// is configured and nothing has been charged).
+  size_t memoryBytesUsed() const { return Budget ? Budget->used() : 0; }
+
+  /// High-water mark of memoryBytesUsed(); never exceeds
+  /// EngineOptions::MemoryBudgetBytes when one is set.
+  size_t memoryBytesPeak() const { return Budget ? Budget->peak() : 0; }
+
+  /// The budget shared with this engine's kernels; null when unlimited.
+  const std::shared_ptr<MemoryBudget> &memoryBudget() const { return Budget; }
+
   /// Drops every cached kernel (outstanding Kernel handles stay valid;
   /// the next compile of any program recompiles).
   void clearPlanCache();
@@ -158,7 +182,17 @@ public:
   static uint64_t routingKey(const Program &Prog);
 
 private:
+  /// Wraps a freshly built impl into a Kernel, charging its footprint
+  /// against the budget first (evicting plan-cache LRU tails under
+  /// pressure, never the entry claimed by \p ProtectClaim). When nothing
+  /// can make room — or the "engine.budget" fail point forces the charge
+  /// to fail — returns a resource-exhausted kernel instead. No-op
+  /// pass-through when no budget is configured.
+  Kernel finishKernel(std::shared_ptr<KernelImpl> Impl, uint64_t ProtectClaim);
+  bool tryChargeWithEviction(size_t Bytes, uint64_t ProtectClaim);
+
   EngineOptions Opts;
+  std::shared_ptr<MemoryBudget> Budget; ///< Null when unlimited.
   std::shared_ptr<TransferTuningDatabase> Db;
   Evaluator Eval;
 

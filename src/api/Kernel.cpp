@@ -27,6 +27,13 @@ Kernel Kernel::treeWalk(const Program &Prog) {
 
 bool Kernel::isTreeWalk() const { return Impl && Impl->TreeWalk; }
 
+bool Kernel::isExhausted() const { return Impl && Impl->Exhausted; }
+
+size_t Kernel::memoryBytes() const {
+  assert(Impl && "empty kernel handle");
+  return Impl->memoryFootprint();
+}
+
 const Program &Kernel::program() const {
   assert(Impl && "empty kernel handle");
   return Impl->Prog;
@@ -50,12 +57,17 @@ RunStatus Kernel::run(const ArgBinding &Args) const {
   if (std::string Error = resolveBinding(Impl->Prog, Args, Slots);
       !Error.empty())
     return {std::move(Error)};
+  if (Impl->Exhausted)
+    return RunStatus::resourceExhausted();
   runPreparedSlots(*Impl, Slots.data());
   return {};
 }
 
 void Kernel::run(DataEnv &Env) const {
   assert(Impl && "empty kernel handle");
+  assert(!Impl->Exhausted &&
+         "resource-exhausted kernel cannot execute; use the status-"
+         "returning run forms, which report ResourceExhausted");
   assert(Env.slotCount() == Impl->Prog.arrays().size() &&
          "environment was not allocated for this kernel's program");
   if (Impl->TreeWalk) {

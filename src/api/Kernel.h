@@ -66,6 +66,11 @@ struct RunStatus {
     Overloaded, ///< Rejected by server backpressure (queue full).
     ShutDown,   ///< Rejected because the server is shutting down.
     Expired,    ///< Shed: the request's deadline passed before it ran.
+    /// Shed: the engine's memory budget could not hold the kernel (plan
+    /// cache under pressure, nothing left to evict). Surfaced as a
+    /// status, never thrown — the serving loop treats it like any other
+    /// per-request failure.
+    ResourceExhausted,
     /// Count sentinel, not a status. Exhaustive switches over Kind pair
     /// with a static_assert on this so a new kind fails to compile until
     /// every handler learns about it.
@@ -86,6 +91,10 @@ struct RunStatus {
   }
   static RunStatus expired() {
     return {"request deadline expired before execution", Expired};
+  }
+  static RunStatus resourceExhausted() {
+    return {"engine memory budget exhausted: kernel could not be retained",
+            ResourceExhausted};
   }
 
   std::string Error;
@@ -150,6 +159,20 @@ public:
   /// True for kernels built by treeWalk (directly or via the Engine
   /// compile-fallback path).
   bool isTreeWalk() const;
+
+  /// True for kernels the Engine could not fit into its memory budget
+  /// even after evicting the plan cache. Such a kernel still validates
+  /// and binds arguments, but every run(ArgBinding)/run(BoundArgs)/
+  /// runBatch entry completes with RunStatus::ResourceExhausted instead
+  /// of executing. The key is not cached, so a later compile (after
+  /// pressure subsides) retries for real.
+  bool isExhausted() const;
+
+  /// Estimated bytes of engine-retained memory this kernel accounts for
+  /// against an engine budget: the program snapshot plus the compiled
+  /// plan (or the tree-walk environment template). Pooled run contexts
+  /// are charged separately as they are retained.
+  size_t memoryBytes() const;
 
   explicit operator bool() const { return Impl != nullptr; }
 

@@ -20,6 +20,8 @@
 #include "api/Kernel.h"
 #include "exec/ExecPlan.h"
 #include "exec/Interpreter.h"
+#include "support/MemoryBudget.h"
+#include "support/Statistics.h"
 
 #include <algorithm>
 #include <cassert>
@@ -27,15 +29,39 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace daisy {
+
+/// Rough heap footprint of a program snapshot: array declarations plus a
+/// flat per-node estimate covering the node object, its names, affine
+/// bounds, and expression tree. An estimate — budget accounting needs a
+/// stable number per program, not allocator truth.
+inline size_t programNodeCountForBudget(const NodePtr &N) {
+  size_t Count = 1;
+  if (N->kind() == NodeKind::Loop)
+    for (const NodePtr &Child : static_cast<const Loop &>(*N).body())
+      Count += programNodeCountForBudget(Child);
+  return Count;
+}
+
+inline size_t programMemoryBytes(const Program &P) {
+  size_t Bytes = sizeof(Program) + P.name().capacity();
+  for (const ArrayDecl &Decl : P.arrays())
+    Bytes += sizeof(ArrayDecl) + Decl.Name.capacity() +
+             Decl.Shape.capacity() * sizeof(int64_t);
+  size_t Nodes = 0;
+  for (const NodePtr &N : P.topLevel())
+    Nodes += programNodeCountForBudget(N);
+  return Bytes + Nodes * 256;
+}
 
 /// The shared state behind Kernel handles: the program snapshot, its
 /// compiled plan, and a pool of reusable per-run contexts. The program
 /// and plan are immutable after construction; the pool is mutex-guarded.
 ///
-/// A kernel comes in two flavors. The normal one executes through a
+/// A kernel comes in three flavors. The normal one executes through a
 /// compiled ExecPlan. The degraded one (TreeWalkTag, behind
 /// Kernel::treeWalk and the Engine compile-fallback) executes through the
 /// reference tree-walking interpreter instead: Plan then holds a plan for
@@ -43,6 +69,20 @@ namespace daisy {
 /// immutable, and every run path branches on the TreeWalk flag. The two
 /// flavors are bit-identical by construction — the tree-walker *is* the
 /// semantics the ExecPlan contract is differentially tested against.
+/// The third (ExhaustedTag) exists only when an Engine memory budget
+/// could not retain the kernel: it binds and validates like any other,
+/// but its prepared run paths complete with RunStatus::ResourceExhausted
+/// instead of executing, and it holds no plan or pooled contexts worth
+/// accounting.
+///
+/// When an Engine hands the impl a MemoryBudget (attachBudget, before the
+/// impl is shared), the kernel participates in byte accounting: SelfBytes
+/// (program + plan) stays charged for the impl's lifetime, and each
+/// pooled context's footprint is (re-)charged when the context is
+/// returned to the pool — a context the budget cannot retain is freed
+/// instead of pooled, which is the pool's pressure response. Every charge
+/// goes through MemoryBudget::tryCharge, so the charged total never
+/// exceeds the budget limit at any instant.
 class KernelImpl {
 public:
   KernelImpl(const Program &P, const PlanOptions &Options)
@@ -52,6 +92,36 @@ public:
   KernelImpl(TreeWalkTag, const Program &P)
       : Prog(P.clone()), Plan(ExecPlan::compile(Program("__fallback__"))),
         TreeWalk(true) {}
+
+  struct ExhaustedTag {};
+  KernelImpl(ExhaustedTag, const Program &P)
+      : Prog(P.clone()), Plan(ExecPlan::compile(Program("__exhausted__"))),
+        Exhausted(true) {}
+
+  ~KernelImpl() {
+    if (!Budget)
+      return;
+    size_t Bytes = SelfBytes;
+    for (const std::unique_ptr<RunContext> &Ctx : Pool)
+      Bytes += Ctx->ChargedBytes;
+    Budget->release(Bytes);
+  }
+
+  /// Engine-only, called before the impl is shared: records that \p
+  /// ChargedSelfBytes were already charged to \p B on this kernel's
+  /// behalf. The destructor releases them (plus whatever the pool holds).
+  void attachBudget(std::shared_ptr<MemoryBudget> B, size_t ChargedSelfBytes) {
+    Budget = std::move(B);
+    SelfBytes = ChargedSelfBytes;
+  }
+
+  /// Bytes the engine retains for this kernel outside the context pool:
+  /// the program snapshot plus the compiled plan. Pool contexts are
+  /// charged per context as they are retained.
+  size_t memoryFootprint() const {
+    return sizeof(KernelImpl) + programMemoryBytes(Prog) +
+           (TreeWalk || Exhausted ? 0 : Plan.memoryBytes());
+  }
 
   /// One run's worth of reusable state: the exec-layer scratch, the slot
   /// table of the zero-copy path, kernel-managed transient storage (per
@@ -63,7 +133,23 @@ public:
     std::vector<BufferRef> Slots;
     std::vector<std::vector<double>> Transients;
     std::unique_ptr<DataEnv> WalkEnv;
+    /// Bytes this context holds charged against the engine budget while
+    /// it sits in the pool (0 when unbudgeted or freshly allocated). An
+    /// acquired context keeps its charge — it still holds the memory.
+    size_t ChargedBytes = 0;
   };
+
+  /// Footprint of one run context's scratch (capacity-based).
+  static size_t contextBytes(const RunContext &Ctx) {
+    size_t Bytes = sizeof(RunContext) + Ctx.Exec.memoryBytes() +
+                   Ctx.Slots.capacity() * sizeof(BufferRef) +
+                   Ctx.Transients.capacity() * sizeof(std::vector<double>);
+    for (const std::vector<double> &T : Ctx.Transients)
+      Bytes += T.capacity() * sizeof(double);
+    if (Ctx.WalkEnv)
+      Bytes += Ctx.WalkEnv->memoryBytes();
+    return Bytes;
+  }
 
   std::unique_ptr<RunContext> acquire() const {
     std::lock_guard<std::mutex> Lock(PoolMutex);
@@ -76,6 +162,24 @@ public:
   }
 
   void release(std::unique_ptr<RunContext> Ctx) const {
+    if (Budget) {
+      // Re-measure at return time: the run may have grown the scratch.
+      // Only the delta is charged, and through tryCharge — a context the
+      // budget cannot retain is freed, not pooled, so the charged total
+      // never exceeds the limit.
+      size_t NewBytes = contextBytes(*Ctx);
+      size_t OldBytes = Ctx->ChargedBytes;
+      if (NewBytes > OldBytes) {
+        if (!Budget->tryCharge(NewBytes - OldBytes)) {
+          Budget->release(OldBytes);
+          addStatsCounter("Engine.ContextsDropped");
+          return; // Ctx is freed here; the next acquire allocates fresh.
+        }
+      } else if (OldBytes > NewBytes) {
+        Budget->release(OldBytes - NewBytes);
+      }
+      Ctx->ChargedBytes = NewBytes;
+    }
     std::lock_guard<std::mutex> Lock(PoolMutex);
     Pool.push_back(std::move(Ctx));
   }
@@ -88,8 +192,14 @@ public:
   const Program Prog;
   const ExecPlan Plan;
   const bool TreeWalk = false;
+  const bool Exhausted = false;
 
 private:
+  /// Budget accounting (null when the owning Engine has no budget).
+  /// Written once by attachBudget before the impl is shared.
+  std::shared_ptr<MemoryBudget> Budget;
+  size_t SelfBytes = 0;
+
   mutable std::mutex PoolMutex;
   mutable std::vector<std::unique_ptr<RunContext>> Pool;
 };

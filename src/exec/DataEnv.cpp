@@ -57,6 +57,19 @@ bool DataEnv::contains(const std::string &Array) const {
   return Slots.count(Array) != 0;
 }
 
+size_t DataEnv::memoryBytes() const {
+  size_t Bytes = sizeof(DataEnv);
+  for (const std::vector<double> &Buffer : Buffers)
+    Bytes += Buffer.capacity() * sizeof(double) + sizeof(Buffer);
+  for (const std::string &Name : SlotNames)
+    Bytes += Name.capacity() + sizeof(Name);
+  // Slots map nodes and NonTransient/TransientFlags are noise next to the
+  // buffers; a nominal per-entry charge keeps empty programs non-zero.
+  Bytes += Slots.size() * (sizeof(std::pair<std::string, size_t>) + 32) +
+           NonTransient.capacity() * sizeof(size_t);
+  return Bytes;
+}
+
 void DataEnv::initDeterministic(uint64_t Seed) {
   for (size_t Slot : NonTransient) {
     std::vector<double> &Buffer = Buffers[Slot];

@@ -51,6 +51,11 @@ public:
   /// True if \p Array has storage here.
   bool contains(const std::string &Array) const;
 
+  /// Estimated heap footprint of the buffers (and name tables) in bytes.
+  /// Feeds the engine memory budget's accounting of pooled tree-walk
+  /// environments.
+  size_t memoryBytes() const;
+
   /// Deterministically fills every non-transient array with a PolyBench-
   /// style pattern derived from \p Seed and the element index.
   void initDeterministic(uint64_t Seed = 1);

@@ -47,6 +47,8 @@ RunStatus Kernel::run(const BoundArgs &Args) const {
     return invalidBoundArgsStatus(Args);
   if (Args.Bound.get() != Impl.get())
     return staleStatus();
+  if (Impl->Exhausted)
+    return RunStatus::resourceExhausted();
   // Fault site "kernel.run": an armed Delay makes this kernel slow —
   // the knob the tail-latency and deadline tests turn.
   (void)DAISY_FAILPOINT("kernel.run");
@@ -71,6 +73,10 @@ void Kernel::runBatch(const BoundArgs *const *Args, RunStatus *Statuses,
     }
     if (A.Bound.get() != Impl.get()) {
       Statuses[I] = staleStatus();
+      continue;
+    }
+    if (Impl->Exhausted) {
+      Statuses[I] = RunStatus::resourceExhausted();
       continue;
     }
     // Same fault site as the single-run path: a batch of a slow kernel

@@ -11,15 +11,22 @@
 /// disarms exactly those sites on destruction, so a test that throws or
 /// early-returns can never leak an armed fault into the next test.
 ///
-/// The serving runtime currently marks four sites:
+/// The serving runtime currently marks five sites:
 ///
 ///   "engine.compile"   Engine::compile plan compilation (Throw here
 ///                      exercises the tree-walk fallback);
+///   "engine.budget"    the memory-budget charge of a freshly compiled
+///                      kernel (Trigger denies the charge as if the
+///                      budget were exhausted, forcing the
+///                      ResourceExhausted kernel path; only evaluated
+///                      when EngineOptions::MemoryBudgetBytes is set);
 ///   "serve.queue.push" Server::submit admission (Trigger forces an
 ///                      Overloaded rejection as if the queue were full,
 ///                      feeding the retry/backoff path);
 ///   "serve.worker"     top of a worker-lane dispatch (Delay stalls the
-///                      lane between pop and run);
+///                      lane between pop and run — with
+///                      ServerOptions::StallTimeout armed, long enough a
+///                      delay makes the watchdog reclaim the claim);
 ///   "kernel.run"       prepared-run dispatch (Delay makes the kernel
 ///                      itself slow, per request even inside a batch).
 ///

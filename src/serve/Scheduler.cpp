@@ -14,16 +14,34 @@ namespace daisy {
 namespace serve {
 
 //===----------------------------------------------------------------------===//
-// Base machinery: admission, backpressure, waiting, shedding.
+// Base machinery: admission, backpressure, quotas, waiting, shedding.
 //===----------------------------------------------------------------------===//
+
+bool Scheduler::tenantAtQuotaLocked(uint32_t Tenant) const {
+  if (!TenantQuota)
+    return false;
+  auto It = TenantQueued.find(Tenant);
+  return It != TenantQueued.end() && It->second >= TenantQuota;
+}
+
+void Scheduler::tenantReleaseLocked(const Request &R) {
+  if (!TenantQuota)
+    return;
+  auto It = TenantQueued.find(R.Tenant);
+  if (It != TenantQueued.end() && --It->second == 0)
+    TenantQueued.erase(It);
+}
 
 Scheduler::PushResult Scheduler::push(Request &R, size_t *DepthAfter) {
   std::unique_lock<std::mutex> Lock(Mutex);
   // Admission shedding: work that is already late never enters the queue.
   if (R.Deadline != noDeadline() && serveNow() >= R.Deadline)
     return PushResult::Expired;
+  // A tenant at its quota is handled exactly like a full queue, so a
+  // flooding tenant's overflow becomes its own Overloaded/Expired and
+  // never occupies the capacity other tenants' requests need.
   if (Policy == BackpressurePolicy::Block) {
-    while (!Closed && Queued >= Capacity) {
+    while (!Closed && (Queued >= Capacity || tenantAtQuotaLocked(R.Tenant))) {
       ++WaitingPush;
       if (R.Deadline == noDeadline()) {
         NotFull.wait(Lock);
@@ -35,11 +53,12 @@ Scheduler::PushResult Scheduler::push(Request &R, size_t *DepthAfter) {
         // expiry: the caller gets the request back un-queued. (If space
         // appeared at the same instant, the pop-time sweep would shed it
         // anyway — failing here just skips the round trip.)
-        if (S == std::cv_status::timeout && !Closed && Queued >= Capacity)
+        if (S == std::cv_status::timeout && !Closed &&
+            (Queued >= Capacity || tenantAtQuotaLocked(R.Tenant)))
           return PushResult::Expired;
       }
     }
-  } else if (!Closed && Queued >= Capacity) {
+  } else if (!Closed && (Queued >= Capacity || tenantAtQuotaLocked(R.Tenant))) {
     return PushResult::Overloaded;
   }
   if (Closed)
@@ -48,6 +67,8 @@ Scheduler::PushResult Scheduler::push(Request &R, size_t *DepthAfter) {
   R.Seq = NextSeq++;
   if (R.Deadline != noDeadline())
     ++FiniteDeadlines;
+  if (TenantQuota)
+    ++TenantQueued[R.Tenant];
   enqueueLocked(std::move(R));
   ++Queued;
 
@@ -66,6 +87,64 @@ Scheduler::PushResult Scheduler::push(Request &R, size_t *DepthAfter) {
   return PushResult::Ok;
 }
 
+Scheduler::PushResult Scheduler::requeue(Request &R) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  // After close() the worker pool may already have drained and exited;
+  // admitting here could strand the request (and its future) forever.
+  if (Closed)
+    return PushResult::ShutDown;
+  if (R.Deadline != noDeadline() && serveNow() >= R.Deadline)
+    return PushResult::Expired;
+  // No capacity or quota check: the request was admitted once and its
+  // future must complete, so a bounded transient overfill (at most one
+  // reclaimed batch per stalled worker) beats losing it.
+  R.Seq = NextSeq++;
+  if (R.Deadline != noDeadline())
+    ++FiniteDeadlines;
+  if (TenantQuota)
+    ++TenantQueued[R.Tenant];
+  enqueueLocked(std::move(R));
+  ++Queued;
+  if (Queued > MaxDepth)
+    MaxDepth = Queued;
+
+  bool Wake = WaitingPop > PendingPopWakes;
+  if (Wake)
+    ++PendingPopWakes;
+  Lock.unlock();
+  if (Wake)
+    NotEmpty.notify_one();
+  return PushResult::Ok;
+}
+
+bool Scheduler::collectLocked(std::vector<Request> &Batch,
+                              std::vector<Request> &Expired, size_t MaxBatch) {
+  // Shed first, select second: an expired request must not be picked as
+  // the batch head (EDF would otherwise favour exactly the requests that
+  // are already lost). The sweep is skipped entirely while nothing
+  // queued carries a finite deadline.
+  if (FiniteDeadlines > 0 && Queued > 0) {
+    size_t Before = Expired.size();
+    shedExpiredLocked(serveNow(), Expired);
+    size_t Shed = Expired.size() - Before;
+    FiniteDeadlines -= Shed;
+    Queued -= Shed;
+    if (TenantQuota)
+      for (size_t I = Before; I < Expired.size(); ++I)
+        tenantReleaseLocked(Expired[I]);
+  }
+  if (Queued > 0) {
+    selectBatchLocked(Batch, MaxBatch);
+    Queued -= Batch.size();
+    for (const Request &R : Batch) {
+      if (FiniteDeadlines > 0 && R.Deadline != noDeadline())
+        --FiniteDeadlines;
+      tenantReleaseLocked(R);
+    }
+  }
+  return !Batch.empty() || !Expired.empty();
+}
+
 bool Scheduler::popBatch(std::vector<Request> &Batch,
                          std::vector<Request> &Expired, size_t MaxBatch) {
   Batch.clear();
@@ -73,29 +152,7 @@ bool Scheduler::popBatch(std::vector<Request> &Batch,
   if (MaxBatch == 0)
     MaxBatch = 1;
   std::unique_lock<std::mutex> Lock(Mutex);
-  for (;;) {
-    // Shed first, select second: an expired request must not be picked as
-    // the batch head (EDF would otherwise favour exactly the requests that
-    // are already lost). The sweep is skipped entirely while nothing
-    // queued carries a finite deadline.
-    if (FiniteDeadlines > 0 && Queued > 0) {
-      size_t Before = Expired.size();
-      shedExpiredLocked(serveNow(), Expired);
-      size_t Shed = Expired.size() - Before;
-      FiniteDeadlines -= Shed;
-      Queued -= Shed;
-    }
-    if (Queued > 0) {
-      selectBatchLocked(Batch, MaxBatch);
-      Queued -= Batch.size();
-      if (FiniteDeadlines > 0)
-        for (const Request &R : Batch)
-          if (R.Deadline != noDeadline())
-            --FiniteDeadlines;
-      break;
-    }
-    if (!Expired.empty())
-      break; // Nothing runnable, but the caller has futures to fail.
+  while (!collectLocked(Batch, Expired, MaxBatch)) {
     if (Closed)
       return false;
     ++WaitingPop;
@@ -111,6 +168,58 @@ bool Scheduler::popBatch(std::vector<Request> &Batch,
   if (WakePushers)
     NotFull.notify_all();
   return true;
+}
+
+Scheduler::PopResult Scheduler::tryPopBatch(std::vector<Request> &Batch,
+                                            std::vector<Request> &Expired,
+                                            size_t MaxBatch) {
+  Batch.clear();
+  Expired.clear();
+  if (MaxBatch == 0)
+    MaxBatch = 1;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (!collectLocked(Batch, Expired, MaxBatch))
+    return Closed ? PopResult::Closed : PopResult::Empty;
+  bool WakePushers = WaitingPush > 0;
+  Lock.unlock();
+  if (WakePushers)
+    NotFull.notify_all();
+  return PopResult::Got;
+}
+
+Scheduler::PopResult Scheduler::popBatchFor(std::vector<Request> &Batch,
+                                            std::vector<Request> &Expired,
+                                            size_t MaxBatch,
+                                            std::chrono::microseconds Wait) {
+  Batch.clear();
+  Expired.clear();
+  if (MaxBatch == 0)
+    MaxBatch = 1;
+  TimePoint Until = serveNow() + Wait;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    if (collectLocked(Batch, Expired, MaxBatch))
+      break;
+    if (Closed)
+      return PopResult::Closed;
+    ++WaitingPop;
+    std::cv_status S = NotEmpty.wait_until(Lock, Until);
+    --WaitingPop;
+    if (PendingPopWakes > 0)
+      --PendingPopWakes;
+    if (S == std::cv_status::timeout) {
+      // Final collect under the same lock hold: a push that raced the
+      // timeout may have aimed its (now consumed) wake at us.
+      if (collectLocked(Batch, Expired, MaxBatch))
+        break;
+      return Closed ? PopResult::Closed : PopResult::Empty;
+    }
+  }
+  bool WakePushers = WaitingPush > 0;
+  Lock.unlock();
+  if (WakePushers)
+    NotFull.notify_all();
+  return PopResult::Got;
 }
 
 void Scheduler::close() {
@@ -265,20 +374,100 @@ private:
   std::deque<Request> Q;
 };
 
+//===----------------------------------------------------------------------===//
+// FairShare: deficit-weighted round-robin over per-tenant FIFO deques.
+// The rotation's front tenant earns Weight credits when it has none,
+// spends one credit per selected batch, and rotates to the back when its
+// credit runs out — so a tenant with Weight W gets W consecutive batch
+// turns per rotation, and a flooding tenant delays another tenant's head
+// request by at most one rotation, never by its whole backlog.
+//===----------------------------------------------------------------------===//
+
+class FairShareScheduler final : public Scheduler {
+public:
+  using Scheduler::Scheduler;
+
+private:
+  struct TenantQ {
+    std::deque<Request> Q;
+    int64_t Credit = 0;
+    uint32_t Weight = 1;
+    bool Active = false; ///< Present in Rotation.
+  };
+
+  void enqueueLocked(Request &&R) override {
+    TenantQ &T = Tenants[R.Tenant];
+    // The latest request's weight wins: weights are per-tenant config
+    // the submitter passes on every request, not per-request state.
+    T.Weight = R.Weight ? R.Weight : 1;
+    if (!T.Active) {
+      T.Active = true;
+      T.Credit = 0; // A returning tenant starts a fresh turn.
+      Rotation.push_back(R.Tenant);
+    }
+    T.Q.push_back(std::move(R));
+  }
+
+  void shedExpiredLocked(TimePoint Now,
+                         std::vector<Request> &Expired) override {
+    for (size_t I = 0; I < Rotation.size();) {
+      TenantQ &T = Tenants[Rotation[I]];
+      shedExpiredFrom(T.Q, Now, Expired);
+      if (T.Q.empty()) {
+        T.Active = false;
+        T.Credit = 0;
+        Rotation.erase(Rotation.begin() + I);
+      } else {
+        ++I;
+      }
+    }
+  }
+
+  void selectBatchLocked(std::vector<Request> &Batch,
+                         size_t MaxBatch) override {
+    // Precondition (base class): at least one request is queued, so the
+    // rotation is non-empty and its front tenant's deque is non-empty.
+    uint32_t Id = Rotation.front();
+    TenantQ &T = Tenants[Id];
+    if (T.Credit < 1)
+      T.Credit = T.Weight;
+    // FIFO + coalescing *within this tenant only*: sweeping another
+    // tenant's same-kernel requests into this batch would hand the
+    // flooding tenant exactly the bypass the rotation exists to deny.
+    fifoSelectFrom(T.Q, Batch, MaxBatch);
+    T.Credit -= 1;
+    if (T.Q.empty()) {
+      T.Active = false;
+      T.Credit = 0;
+      Rotation.pop_front();
+    } else if (T.Credit < 1) {
+      Rotation.pop_front();
+      Rotation.push_back(Id);
+    }
+  }
+
+  std::unordered_map<uint32_t, TenantQ> Tenants;
+  std::deque<uint32_t> Rotation; ///< Tenants with queued work, turn order.
+};
+
 } // namespace
 
 std::unique_ptr<Scheduler> Scheduler::create(SchedulerPolicy Which,
                                              size_t Capacity,
-                                             BackpressurePolicy Policy) {
+                                             BackpressurePolicy Policy,
+                                             size_t TenantQuota) {
   switch (Which) {
   case SchedulerPolicy::Fifo:
-    return std::make_unique<RequestQueue>(Capacity, Policy);
+    return std::make_unique<RequestQueue>(Capacity, Policy, TenantQuota);
   case SchedulerPolicy::PriorityLane:
-    return std::make_unique<PriorityLaneScheduler>(Capacity, Policy);
+    return std::make_unique<PriorityLaneScheduler>(Capacity, Policy,
+                                                   TenantQuota);
   case SchedulerPolicy::EarliestDeadlineFirst:
-    return std::make_unique<EdfScheduler>(Capacity, Policy);
+    return std::make_unique<EdfScheduler>(Capacity, Policy, TenantQuota);
+  case SchedulerPolicy::FairShare:
+    return std::make_unique<FairShareScheduler>(Capacity, Policy, TenantQuota);
   }
-  return std::make_unique<RequestQueue>(Capacity, Policy);
+  return std::make_unique<RequestQueue>(Capacity, Policy, TenantQuota);
 }
 
 } // namespace serve

@@ -28,6 +28,23 @@
 ///     deadline is served next (no-deadline requests rank last, ties
 ///     break in admission order). Under overload this is the policy that
 ///     completes the most requests before their deadlines.
+///   - FairShare: deficit-weighted round-robin over per-tenant deques.
+///     Each turn the front tenant of the rotation earns Weight credits
+///     and serves one batch per credit (FIFO within the tenant,
+///     micro-batch coalescing confined to that tenant's deque — sweeping
+///     another tenant's requests into a flooding tenant's batch would
+///     undo the fairness the rotation buys); a tenant with no credit
+///     left rotates to the back. One tenant's backlog therefore delays
+///     another tenant's head-of-line request by at most one rotation,
+///     not by the whole backlog.
+///
+/// Per-tenant admission quotas (Scheduler ctor / ServerOptions
+/// TenantQuota) bound how much of the shared capacity one tenant may
+/// occupy, under every policy: a tenant at its quota is rejected
+/// (Reject) or waits (Block) even while the queue has room, so a
+/// flooding tenant's overflow becomes *its own* Overloaded/Expired
+/// statuses and never consumes the headroom other tenants' requests
+/// need.
 ///
 /// Deadlines are enforced in two places, and expired work is *never*
 /// dispatched:
@@ -59,6 +76,7 @@
 #include "api/Kernel.h"
 #include "serve/BoundArgs.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -67,6 +85,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace daisy {
@@ -80,9 +99,10 @@ enum class BackpressurePolicy {
 
 /// Which request-ordering policy a Server's scheduler uses.
 enum class SchedulerPolicy {
-  Fifo,                 ///< Strict admission order (the classic queue).
-  PriorityLane,         ///< One FIFO lane per Priority, highest first.
-  EarliestDeadlineFirst ///< Earliest deadline next; no-deadline last.
+  Fifo,                  ///< Strict admission order (the classic queue).
+  PriorityLane,          ///< One FIFO lane per Priority, highest first.
+  EarliestDeadlineFirst, ///< Earliest deadline next; no-deadline last.
+  FairShare              ///< Deficit-weighted round-robin over tenants.
 };
 
 /// Per-request urgency class. Values are lane indices: High drains first.
@@ -109,23 +129,40 @@ struct Request {
   TimePoint Deadline = noDeadline();
   TimePoint EnqueuedAt{}; ///< Submit stamp; sojourn = completion - this.
   uint64_t Seq = 0;       ///< Admission order, assigned by push().
+  uint32_t Tenant = 0;    ///< Fair-share / quota identity (0 = default).
+  uint32_t Weight = 1;    ///< FairShare credits per rotation turn (>= 1).
 };
 
 /// The pluggable scheduler. Public entry points are thread-safe; the
 /// protected storage hooks run under the scheduler's lock.
 class Scheduler {
 public:
-  Scheduler(size_t Capacity, BackpressurePolicy Policy)
-      : Capacity(Capacity ? Capacity : 1), Policy(Policy) {}
+  /// \p TenantQuota caps how many queued requests any single tenant may
+  /// hold at once (0 = no per-tenant cap; effective quota is clamped to
+  /// Capacity). A push over quota is treated exactly like a push into a
+  /// full queue: Reject fails it with Overloaded, Block waits until the
+  /// tenant drains (deadline-aware, so it can expire while waiting).
+  Scheduler(size_t Capacity, BackpressurePolicy Policy, size_t TenantQuota = 0)
+      : Capacity(Capacity ? Capacity : 1), Policy(Policy),
+        TenantQuota(TenantQuota ? std::min(TenantQuota, this->Capacity) : 0) {}
   virtual ~Scheduler() = default;
   Scheduler(const Scheduler &) = delete;
   Scheduler &operator=(const Scheduler &) = delete;
 
   enum class PushResult { Ok, Overloaded, ShutDown, Expired };
 
+  /// Outcome of the non-blocking / bounded-wait pop variants.
+  enum class PopResult {
+    Got,   ///< Batch and/or Expired filled.
+    Empty, ///< Nothing queued (within the wait bound); queue still open.
+    Closed ///< Closed and fully drained: the popper-exit signal.
+  };
+
   /// Creates the policy implementation ServerOptions selected.
-  static std::unique_ptr<Scheduler>
-  create(SchedulerPolicy Which, size_t Capacity, BackpressurePolicy Policy);
+  static std::unique_ptr<Scheduler> create(SchedulerPolicy Which,
+                                           size_t Capacity,
+                                           BackpressurePolicy Policy,
+                                           size_t TenantQuota = 0);
 
   /// Admits \p R, applying the backpressure policy when full. Returns
   /// ShutDown after close(), Expired when \p R's deadline has already
@@ -134,6 +171,16 @@ public:
   /// fail its promise. On success, \p DepthAfter (when non-null)
   /// receives the queue depth including \p R.
   PushResult push(Request &R, size_t *DepthAfter = nullptr);
+
+  /// Re-admits a request a watchdog reclaimed from a stalled worker.
+  /// Bypasses capacity and quota — the work was already admitted once
+  /// and its future must still be completed, so bounded transient
+  /// overfill beats stranding it — but still fails fast: returns
+  /// ShutDown when the queue is closed (all poppers may already have
+  /// exited) and Expired when the deadline has passed, handing \p R
+  /// back so the caller can complete the promise itself. Assigns a
+  /// fresh Seq (the request re-enters at its policy position "now").
+  PushResult requeue(Request &R);
 
   /// Blocks until at least one request is available (or the queue is
   /// closed and empty — returns false, the worker-exit signal). Fills
@@ -144,6 +191,19 @@ public:
   /// either vector is non-empty.
   bool popBatch(std::vector<Request> &Batch, std::vector<Request> &Expired,
                 size_t MaxBatch);
+
+  /// popBatch without the unbounded wait: returns Empty instead of
+  /// sleeping. The work-stealing sweep uses this to probe sibling
+  /// shards without ever parking on their condvars.
+  PopResult tryPopBatch(std::vector<Request> &Batch,
+                        std::vector<Request> &Expired, size_t MaxBatch);
+
+  /// popBatch with a bounded wait: parks for at most \p Wait before
+  /// returning Empty. The home-shard poll of a stealing worker uses
+  /// this so idle workers still sleep instead of spinning.
+  PopResult popBatchFor(std::vector<Request> &Batch,
+                        std::vector<Request> &Expired, size_t MaxBatch,
+                        std::chrono::microseconds Wait);
 
   /// Stops admission and wakes every waiter; already-admitted requests
   /// remain poppable until drained.
@@ -190,8 +250,22 @@ protected:
                               std::vector<Request> &Expired);
 
 private:
+  /// The shed + select + bookkeeping core every pop variant shares.
+  /// Called under Mutex; returns true when it filled either vector.
+  bool collectLocked(std::vector<Request> &Batch, std::vector<Request> &Expired,
+                     size_t MaxBatch);
+
+  /// True when admitting one more request of \p Tenant would exceed the
+  /// per-tenant quota. Called under Mutex; always false with quota off.
+  bool tenantAtQuotaLocked(uint32_t Tenant) const;
+
+  /// Decrements the per-tenant occupancy for a request leaving the
+  /// queue. Called under Mutex; no-op with quota off.
+  void tenantReleaseLocked(const Request &R);
+
   const size_t Capacity;
   const BackpressurePolicy Policy;
+  const size_t TenantQuota; ///< 0 = per-tenant cap disabled.
 
   mutable std::mutex Mutex;
   std::condition_variable NotEmpty; ///< Signals poppers: work or close().
@@ -205,6 +279,10 @@ private:
   /// so popBatch pays it only while this is non-zero — a deadline-free
   /// workload never scans.
   size_t FiniteDeadlines = 0;
+
+  /// Per-tenant occupancy, maintained only when TenantQuota > 0 (the
+  /// quota-off hot path never touches the map).
+  std::unordered_map<uint32_t, size_t> TenantQueued;
 
   /// Wake accounting: a push pays a futex wake only when a popper is
   /// actually waiting and no wake is already in flight toward it —

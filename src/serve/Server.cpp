@@ -8,10 +8,12 @@
 
 #include "exec/ThreadPool.h"
 #include "support/FailPoint.h"
+#include "support/Random.h"
 #include "support/Statistics.h"
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 #include <utility>
 
 using namespace daisy;
@@ -52,19 +54,34 @@ double latencyBucketMidUs(size_t Idx) {
   return Lower + Width / 2.0;
 }
 
+/// Equal-jittered retry sleep: half the nominal backoff deterministic,
+/// half uniform. A cohort of submitters rejected by the same full-queue
+/// event decorrelates instead of re-arriving in lockstep and colliding
+/// again, and no submitter ever sleeps less than half the nominal value.
+std::chrono::microseconds jitteredBackoff(std::chrono::microseconds Backoff) {
+  static thread_local Rng JitterRng(deriveSeed(
+      0xB0FFull,
+      std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  uint64_t Half = static_cast<uint64_t>(Backoff.count()) / 2;
+  if (Half == 0)
+    return Backoff;
+  return std::chrono::microseconds(Half + JitterRng.nextBelow(Half + 1));
+}
+
 } // namespace
 
 Server::Server(ServerOptions Options)
     : Opts(std::move(Options)),
-      Sched(Scheduler::create(Opts.Scheduling, Opts.QueueCapacity,
-                              Opts.Policy)),
       CSubmitted(statsCounterCell("Serve.Submitted")),
       CCompleted(statsCounterCell("Serve.Completed")),
       CRejected(statsCounterCell("Serve.Rejected")),
       CExpired(statsCounterCell("Serve.Expired")),
       CRetries(statsCounterCell("Serve.SubmitRetries")),
       CBatchedRuns(statsCounterCell("Serve.BatchedRuns")),
-      CDepthMax(statsCounterCell("Serve.QueueDepthMax")) {
+      CDepthMax(statsCounterCell("Serve.QueueDepthMax")),
+      CStolen(statsCounterCell("Serve.StolenBatches")),
+      CStalls(statsCounterCell("Serve.WorkerStalls")),
+      CDispatchStalls(statsCounterCell("Serve.DispatchStalls")) {
   for (auto &Bucket : DepthHist)
     Bucket.store(0, std::memory_order_relaxed);
   for (auto &Bucket : LatencyHist)
@@ -74,8 +91,23 @@ Server::Server(ServerOptions Options)
   for (size_t I = 0; I < ShardCount; ++I)
     Shards.push_back(std::make_unique<Engine>(Opts.Engine));
 
+  // Queue shards split the configured capacity (and any tenant quota)
+  // evenly, so the option values keep their single-queue meaning as
+  // totals.
+  size_t NumQ = std::max<size_t>(Opts.QueueShards, 1);
+  size_t QueueCap = std::max<size_t>(Opts.QueueCapacity / NumQ, 1);
+  size_t Quota =
+      Opts.TenantQuota ? std::max<size_t>(Opts.TenantQuota / NumQ, 1) : 0;
+  Queues.reserve(NumQ);
+  for (size_t I = 0; I < NumQ; ++I)
+    Queues.push_back(
+        Scheduler::create(Opts.Scheduling, QueueCap, Opts.Policy, Quota));
+
   int Workers =
       Opts.Workers > 0 ? Opts.Workers : ThreadPool::defaultThreadCount();
+  Lanes.reserve(static_cast<size_t>(Workers));
+  for (int I = 0; I < Workers; ++I)
+    Lanes.push_back(std::make_unique<LaneState>());
   // The pool's lanes become queue drainers for the server's lifetime: the
   // dispatcher parks inside one fork-join run() whose W tasks are the
   // worker loops, and returns when close() lets every lane drain out.
@@ -84,14 +116,24 @@ Server::Server(ServerOptions Options)
   // ExecPlan contract); concurrency comes from serving W requests at
   // once instead.
   Pool = std::make_unique<ThreadPool>(Workers);
-  Dispatcher = std::thread(
-      [this, Workers] { Pool->run(Workers, [this](int) { workerLane(); }); });
+  Dispatcher = std::thread([this, Workers] {
+    Pool->run(Workers, [this](int Lane) { workerLane(Lane); });
+  });
+  if (Opts.StallTimeout.count() > 0)
+    Watchdog = std::thread([this] { watchdogLoop(); });
 }
 
 Server::~Server() {
-  Sched->close();
+  for (auto &Q : Queues)
+    Q->close();
   if (Dispatcher.joinable())
     Dispatcher.join();
+  // The watchdog outlives the lanes so a batch claimed by a lane that
+  // stalls *during* shutdown is still rescued (requeue returns ShutDown
+  // once closed and the watchdog completes the futures itself).
+  WatchdogStop.store(true, std::memory_order_release);
+  if (Watchdog.joinable())
+    Watchdog.join();
   // All lanes have exited: every admitted request was executed, shed, or
   // failed and every future fulfilled. ~ThreadPool joins the parked
   // workers.
@@ -99,6 +141,34 @@ Server::~Server() {
 
 Engine &Server::shardFor(const Program &Prog) {
   return *Shards[Engine::routingKey(Prog) % Shards.size()];
+}
+
+Server::TenantCounters &Server::tenantCounters(uint32_t Tenant) {
+  std::lock_guard<std::mutex> Lock(TenantMutex);
+  auto It = TenantStats.find(Tenant);
+  if (It == TenantStats.end()) {
+    std::string Base = "Serve.Tenant" + std::to_string(Tenant) + ".";
+    It = TenantStats
+             .emplace(Tenant,
+                      TenantCounters{statsCounterCell(Base + "Submitted"),
+                                     statsCounterCell(Base + "Completed"),
+                                     statsCounterCell(Base + "Rejected"),
+                                     statsCounterCell(Base + "Expired")})
+             .first;
+  }
+  return It->second;
+}
+
+size_t Server::queueShardFor(const BoundArgs &Args) const {
+  if (Queues.size() == 1)
+    return 0;
+  // Kernel tokens are aligned pointers; a Fibonacci scramble of the
+  // high-entropy middle bits spreads them over the shards. Same kernel →
+  // same shard, so micro-batch coalescing keeps working per shard.
+  uint64_t Token =
+      static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Args.kernelToken()));
+  uint64_t H = (Token >> 4) * 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>((H >> 32) % Queues.size());
 }
 
 Kernel Server::compile(const Program &Prog) {
@@ -112,10 +182,14 @@ Kernel Server::optimize(const Program &Prog, const TuneOptions &Options) {
 std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args,
                                       const SubmitOptions &Options) {
   CSubmitted.fetch_add(1, std::memory_order_relaxed);
+  TenantCounters &Tenant = tenantCounters(Options.Tenant);
+  Tenant.Submitted.fetch_add(1, std::memory_order_relaxed);
   Request R;
   R.K = K;
   R.Args = std::move(Args);
   R.Prio = Options.Prio;
+  R.Tenant = Options.Tenant;
+  R.Weight = Options.Weight ? Options.Weight : 1;
   R.EnqueuedAt = serveNow();
   R.Deadline = Options.Deadline;
   if (R.Deadline == noDeadline() && Options.Timeout.count() > 0)
@@ -127,6 +201,7 @@ std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args,
   if (!R.Args.ok()) {
     R.Done.set_value(invalidBoundArgsStatus(R.Args));
     CCompleted.fetch_add(1, std::memory_order_relaxed);
+    Tenant.Completed.fetch_add(1, std::memory_order_relaxed);
     return Result;
   }
 
@@ -134,6 +209,7 @@ std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args,
   // before push() even returns, and drain()'s Finished must never
   // overtake Admitted.
   Admitted.fetch_add(1);
+  Scheduler &Queue = *Queues[queueShardFor(R.Args)];
   size_t DepthAfter = 0;
   std::chrono::microseconds Backoff = Options.Backoff;
   Scheduler::PushResult Pushed;
@@ -143,7 +219,7 @@ std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args,
     // without needing a real capacity storm.
     Pushed = DAISY_FAILPOINT("serve.queue.push")
                  ? Scheduler::PushResult::Overloaded
-                 : Sched->push(R, &DepthAfter);
+                 : Queue.push(R, &DepthAfter);
     if (Pushed == Scheduler::PushResult::Ok) {
       maxStatsCounter(CDepthMax, static_cast<int64_t>(DepthAfter));
       DepthHist[depthBucket(DepthAfter, DepthHist.size())].fetch_add(
@@ -160,7 +236,7 @@ std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args,
       break;
     }
     CRetries.fetch_add(1, std::memory_order_relaxed);
-    std::this_thread::sleep_for(Backoff);
+    std::this_thread::sleep_for(jitteredBackoff(Backoff));
     Backoff = std::min(Backoff * 2, std::chrono::microseconds(100000));
   }
 
@@ -175,14 +251,17 @@ std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args,
   switch (Pushed) {
   case Scheduler::PushResult::Expired:
     CExpired.fetch_add(1, std::memory_order_relaxed);
+    Tenant.Expired.fetch_add(1, std::memory_order_relaxed);
     Failed = RunStatus::expired();
     break;
   case Scheduler::PushResult::ShutDown:
     CRejected.fetch_add(1, std::memory_order_relaxed);
+    Tenant.Rejected.fetch_add(1, std::memory_order_relaxed);
     Failed = RunStatus::shutDown();
     break;
   default:
     CRejected.fetch_add(1, std::memory_order_relaxed);
+    Tenant.Rejected.fetch_add(1, std::memory_order_relaxed);
     Failed = RunStatus::overloaded();
     break;
   }
@@ -195,68 +274,211 @@ std::future<RunStatus> Server::submit(const Kernel &K, const ArgBinding &Args,
   return submit(K, K.bind(Args), Options);
 }
 
-void Server::workerLane() {
+void Server::workerLane(int Lane) {
   std::vector<Request> Batch;
   std::vector<Request> Expired;
-  std::vector<RunStatus> Statuses;
-  std::vector<size_t> Grouped;
-  std::vector<const BoundArgs *> GroupArgs;
-  std::vector<RunStatus> GroupStatuses;
-  while (Sched->popBatch(Batch, Expired, std::max<size_t>(Opts.MaxBatch, 1))) {
-    // Fault site "serve.worker": an armed Delay stalls this lane between
-    // pop and dispatch — the window in which deadlines lapse and other
-    // lanes must pick up the slack.
-    (void)DAISY_FAILPOINT("serve.worker");
+  const size_t NumQ = Queues.size();
+  const size_t Home = static_cast<size_t>(Lane) % NumQ;
+  const size_t MaxB = std::max<size_t>(Opts.MaxBatch, 1);
+  LaneState *Slot = (Lane >= 0 && static_cast<size_t>(Lane) < Lanes.size())
+                        ? Lanes[static_cast<size_t>(Lane)].get()
+                        : nullptr;
+  const bool Watched = Slot && Opts.StallTimeout.count() > 0;
+  for (;;) {
+    if (NumQ == 1) {
+      // Single shard: the classic blocking drain.
+      if (!Queues[0]->popBatch(Batch, Expired, MaxB))
+        break;
+    } else {
+      // Sharded: poll the home shard with a bounded wait, then sweep the
+      // siblings for a batch to steal — one hot shard keeps every lane
+      // busy instead of parking lanes behind cold shards.
+      Scheduler::PopResult Home_ = Queues[Home]->popBatchFor(
+          Batch, Expired, MaxB, std::chrono::microseconds(500));
+      if (Home_ != Scheduler::PopResult::Got) {
+        bool AllClosed = Home_ == Scheduler::PopResult::Closed;
+        bool Stole = false;
+        for (size_t Off = 1; Off < NumQ && !Stole; ++Off) {
+          Scheduler::PopResult S =
+              Queues[(Home + Off) % NumQ]->tryPopBatch(Batch, Expired, MaxB);
+          if (S == Scheduler::PopResult::Got)
+            Stole = true;
+          else if (S != Scheduler::PopResult::Closed)
+            AllClosed = false;
+        }
+        if (!Stole) {
+          if (AllClosed)
+            break;
+          // A drained home returns Closed without waiting; park briefly
+          // so the sibling sweep does not spin while they finish.
+          if (Home_ == Scheduler::PopResult::Closed)
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        if (!Batch.empty())
+          CStolen.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
 
     // Shed work first: the futures are already lost causes and cheap to
     // fail, and doing it before the batch keeps the latency of surviving
     // requests honest.
     if (!Expired.empty()) {
-      for (Request &E : Expired)
+      for (Request &E : Expired) {
         E.Done.set_value(RunStatus::expired());
+        tenantCounters(E.Tenant).Expired.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
       CExpired.fetch_add(static_cast<int64_t>(Expired.size()),
                          std::memory_order_relaxed);
       finishMany(Expired.size());
     }
-    size_t B = Batch.size();
-    if (B == 0)
+    if (Batch.empty())
       continue;
-    if (B > 1)
-      CBatchedRuns.fetch_add(static_cast<int64_t>(B),
-                             std::memory_order_relaxed);
 
-    // The batch shares one BoundArgs kernel token (popBatch coalesces by
-    // it). Requests whose submitted kernel really owns those arguments —
-    // the common case, all of them — execute as one coalesced dispatch
-    // on a single pooled context (Kernel::runBatch); a request whose
-    // kernel does not match its arguments is executed alone so it earns
-    // its stale diagnostic without disturbing the batch.
-    Statuses.assign(B, RunStatus());
-    Grouped.clear();
-    GroupArgs.clear();
-    for (size_t I = 0; I < B; ++I) {
-      if (Batch[I].K.token() == Batch[I].Args.kernelToken()) {
-        Grouped.push_back(I);
-        GroupArgs.push_back(&Batch[I].Args);
-      } else {
-        Statuses[I] = Batch[I].K.run(Batch[I].Args);
+    if (!Watched) {
+      // Fault site "serve.worker": an armed Delay stalls this lane
+      // between pop and dispatch — the window in which deadlines lapse
+      // and other lanes must pick up the slack.
+      (void)DAISY_FAILPOINT("serve.worker");
+      dispatchBatch(Batch);
+      continue;
+    }
+
+    // Watchdog protocol. Publish the popped batch as this lane's claim:
+    // from here until the reclaim below, a watchdog that finds the claim
+    // older than StallTimeout takes the batch away and requeues it.
+    {
+      std::lock_guard<std::mutex> Lock(Slot->M);
+      Slot->Claimed = std::move(Batch);
+      Slot->ClaimedAt = serveNow();
+      Slot->Epoch.fetch_add(1, std::memory_order_relaxed);
+    }
+    // The fault site sits inside the claim window, so an armed Delay
+    // stalls this lane exactly where the watchdog polices.
+    (void)DAISY_FAILPOINT("serve.worker");
+    {
+      std::lock_guard<std::mutex> Lock(Slot->M);
+      if (Slot->Claimed.empty()) {
+        // The watchdog reclaimed the batch: it is not ours anymore.
+        Batch.clear();
+        continue;
       }
+      Batch = std::move(Slot->Claimed);
+      Slot->Claimed.clear();
+      Slot->Dispatching = true;
+      Slot->DispatchStart = serveNow();
+      Slot->DispatchStallCounted = false;
+      Slot->Epoch.fetch_add(1, std::memory_order_relaxed);
     }
-    if (!Grouped.empty()) {
-      GroupStatuses.assign(Grouped.size(), RunStatus());
-      Batch[Grouped.front()].K.runBatch(GroupArgs.data(),
-                                        GroupStatuses.data(),
-                                        Grouped.size());
-      for (size_t J = 0; J < Grouped.size(); ++J)
-        Statuses[Grouped[J]] = std::move(GroupStatuses[J]);
+    dispatchBatch(Batch);
+    {
+      std::lock_guard<std::mutex> Lock(Slot->M);
+      Slot->Dispatching = false;
+      Slot->Epoch.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+}
+
+void Server::dispatchBatch(std::vector<Request> &Batch) {
+  size_t B = Batch.size();
+  if (B > 1)
+    CBatchedRuns.fetch_add(static_cast<int64_t>(B), std::memory_order_relaxed);
+
+  // The batch shares one BoundArgs kernel token (popBatch coalesces by
+  // it). Requests whose submitted kernel really owns those arguments —
+  // the common case, all of them — execute as one coalesced dispatch
+  // on a single pooled context (Kernel::runBatch); a request whose
+  // kernel does not match its arguments is executed alone so it earns
+  // its stale diagnostic without disturbing the batch.
+  std::vector<RunStatus> Statuses(B);
+  std::vector<size_t> Grouped;
+  std::vector<const BoundArgs *> GroupArgs;
+  for (size_t I = 0; I < B; ++I) {
+    if (Batch[I].K.token() == Batch[I].Args.kernelToken()) {
+      Grouped.push_back(I);
+      GroupArgs.push_back(&Batch[I].Args);
+    } else {
+      Statuses[I] = Batch[I].K.run(Batch[I].Args);
+    }
+  }
+  if (!Grouped.empty()) {
+    std::vector<RunStatus> GroupStatuses(Grouped.size());
+    Batch[Grouped.front()].K.runBatch(GroupArgs.data(), GroupStatuses.data(),
+                                      Grouped.size());
+    for (size_t J = 0; J < Grouped.size(); ++J)
+      Statuses[Grouped[J]] = std::move(GroupStatuses[J]);
+  }
+  TimePoint Now = serveNow();
+  for (size_t I = 0; I < B; ++I) {
+    recordLatency(Batch[I].EnqueuedAt, Now);
+    tenantCounters(Batch[I].Tenant)
+        .Completed.fetch_add(1, std::memory_order_relaxed);
+    Batch[I].Done.set_value(std::move(Statuses[I]));
+  }
+  CCompleted.fetch_add(static_cast<int64_t>(B), std::memory_order_relaxed);
+  finishMany(B);
+}
+
+void Server::watchdogLoop() {
+  const std::chrono::microseconds Timeout = Opts.StallTimeout;
+  // Poll at half the timeout (bounded to [100µs, 10ms]): stalls are
+  // detected within ~1.5x the configured timeout without the poll itself
+  // becoming a busy loop.
+  std::chrono::microseconds Poll = Timeout / 2;
+  Poll = std::min(Poll, std::chrono::microseconds(10000));
+  Poll = std::max(Poll, std::chrono::microseconds(100));
+  std::vector<Request> Reclaimed;
+  while (!WatchdogStop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(Poll);
     TimePoint Now = serveNow();
-    for (size_t I = 0; I < B; ++I) {
-      recordLatency(Batch[I].EnqueuedAt, Now);
-      Batch[I].Done.set_value(std::move(Statuses[I]));
+    for (auto &SlotPtr : Lanes) {
+      LaneState &Slot = *SlotPtr;
+      Reclaimed.clear();
+      {
+        std::lock_guard<std::mutex> Lock(Slot.M);
+        if (!Slot.Claimed.empty() && !Slot.Dispatching &&
+            Now - Slot.ClaimedAt >= Timeout) {
+          Reclaimed = std::move(Slot.Claimed);
+          Slot.Claimed.clear();
+          Slot.Epoch.fetch_add(1, std::memory_order_relaxed);
+        } else if (Slot.Dispatching && !Slot.DispatchStallCounted &&
+                   Now - Slot.DispatchStart >= Timeout) {
+          // A lane stalled inside a kernel cannot be reclaimed safely —
+          // the kernel owns the arguments right now. Count it so
+          // operators see it; the batch completes when the kernel does.
+          Slot.DispatchStallCounted = true;
+          CDispatchStalls.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (Reclaimed.empty())
+        continue;
+      CStalls.fetch_add(1, std::memory_order_relaxed);
+      // Drain-safe requeue: re-admit each request so a healthy lane
+      // serves it; a request that cannot be re-admitted (queue closed,
+      // deadline lapsed) has its future completed right here — reclaimed
+      // work is never leaked.
+      uint64_t FailedNow = 0;
+      for (Request &R : Reclaimed) {
+        Scheduler &Queue = *Queues[queueShardFor(R.Args)];
+        Scheduler::PushResult P = Queue.requeue(R);
+        if (P == Scheduler::PushResult::Ok)
+          continue;
+        TenantCounters &Tenant = tenantCounters(R.Tenant);
+        if (P == Scheduler::PushResult::Expired) {
+          R.Done.set_value(RunStatus::expired());
+          CExpired.fetch_add(1, std::memory_order_relaxed);
+          Tenant.Expired.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          R.Done.set_value(RunStatus::shutDown());
+          CRejected.fetch_add(1, std::memory_order_relaxed);
+          Tenant.Rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++FailedNow;
+      }
+      if (FailedNow)
+        finishMany(FailedNow);
     }
-    CCompleted.fetch_add(static_cast<int64_t>(B), std::memory_order_relaxed);
-    finishMany(B);
   }
 }
 

@@ -16,15 +16,21 @@
 ///   each shard's plan cache and transfer-tuning database see a stable
 ///   partition of the kernel population instead of contending on one
 ///   global instance;
-/// - a pluggable, bounded scheduler (serve/Scheduler.h) chosen by
-///   ServerOptions::Scheduling — FIFO (the default), priority lanes, or
-///   earliest-deadline-first — with an explicit backpressure policy, so
-///   overload is a decision, not an accident;
+/// - one or more pluggable, bounded queue shards (serve/Scheduler.h)
+///   chosen by ServerOptions::Scheduling — FIFO (the default), priority
+///   lanes, earliest-deadline-first, or deficit-weighted FairShare over
+///   tenants — with an explicit backpressure policy and optional
+///   per-tenant admission quotas, so overload is a decision, not an
+///   accident, and one tenant's overload is *its own*;
 /// - a worker pool (one dedicated exec/ThreadPool instance driven by a
 ///   dispatcher thread) that drains requests into pooled per-kernel
 ///   ExecContexts; per-kernel micro-batching coalesces same-kernel
 ///   requests into one dispatch, amortizing the queue round-trip and
-///   keeping one warm context stretch per batch.
+///   keeping one warm context stretch per batch. With QueueShards > 1
+///   each worker drains a home shard and steals batches from hot
+///   siblings when its home runs empty; with a StallTimeout set, a
+///   watchdog thread reclaims batches from stalled lanes and requeues
+///   them so healthy lanes complete the work.
 ///
 /// Server::submit(kernel, boundArgs, submitOptions) returns a
 /// std::future<RunStatus>. SubmitOptions adds the robustness surface:
@@ -48,7 +54,10 @@
 ///
 /// Counters (support/Statistics): Serve.Submitted, Serve.Completed,
 /// Serve.Rejected, Serve.Expired, Serve.SubmitRetries, Serve.BatchedRuns,
-/// Serve.QueueDepthMax. Invariant after drain():
+/// Serve.QueueDepthMax, Serve.StolenBatches, Serve.WorkerStalls,
+/// Serve.DispatchStalls — plus the same four outcome counters per tenant
+/// as Serve.Tenant<id>.{Submitted,Completed,Rejected,Expired}. Invariant
+/// after drain(), globally and per tenant:
 /// Submitted == Completed + Rejected + Expired.
 ///
 //===----------------------------------------------------------------------===//
@@ -69,6 +78,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace daisy {
@@ -103,6 +113,28 @@ struct ServerOptions {
   /// Largest same-kernel micro-batch one worker dispatch coalesces;
   /// 1 disables micro-batching.
   size_t MaxBatch = 16;
+  /// Independent queue shards (1 = the single shared queue, the classic
+  /// configuration). Requests route to a shard by kernel identity, so
+  /// same-kernel micro-batching stays intact; QueueCapacity (and any
+  /// TenantQuota) is split evenly across shards. Each worker lane drains
+  /// a home shard and, when it runs empty, steals whole batches from hot
+  /// siblings ("Serve.StolenBatches") — a skewed kernel population keeps
+  /// every lane busy instead of parking lanes behind cold shards.
+  size_t QueueShards = 1;
+  /// Per-tenant admission quota (0 = off): the most queued requests one
+  /// tenant (SubmitOptions::Tenant) may hold per queue shard. A tenant
+  /// at quota is treated like a full queue — Reject fails it with
+  /// Overloaded, Block waits — even while other tenants still have
+  /// headroom, so a flooding tenant sheds its *own* traffic.
+  size_t TenantQuota = 0;
+  /// Worker watchdog (0 = off): a lane that holds a popped batch this
+  /// long without starting dispatch is declared stalled; the watchdog
+  /// reclaims the batch ("Serve.WorkerStalls") and requeues it so
+  /// healthy lanes complete it (drain-safe: a request the requeue cannot
+  /// re-admit has its future completed as Expired/ShutDown, never
+  /// leaked). A lane stalled *inside* a kernel dispatch cannot be
+  /// reclaimed safely and is only counted ("Serve.DispatchStalls").
+  std::chrono::microseconds StallTimeout{0};
   /// Configuration every Engine shard is constructed with.
   EngineOptions Engine;
 };
@@ -123,8 +155,17 @@ struct SubmitOptions {
   /// Transient-Overloaded retries (Reject policy): submit re-pushes up
   /// to this many extra times before failing the future.
   int MaxRetries = 0;
-  /// Sleep before the first retry; doubles per retry, capped at 100ms.
+  /// Base sleep before the first retry; doubles per retry, capped at
+  /// 100ms. The actual sleep is equal-jittered — Backoff/2 plus a
+  /// uniform draw up to Backoff/2 — so a cohort of rejected submitters
+  /// does not re-arrive in lockstep and collide again.
   std::chrono::microseconds Backoff{200};
+  /// Tenant identity: the key of FairShare scheduling, per-tenant
+  /// quotas, and the Serve.Tenant<id>.* counters.
+  uint32_t Tenant = 0;
+  /// FairShare weight: consecutive batch turns this tenant earns per
+  /// rotation (clamped to >= 1; the latest submitted weight wins).
+  uint32_t Weight = 1;
 };
 
 /// The serving runtime. Thread-safe: submit/compile/drain may be called
@@ -167,11 +208,25 @@ public:
   /// draining) has completed. The server keeps serving afterwards.
   void drain();
 
-  /// Requests admitted but not yet picked up by a worker.
-  size_t queueDepth() const { return Sched->depth(); }
+  /// Requests admitted but not yet picked up by a worker (summed over
+  /// queue shards).
+  size_t queueDepth() const {
+    size_t Depth = 0;
+    for (const auto &Q : Queues)
+      Depth += Q->depth();
+    return Depth;
+  }
 
-  /// High-water mark of the queue depth since construction.
-  size_t queueDepthMax() const { return Sched->maxDepthSeen(); }
+  /// High-water mark of the queue depth since construction. With
+  /// QueueShards > 1 this sums the per-shard high-water marks — an upper
+  /// bound on the instantaneous total, exact for the default single
+  /// shard.
+  size_t queueDepthMax() const {
+    size_t Max = 0;
+    for (const auto &Q : Queues)
+      Max += Q->maxDepthSeen();
+    return Max;
+  }
 
   /// Log2-bucketed histogram of the queue depth sampled after every
   /// admitted request: bucket B counts samples with depth in
@@ -191,19 +246,50 @@ public:
   const ServerOptions &options() const { return Opts; }
 
 private:
-  void workerLane();
+  /// The four outcome cells of one tenant, resolved once per tenant and
+  /// cached (references stay valid for the process lifetime).
+  struct TenantCounters {
+    std::atomic<int64_t> &Submitted, &Completed, &Rejected, &Expired;
+  };
+
+  /// One worker lane's claimed-batch slot, the watchdog's view of the
+  /// lane. The lane publishes a popped batch here before the pop→
+  /// dispatch window, reclaims it to dispatch, and marks the dispatch
+  /// span; Epoch is the heartbeat — it advances at every publish,
+  /// reclaim, and dispatch boundary, so a lane whose epoch stands still
+  /// past StallTimeout is stalled.
+  struct LaneState {
+    std::mutex M;
+    std::vector<Request> Claimed; ///< Non-empty: popped, not dispatching.
+    TimePoint ClaimedAt{};
+    std::atomic<uint64_t> Epoch{0};
+    bool Dispatching = false;
+    TimePoint DispatchStart{};
+    bool DispatchStallCounted = false;
+  };
+
+  void workerLane(int Lane);
+  void watchdogLoop();
+  void dispatchBatch(std::vector<Request> &Batch);
   void finishMany(uint64_t N);
   void recordLatency(TimePoint EnqueuedAt, TimePoint Now);
+  TenantCounters &tenantCounters(uint32_t Tenant);
+  size_t queueShardFor(const BoundArgs &Args) const;
 
   ServerOptions Opts;
   std::vector<std::unique_ptr<Engine>> Shards;
-  std::unique_ptr<Scheduler> Sched;
+  std::vector<std::unique_ptr<Scheduler>> Queues;
 
   /// Pre-resolved Serve.* counter cells (support/Statistics): the hot
   /// path increments relaxed atomics instead of paying a name lookup
   /// under the registry mutex per request.
   std::atomic<int64_t> &CSubmitted, &CCompleted, &CRejected, &CExpired,
-      &CRetries, &CBatchedRuns, &CDepthMax;
+      &CRetries, &CBatchedRuns, &CDepthMax, &CStolen, &CStalls,
+      &CDispatchStalls;
+
+  /// Lazily resolved Serve.Tenant<id>.* cells, keyed by tenant.
+  std::mutex TenantMutex;
+  std::unordered_map<uint32_t, TenantCounters> TenantStats;
 
   /// Depth-after-push samples, log2 buckets (relaxed: observability).
   std::array<std::atomic<uint64_t>, 16> DepthHist;
@@ -222,11 +308,17 @@ private:
   std::atomic<uint64_t> Admitted{0};
   uint64_t Finished = 0;
 
-  /// The worker pool and the dispatcher thread whose ThreadPool::run
-  /// call turns the pool's lanes into queue drainers. Last members, so
-  /// they stop before anything they use is destroyed.
+  /// Per-lane claimed-batch slots the watchdog polls; sized to the
+  /// worker count at construction, never resized after.
+  std::vector<std::unique_ptr<LaneState>> Lanes;
+  std::atomic<bool> WatchdogStop{false};
+
+  /// The worker pool, the dispatcher thread whose ThreadPool::run call
+  /// turns the pool's lanes into queue drainers, and the watchdog. Last
+  /// members, so they stop before anything they use is destroyed.
   std::unique_ptr<ThreadPool> Pool;
   std::thread Dispatcher;
+  std::thread Watchdog;
 };
 
 } // namespace serve

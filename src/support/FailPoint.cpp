@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <stdexcept>
@@ -168,6 +169,34 @@ size_t armFailPointsFromSpec(const std::string &Spec, uint64_t Seed) {
   }
   return Armed;
 }
+
+namespace {
+
+/// Environment arming: DAISY_FAILPOINTS holds a spec-grammar scenario
+/// armed for the whole process before main() runs, seeded from
+/// DAISY_FAILPOINTS_SEED (decimal, default 0xDA15E). This is how CI arms
+/// sites a test binary does not arm itself — e.g. "engine.budget" across
+/// the serving fault matrix. Sites never marked by the running code cost
+/// nothing; a malformed spec is reported and ignored rather than
+/// aborting the process it was meant to observe.
+struct EnvScenario {
+  EnvScenario() {
+    const char *Spec = std::getenv("DAISY_FAILPOINTS");
+    if (!Spec || !*Spec)
+      return;
+    uint64_t Seed = 0xDA15Eull;
+    if (const char *Env = std::getenv("DAISY_FAILPOINTS_SEED"))
+      Seed = std::strtoull(Env, nullptr, 10);
+    try {
+      (void)armFailPointsFromSpec(Spec, Seed);
+    } catch (const std::invalid_argument &E) {
+      std::fprintf(stderr, "daisy: ignoring DAISY_FAILPOINTS: %s\n", E.what());
+    }
+  }
+};
+const EnvScenario ArmFromEnv;
+
+} // namespace
 
 } // namespace daisy
 

@@ -25,6 +25,13 @@
 ///   - Delay:   the evaluation sleeps DelayMicros then returns false
 ///     (slow kernel, stalled worker).
 ///
+/// Arming can also come from the environment: when the process starts
+/// with DAISY_FAILPOINTS=<spec> set (same grammar as
+/// armFailPointsFromSpec, e.g. "engine.budget=trigger@0.25"), the
+/// scenario is armed process-wide before main(), seeded from
+/// DAISY_FAILPOINTS_SEED. CI uses this to drive sites the test binary
+/// does not arm itself.
+///
 /// The whole mechanism is compiled out unless DAISY_ENABLE_FAILPOINTS is
 /// 1 — which it is by default in assert-enabled (Debug) builds and never
 /// in NDEBUG builds unless forced on the compiler command line (the TSan

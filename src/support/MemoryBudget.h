@@ -1,0 +1,88 @@
+//===- support/MemoryBudget.h - Byte-accounted memory budget -----*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared byte counter with a hard ceiling: the accounting primitive
+/// behind EngineOptions::MemoryBudgetBytes. Holders of engine-retained
+/// memory (plan-cache entries, pooled run contexts, tree-walk fallback
+/// environments) charge their footprint with tryCharge before keeping it
+/// and release it when they let go. Because the only way the counter
+/// grows is a successful compare-and-swap that checked the limit, the
+/// charged total can never exceed the limit at any instant — the
+/// invariant the budget tests assert.
+///
+/// The budget does not itself evict anything; it only answers "is there
+/// room". Pressure responses live with the owners: the Engine evicts
+/// plan-cache LRU tails and retries, the context pool drops a context
+/// instead of retaining it, and a kernel that cannot fit even after
+/// eviction is surfaced as RunStatus::ResourceExhausted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SUPPORT_MEMORYBUDGET_H
+#define DAISY_SUPPORT_MEMORYBUDGET_H
+
+#include <atomic>
+#include <cstddef>
+
+namespace daisy {
+
+/// Thread-safe byte accounting against a fixed limit. A limit of 0 means
+/// unlimited: charges always succeed and only the usage/peak counters are
+/// maintained.
+class MemoryBudget {
+public:
+  explicit MemoryBudget(size_t LimitBytes) : LimitBytes(LimitBytes) {}
+  MemoryBudget(const MemoryBudget &) = delete;
+  MemoryBudget &operator=(const MemoryBudget &) = delete;
+
+  /// Attempts to reserve \p Bytes. Returns false (and charges nothing)
+  /// when the reservation would push usage past the limit.
+  bool tryCharge(size_t Bytes) {
+    size_t Cur = Used.load(std::memory_order_relaxed);
+    for (;;) {
+      size_t Next = Cur + Bytes;
+      if (LimitBytes && Next > LimitBytes)
+        return false;
+      if (Used.compare_exchange_weak(Cur, Next, std::memory_order_relaxed)) {
+        bumpPeak(Next);
+        return true;
+      }
+    }
+  }
+
+  /// Returns \p Bytes previously charged. Callers release exactly what
+  /// they charged; the counter never underflows by contract.
+  void release(size_t Bytes) {
+    Used.fetch_sub(Bytes, std::memory_order_relaxed);
+  }
+
+  /// Bytes currently charged.
+  size_t used() const { return Used.load(std::memory_order_relaxed); }
+
+  /// High-water mark of used() over the budget's lifetime. By
+  /// construction peak() <= limit() whenever a limit is set.
+  size_t peak() const { return Peak.load(std::memory_order_relaxed); }
+
+  /// The ceiling; 0 = unlimited.
+  size_t limit() const { return LimitBytes; }
+
+private:
+  void bumpPeak(size_t Value) {
+    size_t P = Peak.load(std::memory_order_relaxed);
+    while (Value > P &&
+           !Peak.compare_exchange_weak(P, Value, std::memory_order_relaxed))
+      ;
+  }
+
+  const size_t LimitBytes;
+  std::atomic<size_t> Used{0};
+  std::atomic<size_t> Peak{0};
+};
+
+} // namespace daisy
+
+#endif // DAISY_SUPPORT_MEMORYBUDGET_H

@@ -25,6 +25,7 @@
 #include "exec/Interpreter.h"
 #include "frontends/PolyBench.h"
 #include "ir/Builder.h"
+#include "serve/BoundArgs.h"
 #include "support/FailPoint.h"
 #include "support/Statistics.h"
 #include "transform/Parallelize.h"
@@ -506,6 +507,131 @@ TEST(TreeWalkKernelTest, FallbackKernelIsBitIdenticalOnEveryRunPath) {
   EXPECT_EQ(Out, FirstOut);
   EXPECT_EQ(Out[0], 3.0 * 2.0 + 1.0);
 }
+
+//===----------------------------------------------------------------------===//
+// Engine memory budgets
+//===----------------------------------------------------------------------===//
+
+TEST(EngineBudgetTest, EvictsUnderPressureAndNeverExceedsTheBound) {
+  // Size the budget off a real kernel so the test tracks footprint
+  // estimator changes: room for two and a half gemm variants.
+  size_t OneKernel = Kernel::compile(makeGemm("i", "j", "k", 8)).memoryBytes();
+  ASSERT_GT(OneKernel, 0u);
+  EngineOptions Options;
+  Options.MemoryBudgetBytes = OneKernel * 5 / 2;
+  Engine Eng(Options);
+  resetStatsCounters();
+
+  (void)Eng.compile(makeGemm("i", "j", "k", 8));
+  (void)Eng.compile(makeGemm("i", "k", "j", 8));
+  EXPECT_EQ(Eng.planCacheSize(), 2u);
+  EXPECT_LE(Eng.memoryBytesPeak(), Options.MemoryBudgetBytes);
+
+  // The third variant does not fit next to the first two: the LRU tail
+  // is evicted to make room, and the charged total stays bounded at
+  // every instant (peak, not just the final value).
+  Kernel Third = Eng.compile(makeGemm("j", "i", "k", 8));
+  EXPECT_FALSE(Third.isExhausted());
+  EXPECT_GE(statsCounter("Engine.BudgetEvictions"), 1);
+  EXPECT_LT(Eng.planCacheSize(), 3u);
+  EXPECT_LE(Eng.memoryBytesUsed(), Options.MemoryBudgetBytes);
+  EXPECT_LE(Eng.memoryBytesPeak(), Options.MemoryBudgetBytes);
+}
+
+TEST(EngineBudgetTest, ExhaustionSurfacesAsAStatusAndIsNeverCached) {
+  // A budget no kernel fits: compile() must still return — a kernel whose
+  // runs complete with ResourceExhausted — rather than throw into the
+  // serving loop.
+  EngineOptions Options;
+  Options.MemoryBudgetBytes = 1;
+  Engine Eng(Options);
+  resetStatsCounters();
+  Program Prog = makeGemm("i", "j", "k", 8);
+
+  Kernel K = Eng.compile(Prog);
+  ASSERT_TRUE(K.isExhausted());
+  EXPECT_GE(statsCounter("Engine.ResourceExhausted"), 1);
+  EXPECT_EQ(Eng.memoryBytesUsed(), 0u);
+  // Not cached: the key retries once pressure subsides.
+  EXPECT_EQ(Eng.planCacheSize(), 0u);
+  int64_t Before = statsCounter("Engine.PlanCompiles");
+  EXPECT_TRUE(Eng.compile(Prog).isExhausted());
+  EXPECT_EQ(statsCounter("Engine.PlanCompiles"), Before + 1);
+
+  // Every status-returning run form surfaces the exhaustion; none throw
+  // and none touch the outputs.
+  std::vector<double> A(64, 1.0), B(64, 1.0), C(64, -1.0);
+  ArgBinding Args;
+  Args.bind("A", A).bind("B", B).bind("C", C);
+  RunStatus Status = K.run(Args);
+  EXPECT_EQ(Status.Why, RunStatus::ResourceExhausted);
+  EXPECT_FALSE(Status.ok());
+
+  BoundArgs Bound = K.bind(Args);
+  ASSERT_TRUE(Bound.ok());
+  Status = K.run(Bound);
+  EXPECT_EQ(Status.Why, RunStatus::ResourceExhausted);
+
+  const BoundArgs *Batch[] = {&Bound, &Bound};
+  RunStatus Statuses[2];
+  K.runBatch(Batch, Statuses, 2);
+  EXPECT_EQ(Statuses[0].Why, RunStatus::ResourceExhausted);
+  EXPECT_EQ(Statuses[1].Why, RunStatus::ResourceExhausted);
+  for (double V : C)
+    EXPECT_EQ(V, -1.0);
+}
+
+TEST(EngineBudgetTest, PooledContextsAreDroppedNotRetainedUnderPressure) {
+  // An exact-fit budget: the kernel itself is charged, leaving zero
+  // headroom, so the pool must drop its context after the run instead of
+  // retaining it beyond the bound.
+  Program Prog = makeGemm("i", "j", "k", 8);
+  size_t OneKernel = Kernel::compile(Prog).memoryBytes();
+  EngineOptions Options;
+  Options.MemoryBudgetBytes = OneKernel;
+  Engine Eng(Options);
+  resetStatsCounters();
+
+  Kernel K = Eng.compile(Prog);
+  ASSERT_FALSE(K.isExhausted());
+  DataEnv Env = K.run(/*Seed=*/1);
+  EXPECT_EQ(K.contextPoolSize(), 0u);
+  EXPECT_GE(statsCounter("Engine.ContextsDropped"), 1);
+  EXPECT_LE(Eng.memoryBytesPeak(), Options.MemoryBudgetBytes);
+
+  // Dropped, not wrong: the run still computed the real result.
+  DataEnv Ref(Prog);
+  Ref.initDeterministic(1);
+  interpretTreeWalk(Prog, Ref);
+  EXPECT_EQ(DataEnv::maxAbsDifference(Ref, Env, Prog), 0.0);
+}
+
+#if DAISY_ENABLE_FAILPOINTS
+
+TEST(EngineBudgetTest, ArmedBudgetFailPointForcesTheExhaustionPath) {
+  // The "engine.budget" site makes charge failure deterministic even with
+  // an ample budget — the fault-matrix hook CI arms.
+  FailPointConfig Fire;
+  Fire.Action = FailAction::Trigger;
+  armFailPoint("engine.budget", Fire, /*Seed=*/1);
+
+  EngineOptions Options;
+  Options.MemoryBudgetBytes = 64 * 1024 * 1024;
+  Engine Eng(Options);
+  resetStatsCounters();
+  Kernel K = Eng.compile(makeGemm("i", "j", "k", 8));
+  disarmFailPoint("engine.budget");
+
+  EXPECT_TRUE(K.isExhausted());
+  EXPECT_GE(statsCounter("Engine.ResourceExhausted"), 1);
+  EXPECT_EQ(Eng.memoryBytesUsed(), 0u);
+
+  // Disarmed, the same engine compiles the same program for real.
+  Kernel Healed = Eng.compile(makeGemm("i", "j", "k", 8));
+  EXPECT_FALSE(Healed.isExhausted());
+}
+
+#endif // DAISY_ENABLE_FAILPOINTS
 
 #if DAISY_ENABLE_FAILPOINTS
 

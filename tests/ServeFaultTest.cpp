@@ -10,15 +10,22 @@
 //
 // - determinism: a fault schedule is a pure function of its seed;
 // - the fault matrix — compile-throw, queue-full burst, slow kernel,
-//   worker stall, each crossed with every scheduler policy: every
-//   submitted future completes with a definite status, the counter
+//   worker stall, budget exhaustion, watchdog reclaim, each crossed with
+//   every scheduler policy (FIFO, priority lanes, EDF, fair share):
+//   every submitted future completes with a definite status, the counter
 //   invariant Serve.Submitted == Completed + Rejected + Expired holds
-//   after drain, and every Completed result is bit-identical to
-//   synchronous execution on an unfaulted reference kernel;
+//   after drain — globally AND per tenant — and every Completed result
+//   is bit-identical to synchronous execution on an unfaulted reference
+//   kernel;
 // - graceful degradation: a compile that throws serves tree-walk
-//   kernels (Engine.CompileFallbacks) whose results are still exact.
+//   kernels (Engine.CompileFallbacks) whose results are still exact; a
+//   forced "engine.budget" charge failure serves resource-exhausted
+//   kernels whose requests surface RunStatus::ResourceExhausted, never
+//   a throw.
 //
-// CI sweeps this binary across seeds via DAISY_FAILPOINTS_SEED.
+// CI sweeps this binary across seeds via DAISY_FAILPOINTS_SEED and can
+// arm extra process-wide sites via DAISY_FAILPOINTS (support/FailPoint
+// env arming).
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +38,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <stdexcept>
@@ -104,10 +112,18 @@ constexpr uint64_t DefaultSeed = 0xDA15Eull;
 //===----------------------------------------------------------------------===//
 
 /// Runs one fault scenario against one scheduler policy: a two-thread
-/// submit storm of two kernels with mixed priorities, deadlines, and
-/// retry budgets, under the armed spec. Asserts the failure contracts.
-void runFaultScenario(const std::string &Spec, const std::string &Site,
-                      SchedulerPolicy Policy) {
+/// submit storm of two kernels with mixed priorities, deadlines, retry
+/// budgets, and three tenants, under the armed spec. Asserts the failure
+/// contracts, including the per-tenant drain invariant. \p BudgetBytes
+/// configures the engine memory budget — every scenario runs with one by
+/// default so budget accounting is exercised (and CI's env-armed
+/// "engine.budget" site has a target) across the whole matrix, with the
+/// peak-never-exceeds-budget bound asserted after drain. \p StallTimeout
+/// arms the worker watchdog (0 = off).
+void runFaultScenario(
+    const std::string &Spec, const std::string &Site, SchedulerPolicy Policy,
+    size_t BudgetBytes = size_t(64) << 20,
+    std::chrono::microseconds StallTimeout = std::chrono::microseconds(0)) {
   SCOPED_TRACE("spec '" + Spec + "'");
   resetStatsCounters();
   uint64_t Seed = FaultInjector::seedFromEnv(DefaultSeed);
@@ -132,6 +148,8 @@ void runFaultScenario(const std::string &Spec, const std::string &Site,
   Options.Policy = BackpressurePolicy::Reject;
   Options.Scheduling = Policy;
   Options.MaxBatch = 4;
+  Options.StallTimeout = StallTimeout;
+  Options.Engine.MemoryBudgetBytes = BudgetBytes;
   Server S(Options);
   // Server-side compiles run with the scenario armed: under the
   // compile-throw spec these fall back to tree-walk kernels, and the
@@ -157,6 +175,7 @@ void runFaultScenario(const std::string &Spec, const std::string &Site,
         P.Args = std::make_unique<OwnedArgs>(*Progs[P.Kind], 5);
         SubmitOptions SO;
         SO.Prio = static_cast<Priority>(R % 3);
+        SO.Tenant = static_cast<uint32_t>(R % 3);
         if (R % 3 == 0)
           SO.Timeout = std::chrono::milliseconds(2);
         if (R % 4 == 1) {
@@ -190,6 +209,7 @@ void runFaultScenario(const std::string &Spec, const std::string &Site,
       case RunStatus::Overloaded:
       case RunStatus::ShutDown:
       case RunStatus::Expired:
+      case RunStatus::ResourceExhausted:
         EXPECT_FALSE(Status.ok());
         ++Failed;
         break;
@@ -209,12 +229,39 @@ void runFaultScenario(const std::string &Spec, const std::string &Site,
   EXPECT_EQ(statsCounter("Serve.Submitted"),
             statsCounter("Serve.Completed") + statsCounter("Serve.Rejected") +
                 statsCounter("Serve.Expired"));
-  EXPECT_GT(Inj.fireCount(Site), 0u) << "scenario never fired " << Site;
+  // The same invariant per tenant: each tenant's flood accounts for its
+  // own outcomes (Reps spread evenly over tenants 0..2 per thread).
+  for (int Tenant = 0; Tenant < 3; ++Tenant) {
+    std::string Prefix = "Serve.Tenant" + std::to_string(Tenant) + ".";
+    EXPECT_EQ(statsCounter(Prefix + "Submitted"),
+              int64_t(Threads) * (Reps / 3))
+        << "tenant " << Tenant;
+    EXPECT_EQ(statsCounter(Prefix + "Submitted"),
+              statsCounter(Prefix + "Completed") +
+                  statsCounter(Prefix + "Rejected") +
+                  statsCounter(Prefix + "Expired"))
+        << "tenant " << Tenant;
+  }
+  // The budget byte counter never exceeded its bound at any instant —
+  // MemoryBudget::tryCharge's CAS contract, observed through the peak.
+  for (size_t I = 0; I < S.shardCount(); ++I) {
+    EXPECT_LE(S.shard(I).memoryBytesPeak(), BudgetBytes) << "shard " << I;
+    EXPECT_LE(S.shard(I).memoryBytesUsed(), S.shard(I).memoryBytesPeak())
+        << "shard " << I;
+  }
+  // An env-armed scenario (DAISY_FAILPOINTS) can legitimately starve
+  // this scenario's own site — e.g. an armed "engine.budget" can deny
+  // both server-side compile charges, leaving every request
+  // ResourceExhausted before "kernel.run" is ever evaluated. The
+  // structural invariants above must hold regardless; only the
+  // fired-at-all check is scoped to self-armed runs.
+  if (!std::getenv("DAISY_FAILPOINTS"))
+    EXPECT_GT(Inj.fireCount(Site), 0u) << "scenario never fired " << Site;
 }
 
-const SchedulerPolicy AllPolicies[] = {SchedulerPolicy::Fifo,
-                                       SchedulerPolicy::PriorityLane,
-                                       SchedulerPolicy::EarliestDeadlineFirst};
+const SchedulerPolicy AllPolicies[] = {
+    SchedulerPolicy::Fifo, SchedulerPolicy::PriorityLane,
+    SchedulerPolicy::EarliestDeadlineFirst, SchedulerPolicy::FairShare};
 
 } // namespace
 
@@ -249,6 +296,31 @@ TEST(ServeFaultTest, WorkerStallShedsDeadlinesNotInvariants) {
   DAISY_REQUIRE_FAILPOINTS();
   for (SchedulerPolicy Policy : AllPolicies)
     runFaultScenario("serve.worker=delay:3000@0.8", "serve.worker", Policy);
+}
+
+TEST(ServeFaultTest, BudgetExhaustionSurfacesStatusesNotThrows) {
+  DAISY_REQUIRE_FAILPOINTS();
+  for (SchedulerPolicy Policy : AllPolicies) {
+    // x1: exactly the first server-side compile is denied its budget
+    // charge, so one kernel serves ResourceExhausted while the other
+    // serves real (bit-identical) results — the mixed-fleet case.
+    runFaultScenario("engine.budget=trigger@1.0x1", "engine.budget", Policy,
+                     /*BudgetBytes=*/size_t(64) << 20);
+    EXPECT_GE(statsCounter("Engine.ResourceExhausted"), 1);
+  }
+}
+
+TEST(ServeFaultTest, WatchdogReclaimsStalledLanesAndKeepsInvariants) {
+  DAISY_REQUIRE_FAILPOINTS();
+  for (SchedulerPolicy Policy : AllPolicies) {
+    // Stalls (4ms) dwarf the watchdog timeout (1ms): stalled claims are
+    // reclaimed and requeued onto the surviving lane, and every future
+    // still resolves — served exactly, or shed as its deadline lapses.
+    runFaultScenario("serve.worker=delay:4000@0.6", "serve.worker", Policy,
+                     /*BudgetBytes=*/size_t(64) << 20,
+                     /*StallTimeout=*/std::chrono::milliseconds(1));
+    EXPECT_GE(statsCounter("Serve.WorkerStalls"), 1);
+  }
 }
 
 //===----------------------------------------------------------------------===//

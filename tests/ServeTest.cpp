@@ -20,12 +20,23 @@
 // - counters: Serve.Submitted == Serve.Completed + Serve.Rejected +
 //   Serve.Expired after drain; micro-batching shows up in
 //   Serve.BatchedRuns only when on;
-// - scheduling policies: FIFO, priority-lane, and EDF pop in their
-//   contractual orders (observed via Request::Seq, no timing races);
+// - scheduling policies: FIFO, priority-lane, EDF, and FairShare pop in
+//   their contractual orders (observed via Request::Seq, no timing
+//   races); FairShare interleaves tenants by deficit-weighted
+//   round-robin and keeps a minority tenant at its fair completion
+//   share under a flood;
+// - tenant quotas: a tenant at quota sheds its own overflow while other
+//   tenants keep their headroom, and the per-tenant counters hold
+//   Submitted == Completed + Rejected + Expired after drain;
+// - work stealing: with QueueShards > 1 a lane whose home shard is cold
+//   steals batches from hot siblings (Serve.StolenBatches) with
+//   bit-identical results;
+// - watchdog: a lane stalled inside a kernel dispatch is counted
+//   (Serve.DispatchStalls), never reclaimed mid-run;
 // - deadlines: expired work is shed at admission or pop, never runs, and
 //   drain() still completes every future;
 // - retries: transient Overloaded rejections are absorbed by
-//   SubmitOptions{MaxRetries, Backoff}.
+//   SubmitOptions{MaxRetries, Backoff} (equal-jittered).
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +50,7 @@
 
 #include <chrono>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -516,7 +528,7 @@ namespace {
 /// Kind here, and the static_assert turns "forgot to update the
 /// handlers" into a compile error instead of a silent fall-through.
 const char *kindName(RunStatus::Kind K) {
-  static_assert(RunStatus::NumKinds_ == 5,
+  static_assert(RunStatus::NumKinds_ == 6,
                 "new RunStatus::Kind: update kindName, the serving "
                 "runtime's status switches, and the README taxonomy");
   switch (K) {
@@ -530,6 +542,8 @@ const char *kindName(RunStatus::Kind K) {
     return "shut-down";
   case RunStatus::Expired:
     return "expired";
+  case RunStatus::ResourceExhausted:
+    return "resource-exhausted";
   case RunStatus::NumKinds_:
     break;
   }
@@ -547,6 +561,8 @@ TEST(RunStatusKindTest, EveryKindIsHandledAndFactoriesTagCorrectly) {
   EXPECT_EQ(RunStatus::shutDown().Why, RunStatus::ShutDown);
   EXPECT_EQ(RunStatus::expired().Why, RunStatus::Expired);
   EXPECT_FALSE(RunStatus::expired().ok());
+  EXPECT_EQ(RunStatus::resourceExhausted().Why, RunStatus::ResourceExhausted);
+  EXPECT_FALSE(RunStatus::resourceExhausted().ok());
 }
 
 //===----------------------------------------------------------------------===//
@@ -575,6 +591,27 @@ serve::Scheduler::PushResult pushWith(serve::Scheduler &Sched, TimePoint Deadlin
   R.Deadline = Deadline;
   R.Prio = Prio;
   return Sched.push(R);
+}
+
+serve::Scheduler::PushResult pushTenant(serve::Scheduler &Sched, uint32_t Tenant,
+                                        uint32_t Weight = 1) {
+  Request R;
+  R.Tenant = Tenant;
+  R.Weight = Weight;
+  return Sched.push(R);
+}
+
+/// Jain fairness index of per-tenant counts: 1.0 = perfectly even,
+/// 1/n = one tenant took everything.
+double jainIndex(const std::vector<uint64_t> &Counts) {
+  double Sum = 0.0, SumSq = 0.0;
+  for (uint64_t C : Counts) {
+    Sum += static_cast<double>(C);
+    SumSq += static_cast<double>(C) * static_cast<double>(C);
+  }
+  if (SumSq == 0.0)
+    return 1.0;
+  return Sum * Sum / (static_cast<double>(Counts.size()) * SumSq);
 }
 
 } // namespace
@@ -624,10 +661,161 @@ TEST(SchedulerPolicyTest, EdfPopsEarliestDeadlineFirstNoDeadlineLast) {
   EXPECT_EQ(popOrder(*Sched), (std::vector<uint64_t>{2, 4, 0, 1, 3}));
 }
 
+TEST(SchedulerPolicyTest, FairShareInterleavesTenantsRoundRobin) {
+  auto Sched = serve::Scheduler::create(SchedulerPolicy::FairShare, 16,
+                                        BackpressurePolicy::Reject);
+  // Tenant 0 floods four requests before tenant 1 submits two: FIFO
+  // would serve all of tenant 0 first; FairShare alternates turns while
+  // both are backlogged, then drains the survivor.
+  for (int I = 0; I < 4; ++I)
+    ASSERT_EQ(pushTenant(*Sched, 0), serve::Scheduler::PushResult::Ok);
+  for (int I = 0; I < 2; ++I)
+    ASSERT_EQ(pushTenant(*Sched, 1), serve::Scheduler::PushResult::Ok);
+  EXPECT_EQ(popOrder(*Sched), (std::vector<uint64_t>{0, 4, 1, 5, 2, 3}));
+}
+
+TEST(SchedulerPolicyTest, FairShareWeightEarnsConsecutiveTurns) {
+  auto Sched = serve::Scheduler::create(SchedulerPolicy::FairShare, 16,
+                                        BackpressurePolicy::Reject);
+  // Weight 2 buys tenant 0 two consecutive batch turns per rotation.
+  for (int I = 0; I < 4; ++I)
+    ASSERT_EQ(pushTenant(*Sched, 0, /*Weight=*/2),
+              serve::Scheduler::PushResult::Ok);
+  for (int I = 0; I < 2; ++I)
+    ASSERT_EQ(pushTenant(*Sched, 1), serve::Scheduler::PushResult::Ok);
+  EXPECT_EQ(popOrder(*Sched), (std::vector<uint64_t>{0, 1, 4, 2, 3, 5}));
+}
+
+TEST(SchedulerPolicyTest, FairShareKeepsMinorityTenantAtFairShare) {
+  auto Sched = serve::Scheduler::create(SchedulerPolicy::FairShare, 128,
+                                        BackpressurePolicy::Reject);
+  // Heavy tenant floods 50 requests, the minority tenant submits 10.
+  for (int I = 0; I < 50; ++I)
+    ASSERT_EQ(pushTenant(*Sched, 0), serve::Scheduler::PushResult::Ok);
+  for (int I = 0; I < 10; ++I)
+    ASSERT_EQ(pushTenant(*Sched, 1), serve::Scheduler::PushResult::Ok);
+  std::vector<uint64_t> Order = popOrder(*Sched);
+  ASSERT_EQ(Order.size(), 60u);
+  // While both tenants are backlogged (the first 20 pops), each holds a
+  // fair half. The minority must get >= 0.8x its fair share and the
+  // two-tenant Jain index must be near-perfect.
+  uint64_t MinorityServed = 0;
+  for (size_t I = 0; I < 20; ++I)
+    if (Order[I] >= 50) // Seqs 50..59 are the minority tenant's.
+      ++MinorityServed;
+  EXPECT_GE(MinorityServed, static_cast<uint64_t>(0.8 * 10));
+  EXPECT_GE(jainIndex({20 - MinorityServed, MinorityServed}), 0.95);
+  // Under FIFO the same admission order starves the minority entirely in
+  // the first 20 pops — the contrast FairShare exists to provide.
+  auto Fifo = serve::Scheduler::create(SchedulerPolicy::Fifo, 128,
+                                       BackpressurePolicy::Reject);
+  for (int I = 0; I < 50; ++I)
+    ASSERT_EQ(pushTenant(*Fifo, 0), serve::Scheduler::PushResult::Ok);
+  for (int I = 0; I < 10; ++I)
+    ASSERT_EQ(pushTenant(*Fifo, 1), serve::Scheduler::PushResult::Ok);
+  std::vector<uint64_t> FifoOrder = popOrder(*Fifo);
+  uint64_t FifoMinority = 0;
+  for (size_t I = 0; I < 20; ++I)
+    if (FifoOrder[I] >= 50)
+      ++FifoMinority;
+  EXPECT_EQ(FifoMinority, 0u);
+}
+
+TEST(SchedulerPolicyTest, TenantQuotaConfinesOverflowToItsOwner) {
+  // Quota 8 of capacity 64: the flooding tenant keeps at most 8 queued
+  // and sheds the rest as its own Overloaded; a light tenant still has
+  // the whole remaining capacity.
+  auto Sched = serve::Scheduler::create(SchedulerPolicy::FairShare, 64,
+                                        BackpressurePolicy::Reject,
+                                        /*TenantQuota=*/8);
+  int HeavyOk = 0, HeavyOverloaded = 0;
+  for (int I = 0; I < 20; ++I) {
+    serve::Scheduler::PushResult P = pushTenant(*Sched, 7);
+    if (P == serve::Scheduler::PushResult::Ok)
+      ++HeavyOk;
+    else if (P == serve::Scheduler::PushResult::Overloaded)
+      ++HeavyOverloaded;
+  }
+  EXPECT_EQ(HeavyOk, 8);
+  EXPECT_EQ(HeavyOverloaded, 12);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(pushTenant(*Sched, 3), serve::Scheduler::PushResult::Ok);
+  EXPECT_EQ(Sched->depth(), 12u);
+  // Serving one of the heavy tenant's requests frees quota for it.
+  std::vector<Request> Batch, Expired;
+  ASSERT_TRUE(Sched->popBatch(Batch, Expired, 1));
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_EQ(Batch.front().Tenant, 7u);
+  EXPECT_EQ(pushTenant(*Sched, 7), serve::Scheduler::PushResult::Ok);
+  EXPECT_EQ(pushTenant(*Sched, 7), serve::Scheduler::PushResult::Overloaded);
+}
+
+TEST(SchedulerPolicyTest, RequeueReadmitsAndFailsSafeWhenClosedOrExpired) {
+  auto Sched = serve::Scheduler::create(SchedulerPolicy::Fifo, 4,
+                                        BackpressurePolicy::Reject);
+  Request R;
+  ASSERT_EQ(Sched->push(R), serve::Scheduler::PushResult::Ok);
+  std::vector<Request> Batch, Expired;
+  ASSERT_TRUE(Sched->popBatch(Batch, Expired, 1));
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_EQ(Batch.front().Seq, 0u);
+
+  // Re-admission gets a fresh Seq and is poppable again.
+  ASSERT_EQ(Sched->requeue(Batch.front()), serve::Scheduler::PushResult::Ok);
+  EXPECT_EQ(Sched->depth(), 1u);
+  ASSERT_TRUE(Sched->popBatch(Batch, Expired, 1));
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_EQ(Batch.front().Seq, 1u);
+
+  // A lapsed deadline fails the requeue with Expired, handing the
+  // request back so the caller can complete its future.
+  Request Late;
+  Late.Deadline = serveNow() - std::chrono::milliseconds(1);
+  EXPECT_EQ(Sched->requeue(Late), serve::Scheduler::PushResult::Expired);
+  EXPECT_EQ(Sched->depth(), 0u);
+
+  // After close() the poppers may be gone: requeue must refuse.
+  Sched->close();
+  Request Stranded;
+  EXPECT_EQ(Sched->requeue(Stranded), serve::Scheduler::PushResult::ShutDown);
+  EXPECT_EQ(Sched->depth(), 0u);
+}
+
+TEST(SchedulerPolicyTest, TryPopAndBoundedPopReportEmptyAndClosed) {
+  auto Sched = serve::Scheduler::create(SchedulerPolicy::Fifo, 4,
+                                        BackpressurePolicy::Reject);
+  std::vector<Request> Batch, Expired;
+  EXPECT_EQ(Sched->tryPopBatch(Batch, Expired, 4),
+            serve::Scheduler::PopResult::Empty);
+  EXPECT_EQ(Sched->popBatchFor(Batch, Expired, 4,
+                               std::chrono::microseconds(500)),
+            serve::Scheduler::PopResult::Empty);
+
+  Request R;
+  ASSERT_EQ(Sched->push(R), serve::Scheduler::PushResult::Ok);
+  EXPECT_EQ(Sched->tryPopBatch(Batch, Expired, 4),
+            serve::Scheduler::PopResult::Got);
+  EXPECT_EQ(Batch.size(), 1u);
+
+  Request R2;
+  ASSERT_EQ(Sched->push(R2), serve::Scheduler::PushResult::Ok);
+  EXPECT_EQ(Sched->popBatchFor(Batch, Expired, 4,
+                               std::chrono::microseconds(500)),
+            serve::Scheduler::PopResult::Got);
+  EXPECT_EQ(Batch.size(), 1u);
+
+  Sched->close();
+  EXPECT_EQ(Sched->tryPopBatch(Batch, Expired, 4),
+            serve::Scheduler::PopResult::Closed);
+  EXPECT_EQ(Sched->popBatchFor(Batch, Expired, 4,
+                               std::chrono::microseconds(500)),
+            serve::Scheduler::PopResult::Closed);
+}
+
 TEST(SchedulerPolicyTest, ExpiredWorkShedsAtAdmissionAndAtPop) {
   for (SchedulerPolicy Policy :
        {SchedulerPolicy::Fifo, SchedulerPolicy::PriorityLane,
-        SchedulerPolicy::EarliestDeadlineFirst}) {
+        SchedulerPolicy::EarliestDeadlineFirst, SchedulerPolicy::FairShare}) {
     auto Sched = serve::Scheduler::create(Policy, 16, BackpressurePolicy::Reject);
     // Already late at admission: handed back, never queued.
     EXPECT_EQ(pushWith(*Sched, serveNow() - std::chrono::milliseconds(1)),
@@ -851,7 +1039,7 @@ TEST(ServeSchedulingTest, EveryPolicyServesBitIdenticalResults) {
   ASSERT_TRUE(Kernel::compile(Small).run(Expected.binding()));
   for (SchedulerPolicy Policy :
        {SchedulerPolicy::Fifo, SchedulerPolicy::PriorityLane,
-        SchedulerPolicy::EarliestDeadlineFirst}) {
+        SchedulerPolicy::EarliestDeadlineFirst, SchedulerPolicy::FairShare}) {
     ServerOptions Options;
     Options.Workers = 2;
     Options.QueueCapacity = 64;
@@ -864,6 +1052,7 @@ TEST(ServeSchedulingTest, EveryPolicyServesBitIdenticalResults) {
       Owned.push_back(std::make_unique<OwnedArgs>(Small, 5));
       SubmitOptions SO;
       SO.Prio = static_cast<Priority>(I % 3);
+      SO.Tenant = static_cast<uint32_t>(I % 2);
       if (I % 2 == 0)
         SO.Deadline = serveNow() + std::chrono::hours(1);
       Futures.push_back(S.submit(K, K.bind(Owned.back()->binding()), SO));
@@ -876,4 +1065,179 @@ TEST(ServeSchedulingTest, EveryPolicyServesBitIdenticalResults) {
     EXPECT_GT(S.latencyCount(), 0u);
     EXPECT_GE(S.latencyQuantileUs(0.99), S.latencyQuantileUs(0.5));
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-tenant governance through the server
+//===----------------------------------------------------------------------===//
+
+TEST(ServeTenantTest, PerTenantCountersHoldTheDrainInvariant) {
+  resetStatsCounters();
+  ServerOptions Options;
+  Options.Workers = 2;
+  Options.QueueCapacity = 64;
+  Options.Scheduling = SchedulerPolicy::FairShare;
+  Server S(Options);
+  Program Small = makeGemm("i", "j", "k", 8);
+  Kernel K = S.compile(Small);
+  OwnedArgs Expected(Small, 5);
+  ASSERT_TRUE(Kernel::compile(Small).run(Expected.binding()));
+
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<std::future<RunStatus>> Futures;
+  for (int I = 0; I < 24; ++I) {
+    Owned.push_back(std::make_unique<OwnedArgs>(Small, 5));
+    SubmitOptions SO;
+    SO.Tenant = static_cast<uint32_t>(I % 3);
+    Futures.push_back(S.submit(K, K.bind(Owned.back()->binding()), SO));
+  }
+  S.drain();
+  for (int I = 0; I < 24; ++I) {
+    EXPECT_TRUE(Futures[I].get().ok());
+    EXPECT_EQ(Owned[I]->Buffers, Expected.Buffers);
+  }
+  for (uint32_t T = 0; T < 3; ++T) {
+    std::string Base = "Serve.Tenant" + std::to_string(T) + ".";
+    EXPECT_EQ(statsCounter(Base + "Submitted"), 8) << "tenant " << T;
+    EXPECT_EQ(statsCounter(Base + "Submitted"),
+              statsCounter(Base + "Completed") +
+                  statsCounter(Base + "Rejected") +
+                  statsCounter(Base + "Expired"))
+        << "tenant " << T;
+  }
+}
+
+TEST(ServeTenantTest, QuotaMakesTheFloodingTenantShedItsOwnOverflow) {
+  resetStatsCounters();
+  ServerOptions Options;
+  Options.Workers = 1;
+  Options.QueueCapacity = 64;
+  Options.Policy = BackpressurePolicy::Reject;
+  Options.Scheduling = SchedulerPolicy::FairShare;
+  Options.TenantQuota = 8;
+  Options.MaxBatch = 1;
+  Server S(Options);
+  Program Small = makeGemm("i", "j", "k", 8);
+  Kernel K = S.compile(Small);
+
+  // Two plugs (tenant 0): the first absorbs worker start-up; once the
+  // second leaves the queue the single worker is busy for milliseconds,
+  // so the submits below are admission-only.
+  Kernel Plug = makePlugKernel();
+  OwnedArgs PlugArgs(Plug.program());
+  std::future<RunStatus> PlugDone =
+      S.submit(Plug, Plug.bind(PlugArgs.binding()));
+  waitUntilQueueEmpty(S);
+  Kernel Plug2 = makePlugKernel();
+  OwnedArgs Plug2Args(Plug2.program());
+  std::future<RunStatus> Plug2Done =
+      S.submit(Plug2, Plug2.bind(Plug2Args.binding()));
+  waitUntilQueueEmpty(S);
+
+  // Tenant 1 floods 20 requests: quota 8 admits 8, sheds 12 — all of
+  // them tenant 1's own rejections.
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<std::future<RunStatus>> Heavy, Light;
+  SubmitOptions HeavyOpts;
+  HeavyOpts.Tenant = 1;
+  for (int I = 0; I < 20; ++I) {
+    Owned.push_back(std::make_unique<OwnedArgs>(Small));
+    Heavy.push_back(S.submit(K, K.bind(Owned.back()->binding()), HeavyOpts));
+  }
+  // Tenant 2 submits after the flood and is untouched by it.
+  SubmitOptions LightOpts;
+  LightOpts.Tenant = 2;
+  for (int I = 0; I < 4; ++I) {
+    Owned.push_back(std::make_unique<OwnedArgs>(Small));
+    Light.push_back(S.submit(K, K.bind(Owned.back()->binding()), LightOpts));
+  }
+
+  S.drain();
+  EXPECT_TRUE(PlugDone.get().ok());
+  EXPECT_TRUE(Plug2Done.get().ok());
+  int HeavyOk = 0, HeavyOverloaded = 0;
+  for (auto &F : Heavy) {
+    RunStatus Status = F.get();
+    if (Status.ok())
+      ++HeavyOk;
+    else if (Status.Why == RunStatus::Overloaded)
+      ++HeavyOverloaded;
+  }
+  EXPECT_EQ(HeavyOk, 8);
+  EXPECT_EQ(HeavyOverloaded, 12);
+  for (auto &F : Light)
+    EXPECT_TRUE(F.get().ok());
+  EXPECT_EQ(statsCounter("Serve.Tenant1.Rejected"), 12);
+  EXPECT_EQ(statsCounter("Serve.Tenant2.Rejected"), 0);
+  for (uint32_t T = 0; T < 3; ++T) {
+    std::string Base = "Serve.Tenant" + std::to_string(T) + ".";
+    EXPECT_EQ(statsCounter(Base + "Submitted"),
+              statsCounter(Base + "Completed") +
+                  statsCounter(Base + "Rejected") +
+                  statsCounter(Base + "Expired"))
+        << "tenant " << T;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-shard work stealing
+//===----------------------------------------------------------------------===//
+
+TEST(ServeStealingTest, IdleLaneStealsFromTheHotShardBitIdentically) {
+  resetStatsCounters();
+  ServerOptions Options;
+  Options.Workers = 2;
+  Options.QueueShards = 2;
+  Options.QueueCapacity = 64;
+  Options.MaxBatch = 1;
+  Server S(Options);
+
+  // One kernel: every request routes to one queue shard, so the lane
+  // homed on the other shard can only make progress by stealing.
+  Program Mid = makeGemm("i", "j", "k", 64);
+  Kernel K = S.compile(Mid);
+  OwnedArgs Expected(Mid, 5);
+  ASSERT_TRUE(Kernel::compile(Mid).run(Expected.binding()));
+
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<std::future<RunStatus>> Futures;
+  for (int I = 0; I < 24; ++I) {
+    Owned.push_back(std::make_unique<OwnedArgs>(Mid, 5));
+    Futures.push_back(S.submit(K, K.bind(Owned.back()->binding())));
+  }
+  S.drain();
+  for (int I = 0; I < 24; ++I) {
+    EXPECT_TRUE(Futures[I].get().ok());
+    EXPECT_EQ(Owned[I]->Buffers, Expected.Buffers);
+  }
+  EXPECT_GE(statsCounter("Serve.StolenBatches"), 1);
+  EXPECT_EQ(statsCounter("Serve.Submitted"),
+            statsCounter("Serve.Completed") + statsCounter("Serve.Rejected") +
+                statsCounter("Serve.Expired"));
+}
+
+//===----------------------------------------------------------------------===//
+// Worker watchdog: dispatch-phase stalls are observed, not reclaimed
+//===----------------------------------------------------------------------===//
+
+TEST(ServeWatchdogTest, DispatchStallIsCountedAndTheKernelStillCompletes) {
+  resetStatsCounters();
+  ServerOptions Options;
+  Options.Workers = 1;
+  Options.MaxBatch = 1;
+  Options.StallTimeout = std::chrono::milliseconds(1);
+  Server S(Options);
+
+  // The plug kernel dispatches for several milliseconds — far past the
+  // 1ms stall timeout. The watchdog must count the stall but never
+  // reclaim a batch that is executing.
+  Kernel Plug = makePlugKernel();
+  OwnedArgs PlugArgs(Plug.program());
+  std::future<RunStatus> PlugDone =
+      S.submit(Plug, Plug.bind(PlugArgs.binding()));
+  S.drain();
+  EXPECT_TRUE(PlugDone.get().ok());
+  EXPECT_GE(statsCounter("Serve.DispatchStalls"), 1);
+  EXPECT_EQ(statsCounter("Serve.WorkerStalls"), 0);
+  EXPECT_EQ(statsCounter("Serve.Submitted"), statsCounter("Serve.Completed"));
 }
