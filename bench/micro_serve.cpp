@@ -522,6 +522,7 @@ TailRow replayTrace(const std::vector<TraceEvent> &Trace,
 
 struct TenantFloodRow {
   std::string Policy;
+  uint32_t LightWeight = 1;    ///< SubmitOptions::Weight of light submits.
   double LightP99Us = 0.0;     ///< Client-observed light-tenant sojourn.
   uint64_t LightCompleted = 0; ///< Light requests served (of LightReqs).
   uint64_t HeavyCompleted = 0; ///< Heavy completions when light finished.
@@ -547,9 +548,14 @@ constexpr int HeavyPerLight = 10; ///< Heavy-tenant flood factor (by rate).
 /// submits carry a retry budget, so a FIFO-full queue delays rather than
 /// drops them (the jittered-backoff path); fire-and-forget heavy futures
 /// resolve by drain(), overflow beyond the quota shed as the heavy
-/// tenant's own Overloaded rejections.
+/// tenant's own Overloaded rejections. \p LightWeight is the
+/// SubmitOptions::Weight the light tenant submits under — FairShare's
+/// deficit round-robin grants it that many pops per quantum against the
+/// heavy tenant's weight of 1, which the weighted-flood sweep uses to
+/// show Weight translating into tail latency end to end.
 TenantFloodRow floodRound(SchedulerPolicy Policy, const char *Name,
-                          size_t TenantQuota, bool Flood) {
+                          size_t TenantQuota, bool Flood,
+                          uint32_t LightWeight = 1) {
   ServerOptions Options;
   Options.Workers = 1;
   Options.QueueCapacity = 512;
@@ -593,6 +599,7 @@ TenantFloodRow floodRound(SchedulerPolicy Policy, const char *Name,
   resetStatsCounters();
   TenantFloodRow Row;
   Row.Policy = Name;
+  Row.LightWeight = LightWeight;
   std::vector<double> Sojourns;
   std::vector<double> SubmitAt(LightBurst, 0.0);
   for (int Round = 0; Round < LightRounds; ++Round) {
@@ -607,6 +614,7 @@ TenantFloodRow floodRound(SchedulerPolicy Policy, const char *Name,
     for (int I = 0; I < LightBurst; ++I) {
       SubmitOptions LightOpts;
       LightOpts.Tenant = 1;
+      LightOpts.Weight = LightWeight;
       LightOpts.MaxRetries = 50;
       LightOpts.Backoff = std::chrono::microseconds(100);
       Slot &TheSlot = *Light[size_t(Round) * LightBurst + I];
@@ -771,6 +779,31 @@ int main(int Argc, char **Argv) {
               static_cast<long long>(statsCounter("Serve.BatchedRuns")),
               static_cast<long long>(statsCounter("Serve.QueueDepthMax")));
 
+  // Weighted flood: the same heavy-flood trace under FairShare, sweeping
+  // the light tenant's SubmitOptions::Weight. The deficit round-robin
+  // grants the light queue Weight pops per quantum against the heavy
+  // tenant's weight of 1, so a larger weight buys the light tenant a
+  // tighter tail under identical pressure. Record-only — the isolation
+  // gate above already covers the weight-1 configuration.
+  TenantFloodRow WeightedRows[3];
+  const uint32_t LightWeights[3] = {1, 2, 4};
+  for (size_t I = 0; I < 3; ++I) {
+    char WName[16];
+    std::snprintf(WName, sizeof(WName), "weight-%u", LightWeights[I]);
+    WeightedRows[I] = floodRound(SchedulerPolicy::FairShare, WName,
+                                 /*TenantQuota=*/32, /*Flood=*/true,
+                                 LightWeights[I]);
+  }
+  std::printf("\nweighted flood (fairshare, light-tenant weight sweep, "
+              "heavy tenant weight 1):\n");
+  for (const TenantFloodRow &Row : WeightedRows)
+    std::printf("  %-9s light p99 %9.0f us | light completed %3llu | heavy "
+                "completed %4llu shed %4llu\n",
+                Row.Policy.c_str(), Row.LightP99Us,
+                static_cast<unsigned long long>(Row.LightCompleted),
+                static_cast<unsigned long long>(Row.HeavyCompleted),
+                static_cast<unsigned long long>(Row.HeavyShed));
+
   if (std::FILE *Json = std::fopen(JsonPath, "w")) {
     std::fprintf(Json, "{\n  \"in_flight\": %d,\n", InFlight);
     std::fprintf(Json, "  \"workloads\": [\n");
@@ -833,6 +866,18 @@ int main(int Argc, char **Argv) {
             static_cast<unsigned long long>(Rows[I]->HeavyShed),
             I + 1 < 3 ? "," : "");
     }
+    std::fprintf(Json, "  ], \"weighted_flood\": [\n");
+    for (size_t I = 0; I < 3; ++I)
+      std::fprintf(
+          Json,
+          "     {\"light_weight\": %u, \"light_p99_us\": %.1f, "
+          "\"light_completed\": %llu, \"heavy_completed\": %llu, "
+          "\"heavy_shed\": %llu}%s\n",
+          WeightedRows[I].LightWeight, WeightedRows[I].LightP99Us,
+          static_cast<unsigned long long>(WeightedRows[I].LightCompleted),
+          static_cast<unsigned long long>(WeightedRows[I].HeavyCompleted),
+          static_cast<unsigned long long>(WeightedRows[I].HeavyShed),
+          I + 1 < 3 ? "," : "");
     std::fprintf(Json,
                  "  ], \"fairshare_p99_over_solo\": %.3f, "
                  "\"fifo_p99_over_solo\": %.3f},\n",

@@ -10,6 +10,7 @@
 #include "ir/StructuralHash.h"
 #include "support/FailPoint.h"
 #include "support/Hashing.h"
+#include "support/Persist.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
 
@@ -84,9 +85,132 @@ Engine::Engine(EngineOptions Options)
                  : nullptr),
       Db(Opts.Database ? Opts.Database
                        : std::make_shared<TransferTuningDatabase>()),
-      Eval(Opts.Sim, Opts.Eval), DbMutex(dbMutexFor(Db.get())) {}
+      Eval(Opts.Sim, Opts.Eval), DbMutex(dbMutexFor(Db.get())) {
+  loadCheckpointAtConstruction();
+  if (!Opts.DatabasePath.empty() && Opts.CheckpointInterval.count() > 0)
+    CheckpointThread = std::thread([this] { checkpointLoop(); });
+}
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (CheckpointThread.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(CkptMutex);
+      CkptStop = true;
+    }
+    CkptCV.notify_all();
+    CheckpointThread.join();
+  }
+  // Final durability point: anything inserted since the last lane tick
+  // (or everything, when no lane ran) survives the process. No-op when
+  // the entries are unchanged or no path is configured.
+  (void)checkpointNow();
+}
+
+void Engine::loadCheckpointAtConstruction() {
+  if (Opts.DatabasePath.empty())
+    return;
+  int Corrupt = 0;
+  // Recovery prefers the current generation and falls back to the
+  // rotated previous one. A file can be unusable two ways — checksum
+  // mismatch (readCheckpointFile) or a CRC-valid payload that fails to
+  // decode (version-1 framing violated) — both count as corrupt and
+  // both fall through to the older generation.
+  auto tryFile = [&](const std::string &Path) -> bool {
+    CheckpointFile File = readCheckpointFile(Path, DatabaseFormatVersion);
+    if (!File.Exists)
+      return false;
+    std::vector<DatabaseEntry> Entries;
+    if (!File.Valid || !deserializeDatabaseEntries(File.Payload, Entries)) {
+      ++Corrupt;
+      return false;
+    }
+    size_t Before;
+    {
+      std::lock_guard<std::mutex> Lock(DbMutex);
+      Before = Db->size();
+      for (const DatabaseEntry &E : Entries)
+        Db->insert(E);
+      // When the checkpoint is the database's whole content, remember
+      // its snapshot: the first checkpointNow then recognizes the disk
+      // as already current instead of rewriting identical bytes.
+      if (Before == 0)
+        LastSaved = Db->snapshot();
+    }
+    CkptGeneration = File.Generation;
+    addStatsCounter("Engine.RecoveredEntries",
+                    static_cast<int64_t>(Entries.size()));
+    return true;
+  };
+  if (!tryFile(Opts.DatabasePath))
+    (void)tryFile(checkpointPrevPath(Opts.DatabasePath));
+  if (Corrupt)
+    addStatsCounter("Engine.CorruptCheckpoints", Corrupt);
+}
+
+bool Engine::checkpointNow() {
+  if (Opts.DatabasePath.empty())
+    return false;
+  std::shared_ptr<const std::vector<DatabaseEntry>> Snap;
+  {
+    std::lock_guard<std::mutex> Lock(DbMutex);
+    Snap = Db->snapshot();
+  }
+  std::lock_guard<std::mutex> Lock(CkptMutex);
+  // Pointer equality is a sound unchanged-test: LastSaved keeps the COW
+  // vector shared, so any insert since the last save un-shared onto a
+  // new vector and the pointers differ.
+  if (Snap == LastSaved)
+    return false;
+  std::vector<uint8_t> Payload = serializeDatabaseEntries(*Snap);
+  if (!writeCheckpoint(Opts.DatabasePath, Payload.data(), Payload.size(),
+                       CkptGeneration + 1, DatabaseFormatVersion))
+    return false;
+  ++CkptGeneration;
+  LastSaved = std::move(Snap);
+  addStatsCounter("Engine.Checkpoints");
+  addStatsCounter("Engine.CheckpointBytes",
+                  static_cast<int64_t>(Payload.size()));
+  return true;
+}
+
+uint64_t Engine::checkpointGeneration() const {
+  std::lock_guard<std::mutex> Lock(CkptMutex);
+  return CkptGeneration;
+}
+
+void Engine::checkpointLoop() {
+  std::unique_lock<std::mutex> Lock(CkptMutex);
+  while (!CkptStop) {
+    CkptCV.wait_for(Lock, Opts.CheckpointInterval);
+    if (CkptStop)
+      break;
+    Lock.unlock();
+    (void)checkpointNow();
+    Lock.lock();
+  }
+}
+
+std::shared_ptr<CircuitBreaker> Engine::breakerFor(const Program &Prog) {
+  if (Opts.Quarantine.FailureThreshold == 0)
+    return nullptr;
+  uint64_t Key = routingKey(Prog);
+  std::lock_guard<std::mutex> Lock(BreakerMutex);
+  std::shared_ptr<CircuitBreaker> &Slot = Breakers[Key];
+  if (!Slot)
+    Slot = std::make_shared<CircuitBreaker>(Opts.Quarantine);
+  return Slot;
+}
+
+size_t Engine::quarantinedCount() const {
+  std::lock_guard<std::mutex> Lock(BreakerMutex);
+  size_t N = 0;
+  for (const auto &[Key, Breaker] : Breakers) {
+    (void)Key;
+    if (Breaker->state() != CircuitBreaker::State::Closed)
+      ++N;
+  }
+  return N;
+}
 
 Kernel Engine::compile(const Program &Prog) {
   return compile(Prog, Opts.Plan);
@@ -152,19 +276,28 @@ Kernel Engine::finishKernel(std::shared_ptr<KernelImpl> Impl,
 }
 
 Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
+  // Engine-compiled kernels carry their routing key's circuit breaker
+  // (null when quarantine is disabled): repeated run-faults quarantine
+  // the kernel identity, not one compiled instance, so eviction and
+  // recompilation cannot reset an open breaker.
+  std::shared_ptr<CircuitBreaker> Breaker = breakerFor(Prog);
   if (Opts.PlanCacheCapacity == 0) {
     addStatsCounter("Engine.PlanCompiles");
     try {
       // Fault site "engine.compile": an armed Throw stands in for any
       // real plan-compilation failure.
       (void)DAISY_FAILPOINT("engine.compile");
-      return finishKernel(std::make_shared<KernelImpl>(Prog, Options), 0);
+      auto Impl = std::make_shared<KernelImpl>(Prog, Options);
+      Impl->attachBreaker(Breaker);
+      return finishKernel(std::move(Impl), 0);
     } catch (...) {
       if (!Opts.FallbackOnCompileError)
         throw;
       addStatsCounter("Engine.CompileFallbacks");
-      return finishKernel(
-          std::make_shared<KernelImpl>(KernelImpl::TreeWalkTag{}, Prog), 0);
+      auto Impl =
+          std::make_shared<KernelImpl>(KernelImpl::TreeWalkTag{}, Prog);
+      Impl->attachBreaker(std::move(Breaker));
+      return finishKernel(std::move(Impl), 0);
     }
   }
   uint64_t Key = planKey(Prog, Options);
@@ -229,8 +362,9 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
       // Fault site "engine.compile": an armed Throw stands in for any
       // real plan-compilation failure.
       (void)DAISY_FAILPOINT("engine.compile");
-      Kernel K =
-          finishKernel(std::make_shared<KernelImpl>(Prog, Options), MyClaim);
+      auto Impl = std::make_shared<KernelImpl>(Prog, Options);
+      Impl->attachBreaker(Breaker);
+      Kernel K = finishKernel(std::move(Impl), MyClaim);
       // An exhausted kernel is never cached: the next compile of the key
       // retries once budget pressure subsides, mirroring how compile
       // fallbacks forget their key. Waiters of this attempt still get
@@ -254,9 +388,10 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
         // itself come back exhausted (finishKernel never throws).
         addStatsCounter("Engine.CompileFallbacks");
         eraseOwnClaim();
-        Claimed.set_value(finishKernel(
-            std::make_shared<KernelImpl>(KernelImpl::TreeWalkTag{}, Prog),
-            MyClaim));
+        auto Impl =
+            std::make_shared<KernelImpl>(KernelImpl::TreeWalkTag{}, Prog);
+        Impl->attachBreaker(std::move(Breaker));
+        Claimed.set_value(finishKernel(std::move(Impl), MyClaim));
       }
     }
   }

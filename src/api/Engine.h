@@ -41,12 +41,17 @@
 #include "machine/Simulator.h"
 #include "sched/Evaluator.h"
 #include "sched/Schedulers.h"
+#include "support/CircuitBreaker.h"
 #include "support/MemoryBudget.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <unordered_map>
 
 namespace daisy {
@@ -87,6 +92,30 @@ struct EngineOptions {
   /// Transfer-tuning database to share; null allocates an engine-owned
   /// empty database.
   std::shared_ptr<TransferTuningDatabase> Database;
+  /// Durable tuning-database state (empty = in-memory only). When set,
+  /// construction loads the newest valid checkpoint at this path —
+  /// support/Persist validates magic, version, and a CRC32 of the
+  /// payload, and falls back to `<path>.prev` when the current file is
+  /// torn or corrupted ("Engine.RecoveredEntries" /
+  /// "Engine.CorruptCheckpoints") — and checkpointNow() / the background
+  /// lane / destruction persist the entries back atomically
+  /// ("Engine.Checkpoints" / "Engine.CheckpointBytes").
+  std::string DatabasePath;
+  /// Background checkpoint cadence (0 = only explicit checkpointNow()
+  /// calls and the final checkpoint at destruction). Serialization runs
+  /// on an O(1) copy-on-write snapshot, so the lane never blocks tuning
+  /// or serving; unchanged snapshots are skipped.
+  std::chrono::microseconds CheckpointInterval{0};
+  /// Poison-kernel quarantine: every Engine-compiled kernel shares a
+  /// per-routing-key circuit breaker (support/CircuitBreaker.h). A run
+  /// fault is healed transparently on the tree-walk reference path
+  /// (bit-identical results, "Engine.RunFaults"); FailureThreshold
+  /// faults within Window open the breaker ("Engine.Quarantined") and
+  /// reroute the kernel's runs to the tree-walker without touching the
+  /// plan until a half-open probe ("Engine.QuarantineProbes") succeeds
+  /// after Cooldown. FailureThreshold = 0 disables quarantine (runs
+  /// then surface faults as RunStatus::Faulted).
+  CircuitBreaker::Options Quarantine;
 };
 
 /// Per-call knobs of the tuning entry points.
@@ -169,6 +198,23 @@ public:
   /// the next compile of any program recompiles).
   void clearPlanCache();
 
+  /// Persists the current database entries to EngineOptions::DatabasePath
+  /// (atomic write-temp + fsync + rename with last-good rotation).
+  /// Returns true when a checkpoint was written; false when no path is
+  /// configured, the entries are unchanged since the last checkpoint, or
+  /// the write failed. Thread-safe; called by the background lane, by
+  /// serve::Server::drain, and once more at destruction.
+  bool checkpointNow();
+
+  /// Generation number of the newest checkpoint written or recovered
+  /// (0 = none yet).
+  uint64_t checkpointGeneration() const;
+
+  /// Kernels currently quarantined: routing keys whose circuit breaker
+  /// is open (or probing half-open). Their runs reroute to the tree-walk
+  /// reference path.
+  size_t quarantinedCount() const;
+
   /// The process-wide engine behind the exec-layer free functions
   /// (default options; DAISY_THREADS-resolved plan threading).
   static Engine &shared();
@@ -190,6 +236,15 @@ private:
   /// pass-through when no budget is configured.
   Kernel finishKernel(std::shared_ptr<KernelImpl> Impl, uint64_t ProtectClaim);
   bool tryChargeWithEviction(size_t Bytes, uint64_t ProtectClaim);
+  void loadCheckpointAtConstruction();
+  void checkpointLoop();
+
+  /// The circuit breaker shared by every kernel compiled for \p Prog's
+  /// routing key (created on first use; survives plan-cache eviction and
+  /// recompiles, which is what makes quarantine per *kernel identity*
+  /// rather than per compiled instance). Null when quarantine is
+  /// disabled.
+  std::shared_ptr<CircuitBreaker> breakerFor(const Program &Prog);
 
   EngineOptions Opts;
   std::shared_ptr<MemoryBudget> Budget; ///< Null when unlimited.
@@ -224,6 +279,22 @@ private:
   CacheEntry *LruHead = nullptr; ///< Most recently used.
   CacheEntry *LruTail = nullptr; ///< Eviction candidate.
   uint64_t NextClaim = 0;
+
+  /// Quarantine breakers by routing key (see breakerFor).
+  mutable std::mutex BreakerMutex;
+  std::unordered_map<uint64_t, std::shared_ptr<CircuitBreaker>> Breakers;
+
+  /// Checkpoint state. CkptMutex serializes writers (background lane,
+  /// drain, destructor); LastSaved holds the snapshot persisted last, so
+  /// an unchanged database skips the write by pointer comparison —
+  /// holding the reference also keeps the COW vector shared, which
+  /// forces the next insert to un-share and change the pointer.
+  mutable std::mutex CkptMutex;
+  std::condition_variable CkptCV;
+  bool CkptStop = false;
+  uint64_t CkptGeneration = 0;
+  std::shared_ptr<const std::vector<DatabaseEntry>> LastSaved;
+  std::thread CheckpointThread; ///< Last member: joined first.
 };
 
 } // namespace daisy

@@ -59,8 +59,10 @@ RunStatus Kernel::run(const ArgBinding &Args) const {
     return {std::move(Error)};
   if (Impl->Exhausted)
     return RunStatus::resourceExhausted();
-  runPreparedSlots(*Impl, Slots.data());
-  return {};
+  // Status-returning runs go through the self-protection layer: the
+  // "kernel.run" fault site, and — for Engine-compiled kernels — the
+  // circuit breaker with tree-walk healing (api/KernelImpl.h).
+  return runGuardedSlots(*Impl, Slots.data());
 }
 
 void Kernel::run(DataEnv &Env) const {

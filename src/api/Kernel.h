@@ -71,6 +71,14 @@ struct RunStatus {
     /// status, never thrown — the serving loop treats it like any other
     /// per-request failure.
     ResourceExhausted,
+    /// The kernel's run faulted (the compiled plan threw, or the
+    /// "kernel.run" fail point injected a fault) and the tree-walk
+    /// healing path could not serve the request either. Engine-compiled
+    /// kernels normally heal faults transparently (results stay Ok and
+    /// bit-identical via the reference interpreter, and the kernel's
+    /// circuit breaker quarantines it after repeated faults); this kind
+    /// surfaces only when no heal was possible.
+    Faulted,
     /// Count sentinel, not a status. Exhaustive switches over Kind pair
     /// with a static_assert on this so a new kind fails to compile until
     /// every handler learns about it.
@@ -95,6 +103,9 @@ struct RunStatus {
   static RunStatus resourceExhausted() {
     return {"engine memory budget exhausted: kernel could not be retained",
             ResourceExhausted};
+  }
+  static RunStatus faulted(const std::string &Detail) {
+    return {"kernel run faulted: " + Detail, Faulted};
   }
 
   std::string Error;

@@ -20,6 +20,8 @@
 #include "api/Kernel.h"
 #include "exec/ExecPlan.h"
 #include "exec/Interpreter.h"
+#include "support/CircuitBreaker.h"
+#include "support/FailPoint.h"
 #include "support/MemoryBudget.h"
 #include "support/Statistics.h"
 
@@ -28,6 +30,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -115,6 +118,16 @@ public:
     SelfBytes = ChargedSelfBytes;
   }
 
+  /// Engine-only, called before the impl is shared: this kernel's
+  /// routing-key circuit breaker (shared across recompiles of the same
+  /// key, so quarantine state survives plan-cache eviction). Kernels
+  /// without a breaker — raw Kernel::compile/treeWalk — surface run
+  /// faults as RunStatus::Faulted instead of healing.
+  void attachBreaker(std::shared_ptr<CircuitBreaker> B) {
+    RunBreaker = std::move(B);
+  }
+  CircuitBreaker *breaker() const { return RunBreaker.get(); }
+
   /// Bytes the engine retains for this kernel outside the context pool:
   /// the program snapshot plus the compiled plan. Pool contexts are
   /// charged per context as they are retained.
@@ -199,6 +212,11 @@ private:
   /// Written once by attachBudget before the impl is shared.
   std::shared_ptr<MemoryBudget> Budget;
   size_t SelfBytes = 0;
+
+  /// Quarantine state (null when the owning Engine disabled it, or for
+  /// kernels built outside an Engine). Written once by attachBreaker
+  /// before the impl is shared.
+  std::shared_ptr<CircuitBreaker> RunBreaker;
 
   mutable std::mutex PoolMutex;
   mutable std::vector<std::unique_ptr<RunContext>> Pool;
@@ -335,6 +353,83 @@ inline void runPreparedSlotsOn(const KernelImpl &Impl, const BufferRef *Slots,
 inline void runPreparedSlots(const KernelImpl &Impl, const BufferRef *Slots) {
   PooledContext Ctx(Impl);
   runPreparedSlotsOn(Impl, Slots, *Ctx);
+}
+
+/// One prepared run through the self-protection layer — what every
+/// status-returning run form (run(ArgBinding), run(BoundArgs), runBatch)
+/// dispatches through:
+///
+/// - Fault site "kernel.run": a firing Trigger injects a run fault (the
+///   plan "crashed"); Delay keeps its slow-kernel meaning.
+/// - A fault on a breakered kernel (Engine-compiled) is recorded against
+///   the kernel's circuit breaker ("Engine.RunFaults") and the request is
+///   healed on the tree-walk reference path — the caller sees Ok with
+///   bit-identical results. After EngineOptions::Quarantine's threshold
+///   of faults the breaker opens and requests reroute straight to the
+///   tree-walker without touching the plan ("Engine.QuarantineReroutes")
+///   until a half-open probe succeeds.
+/// - Fault site "engine.quarantine": a firing Trigger forces the breaker
+///   open, driving quarantine deterministically without real faults.
+/// - Without a breaker, a fault surfaces as RunStatus::Faulted.
+///
+/// Healing assumes the faulting attempt did not mutate caller buffers,
+/// which holds for every fault this layer can see today: the injected
+/// site fires before dispatch, and plan-side throws happen during setup,
+/// not mid-kernel.
+inline RunStatus runGuardedSlotsOn(const KernelImpl &Impl,
+                                   const BufferRef *Slots,
+                                   KernelImpl::RunContext &Ctx) {
+  CircuitBreaker *Breaker = Impl.breaker();
+  if (!Breaker) {
+    try {
+      if (DAISY_FAILPOINT("kernel.run"))
+        throw std::runtime_error("injected fault at fail point 'kernel.run'");
+      runPreparedSlotsOn(Impl, Slots, Ctx);
+      return {};
+    } catch (const std::exception &E) {
+      return RunStatus::faulted(E.what());
+    }
+  }
+  bool ForceOpen;
+  try {
+    ForceOpen = DAISY_FAILPOINT("engine.quarantine");
+  } catch (...) {
+    ForceOpen = true; // An armed Throw here is a force too.
+  }
+  CircuitBreaker::Gate G = Breaker->admit(ForceOpen);
+  if (G == CircuitBreaker::Gate::Reroute) {
+    addStatsCounter("Engine.QuarantineReroutes");
+    try {
+      runTreeWalkSlotsOn(Impl, Slots, Ctx);
+      return {};
+    } catch (const std::exception &E) {
+      return RunStatus::faulted(E.what());
+    }
+  }
+  try {
+    if (DAISY_FAILPOINT("kernel.run"))
+      throw std::runtime_error("injected fault at fail point 'kernel.run'");
+    runPreparedSlotsOn(Impl, Slots, Ctx);
+    Breaker->recordSuccess(G);
+    return {};
+  } catch (const std::exception &E) {
+    Breaker->recordFailure(G);
+    addStatsCounter("Engine.RunFaults");
+    try {
+      runTreeWalkSlotsOn(Impl, Slots, Ctx);
+      addStatsCounter("Engine.FaultHeals");
+      return {};
+    } catch (...) {
+      return RunStatus::faulted(E.what());
+    }
+  }
+}
+
+/// Single-run convenience over runGuardedSlotsOn.
+inline RunStatus runGuardedSlots(const KernelImpl &Impl,
+                                 const BufferRef *Slots) {
+  PooledContext Ctx(Impl);
+  return runGuardedSlotsOn(Impl, Slots, *Ctx);
 }
 
 } // namespace daisy

@@ -6,6 +6,8 @@
 
 #include "sched/Database.h"
 
+#include "support/Persist.h"
+
 #include <algorithm>
 
 using namespace daisy;
@@ -50,4 +52,90 @@ TransferTuningDatabase::nearest(const PerformanceEmbedding &Key,
   if (Result.size() > K)
     Result.resize(K);
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization (the payload of api/Engine's checkpoints)
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t>
+daisy::serializeDatabaseEntries(const std::vector<DatabaseEntry> &Entries) {
+  ByteWriter W;
+  W.u64(Entries.size());
+  for (const DatabaseEntry &E : Entries) {
+    W.str(E.Name);
+    W.u64(E.CanonicalHash);
+    for (double F : E.Embedding.Features)
+      W.f64(F);
+    W.u64(E.Optimization.Steps.size());
+    for (const RecipeStep &S : E.Optimization.Steps) {
+      W.u8(static_cast<uint8_t>(S.StepKind));
+      W.u64(S.Perm.size());
+      for (int P : S.Perm)
+        W.i64(P);
+      W.u64(S.Tiles.size());
+      for (int64_t T : S.Tiles)
+        W.i64(T);
+      W.i64(S.Level);
+      W.i64(S.Width);
+    }
+  }
+  return W.take();
+}
+
+bool daisy::deserializeDatabaseEntries(const std::vector<uint8_t> &Payload,
+                                       std::vector<DatabaseEntry> &Out) {
+  Out.clear();
+  ByteReader R(Payload);
+  uint64_t Count = R.u64();
+  // An impossible count (each entry costs well over 16 bytes) fails fast
+  // instead of attempting a giant reserve on a corrupted length field.
+  if (!R.ok() || Count > Payload.size() / 16 + 1)
+    return false;
+  Out.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I < Count && R.ok(); ++I) {
+    DatabaseEntry E;
+    E.Name = R.str();
+    E.CanonicalHash = R.u64();
+    for (double &F : E.Embedding.Features)
+      F = R.f64();
+    uint64_t Steps = R.u64();
+    if (!R.ok() || Steps > Payload.size())
+      break;
+    E.Optimization.Steps.reserve(static_cast<size_t>(Steps));
+    for (uint64_t S = 0; S < Steps && R.ok(); ++S) {
+      RecipeStep Step;
+      uint8_t Kind = R.u8();
+      if (Kind > static_cast<uint8_t>(RecipeStep::Kind::BlasReplace)) {
+        Out.clear();
+        return false;
+      }
+      Step.StepKind = static_cast<RecipeStep::Kind>(Kind);
+      uint64_t PermLen = R.u64();
+      if (!R.ok() || PermLen > Payload.size()) {
+        Out.clear();
+        return false;
+      }
+      Step.Perm.reserve(static_cast<size_t>(PermLen));
+      for (uint64_t P = 0; P < PermLen && R.ok(); ++P)
+        Step.Perm.push_back(static_cast<int>(R.i64()));
+      uint64_t TileLen = R.u64();
+      if (!R.ok() || TileLen > Payload.size()) {
+        Out.clear();
+        return false;
+      }
+      Step.Tiles.reserve(static_cast<size_t>(TileLen));
+      for (uint64_t T = 0; T < TileLen && R.ok(); ++T)
+        Step.Tiles.push_back(R.i64());
+      Step.Level = static_cast<int>(R.i64());
+      Step.Width = R.i64();
+      E.Optimization.Steps.push_back(std::move(Step));
+    }
+    Out.push_back(std::move(E));
+  }
+  if (!R.ok() || !R.atEnd() || Out.size() != Count) {
+    Out.clear();
+    return false;
+  }
+  return true;
 }

@@ -91,6 +91,25 @@ private:
   std::shared_ptr<std::vector<DatabaseEntry>> Entries;
 };
 
+/// Version tag of the entry serialization below. Bumped whenever the
+/// byte layout changes; support/Persist rejects checkpoints written
+/// under a different version, so a format change reads as a clean miss
+/// instead of garbage entries.
+constexpr uint32_t DatabaseFormatVersion = 1;
+
+/// Serializes \p Entries into a self-contained little-endian payload
+/// (checkpointed by api/Engine under EngineOptions::DatabasePath).
+std::vector<uint8_t>
+serializeDatabaseEntries(const std::vector<DatabaseEntry> &Entries);
+
+/// Decodes a payload produced by serializeDatabaseEntries into \p Out.
+/// Returns false (leaving \p Out empty) on any structural mismatch —
+/// every read is bounds-checked, so a corrupted payload that slipped
+/// past the checksum still cannot produce out-of-bounds reads or
+/// half-decoded entries.
+bool deserializeDatabaseEntries(const std::vector<uint8_t> &Payload,
+                                std::vector<DatabaseEntry> &Out);
+
 } // namespace daisy
 
 #endif // DAISY_SCHED_DATABASE_H

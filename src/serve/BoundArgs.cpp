@@ -12,7 +12,6 @@
 #include "serve/BoundArgs.h"
 
 #include "api/KernelImpl.h"
-#include "support/FailPoint.h"
 
 #include <cassert>
 #include <utility>
@@ -49,11 +48,10 @@ RunStatus Kernel::run(const BoundArgs &Args) const {
     return staleStatus();
   if (Impl->Exhausted)
     return RunStatus::resourceExhausted();
-  // Fault site "kernel.run": an armed Delay makes this kernel slow —
-  // the knob the tail-latency and deadline tests turn.
-  (void)DAISY_FAILPOINT("kernel.run");
-  runPreparedSlots(*Impl, Args.Slots.data());
-  return {};
+  // The guarded path owns the "kernel.run" fault site (an armed Delay
+  // makes this kernel slow, a Trigger injects a run fault) and the
+  // circuit-breaker quarantine of Engine-compiled kernels.
+  return runGuardedSlots(*Impl, Args.Slots.data());
 }
 
 void Kernel::runBatch(const BoundArgs *const *Args, RunStatus *Statuses,
@@ -79,10 +77,9 @@ void Kernel::runBatch(const BoundArgs *const *Args, RunStatus *Statuses,
       Statuses[I] = RunStatus::resourceExhausted();
       continue;
     }
-    // Same fault site as the single-run path: a batch of a slow kernel
-    // is slow per request, not per dispatch.
-    (void)DAISY_FAILPOINT("kernel.run");
-    runPreparedSlotsOn(*Impl, A.Slots.data(), *Ctx);
-    Statuses[I] = {};
+    // Same guarded path as single runs: the "kernel.run" fault site and
+    // the breaker fire per request, not per dispatch, so a batch of a
+    // slow or poisoned kernel behaves like its requests submitted alone.
+    Statuses[I] = runGuardedSlotsOn(*Impl, A.Slots.data(), *Ctx);
   }
 }

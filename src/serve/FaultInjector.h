@@ -11,24 +11,36 @@
 /// disarms exactly those sites on destruction, so a test that throws or
 /// early-returns can never leak an armed fault into the next test.
 ///
-/// The serving runtime currently marks five sites:
+/// The serving runtime currently marks seven sites:
 ///
-///   "engine.compile"   Engine::compile plan compilation (Throw here
-///                      exercises the tree-walk fallback);
-///   "engine.budget"    the memory-budget charge of a freshly compiled
-///                      kernel (Trigger denies the charge as if the
-///                      budget were exhausted, forcing the
-///                      ResourceExhausted kernel path; only evaluated
-///                      when EngineOptions::MemoryBudgetBytes is set);
-///   "serve.queue.push" Server::submit admission (Trigger forces an
-///                      Overloaded rejection as if the queue were full,
-///                      feeding the retry/backoff path);
-///   "serve.worker"     top of a worker-lane dispatch (Delay stalls the
-///                      lane between pop and run — with
-///                      ServerOptions::StallTimeout armed, long enough a
-///                      delay makes the watchdog reclaim the claim);
-///   "kernel.run"       prepared-run dispatch (Delay makes the kernel
-///                      itself slow, per request even inside a batch).
+///   "engine.compile"     Engine::compile plan compilation (Throw here
+///                        exercises the tree-walk fallback);
+///   "engine.budget"      the memory-budget charge of a freshly compiled
+///                        kernel (Trigger denies the charge as if the
+///                        budget were exhausted, forcing the
+///                        ResourceExhausted kernel path; only evaluated
+///                        when EngineOptions::MemoryBudgetBytes is set);
+///   "engine.quarantine"  the breaker admission of a guarded run
+///                        (Trigger slams a closed breaker open as if the
+///                        failure threshold had been crossed — requests
+///                        reroute to the tree-walk path immediately);
+///   "serve.queue.push"   Server::submit admission (Trigger forces an
+///                        Overloaded rejection as if the queue were
+///                        full, feeding the retry/backoff path);
+///   "serve.brownout"     the brownout gate of Server::submit (Trigger
+///                        is forced admission distress: Low-priority
+///                        requests shed as Overloaded);
+///   "serve.worker"       top of a worker-lane dispatch (Delay stalls
+///                        the lane between pop and run — with
+///                        ServerOptions::StallTimeout armed, long enough
+///                        a delay makes the watchdog reclaim the claim);
+///   "kernel.run"         prepared-run dispatch (Delay makes the kernel
+///                        itself slow, per request even inside a batch;
+///                        Trigger injects a run fault — an
+///                        Engine-compiled kernel heals it through the
+///                        tree-walk reference path and its circuit
+///                        breaker counts it, a raw Kernel::compile
+///                        kernel surfaces RunStatus::Faulted).
 ///
 /// Scenarios are reproducible: every site draws from an Rng stream
 /// derived from (scenario seed, site name), independent of thread

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -81,15 +82,34 @@ Server::Server(ServerOptions Options)
       CDepthMax(statsCounterCell("Serve.QueueDepthMax")),
       CStolen(statsCounterCell("Serve.StolenBatches")),
       CStalls(statsCounterCell("Serve.WorkerStalls")),
-      CDispatchStalls(statsCounterCell("Serve.DispatchStalls")) {
+      CDispatchStalls(statsCounterCell("Serve.DispatchStalls")),
+      CBrownouts(statsCounterCell("Serve.Brownouts")),
+      CBrownoutSheds(statsCounterCell("Serve.BrownoutSheds")) {
   for (auto &Bucket : DepthHist)
     Bucket.store(0, std::memory_order_relaxed);
   for (auto &Bucket : LatencyHist)
     Bucket.store(0, std::memory_order_relaxed);
   size_t ShardCount = std::max<size_t>(Opts.Shards, 1);
   Shards.reserve(ShardCount);
-  for (size_t I = 0; I < ShardCount; ++I)
-    Shards.push_back(std::make_unique<Engine>(Opts.Engine));
+  for (size_t I = 0; I < ShardCount; ++I) {
+    EngineOptions ShardOpts = Opts.Engine;
+    // Each shard persists its own checkpoint lineage: the routing-key
+    // partition of the kernel population is also a partition of the
+    // tuning entries, so shards never contend on (or clobber) one file.
+    if (!ShardOpts.DatabasePath.empty() && ShardCount > 1)
+      ShardOpts.DatabasePath += ".shard" + std::to_string(I);
+    Shards.push_back(std::make_unique<Engine>(std::move(ShardOpts)));
+  }
+
+  if (Opts.BrownoutHighWater > 0.0) {
+    double Cap = static_cast<double>(std::max<size_t>(Opts.QueueCapacity, 1));
+    BrownoutHighDepth = std::max<size_t>(
+        static_cast<size_t>(std::ceil(Opts.BrownoutHighWater * Cap)), 1);
+    double Low = std::min(Opts.BrownoutLowWater, Opts.BrownoutHighWater);
+    BrownoutLowDepth = static_cast<size_t>(std::max(Low, 0.0) * Cap);
+    if (BrownoutLowDepth >= BrownoutHighDepth)
+      BrownoutLowDepth = BrownoutHighDepth - 1;
+  }
 
   // Queue shards split the configured capacity (and any tenant quota)
   // evenly, so the option values keep their single-queue meaning as
@@ -202,6 +222,21 @@ std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args,
     R.Done.set_value(invalidBoundArgsStatus(R.Args));
     CCompleted.fetch_add(1, std::memory_order_relaxed);
     Tenant.Completed.fetch_add(1, std::memory_order_relaxed);
+    return Result;
+  }
+
+  // Brownout: in admission distress the optional work goes first. Low
+  // priority is shed right here — before it occupies a queue slot or a
+  // retry loop — as a Rejected outcome, so the drain invariant holds and
+  // retry-with-backoff does not hammer a browned-out server (the gate is
+  // re-evaluated per submit, not per retry attempt).
+  if (brownoutGate() && R.Prio == Priority::Low) {
+    CBrownoutSheds.fetch_add(1, std::memory_order_relaxed);
+    CRejected.fetch_add(1, std::memory_order_relaxed);
+    Tenant.Rejected.fetch_add(1, std::memory_order_relaxed);
+    R.Done.set_value(RunStatus{
+        "server brownout: low-priority request shed at admission",
+        RunStatus::Overloaded});
     return Result;
   }
 
@@ -491,8 +526,93 @@ void Server::finishMany(uint64_t N) {
 }
 
 void Server::drain() {
-  std::unique_lock<std::mutex> Lock(DrainMutex);
-  DrainCV.wait(Lock, [&] { return Finished == Admitted.load(); });
+  {
+    std::unique_lock<std::mutex> Lock(DrainMutex);
+    DrainCV.wait(Lock, [&] { return Finished == Admitted.load(); });
+  }
+  // Quiescent point: everything admitted has completed, so the databases
+  // are as consistent as they get — persist any shard that changed.
+  // No-op for shards without a DatabasePath or with unchanged entries.
+  for (auto &Shard : Shards)
+    (void)Shard->checkpointNow();
+}
+
+bool Server::brownoutGate() {
+  // Fault site "serve.brownout": a firing Trigger is forced distress —
+  // the gate acts as if the high watermark were crossed, letting tests
+  // drive the brownout path without a real capacity storm.
+  bool Forced;
+  try {
+    Forced = DAISY_FAILPOINT("serve.brownout");
+  } catch (...) {
+    Forced = true;
+  }
+  if (BrownoutHighDepth == 0 && !Forced)
+    return false;
+  size_t Depth = queueDepth();
+  bool Active = BrownoutActive.load(std::memory_order_relaxed);
+  if (Forced || (BrownoutHighDepth != 0 && Depth >= BrownoutHighDepth)) {
+    // exchange() dedupes the episode count when submits race the entry.
+    if (!BrownoutActive.exchange(true, std::memory_order_relaxed))
+      CBrownouts.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (Active && Depth <= BrownoutLowDepth) {
+    BrownoutActive.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  return Active;
+}
+
+HealthSnapshot Server::health() {
+  HealthSnapshot H;
+  H.QueueDepths.reserve(Queues.size());
+  for (const auto &Q : Queues)
+    H.QueueDepths.push_back(Q->depth());
+  for (size_t D : H.QueueDepths)
+    H.QueueDepth += D;
+  H.QueueCapacity = std::max<size_t>(Opts.QueueCapacity, 1);
+  H.Brownout = brownoutGate();
+  H.Brownouts = CBrownouts.load(std::memory_order_relaxed);
+  H.BrownoutSheds = CBrownoutSheds.load(std::memory_order_relaxed);
+  H.WorkerStalls = CStalls.load(std::memory_order_relaxed);
+  H.DispatchStalls = CDispatchStalls.load(std::memory_order_relaxed);
+  H.Shards.reserve(Shards.size());
+  for (const auto &Shard : Shards) {
+    HealthSnapshot::ShardRow Row;
+    Row.Quarantined = Shard->quarantinedCount();
+    Row.CheckpointGeneration = Shard->checkpointGeneration();
+    Row.BudgetUsedBytes = Shard->memoryBytesUsed();
+    Row.BudgetPeakBytes = Shard->memoryBytesPeak();
+    Row.BudgetLimitBytes = Shard->options().MemoryBudgetBytes;
+    H.Quarantined += Row.Quarantined;
+    H.Shards.push_back(Row);
+  }
+  H.P50Us = latencyQuantileUs(0.5);
+  H.P99Us = latencyQuantileUs(0.99);
+  H.Submitted = CSubmitted.load(std::memory_order_relaxed);
+  H.Completed = CCompleted.load(std::memory_order_relaxed);
+  H.Rejected = CRejected.load(std::memory_order_relaxed);
+  H.Expired = CExpired.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(TenantMutex);
+    H.Tenants.reserve(TenantStats.size());
+    for (const auto &[Id, Cells] : TenantStats) {
+      HealthSnapshot::TenantRow Row;
+      Row.Tenant = Id;
+      Row.Submitted = Cells.Submitted.load(std::memory_order_relaxed);
+      Row.Completed = Cells.Completed.load(std::memory_order_relaxed);
+      Row.Rejected = Cells.Rejected.load(std::memory_order_relaxed);
+      Row.Expired = Cells.Expired.load(std::memory_order_relaxed);
+      H.Tenants.push_back(Row);
+    }
+  }
+  std::sort(H.Tenants.begin(), H.Tenants.end(),
+            [](const HealthSnapshot::TenantRow &A,
+               const HealthSnapshot::TenantRow &B) {
+              return A.Tenant < B.Tenant;
+            });
+  return H;
 }
 
 void Server::recordLatency(TimePoint EnqueuedAt, TimePoint Now) {

@@ -135,8 +135,61 @@ struct ServerOptions {
   /// leaked). A lane stalled *inside* a kernel dispatch cannot be
   /// reclaimed safely and is only counted ("Serve.DispatchStalls").
   std::chrono::microseconds StallTimeout{0};
-  /// Configuration every Engine shard is constructed with.
+  /// Admission brownout (0 disables): when the total queued depth
+  /// reaches ceil(BrownoutHighWater * QueueCapacity), the server enters
+  /// brownout — Low-priority submits are shed at admission with
+  /// RunStatus::Overloaded ("Serve.BrownoutSheds") until the depth falls
+  /// back to BrownoutLowWater * QueueCapacity. Shedding the optional
+  /// work early keeps High/Normal latency honest through a distress
+  /// episode instead of letting every lane degrade together. The
+  /// "serve.brownout" fail point forces distress deterministically.
+  double BrownoutHighWater = 0.0;
+  /// Hysteresis: brownout clears at this fraction of QueueCapacity
+  /// (clamped below BrownoutHighWater), so a depth oscillating around
+  /// the high watermark does not flap the gate per request.
+  double BrownoutLowWater = 0.5;
+  /// Configuration every Engine shard is constructed with. When
+  /// EngineOptions::DatabasePath is set and Shards > 1, shard I persists
+  /// to "<DatabasePath>.shard<I>" — each shard's database is its own
+  /// checkpoint lineage, matching the routing-key partition.
   EngineOptions Engine;
+};
+
+/// Structured health snapshot (Server::health): the operator's view of
+/// queue pressure, self-protection state, and durable-state progress —
+/// and the exact inputs of the admission brownout decision.
+struct HealthSnapshot {
+  /// One tenant's cumulative outcome counters
+  /// (Serve.Tenant<id>.{Submitted,Completed,Rejected,Expired}).
+  struct TenantRow {
+    uint32_t Tenant = 0;
+    int64_t Submitted = 0, Completed = 0, Rejected = 0, Expired = 0;
+  };
+  /// One engine shard's self-protection and durability view.
+  struct ShardRow {
+    size_t Quarantined = 0; ///< Routing keys with a non-closed breaker.
+    uint64_t CheckpointGeneration = 0; ///< Newest written/recovered.
+    size_t BudgetUsedBytes = 0;  ///< Engine-retained memory right now.
+    size_t BudgetPeakBytes = 0;  ///< High-water mark.
+    size_t BudgetLimitBytes = 0; ///< 0 = unlimited.
+  };
+  std::vector<size_t> QueueDepths; ///< Per queue shard, at snapshot time.
+  size_t QueueDepth = 0;           ///< Sum of QueueDepths.
+  size_t QueueCapacity = 0;        ///< Total configured capacity.
+  bool Brownout = false;           ///< Admission currently shedding Low.
+  int64_t Brownouts = 0;           ///< Distress episodes entered so far.
+  int64_t BrownoutSheds = 0;       ///< Low requests shed at admission.
+  int64_t WorkerStalls = 0;        ///< Batches reclaimed by the watchdog.
+  int64_t DispatchStalls = 0;      ///< Stalls inside kernel dispatch.
+  size_t Quarantined = 0;          ///< Sum of ShardRow::Quarantined.
+  double P50Us = 0.0, P99Us = 0.0; ///< Rolling sojourn-time quantiles.
+  int64_t Submitted = 0, Completed = 0, Rejected = 0, Expired = 0;
+  std::vector<ShardRow> Shards;
+  std::vector<TenantRow> Tenants; ///< Every tenant seen so far.
+  /// The overall verdict: admission is not shedding and no kernel is
+  /// quarantined. Stalls and budget pressure inform but do not fail the
+  /// verdict — the server is still meeting its contract through them.
+  bool healthy() const { return !Brownout && Quarantined == 0; }
 };
 
 /// Per-submit scheduling and resilience knobs. Default-constructed it
@@ -205,8 +258,17 @@ public:
                                 const SubmitOptions &Options = {});
 
   /// Blocks until every request admitted so far (and any admitted while
-  /// draining) has completed. The server keeps serving afterwards.
+  /// draining) has completed, then checkpoints every engine shard whose
+  /// database changed (a quiescent point is the cheapest consistent one).
+  /// The server keeps serving afterwards.
   void drain();
+
+  /// A structured health snapshot: queue depths per shard, brownout and
+  /// quarantine state, stall and budget telemetry, rolling latency
+  /// quantiles, and per-tenant outcome counters. Also re-evaluates the
+  /// brownout gate, so a server whose queues drained while no submits
+  /// arrived leaves brownout on the next health() call.
+  HealthSnapshot health();
 
   /// Requests admitted but not yet picked up by a worker (summed over
   /// queue shards).
@@ -276,6 +338,10 @@ private:
   TenantCounters &tenantCounters(uint32_t Tenant);
   size_t queueShardFor(const BoundArgs &Args) const;
 
+  /// Evaluates (and updates) the brownout gate against the current queue
+  /// depth; returns whether admission is currently shedding Low work.
+  bool brownoutGate();
+
   ServerOptions Opts;
   std::vector<std::unique_ptr<Engine>> Shards;
   std::vector<std::unique_ptr<Scheduler>> Queues;
@@ -285,7 +351,13 @@ private:
   /// under the registry mutex per request.
   std::atomic<int64_t> &CSubmitted, &CCompleted, &CRejected, &CExpired,
       &CRetries, &CBatchedRuns, &CDepthMax, &CStolen, &CStalls,
-      &CDispatchStalls;
+      &CDispatchStalls, &CBrownouts, &CBrownoutSheds;
+
+  /// Brownout watermarks resolved to absolute depths at construction
+  /// (0 = brownout disabled), and the gate's sticky state.
+  size_t BrownoutHighDepth = 0;
+  size_t BrownoutLowDepth = 0;
+  std::atomic<bool> BrownoutActive{false};
 
   /// Lazily resolved Serve.Tenant<id>.* cells, keyed by tenant.
   std::mutex TenantMutex;

@@ -1,0 +1,151 @@
+//===- support/CircuitBreaker.h - Poison-kernel circuit breaker --*- C++ -*-=//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-routing-key circuit breaker: the self-protection state machine
+/// behind the engine's poison-kernel quarantine (api/Engine.h,
+/// EngineOptions::Quarantine).
+///
+/// States, the classic three:
+///
+///   Closed   — healthy. Every run attempts the compiled plan; failures
+///              are counted within a sliding window.
+///   Open     — quarantined: FailureThreshold run-faults landed within
+///              Window (or the "engine.quarantine" fail point forced it).
+///              Runs skip the plan entirely and reroute to the tree-walk
+///              reference path — bit-identical results at degraded
+///              throughput, never a repeated crash loop.
+///   HalfOpen — Cooldown elapsed. Exactly one probe request is allowed
+///              back onto the plan ("Engine.QuarantineProbes"); its
+///              success closes the breaker, its failure re-opens it for
+///              another cooldown. Concurrent requests keep rerouting
+///              while the probe is in flight.
+///
+/// Thread-safe; one mutex per breaker, touched only by kernels that have
+/// a breaker attached (raw Kernel::compile never pays it). Counters:
+/// "Engine.Quarantined" counts closed-to-open transitions,
+/// "Engine.QuarantineProbes" counts probe grants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_SUPPORT_CIRCUITBREAKER_H
+#define DAISY_SUPPORT_CIRCUITBREAKER_H
+
+#include "support/Statistics.h"
+
+#include <chrono>
+#include <mutex>
+
+namespace daisy {
+
+class CircuitBreaker {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    /// Run-faults within Window that open the breaker; 0 disables
+    /// breaker consultation entirely (api/Engine then attaches none).
+    int FailureThreshold = 3;
+    /// Sliding failure-counting window.
+    std::chrono::microseconds Window{1000000};
+    /// Open-state dwell time before a half-open probe is allowed.
+    std::chrono::microseconds Cooldown{10000};
+  };
+
+  enum class State { Closed, Open, HalfOpen };
+
+  /// What the caller should do with the current request.
+  enum class Gate {
+    Allow,      ///< Closed: attempt the plan, report the outcome.
+    AllowProbe, ///< Half-open probe: attempt the plan; outcome decides.
+    Reroute,    ///< Open: skip the plan, serve via tree-walk.
+  };
+
+  explicit CircuitBreaker(const Options &Opts) : Opts(Opts) {}
+
+  /// Admission decision for one run. \p ForceOpen (the
+  /// "engine.quarantine" fail point) slams a closed breaker open as if
+  /// the threshold had been crossed.
+  Gate admit(bool ForceOpen = false) {
+    Clock::time_point Now = Clock::now();
+    std::lock_guard<std::mutex> Lock(M);
+    if (ForceOpen && Current == State::Closed)
+      openLocked(Now);
+    switch (Current) {
+    case State::Closed:
+      return Gate::Allow;
+    case State::Open:
+      if (Now < OpenUntil)
+        return Gate::Reroute;
+      Current = State::HalfOpen;
+      ProbeInFlight = false;
+      [[fallthrough]];
+    case State::HalfOpen:
+      if (ProbeInFlight)
+        return Gate::Reroute;
+      ProbeInFlight = true;
+      addStatsCounter("Engine.QuarantineProbes");
+      return Gate::AllowProbe;
+    }
+    return Gate::Allow;
+  }
+
+  /// Reports the outcome of a Gate::Allow / Gate::AllowProbe attempt.
+  void recordSuccess(Gate G) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (G == Gate::AllowProbe && Current == State::HalfOpen) {
+      Current = State::Closed;
+      Failures = 0;
+      ProbeInFlight = false;
+    }
+  }
+
+  void recordFailure(Gate G) {
+    Clock::time_point Now = Clock::now();
+    std::lock_guard<std::mutex> Lock(M);
+    if (G == Gate::AllowProbe) {
+      // A failed probe re-opens without counting toward a fresh window —
+      // the kernel is still poisoned.
+      if (Current == State::HalfOpen)
+        openLocked(Now);
+      return;
+    }
+    if (Current != State::Closed)
+      return;
+    if (Failures == 0 || Now - WindowStart > Opts.Window) {
+      WindowStart = Now;
+      Failures = 0;
+    }
+    if (++Failures >= Opts.FailureThreshold)
+      openLocked(Now);
+  }
+
+  State state() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Current;
+  }
+
+private:
+  void openLocked(Clock::time_point Now) {
+    Current = State::Open;
+    OpenUntil = Now + Opts.Cooldown;
+    Failures = 0;
+    ProbeInFlight = false;
+    addStatsCounter("Engine.Quarantined");
+  }
+
+  const Options Opts;
+  mutable std::mutex M;
+  State Current = State::Closed;
+  int Failures = 0;
+  Clock::time_point WindowStart{};
+  Clock::time_point OpenUntil{};
+  bool ProbeInFlight = false;
+};
+
+} // namespace daisy
+
+#endif // DAISY_SUPPORT_CIRCUITBREAKER_H

@@ -170,6 +170,20 @@ size_t armFailPointsFromSpec(const std::string &Spec, uint64_t Seed) {
   return Armed;
 }
 
+size_t armFailPointsFromEnv(const char *Spec, const char *SeedText) {
+  if (!Spec || !*Spec)
+    return 0;
+  uint64_t Seed = 0xDA15Eull;
+  if (SeedText)
+    Seed = std::strtoull(SeedText, nullptr, 10);
+  try {
+    return armFailPointsFromSpec(Spec, Seed);
+  } catch (const std::invalid_argument &E) {
+    std::fprintf(stderr, "daisy: ignoring DAISY_FAILPOINTS: %s\n", E.what());
+  }
+  return 0;
+}
+
 namespace {
 
 /// Environment arming: DAISY_FAILPOINTS holds a spec-grammar scenario
@@ -178,20 +192,12 @@ namespace {
 /// sites a test binary does not arm itself — e.g. "engine.budget" across
 /// the serving fault matrix. Sites never marked by the running code cost
 /// nothing; a malformed spec is reported and ignored rather than
-/// aborting the process it was meant to observe.
+/// aborting the process it was meant to observe (armFailPointsFromEnv,
+/// which tests exercise directly).
 struct EnvScenario {
   EnvScenario() {
-    const char *Spec = std::getenv("DAISY_FAILPOINTS");
-    if (!Spec || !*Spec)
-      return;
-    uint64_t Seed = 0xDA15Eull;
-    if (const char *Env = std::getenv("DAISY_FAILPOINTS_SEED"))
-      Seed = std::strtoull(Env, nullptr, 10);
-    try {
-      (void)armFailPointsFromSpec(Spec, Seed);
-    } catch (const std::invalid_argument &E) {
-      std::fprintf(stderr, "daisy: ignoring DAISY_FAILPOINTS: %s\n", E.what());
-    }
+    (void)armFailPointsFromEnv(std::getenv("DAISY_FAILPOINTS"),
+                               std::getenv("DAISY_FAILPOINTS_SEED"));
   }
 };
 const EnvScenario ArmFromEnv;

@@ -105,6 +105,15 @@ bool failPointEvaluate(const char *Site);
 /// malformed spec.
 size_t armFailPointsFromSpec(const std::string &Spec, uint64_t Seed);
 
+/// The environment-arming entry behind DAISY_FAILPOINTS, exposed so the
+/// parsing contract is testable without spawning a process: \p Spec is
+/// the spec string (null or empty = no-op), \p SeedText the decimal
+/// scenario seed (null = the default 0xDA15E). A malformed spec is
+/// reported to stderr and ignored — the process it was meant to observe
+/// keeps running — with any sites armed before the malformed entry left
+/// armed. Returns the number of sites armed.
+size_t armFailPointsFromEnv(const char *Spec, const char *SeedText);
+
 #define DAISY_FAILPOINT(Site) ::daisy::failPointEvaluate(Site)
 
 #else
@@ -119,6 +128,7 @@ inline uint64_t failPointFireCount(const std::string &) { return 0; }
 inline size_t armFailPointsFromSpec(const std::string &, uint64_t) {
   return 0;
 }
+inline size_t armFailPointsFromEnv(const char *, const char *) { return 0; }
 
 #define DAISY_FAILPOINT(Site) false
 

@@ -21,7 +21,17 @@
 //   kernels (Engine.CompileFallbacks) whose results are still exact; a
 //   forced "engine.budget" charge failure serves resource-exhausted
 //   kernels whose requests surface RunStatus::ResourceExhausted, never
-//   a throw.
+//   a throw;
+// - poison-kernel quarantine: injected "kernel.run" faults on
+//   Engine-compiled kernels heal bit-identically on the tree-walk path;
+//   FailureThreshold faults open the per-routing-key circuit breaker
+//   (Engine.Quarantined), open-state requests reroute without touching
+//   the plan (Engine.QuarantineReroutes), and a half-open probe
+//   re-closes the breaker once faults stop; kernels without a breaker
+//   (raw Kernel::compile) surface RunStatus::Faulted instead;
+// - env arming robustness: armFailPointsFromEnv (the DAISY_FAILPOINTS
+//   entry) ignores malformed specs instead of aborting, and its seed
+//   text reproduces the exact spec-armed fault schedule.
 //
 // CI sweeps this binary across seeds via DAISY_FAILPOINTS_SEED and can
 // arm extra process-wide sites via DAISY_FAILPOINTS (support/FailPoint
@@ -210,6 +220,7 @@ void runFaultScenario(
       case RunStatus::ShutDown:
       case RunStatus::Expired:
       case RunStatus::ResourceExhausted:
+      case RunStatus::Faulted:
         EXPECT_FALSE(Status.ok());
         ++Failed;
         break;
@@ -255,8 +266,9 @@ void runFaultScenario(
   // ResourceExhausted before "kernel.run" is ever evaluated. The
   // structural invariants above must hold regardless; only the
   // fired-at-all check is scoped to self-armed runs.
-  if (!std::getenv("DAISY_FAILPOINTS"))
+  if (!std::getenv("DAISY_FAILPOINTS")) {
     EXPECT_GT(Inj.fireCount(Site), 0u) << "scenario never fired " << Site;
+  }
 }
 
 const SchedulerPolicy AllPolicies[] = {
@@ -324,6 +336,132 @@ TEST(ServeFaultTest, WatchdogReclaimsStalledLanesAndKeepsInvariants) {
 }
 
 //===----------------------------------------------------------------------===//
+// Poison-kernel quarantine
+//===----------------------------------------------------------------------===//
+
+TEST(ServeFaultTest, RunFaultsHealBitIdenticalAcrossPolicies) {
+  DAISY_REQUIRE_FAILPOINTS();
+  for (SchedulerPolicy Policy : AllPolicies) {
+    // Half of all prepared runs fault. Every fault on an Engine-compiled
+    // kernel heals on the tree-walk reference path — the matrix already
+    // asserted every Ok result is bit-identical, so here the heal
+    // counters prove the faults really happened and were all healed.
+    runFaultScenario("kernel.run=trigger@0.5", "kernel.run", Policy);
+    if (!std::getenv("DAISY_FAILPOINTS")) {
+      EXPECT_GE(statsCounter("Engine.RunFaults"), 1);
+      EXPECT_EQ(statsCounter("Engine.RunFaults"),
+                statsCounter("Engine.FaultHeals"));
+    }
+  }
+}
+
+TEST(ServeFaultTest, QuarantineOpensReroutesThenProbeRecloses) {
+  DAISY_REQUIRE_FAILPOINTS();
+  resetStatsCounters();
+  uint64_t Seed = FaultInjector::seedFromEnv(DefaultSeed);
+
+  Program Prog = makeGemm("i", "j", "k", 10);
+  Kernel Ref = Kernel::compile(Prog);
+  OwnedArgs Expected(Prog, 5);
+  ASSERT_TRUE(Ref.run(Expected.binding()));
+
+  ServerOptions Options;
+  Options.Workers = 1;
+  // The cooldown must outlast the submit loop below so the open state is
+  // observed as reroutes, not as premature half-open probes.
+  Options.Engine.Quarantine.FailureThreshold = 3;
+  Options.Engine.Quarantine.Cooldown = std::chrono::milliseconds(250);
+  Server S(Options);
+  Kernel K = S.compile(Prog);
+
+  {
+    // Every prepared run faults: the breaker must open within
+    // FailureThreshold failures, and every result — healed or rerouted —
+    // stays Ok and bit-identical.
+    FaultInjector Inj("kernel.run=trigger@1.0", Seed);
+    for (int I = 0; I < 6; ++I) {
+      OwnedArgs Args(Prog, 5);
+      RunStatus Status = S.submit(K, K.bind(Args.binding())).get();
+      EXPECT_TRUE(Status.ok()) << Status.Error;
+      EXPECT_EQ(Args.Buffers, Expected.Buffers);
+    }
+    EXPECT_GE(statsCounter("Engine.RunFaults"), 3);
+    EXPECT_GE(statsCounter("Engine.Quarantined"), 1);
+    EXPECT_GE(statsCounter("Engine.QuarantineReroutes"), 1);
+    EXPECT_EQ(S.shard(0).quarantinedCount(), 1u);
+    HealthSnapshot Sick = S.health();
+    EXPECT_EQ(Sick.Quarantined, 1u);
+    EXPECT_FALSE(Sick.healthy());
+  } // faults stop (injector disarms its site)
+
+  // Past the cooldown, the half-open probe runs the real plan again,
+  // succeeds, and re-closes the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  for (int I = 0; I < 3 && S.shard(0).quarantinedCount() != 0; ++I) {
+    OwnedArgs Args(Prog, 5);
+    EXPECT_TRUE(S.submit(K, K.bind(Args.binding())).get().ok());
+    EXPECT_EQ(Args.Buffers, Expected.Buffers);
+  }
+  EXPECT_EQ(S.shard(0).quarantinedCount(), 0u);
+  EXPECT_GE(statsCounter("Engine.QuarantineProbes"), 1);
+  EXPECT_TRUE(S.health().healthy());
+
+  S.drain();
+  EXPECT_EQ(statsCounter("Serve.Submitted"),
+            statsCounter("Serve.Completed") + statsCounter("Serve.Rejected") +
+                statsCounter("Serve.Expired"));
+}
+
+TEST(ServeFaultTest, ForcedQuarantineReroutesImmediately) {
+  DAISY_REQUIRE_FAILPOINTS();
+  resetStatsCounters();
+  uint64_t Seed = FaultInjector::seedFromEnv(DefaultSeed);
+
+  Program Prog = makeGemm("i", "j", "k", 10);
+  Kernel Ref = Kernel::compile(Prog);
+  OwnedArgs Expected(Prog, 5);
+  ASSERT_TRUE(Ref.run(Expected.binding()));
+
+  ServerOptions Options;
+  Options.Workers = 1;
+  Server S(Options);
+  Kernel K = S.compile(Prog);
+
+  // "engine.quarantine" slams the closed breaker open with no real
+  // faults at all: the very request that fired it reroutes to the
+  // tree-walker and still completes bit-identically.
+  FaultInjector Inj("engine.quarantine=trigger@1.0x1", Seed);
+  OwnedArgs Args(Prog, 5);
+  EXPECT_TRUE(S.submit(K, K.bind(Args.binding())).get().ok());
+  EXPECT_EQ(Args.Buffers, Expected.Buffers);
+  EXPECT_EQ(Inj.fireCount("engine.quarantine"), 1u);
+  EXPECT_GE(statsCounter("Engine.Quarantined"), 1);
+  EXPECT_GE(statsCounter("Engine.QuarantineReroutes"), 1);
+  EXPECT_EQ(statsCounter("Engine.RunFaults"), 0);
+  EXPECT_EQ(S.shard(0).quarantinedCount(), 1u);
+  S.drain();
+}
+
+TEST(ServeFaultTest, RawKernelWithoutBreakerSurfacesFaulted) {
+  DAISY_REQUIRE_FAILPOINTS();
+  Program Prog = makeGemm("i", "j", "k", 8);
+  Kernel K = Kernel::compile(Prog);
+  OwnedArgs Args(Prog);
+
+  FaultInjector Inj(FaultInjector::seedFromEnv(DefaultSeed));
+  FailPointConfig Config;
+  Config.MaxFires = 1;
+  Inj.arm("kernel.run", Config);
+  RunStatus Status = K.run(Args.binding());
+  EXPECT_EQ(Status.Why, RunStatus::Faulted);
+  EXPECT_FALSE(Status.ok());
+  EXPECT_NE(Status.Error.find("kernel.run"), std::string::npos);
+  // The site disarmed itself after its single fire: the same kernel
+  // runs clean — a fault is a status, never a poisoned handle.
+  EXPECT_TRUE(K.run(Args.binding()).ok());
+}
+
+//===----------------------------------------------------------------------===//
 // FailPoint mechanics
 //===----------------------------------------------------------------------===//
 
@@ -384,5 +522,50 @@ TEST(FailPointTest, SpecGrammarParsesAndRejects) {
                std::invalid_argument);
   EXPECT_THROW((void)armFailPointsFromSpec("x=explode", 1),
                std::invalid_argument);
+  disarmAllFailPoints();
+}
+
+TEST(FailPointTest, EnvArmingIsANoOpOnNullOrEmpty) {
+  DAISY_REQUIRE_FAILPOINTS();
+  EXPECT_EQ(armFailPointsFromEnv(nullptr, nullptr), 0u);
+  EXPECT_EQ(armFailPointsFromEnv("", nullptr), 0u);
+  EXPECT_EQ(armFailPointsFromEnv("", "123"), 0u);
+}
+
+TEST(FailPointTest, EnvArmingIgnoresMalformedSpecsInsteadOfAborting) {
+  DAISY_REQUIRE_FAILPOINTS();
+  // A malformed DAISY_FAILPOINTS must never take down the process it was
+  // meant to observe: warned (stderr) and ignored, not thrown.
+  EXPECT_EQ(armFailPointsFromEnv("nonsense", nullptr), 0u);
+  EXPECT_EQ(armFailPointsFromEnv("x=explode", nullptr), 0u);
+  // Sites armed before the malformed entry stay armed.
+  EXPECT_EQ(armFailPointsFromEnv("env.early=trigger@1.0;broken", nullptr),
+            0u);
+  EXPECT_TRUE(DAISY_FAILPOINT("env.early"));
+  disarmAllFailPoints();
+}
+
+TEST(FailPointTest, EnvSeedTextRoundTripsTheFaultSchedule) {
+  DAISY_REQUIRE_FAILPOINTS();
+  auto pattern = [](const char *SeedText) {
+    disarmAllFailPoints();
+    EXPECT_EQ(armFailPointsFromEnv("env.seeded=trigger@0.5", SeedText), 1u);
+    std::vector<char> Fired;
+    for (int I = 0; I < 64; ++I)
+      Fired.push_back(DAISY_FAILPOINT("env.seeded") ? 1 : 0);
+    return Fired;
+  };
+  // The decimal seed text selects the stream, reproducibly.
+  EXPECT_EQ(pattern("7"), pattern("7"));
+  EXPECT_NE(pattern("7"), pattern("8"));
+  // Null seed text draws the documented default stream (0xDA15E), the
+  // same one spec arming under that seed draws.
+  std::vector<char> Defaulted = pattern(nullptr);
+  disarmAllFailPoints();
+  ASSERT_EQ(armFailPointsFromSpec("env.seeded=trigger@0.5", DefaultSeed), 1u);
+  std::vector<char> Spec;
+  for (int I = 0; I < 64; ++I)
+    Spec.push_back(DAISY_FAILPOINT("env.seeded") ? 1 : 0);
+  EXPECT_EQ(Defaulted, Spec);
   disarmAllFailPoints();
 }

@@ -528,7 +528,7 @@ namespace {
 /// Kind here, and the static_assert turns "forgot to update the
 /// handlers" into a compile error instead of a silent fall-through.
 const char *kindName(RunStatus::Kind K) {
-  static_assert(RunStatus::NumKinds_ == 6,
+  static_assert(RunStatus::NumKinds_ == 7,
                 "new RunStatus::Kind: update kindName, the serving "
                 "runtime's status switches, and the README taxonomy");
   switch (K) {
@@ -544,6 +544,8 @@ const char *kindName(RunStatus::Kind K) {
     return "expired";
   case RunStatus::ResourceExhausted:
     return "resource-exhausted";
+  case RunStatus::Faulted:
+    return "faulted";
   case RunStatus::NumKinds_:
     break;
   }
@@ -563,6 +565,10 @@ TEST(RunStatusKindTest, EveryKindIsHandledAndFactoriesTagCorrectly) {
   EXPECT_FALSE(RunStatus::expired().ok());
   EXPECT_EQ(RunStatus::resourceExhausted().Why, RunStatus::ResourceExhausted);
   EXPECT_FALSE(RunStatus::resourceExhausted().ok());
+  EXPECT_EQ(RunStatus::faulted("kernel fault").Why, RunStatus::Faulted);
+  EXPECT_FALSE(RunStatus::faulted("kernel fault").ok());
+  EXPECT_NE(RunStatus::faulted("kernel fault").Error.find("kernel fault"),
+            std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
@@ -1240,4 +1246,189 @@ TEST(ServeWatchdogTest, DispatchStallIsCountedAndTheKernelStillCompletes) {
   EXPECT_GE(statsCounter("Serve.DispatchStalls"), 1);
   EXPECT_EQ(statsCounter("Serve.WorkerStalls"), 0);
   EXPECT_EQ(statsCounter("Serve.Submitted"), statsCounter("Serve.Completed"));
+}
+
+//===----------------------------------------------------------------------===//
+// Health-driven brownout: admission sheds Low priority under distress
+//===----------------------------------------------------------------------===//
+
+TEST(ServeBrownoutTest, LowPriorityIsShedUnderDistressUnderEveryPolicy) {
+  for (SchedulerPolicy Policy :
+       {SchedulerPolicy::Fifo, SchedulerPolicy::PriorityLane,
+        SchedulerPolicy::EarliestDeadlineFirst, SchedulerPolicy::FairShare}) {
+    resetStatsCounters();
+    ServerOptions Options;
+    Options.Workers = 1;
+    Options.QueueCapacity = 4;
+    Options.MaxBatch = 1;
+    Options.Policy = BackpressurePolicy::Reject;
+    Options.Scheduling = Policy;
+    // High watermark at half capacity: depth 2 of 4 is distress.
+    Options.BrownoutHighWater = 0.5;
+    Server S(Options);
+    Program Small = makeGemm("i", "j", "k", 8);
+    Kernel K = S.compile(Small);
+
+    // Two plugs: the first absorbs worker start-up; once the second
+    // leaves the queue the single worker is busy for milliseconds, so
+    // the submits below observe the queue depth they created.
+    Kernel Plug = makePlugKernel();
+    OwnedArgs PlugArgs(Plug.program());
+    std::future<RunStatus> PlugDone =
+        S.submit(Plug, Plug.bind(PlugArgs.binding()));
+    waitUntilQueueEmpty(S);
+    Kernel Plug2 = makePlugKernel();
+    OwnedArgs Plug2Args(Plug2.program());
+    std::future<RunStatus> Plug2Done =
+        S.submit(Plug2, Plug2.bind(Plug2Args.binding()));
+    waitUntilQueueEmpty(S);
+
+    // Two queued requests reach the high watermark.
+    std::vector<std::unique_ptr<OwnedArgs>> Owned;
+    std::vector<std::future<RunStatus>> Admitted;
+    for (int I = 0; I < 2; ++I) {
+      Owned.push_back(std::make_unique<OwnedArgs>(Small));
+      Admitted.push_back(S.submit(K, K.bind(Owned.back()->binding())));
+    }
+
+    // Distress: a Low-priority submit is shed at admission...
+    SubmitOptions LowOpts;
+    LowOpts.Prio = Priority::Low;
+    Owned.push_back(std::make_unique<OwnedArgs>(Small));
+    RunStatus Shed =
+        S.submit(K, K.bind(Owned.back()->binding()), LowOpts).get();
+    EXPECT_EQ(Shed.Why, RunStatus::Overloaded);
+    EXPECT_NE(Shed.Error.find("brownout"), std::string::npos);
+
+    // ...while Normal and High priority keep being admitted.
+    for (Priority Prio : {Priority::High, Priority::Normal}) {
+      SubmitOptions SO;
+      SO.Prio = Prio;
+      Owned.push_back(std::make_unique<OwnedArgs>(Small));
+      Admitted.push_back(S.submit(K, K.bind(Owned.back()->binding()), SO));
+    }
+
+    S.drain();
+    EXPECT_TRUE(PlugDone.get().ok());
+    EXPECT_TRUE(Plug2Done.get().ok());
+    for (auto &F : Admitted)
+      EXPECT_TRUE(F.get().ok());
+    EXPECT_GE(statsCounter("Serve.Brownouts"), 1);
+    EXPECT_EQ(statsCounter("Serve.BrownoutSheds"), 1);
+    // The shed is a Rejected outcome: the drain invariant holds.
+    EXPECT_EQ(statsCounter("Serve.Submitted"),
+              statsCounter("Serve.Completed") +
+                  statsCounter("Serve.Rejected") +
+                  statsCounter("Serve.Expired"));
+  }
+}
+
+TEST(ServeBrownoutTest, BrownoutClearsAtTheLowWatermark) {
+  resetStatsCounters();
+  ServerOptions Options;
+  Options.Workers = 1;
+  Options.QueueCapacity = 4;
+  Options.MaxBatch = 1;
+  Options.BrownoutHighWater = 0.5;
+  Server S(Options);
+  Program Small = makeGemm("i", "j", "k", 8);
+  Kernel K = S.compile(Small);
+
+  Kernel Plug = makePlugKernel();
+  OwnedArgs PlugArgs(Plug.program());
+  std::future<RunStatus> PlugDone =
+      S.submit(Plug, Plug.bind(PlugArgs.binding()));
+  waitUntilQueueEmpty(S);
+  Kernel Plug2 = makePlugKernel();
+  OwnedArgs Plug2Args(Plug2.program());
+  std::future<RunStatus> Plug2Done =
+      S.submit(Plug2, Plug2.bind(Plug2Args.binding()));
+  waitUntilQueueEmpty(S);
+
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<std::future<RunStatus>> Admitted;
+  for (int I = 0; I < 2; ++I) {
+    Owned.push_back(std::make_unique<OwnedArgs>(Small));
+    Admitted.push_back(S.submit(K, K.bind(Owned.back()->binding())));
+  }
+  EXPECT_TRUE(S.health().Brownout);
+  EXPECT_FALSE(S.health().healthy());
+
+  // Drained: the depth is back under the low watermark, the brownout
+  // episode is over, and Low priority is admitted again.
+  S.drain();
+  HealthSnapshot After = S.health();
+  EXPECT_FALSE(After.Brownout);
+  EXPECT_TRUE(After.healthy());
+  SubmitOptions LowOpts;
+  LowOpts.Prio = Priority::Low;
+  Owned.push_back(std::make_unique<OwnedArgs>(Small));
+  EXPECT_TRUE(S.submit(K, K.bind(Owned.back()->binding()), LowOpts).get().ok());
+  EXPECT_TRUE(PlugDone.get().ok());
+  EXPECT_TRUE(Plug2Done.get().ok());
+  for (auto &F : Admitted)
+    EXPECT_TRUE(F.get().ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Health snapshot: one structured read of the runtime's vitals
+//===----------------------------------------------------------------------===//
+
+TEST(ServeHealthTest, SnapshotReportsQueuesCountersShardsAndTenants) {
+  resetStatsCounters();
+  ServerOptions Options;
+  Options.Workers = 2;
+  Options.Shards = 2;
+  Options.QueueShards = 2;
+  Options.QueueCapacity = 32;
+  Options.Engine.MemoryBudgetBytes = 64ull << 20;
+  Server S(Options);
+
+  // A fresh server is healthy and idle.
+  HealthSnapshot Fresh = S.health();
+  EXPECT_TRUE(Fresh.healthy());
+  EXPECT_EQ(Fresh.QueueDepth, 0u);
+  EXPECT_EQ(Fresh.QueueDepths.size(), 2u);
+  EXPECT_EQ(Fresh.QueueCapacity, 32u);
+  EXPECT_EQ(Fresh.Shards.size(), 2u);
+  EXPECT_EQ(Fresh.Submitted, 0);
+
+  Program Small = makeGemm("i", "j", "k", 8);
+  Kernel K = S.compile(Small);
+  std::vector<std::unique_ptr<OwnedArgs>> Owned;
+  std::vector<std::future<RunStatus>> Futures;
+  for (int I = 0; I < 12; ++I) {
+    Owned.push_back(std::make_unique<OwnedArgs>(Small));
+    SubmitOptions SO;
+    SO.Tenant = static_cast<uint32_t>(I % 3);
+    Futures.push_back(S.submit(K, K.bind(Owned.back()->binding()), SO));
+  }
+  S.drain();
+  for (auto &F : Futures)
+    EXPECT_TRUE(F.get().ok());
+
+  HealthSnapshot H = S.health();
+  EXPECT_TRUE(H.healthy());
+  EXPECT_EQ(H.Submitted, 12);
+  EXPECT_EQ(H.Submitted, H.Completed + H.Rejected + H.Expired);
+  EXPECT_EQ(H.Quarantined, 0u);
+  EXPECT_GE(H.P99Us, H.P50Us);
+  // Shard rows carry the self-protection vitals: budget accounting and
+  // checkpoint lineage (no DatabasePath here, so generation stays 0).
+  ASSERT_EQ(H.Shards.size(), 2u);
+  for (const HealthSnapshot::ShardRow &Row : H.Shards) {
+    EXPECT_EQ(Row.Quarantined, 0u);
+    EXPECT_EQ(Row.CheckpointGeneration, 0u);
+    EXPECT_EQ(Row.BudgetLimitBytes, 64ull << 20);
+    EXPECT_LE(Row.BudgetUsedBytes, Row.BudgetPeakBytes);
+  }
+  // Tenant rows mirror the per-tenant counters, sorted by id.
+  ASSERT_EQ(H.Tenants.size(), 3u);
+  for (size_t T = 0; T < H.Tenants.size(); ++T) {
+    EXPECT_EQ(H.Tenants[T].Tenant, T);
+    EXPECT_EQ(H.Tenants[T].Submitted, 4);
+    EXPECT_EQ(H.Tenants[T].Submitted, H.Tenants[T].Completed +
+                                          H.Tenants[T].Rejected +
+                                          H.Tenants[T].Expired);
+  }
 }
