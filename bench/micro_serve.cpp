@@ -40,14 +40,22 @@
 // per-tenant admission quota. Light-tenant p99, per-tenant completions,
 // and the Jain fairness index land in the JSON.
 //
+// Online tuning: the naive gemm nest served closed-loop with
+// EngineOptions::OnlineTuning off vs on. The on row warms up until the
+// tuner lane promotes the re-searched plan on measured gain, so its
+// steady-state p50/p99 reflect the hot-swapped plan; every request on
+// both sides of the swap is bit-checked against the synchronous
+// reference, and the swap/rollback counts land in the JSON.
+//
 // Gates: (1) on the binding-bound workload, the prepared-BoundArgs
 // submit path at 1 worker must reach synchronous run(ArgBinding)
 // throughput (>= 1x) — the two paths are sampled interleaved and
 // compared by the median of per-pair ratios, so machine-wide drift
 // cancels; (2) EDF p99 must beat FIFO p99 on the bursty trace;
 // (3) FairShare must keep the flooded light tenant's p99 within 2x its
-// solo baseline. --no-gate records instead of failing (CI runners have
-// unpredictable scheduling).
+// solo baseline; (4) the online-tuning row must promote at least one
+// measured-gain hot-swap. --no-gate records instead of failing (CI
+// runners have unpredictable scheduling).
 //
 // Usage: micro_serve [--no-gate] [output.json]   (default BENCH_serve.json)
 //
@@ -645,6 +653,102 @@ TenantFloodRow floodRound(SchedulerPolicy Policy, const char *Name,
   return Row;
 }
 
+//===----------------------------------------------------------------------===//
+// Online tuning: closed-loop latency with the tuner lane off vs on
+//===----------------------------------------------------------------------===//
+
+struct OnlineTuningRow {
+  const char *Mode = "";
+  double P50Us = 0.0;      ///< Closed-loop request sojourn, steady state.
+  double P99Us = 0.0;
+  int64_t TuneSwaps = 0;   ///< Measured-gain hot-swaps (from health()).
+  int64_t TuneRollbacks = 0;
+};
+
+/// One closed-loop latency row on the naive gemm nest. With \p Tuning
+/// the engine shard's background tuner lane samples every run, and the
+/// warmup phase runs until the re-searched plan (the BLAS-call lift of
+/// the nest — bit-identical accumulation order, far faster) is
+/// hot-swapped in on measured gain; the steady-state measurement then
+/// reflects the promoted plan. Every completed request — warmup
+/// requests straddling the swap included — is bit-checked against a
+/// synchronous reference, so the row doubles as the swap's bit-identity
+/// self-check.
+OnlineTuningRow tuningRound(bool Tuning) {
+  ServerOptions Options;
+  Options.Workers = 1;
+  Options.QueueCapacity = 64;
+  Options.MaxBatch = 8;
+  if (Tuning) {
+    Options.Engine.OnlineTuning.Enable = true;
+    Options.Engine.OnlineTuning.Interval = std::chrono::microseconds(2000);
+    Options.Engine.OnlineTuning.SampleEvery = 1;
+    Options.Engine.OnlineTuning.MinSamples = 8;
+    Options.Engine.OnlineTuning.MinGainPct = 3.0; // A real measured gain.
+  }
+  Server S(Options);
+
+  Program G = makeGemm(64);
+  Kernel K = S.compile(G);
+
+  OwnedArgs Ref(G);
+  if (!Kernel::compile(G).run(Ref.binding()))
+    fail("online-tuning reference run failed");
+
+  // One reusable request slot; gemm accumulates into C, so inputs are
+  // restored element-wise before every submit (never reallocated — the
+  // BoundArgs slot table points into this storage).
+  OwnedArgs Slot(G);
+  const OwnedArgs Init(G);
+  BoundArgs Bound = K.bind(Slot.binding());
+  if (!Bound.ok())
+    fail("online-tuning bind failed");
+
+  auto RunOne = [&]() -> double {
+    for (size_t B = 0; B < Slot.Buffers.size(); ++B)
+      std::copy(Init.Buffers[B].second.begin(), Init.Buffers[B].second.end(),
+                Slot.Buffers[B].second.begin());
+    double T0 = now();
+    RunStatus Status = S.submit(K, Bound).get();
+    double T1 = now();
+    if (!Status.ok())
+      fail("online-tuning request failed");
+    if (Slot.Buffers != Ref.Buffers)
+      fail("online-tuning result diverges from synchronous reference "
+           "(bit-identity across the hot-swap broken)");
+    return T1 - T0;
+  };
+
+  // Warmup. With tuning on, drive traffic until the tuner lane has
+  // measured, probed, and promoted (bounded at ~5 s — the gate below
+  // catches a missing swap).
+  auto SwapsNow = [&]() -> int64_t {
+    HealthSnapshot Health = S.health();
+    return Health.Shards.empty() ? 0 : Health.Shards[0].TuneSwaps;
+  };
+  double WarmupStart = now();
+  do {
+    for (int I = 0; I < 16; ++I)
+      (void)RunOne();
+  } while (Tuning && SwapsNow() < 1 && now() - WarmupStart < 5.0);
+
+  // Steady state.
+  std::vector<double> Sojourns;
+  for (int I = 0; I < 200; ++I)
+    Sojourns.push_back(RunOne());
+
+  OnlineTuningRow Row;
+  Row.Mode = Tuning ? "on" : "off";
+  Row.P50Us = quantileUs(Sojourns, 0.50);
+  Row.P99Us = quantileUs(Sojourns, 0.99);
+  HealthSnapshot Health = S.health();
+  if (!Health.Shards.empty()) {
+    Row.TuneSwaps = Health.Shards[0].TuneSwaps;
+    Row.TuneRollbacks = Health.Shards[0].TuneRollbacks;
+  }
+  return Row;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -804,6 +908,21 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Row.HeavyCompleted),
                 static_cast<unsigned long long>(Row.HeavyShed));
 
+  // Online tuning: the same naive gemm served closed-loop with the
+  // tuner lane off, then on. The on row's warmup runs until the
+  // re-searched bit-identical plan is promoted on measured gain, so its
+  // steady state is the hot-swapped plan; every request either side of
+  // the swap is bit-checked against the synchronous reference.
+  OnlineTuningRow TuneOff = tuningRound(/*Tuning=*/false);
+  OnlineTuningRow TuneOn = tuningRound(/*Tuning=*/true);
+  std::printf("\nonline tuning (gemm 64x64x64, closed loop, 1 worker):\n");
+  for (const OnlineTuningRow *Row : {&TuneOff, &TuneOn})
+    std::printf("  tuning %-4s p50 %7.0f us p99 %7.0f us | swaps %lld "
+                "rollbacks %lld\n",
+                Row->Mode, Row->P50Us, Row->P99Us,
+                static_cast<long long>(Row->TuneSwaps),
+                static_cast<long long>(Row->TuneRollbacks));
+
   if (std::FILE *Json = std::fopen(JsonPath, "w")) {
     std::fprintf(Json, "{\n  \"in_flight\": %d,\n", InFlight);
     std::fprintf(Json, "  \"workloads\": [\n");
@@ -882,12 +1001,28 @@ int main(int Argc, char **Argv) {
                  "  ], \"fairshare_p99_over_solo\": %.3f, "
                  "\"fifo_p99_over_solo\": %.3f},\n",
                  FairBlowup, FifoBlowup);
+    std::fprintf(Json, "  \"online_tuning\": [\n");
+    {
+      const OnlineTuningRow *Rows[] = {&TuneOff, &TuneOn};
+      for (size_t I = 0; I < 2; ++I)
+        std::fprintf(Json,
+                     "     {\"tuning\": \"%s\", \"p50_us\": %.1f, "
+                     "\"p99_us\": %.1f, \"tune_swaps\": %lld, "
+                     "\"tune_rollbacks\": %lld}%s\n",
+                     Rows[I]->Mode, Rows[I]->P50Us, Rows[I]->P99Us,
+                     static_cast<long long>(Rows[I]->TuneSwaps),
+                     static_cast<long long>(Rows[I]->TuneRollbacks),
+                     I + 1 < 2 ? "," : "");
+    }
+    std::fprintf(Json, "  ],\n");
     std::fprintf(Json,
                  "  \"gate\": {\"workload\": \"blend\", "
                  "\"prepared_submit_over_sync\": %.3f, "
                  "\"edf_p99_over_fifo_p99\": %.3f, "
-                 "\"fairshare_light_p99_over_solo\": %.3f}\n}\n",
-                 GateRatio, TailRatio, FairBlowup);
+                 "\"fairshare_light_p99_over_solo\": %.3f, "
+                 "\"online_tuning_swaps\": %lld}\n}\n",
+                 GateRatio, TailRatio, FairBlowup,
+                 static_cast<long long>(TuneOn.TuneSwaps));
     std::fclose(Json);
     std::printf("wrote %s\n", JsonPath);
   } else {
@@ -924,6 +1059,19 @@ int main(int Argc, char **Argv) {
     std::printf("OK: FairShare keeps the flooded light tenant within 2x "
                 "its solo p99 (%.3fx; fifo %.3fx)\n",
                 FairBlowup, FifoBlowup);
+  }
+  if (TuneOn.TuneSwaps < 1) {
+    std::printf("%s: online tuning promoted no plan on measured gain "
+                "(tune_swaps = %lld)\n",
+                Gate ? "FAIL" : "WARN",
+                static_cast<long long>(TuneOn.TuneSwaps));
+    Failed = true;
+  } else {
+    std::printf("OK: online tuning hot-swapped a measured-gain plan "
+                "(swaps %lld, bit-identical across the swap; p99 "
+                "%.0f -> %.0f us)\n",
+                static_cast<long long>(TuneOn.TuneSwaps), TuneOff.P99Us,
+                TuneOn.P99Us);
   }
   return Failed && Gate ? 1 : 0;
 }

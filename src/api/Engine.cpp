@@ -87,11 +87,20 @@ Engine::Engine(EngineOptions Options)
                        : std::make_shared<TransferTuningDatabase>()),
       Eval(Opts.Sim, Opts.Eval), DbMutex(dbMutexFor(Db.get())) {
   loadCheckpointAtConstruction();
+  if (Opts.OnlineTuning.Enable) {
+    Tuner = std::make_unique<OnlineTuner>(*this, Opts.OnlineTuning);
+    Tuner->start();
+  }
   if (!Opts.DatabasePath.empty() && Opts.CheckpointInterval.count() > 0)
     CheckpointThread = std::thread([this] { checkpointLoop(); });
 }
 
 Engine::~Engine() {
+  // The tuner lane first: no cycle may call back into the engine (it
+  // records calibrations) while the rest tears down, and calibrations it
+  // already recorded make it into the final checkpoint below.
+  if (Tuner)
+    Tuner->stop();
   if (CheckpointThread.joinable()) {
     {
       std::lock_guard<std::mutex> Lock(CkptMutex);
@@ -120,21 +129,27 @@ void Engine::loadCheckpointAtConstruction() {
     if (!File.Exists)
       return false;
     std::vector<DatabaseEntry> Entries;
-    if (!File.Valid || !deserializeDatabaseEntries(File.Payload, Entries)) {
+    std::unordered_map<uint64_t, double> Calib;
+    if (!File.Valid ||
+        !deserializeDatabaseEntries(File.Payload, Entries, &Calib)) {
       ++Corrupt;
       return false;
     }
     size_t Before;
     {
       std::lock_guard<std::mutex> Lock(DbMutex);
-      Before = Db->size();
+      Before = Db->size() + Db->calibrationCount();
       for (const DatabaseEntry &E : Entries)
         Db->insert(E);
+      for (const auto &[Key, Scale] : Calib)
+        Db->setCalibration(Key, Scale);
       // When the checkpoint is the database's whole content, remember
-      // its snapshot: the first checkpointNow then recognizes the disk
+      // its snapshots: the first checkpointNow then recognizes the disk
       // as already current instead of rewriting identical bytes.
-      if (Before == 0)
+      if (Before == 0) {
         LastSaved = Db->snapshot();
+        LastSavedCalib = Db->calibrationSnapshot();
+      }
     }
     CkptGeneration = File.Generation;
     addStatsCounter("Engine.RecoveredEntries",
@@ -151,22 +166,26 @@ bool Engine::checkpointNow() {
   if (Opts.DatabasePath.empty())
     return false;
   std::shared_ptr<const std::vector<DatabaseEntry>> Snap;
+  std::shared_ptr<const std::unordered_map<uint64_t, double>> CalibSnap;
   {
     std::lock_guard<std::mutex> Lock(DbMutex);
     Snap = Db->snapshot();
+    CalibSnap = Db->calibrationSnapshot();
   }
   std::lock_guard<std::mutex> Lock(CkptMutex);
   // Pointer equality is a sound unchanged-test: LastSaved keeps the COW
   // vector shared, so any insert since the last save un-shared onto a
-  // new vector and the pointers differ.
-  if (Snap == LastSaved)
+  // new vector and the pointers differ. Same for the calibration map —
+  // a new calibration alone is reason to checkpoint.
+  if (Snap == LastSaved && CalibSnap == LastSavedCalib)
     return false;
-  std::vector<uint8_t> Payload = serializeDatabaseEntries(*Snap);
+  std::vector<uint8_t> Payload = serializeDatabaseEntries(*Snap, *CalibSnap);
   if (!writeCheckpoint(Opts.DatabasePath, Payload.data(), Payload.size(),
                        CkptGeneration + 1, DatabaseFormatVersion))
     return false;
   ++CkptGeneration;
   LastSaved = std::move(Snap);
+  LastSavedCalib = std::move(CalibSnap);
   addStatsCounter("Engine.Checkpoints");
   addStatsCounter("Engine.CheckpointBytes",
                   static_cast<int64_t>(Payload.size()));
@@ -199,6 +218,21 @@ std::shared_ptr<CircuitBreaker> Engine::breakerFor(const Program &Prog) {
   if (!Slot)
     Slot = std::make_shared<CircuitBreaker>(Opts.Quarantine);
   return Slot;
+}
+
+void Engine::drainTuning() {
+  if (Tuner)
+    Tuner->drain();
+}
+
+void Engine::recordCalibration(uint64_t RoutingKey, double Scale) {
+  std::lock_guard<std::mutex> Lock(DbMutex);
+  Db->setCalibration(RoutingKey, Scale);
+}
+
+double Engine::calibrationFor(uint64_t RoutingKey) const {
+  std::lock_guard<std::mutex> Lock(DbMutex);
+  return Db->calibration(RoutingKey);
 }
 
 size_t Engine::quarantinedCount() const {
@@ -281,6 +315,18 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
   // the kernel identity, not one compiled instance, so eviction and
   // recompilation cannot reset an open breaker.
   std::shared_ptr<CircuitBreaker> Breaker = breakerFor(Prog);
+  // Tuning engines give every real compiled kernel a measurement ring;
+  // after the kernel is finished (budget-charged, shared) it is handed
+  // to the tuner under its routing key. Tree-walk fallbacks and
+  // exhausted kernels are never enrolled — registerKernel skips them.
+  auto makeProfile = [&]() -> std::shared_ptr<KernelProfile> {
+    if (!Tuner)
+      return nullptr;
+    ProfileOptions PO;
+    PO.SampleEvery = Opts.OnlineTuning.SampleEvery;
+    PO.RingSize = Opts.OnlineTuning.RingSize;
+    return std::make_shared<KernelProfile>(PO);
+  };
   if (Opts.PlanCacheCapacity == 0) {
     addStatsCounter("Engine.PlanCompiles");
     try {
@@ -289,7 +335,11 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
       (void)DAISY_FAILPOINT("engine.compile");
       auto Impl = std::make_shared<KernelImpl>(Prog, Options);
       Impl->attachBreaker(Breaker);
-      return finishKernel(std::move(Impl), 0);
+      Impl->attachProfile(makeProfile());
+      Kernel K = finishKernel(std::move(Impl), 0);
+      if (Tuner)
+        Tuner->registerKernel(routingKey(Prog), K.Impl);
+      return K;
     } catch (...) {
       if (!Opts.FallbackOnCompileError)
         throw;
@@ -364,6 +414,7 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
       (void)DAISY_FAILPOINT("engine.compile");
       auto Impl = std::make_shared<KernelImpl>(Prog, Options);
       Impl->attachBreaker(Breaker);
+      Impl->attachProfile(makeProfile());
       Kernel K = finishKernel(std::move(Impl), MyClaim);
       // An exhausted kernel is never cached: the next compile of the key
       // retries once budget pressure subsides, mirroring how compile
@@ -371,6 +422,8 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
       // the exhausted kernel — their requests surface ResourceExhausted.
       if (K.isExhausted())
         eraseOwnClaim();
+      else if (Tuner)
+        Tuner->registerKernel(routingKey(Prog), K.Impl);
       Claimed.set_value(std::move(K));
     } catch (...) {
       if (!Opts.FallbackOnCompileError) {

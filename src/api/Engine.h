@@ -43,6 +43,7 @@
 #include "sched/Schedulers.h"
 #include "support/CircuitBreaker.h"
 #include "support/MemoryBudget.h"
+#include "tune/Tuner.h"
 
 #include <chrono>
 #include <condition_variable>
@@ -116,6 +117,15 @@ struct EngineOptions {
   /// after Cooldown. FailureThreshold = 0 disables quarantine (runs
   /// then surface faults as RunStatus::Faulted).
   CircuitBreaker::Options Quarantine;
+  /// Online adaptive tuning (tune/Tuner.h): when Enable is set, every
+  /// Engine-compiled kernel carries a runtime profile sampling measured
+  /// runtimes from live traffic, and a background lane (Interval > 0; or
+  /// explicit OnlineTuner::runCycle calls) calibrates the simulator
+  /// against the measurements, re-runs the scheduling pipeline on the
+  /// hottest kernels, and hot-swaps in candidates that are bit-identical
+  /// AND measurably faster — with automatic rollback when the measured
+  /// probe regresses. Off by default: compiled kernels then pay nothing.
+  OnlineTuningOptions OnlineTuning;
 };
 
 /// Per-call knobs of the tuning entry points.
@@ -215,6 +225,27 @@ public:
   /// reference path.
   size_t quarantinedCount() const;
 
+  /// The online tuner lane (null unless EngineOptions::OnlineTuning
+  /// enabled it). Tests and benchmarks drive deterministic cycles
+  /// through tuner()->runCycle(); serve::Server::health reads
+  /// tuner()->stats().
+  OnlineTuner *tuner() const { return Tuner.get(); }
+
+  /// Blocks until any in-flight tuning cycle completes (no-op without a
+  /// tuner). serve::Server::drain calls this before checkpointNow so the
+  /// checkpoint captures every calibration recorded so far.
+  void drainTuning();
+
+  /// Records the measured/simulated scale factor of \p RoutingKey into
+  /// the tuning database (checkpoint-persisted; see
+  /// TransferTuningDatabase::setCalibration). Called by the tuner lane;
+  /// thread-safe.
+  void recordCalibration(uint64_t RoutingKey, double Scale);
+
+  /// The stored calibration scale of \p RoutingKey (0.0 = never
+  /// calibrated).
+  double calibrationFor(uint64_t RoutingKey) const;
+
   /// The process-wide engine behind the exec-layer free functions
   /// (default options; DAISY_THREADS-resolved plan threading).
   static Engine &shared();
@@ -294,6 +325,14 @@ private:
   bool CkptStop = false;
   uint64_t CkptGeneration = 0;
   std::shared_ptr<const std::vector<DatabaseEntry>> LastSaved;
+  std::shared_ptr<const std::unordered_map<uint64_t, double>> LastSavedCalib;
+
+  /// The online tuner lane (null unless OnlineTuning.Enable). Declared
+  /// late so it is destroyed early; ~Engine additionally stops it first
+  /// thing, before the final checkpoint, so that checkpoint captures
+  /// every calibration the lane recorded.
+  std::unique_ptr<OnlineTuner> Tuner;
+
   std::thread CheckpointThread; ///< Last member: joined first.
 };
 

@@ -143,7 +143,8 @@ private:
 };
 
 class KernelImpl;
-class BoundArgs; // serve/BoundArgs.h: validate-once resolved bindings.
+class BoundArgs;        // serve/BoundArgs.h: validate-once resolved bindings.
+class RunContextLease;  // serve/BoundArgs.h: a lane's sticky run context.
 
 /// Shared handle to an immutable compiled program. Default-constructed
 /// handles are empty (boolean-testable); all other members require a
@@ -224,6 +225,15 @@ public:
   /// dispatch. Defined in serve/BoundArgs.cpp.
   void runBatch(const BoundArgs *const *Args, RunStatus *Statuses,
                 size_t Count) const;
+
+  /// runBatch with lane context affinity: the pooled context is kept in
+  /// \p Lease between calls instead of returned after each batch, so
+  /// consecutive same-kernel batches on one serving lane reuse a warm
+  /// context with no pool round-trip. A lease held for a different
+  /// kernel is transparently returned and re-borrowed. Semantically
+  /// identical to runBatch above. Defined in serve/BoundArgs.cpp.
+  void runBatch(const BoundArgs *const *Args, RunStatus *Statuses,
+                size_t Count, RunContextLease &Lease) const;
 
   /// Identity of the compiled kernel behind this handle (equal tokens ==
   /// same compiled plan and context pool). The serving runtime matches

@@ -24,9 +24,12 @@
 #include "support/FailPoint.h"
 #include "support/MemoryBudget.h"
 #include "support/Statistics.h"
+#include "tune/Profile.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -59,6 +62,34 @@ inline size_t programMemoryBytes(const Program &P) {
     Nodes += programNodeCountForBudget(N);
   return Bytes + Nodes * 256;
 }
+
+/// One hot-swappable compiled alternative of a kernel, produced by the
+/// online tuner (tune/Tuner.h) from a re-scheduled variant of the base
+/// program. Immutable once built: the swap point exchanges whole
+/// versions, never mutates one.
+///
+/// SlotMap translates the base kernel's prepared slot table into this
+/// version's slot order: entry S is the base slot whose caller buffer
+/// backs version array S, or -1 for a version-local transient (scheduling
+/// may introduce scratch arrays the base program never declared). An
+/// empty map means the layouts match index-for-index. The map is built by
+/// the tuner from array *names* exactly once per candidate, which is what
+/// keeps existing BoundArgs valid across a swap — their tables address
+/// base slots, and the version run path remaps on the fly.
+struct PlanVersion {
+  PlanVersion(const Program &P, const PlanOptions &Options,
+              std::vector<int32_t> Map, uint32_t Id)
+      : Prog(P.clone()), Plan(ExecPlan::compile(Prog, Options)),
+        SlotMap(std::move(Map)), Id(Id),
+        MemBytes(sizeof(PlanVersion) + programMemoryBytes(Prog) +
+                 Plan.memoryBytes()) {}
+
+  const Program Prog;
+  const ExecPlan Plan;
+  const std::vector<int32_t> SlotMap;
+  const uint32_t Id;      ///< Profile-sample tag (base plan = 0).
+  const size_t MemBytes;  ///< Budget charge while installed.
+};
 
 /// The shared state behind Kernel handles: the program snapshot, its
 /// compiled plan, and a pool of reusable per-run contexts. The program
@@ -107,6 +138,10 @@ public:
     size_t Bytes = SelfBytes;
     for (const std::unique_ptr<RunContext> &Ctx : Pool)
       Bytes += Ctx->ChargedBytes;
+    if (CurrentV)
+      Bytes += CurrentV->MemBytes;
+    if (PriorV)
+      Bytes += PriorV->MemBytes;
     Budget->release(Bytes);
   }
 
@@ -127,6 +162,15 @@ public:
     RunBreaker = std::move(B);
   }
   CircuitBreaker *breaker() const { return RunBreaker.get(); }
+
+  /// Engine-only, called before the impl is shared: the measurement ring
+  /// the online tuner reads (tune/Profile.h). Kernels without a profile
+  /// — raw Kernel::compile/treeWalk, or tuning disabled — pay nothing on
+  /// the run path.
+  void attachProfile(std::shared_ptr<KernelProfile> P) {
+    Profile = std::move(P);
+  }
+  const KernelProfile *profile() const { return Profile.get(); }
 
   /// Bytes the engine retains for this kernel outside the context pool:
   /// the program snapshot plus the compiled plan. Pool contexts are
@@ -150,6 +194,13 @@ public:
     /// it sits in the pool (0 when unbudgeted or freshly allocated). An
     /// acquired context keeps its charge — it still holds the memory.
     size_t ChargedBytes = 0;
+    /// Hot-swap cache: the plan version this context last resolved, and
+    /// the swap epoch it was resolved at. Steady state (no swap since)
+    /// pays one relaxed atomic epoch load per run instead of a
+    /// shared_ptr atomic_load; the pinned shared_ptr keeps the version
+    /// alive through the run even when the tuner swaps mid-flight.
+    std::shared_ptr<const PlanVersion> Version;
+    uint64_t VersionEpoch = ~0ull;
   };
 
   /// Footprint of one run context's scratch (capacity-based).
@@ -202,6 +253,104 @@ public:
     return Pool.size();
   }
 
+  //===--------------------------------------------------------------------===//
+  // Versioned plan hot-swap (the online tuner's swap point)
+  //
+  // CurrentV is the atomically swappable alternative to the base Plan:
+  // null means "run the base plan" (the only state kernels outside a
+  // tuning engine ever see — they pay one relaxed epoch load per run and
+  // nothing else). The tuner installs a candidate as a *probe* (the prior
+  // version is retained for rollback), then either promotes it (prior
+  // dropped) or rolls back (prior restored) based on measured samples.
+  // Writers serialize on SwapMutex; readers resolve through
+  // resolveVersion() with no lock: the epoch counter is bumped after
+  // every pointer store, so a context re-resolves at most one run late,
+  // and every version it can observe is complete, immutable, and
+  // bit-identity-gated — a stale read is a correct run on the plan that
+  // was current a moment ago.
+  //===--------------------------------------------------------------------===//
+
+  /// The version \p Ctx should execute (null = base plan). Pins the
+  /// returned version in the context across the run.
+  const PlanVersion *resolveVersion(RunContext &Ctx) const {
+    uint64_t E = SwapEpoch.load(std::memory_order_acquire);
+    if (E != Ctx.VersionEpoch) {
+      Ctx.Version = std::atomic_load_explicit(&CurrentV,
+                                              std::memory_order_acquire);
+      Ctx.VersionEpoch = E;
+    }
+    return Ctx.Version.get();
+  }
+
+  /// Current version snapshot (tuner / observability; run paths use
+  /// resolveVersion).
+  std::shared_ptr<const PlanVersion> currentVersion() const {
+    return std::atomic_load_explicit(&CurrentV, std::memory_order_acquire);
+  }
+  uint32_t currentVersionId() const {
+    std::shared_ptr<const PlanVersion> V = currentVersion();
+    return V ? V->Id : 0;
+  }
+
+  /// Claims a fresh, kernel-unique version id (never 0, the base plan).
+  uint32_t claimVersionId() const {
+    return VersionIds.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Installs \p V as the running plan, retaining the previous version
+  /// (possibly the base plan) for rollback. Fails when a probe is
+  /// already in flight or the engine budget cannot hold the version's
+  /// footprint. On success every subsequent run executes \p V.
+  bool installProbe(std::shared_ptr<const PlanVersion> V) const {
+    std::lock_guard<std::mutex> Lock(SwapMutex);
+    if (ProbeActive || !V)
+      return false;
+    if (Budget && !Budget->tryCharge(V->MemBytes))
+      return false;
+    PriorV = std::atomic_load_explicit(&CurrentV, std::memory_order_relaxed);
+    std::atomic_store_explicit(&CurrentV, std::move(V),
+                               std::memory_order_release);
+    ProbeActive = true;
+    SwapEpoch.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+
+  /// Commits the in-flight probe: the candidate stays current and the
+  /// rollback target is dropped (its budget charge released).
+  bool promoteProbe() const {
+    std::lock_guard<std::mutex> Lock(SwapMutex);
+    if (!ProbeActive)
+      return false;
+    if (Budget && PriorV)
+      Budget->release(PriorV->MemBytes);
+    PriorV.reset();
+    ProbeActive = false;
+    return true;
+  }
+
+  /// Reverts the in-flight probe: the prior version (or the base plan)
+  /// becomes current again and the candidate's charge is released.
+  bool rollbackProbe() const {
+    std::lock_guard<std::mutex> Lock(SwapMutex);
+    if (!ProbeActive)
+      return false;
+    std::shared_ptr<const PlanVersion> Candidate =
+        std::atomic_load_explicit(&CurrentV, std::memory_order_relaxed);
+    std::atomic_store_explicit(&CurrentV, PriorV, std::memory_order_release);
+    PriorV.reset();
+    ProbeActive = false;
+    SwapEpoch.fetch_add(1, std::memory_order_release);
+    if (Budget && Candidate)
+      Budget->release(Candidate->MemBytes);
+    return true;
+  }
+
+  /// True while a probe awaits its promote-or-rollback decision.
+  bool probeInFlight() const {
+    std::lock_guard<std::mutex> Lock(SwapMutex);
+    return ProbeActive;
+  }
+
   const Program Prog;
   const ExecPlan Plan;
   const bool TreeWalk = false;
@@ -217,6 +366,20 @@ private:
   /// kernels built outside an Engine). Written once by attachBreaker
   /// before the impl is shared.
   std::shared_ptr<CircuitBreaker> RunBreaker;
+
+  /// Measurement ring (null when the owning Engine has no online tuner).
+  /// Written once by attachProfile before the impl is shared.
+  std::shared_ptr<KernelProfile> Profile;
+
+  /// Hot-swap state. CurrentV/PriorV accessed through the shared_ptr
+  /// atomic free functions; the rest under SwapMutex (writers only — the
+  /// run path never takes it).
+  mutable std::mutex SwapMutex;
+  mutable std::shared_ptr<const PlanVersion> CurrentV;
+  mutable std::shared_ptr<const PlanVersion> PriorV;
+  mutable bool ProbeActive = false;
+  mutable std::atomic<uint64_t> SwapEpoch{0};
+  mutable std::atomic<uint32_t> VersionIds{0};
 
   mutable std::mutex PoolMutex;
   mutable std::vector<std::unique_ptr<RunContext>> Pool;
@@ -332,6 +495,32 @@ inline void runPreparedSlotsOn(const KernelImpl &Impl, const BufferRef *Slots,
                                KernelImpl::RunContext &Ctx) {
   if (Impl.TreeWalk)
     return runTreeWalkSlotsOn(Impl, Slots, Ctx);
+  // Hot-swap dispatch: a non-null resolved version executes instead of
+  // the base plan, remapping the caller's base-slot table through the
+  // version's SlotMap. Base slots that are null (base transients) and
+  // unmapped version slots (-1) are version-managed scratch, zeroed per
+  // run like any transient.
+  if (const PlanVersion *V = Impl.resolveVersion(Ctx)) {
+    const std::vector<ArrayDecl> &Arrays = V->Prog.arrays();
+    Ctx.Slots.resize(Arrays.size());
+    if (Ctx.Transients.size() < Arrays.size())
+      Ctx.Transients.resize(Arrays.size());
+    for (size_t S = 0; S < Arrays.size(); ++S) {
+      int32_t Base = V->SlotMap.empty() ? static_cast<int32_t>(S)
+                                        : V->SlotMap[S];
+      if (Base >= 0 && Slots[Base].Data) {
+        Ctx.Slots[S] = Slots[Base];
+        continue;
+      }
+      assert(Arrays[S].Transient &&
+             "unmapped version slot for a caller-bound array");
+      std::vector<double> &Buf = Ctx.Transients[S];
+      Buf.assign(boundElementCount(Arrays[S]), 0.0);
+      Ctx.Slots[S] = {Buf.data(), Buf.size()};
+    }
+    V->Plan.run(Ctx.Slots.data(), Ctx.Slots.size(), Ctx.Exec);
+    return;
+  }
   const std::vector<ArrayDecl> &Arrays = Impl.Prog.arrays();
   Ctx.Slots.resize(Arrays.size());
   Ctx.Transients.resize(Arrays.size());
@@ -346,6 +535,24 @@ inline void runPreparedSlotsOn(const KernelImpl &Impl, const BufferRef *Slots,
     Ctx.Slots[S] = {Buf.data(), Buf.size()};
   }
   Impl.Plan.run(Ctx.Slots.data(), Ctx.Slots.size(), Ctx.Exec);
+}
+
+/// runPreparedSlotsOn plus the tuner's measurement tap: when a profile is
+/// attached and the 1-in-SampleEvery gate fires, the run is timed and the
+/// (version, nanoseconds) sample recorded into the lock-free ring. The
+/// sampled version id is read from the context's pinned resolve, so a
+/// concurrent swap cannot mislabel the sample.
+inline void runProfiledSlotsOn(const KernelImpl &Impl, const BufferRef *Slots,
+                               KernelImpl::RunContext &Ctx) {
+  const KernelProfile *Prof = Impl.profile();
+  if (!Prof || Impl.TreeWalk || !Prof->shouldSample())
+    return runPreparedSlotsOn(Impl, Slots, Ctx);
+  auto T0 = std::chrono::steady_clock::now();
+  runPreparedSlotsOn(Impl, Slots, Ctx);
+  auto T1 = std::chrono::steady_clock::now();
+  uint64_t Nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count());
+  Prof->record(Ctx.Version ? Ctx.Version->Id : 0, Nanos);
 }
 
 /// Single-run convenience: borrows a pooled context for one prepared run.
@@ -384,7 +591,7 @@ inline RunStatus runGuardedSlotsOn(const KernelImpl &Impl,
     try {
       if (DAISY_FAILPOINT("kernel.run"))
         throw std::runtime_error("injected fault at fail point 'kernel.run'");
-      runPreparedSlotsOn(Impl, Slots, Ctx);
+      runProfiledSlotsOn(Impl, Slots, Ctx);
       return {};
     } catch (const std::exception &E) {
       return RunStatus::faulted(E.what());
@@ -409,7 +616,7 @@ inline RunStatus runGuardedSlotsOn(const KernelImpl &Impl,
   try {
     if (DAISY_FAILPOINT("kernel.run"))
       throw std::runtime_error("injected fault at fail point 'kernel.run'");
-    runPreparedSlotsOn(Impl, Slots, Ctx);
+    runProfiledSlotsOn(Impl, Slots, Ctx);
     Breaker->recordSuccess(G);
     return {};
   } catch (const std::exception &E) {

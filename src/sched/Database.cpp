@@ -20,6 +20,21 @@ void TransferTuningDatabase::insert(DatabaseEntry Entry) {
   Entries->push_back(std::move(Entry));
 }
 
+void TransferTuningDatabase::setCalibration(uint64_t RoutingKey,
+                                            double Scale) {
+  // Same copy-on-write discipline as insert: outstanding calibration
+  // snapshots keep the map they saw.
+  if (Calibration.use_count() > 1)
+    Calibration =
+        std::make_shared<std::unordered_map<uint64_t, double>>(*Calibration);
+  (*Calibration)[RoutingKey] = Scale;
+}
+
+double TransferTuningDatabase::calibration(uint64_t RoutingKey) const {
+  auto It = Calibration->find(RoutingKey);
+  return It == Calibration->end() ? 0.0 : It->second;
+}
+
 const DatabaseEntry *
 TransferTuningDatabase::lookup(const PerformanceEmbedding &Key,
                                uint64_t CanonicalHash,
@@ -58,8 +73,9 @@ TransferTuningDatabase::nearest(const PerformanceEmbedding &Key,
 // Serialization (the payload of api/Engine's checkpoints)
 //===----------------------------------------------------------------------===//
 
-std::vector<uint8_t>
-daisy::serializeDatabaseEntries(const std::vector<DatabaseEntry> &Entries) {
+std::vector<uint8_t> daisy::serializeDatabaseEntries(
+    const std::vector<DatabaseEntry> &Entries,
+    const std::unordered_map<uint64_t, double> &Calibration) {
   ByteWriter W;
   W.u64(Entries.size());
   for (const DatabaseEntry &E : Entries) {
@@ -80,12 +96,26 @@ daisy::serializeDatabaseEntries(const std::vector<DatabaseEntry> &Entries) {
       W.i64(S.Width);
     }
   }
+  // Calibration section (format version 2): key-sorted so identical
+  // state always serializes to identical bytes, making the engine's
+  // pointer-equality unchanged-test an if-and-only-if in practice.
+  std::vector<std::pair<uint64_t, double>> Sorted(Calibration.begin(),
+                                                  Calibration.end());
+  std::sort(Sorted.begin(), Sorted.end());
+  W.u64(Sorted.size());
+  for (const auto &[Key, Scale] : Sorted) {
+    W.u64(Key);
+    W.f64(Scale);
+  }
   return W.take();
 }
 
-bool daisy::deserializeDatabaseEntries(const std::vector<uint8_t> &Payload,
-                                       std::vector<DatabaseEntry> &Out) {
+bool daisy::deserializeDatabaseEntries(
+    const std::vector<uint8_t> &Payload, std::vector<DatabaseEntry> &Out,
+    std::unordered_map<uint64_t, double> *CalibOut) {
   Out.clear();
+  if (CalibOut)
+    CalibOut->clear();
   ByteReader R(Payload);
   uint64_t Count = R.u64();
   // An impossible count (each entry costs well over 16 bytes) fails fast
@@ -133,8 +163,21 @@ bool daisy::deserializeDatabaseEntries(const std::vector<uint8_t> &Payload,
     }
     Out.push_back(std::move(E));
   }
+  uint64_t CalibCount = R.u64();
+  if (!R.ok() || CalibCount > Payload.size() / 16 + 1) {
+    Out.clear();
+    return false;
+  }
+  for (uint64_t I = 0; I < CalibCount && R.ok(); ++I) {
+    uint64_t Key = R.u64();
+    double Scale = R.f64();
+    if (CalibOut)
+      (*CalibOut)[Key] = Scale;
+  }
   if (!R.ok() || !R.atEnd() || Out.size() != Count) {
     Out.clear();
+    if (CalibOut)
+      CalibOut->clear();
     return false;
   }
   return true;

@@ -29,6 +29,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace daisy {
@@ -55,7 +56,9 @@ struct DatabaseEntry {
 class TransferTuningDatabase {
 public:
   TransferTuningDatabase()
-      : Entries(std::make_shared<std::vector<DatabaseEntry>>()) {}
+      : Entries(std::make_shared<std::vector<DatabaseEntry>>()),
+        Calibration(std::make_shared<std::unordered_map<uint64_t, double>>()) {
+  }
 
   /// Inserts an entry. Copy-on-write: when snapshots (or database
   /// copies) share the entry vector, it is cloned first, so existing
@@ -85,30 +88,69 @@ public:
     return Entries;
   }
 
+  //===--------------------------------------------------------------------===//
+  // Simulator calibration (the online tuner's measured-runtime feedback)
+  //
+  // The machine model predicts relative plan quality well but absolute
+  // runtimes poorly; the online tuner (tune/Tuner.h) closes the gap with
+  // one measured scale factor per kernel routing key:
+  // measured-seconds = scale * simulated-seconds for that kernel's
+  // current plan. Stored here — not in the tuner — so Engine checkpoints
+  // persist calibration alongside the entries and a restarted process
+  // resumes with a warmed-up model. Same copy-on-write discipline as the
+  // entries: snapshots are O(1) and immutable, setCalibration un-shares.
+  //===--------------------------------------------------------------------===//
+
+  /// Records (or overwrites) the measured/simulated scale factor of the
+  /// kernel identified by \p RoutingKey.
+  void setCalibration(uint64_t RoutingKey, double Scale);
+
+  /// The stored scale factor, or 0.0 when this kernel was never
+  /// calibrated (0 is impossible for a real measurement).
+  double calibration(uint64_t RoutingKey) const;
+
+  size_t calibrationCount() const { return Calibration->size(); }
+
+  /// Immutable O(1) snapshot of the calibration map, keyed sorted at
+  /// serialization time (the map itself is unordered).
+  std::shared_ptr<const std::unordered_map<uint64_t, double>>
+  calibrationSnapshot() const {
+    return Calibration;
+  }
+
 private:
   /// Never null. Shared with snapshots and database copies; insert
   /// un-shares before mutating.
   std::shared_ptr<std::vector<DatabaseEntry>> Entries;
+  /// Never null. Copy-on-write like Entries.
+  std::shared_ptr<std::unordered_map<uint64_t, double>> Calibration;
 };
 
 /// Version tag of the entry serialization below. Bumped whenever the
 /// byte layout changes; support/Persist rejects checkpoints written
 /// under a different version, so a format change reads as a clean miss
-/// instead of garbage entries.
-constexpr uint32_t DatabaseFormatVersion = 1;
+/// instead of garbage entries. Version 2 appended the calibration
+/// section (sorted routing-key/scale pairs after the entries), so
+/// version-1 checkpoints from older builds read as a clean miss.
+constexpr uint32_t DatabaseFormatVersion = 2;
 
-/// Serializes \p Entries into a self-contained little-endian payload
-/// (checkpointed by api/Engine under EngineOptions::DatabasePath).
-std::vector<uint8_t>
-serializeDatabaseEntries(const std::vector<DatabaseEntry> &Entries);
+/// Serializes \p Entries (and, when given, the simulator \p Calibration
+/// map, emitted key-sorted so identical state always produces identical
+/// bytes) into a self-contained little-endian payload (checkpointed by
+/// api/Engine under EngineOptions::DatabasePath).
+std::vector<uint8_t> serializeDatabaseEntries(
+    const std::vector<DatabaseEntry> &Entries,
+    const std::unordered_map<uint64_t, double> &Calibration = {});
 
-/// Decodes a payload produced by serializeDatabaseEntries into \p Out.
-/// Returns false (leaving \p Out empty) on any structural mismatch —
+/// Decodes a payload produced by serializeDatabaseEntries into \p Out
+/// (and \p CalibOut when the caller wants the calibration section).
+/// Returns false (leaving the outputs empty) on any structural mismatch —
 /// every read is bounds-checked, so a corrupted payload that slipped
 /// past the checksum still cannot produce out-of-bounds reads or
 /// half-decoded entries.
-bool deserializeDatabaseEntries(const std::vector<uint8_t> &Payload,
-                                std::vector<DatabaseEntry> &Out);
+bool deserializeDatabaseEntries(
+    const std::vector<uint8_t> &Payload, std::vector<DatabaseEntry> &Out,
+    std::unordered_map<uint64_t, double> *CalibOut = nullptr);
 
 } // namespace daisy
 

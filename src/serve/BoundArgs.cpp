@@ -54,6 +54,36 @@ RunStatus Kernel::run(const BoundArgs &Args) const {
   return runGuardedSlots(*Impl, Args.Slots.data());
 }
 
+namespace {
+
+/// The shared body of both runBatch forms: \p Count independent guarded
+/// runs on one warm context.
+void runBatchOn(const KernelImpl &Impl, const BoundArgs *const *Args,
+                RunStatus *Statuses, size_t Count,
+                KernelImpl::RunContext &Ctx) {
+  for (size_t I = 0; I < Count; ++I) {
+    const BoundArgs &A = *Args[I];
+    if (!A.ok()) {
+      Statuses[I] = invalidBoundArgsStatus(A);
+      continue;
+    }
+    if (A.kernelToken() != &Impl) {
+      Statuses[I] = staleStatus();
+      continue;
+    }
+    if (Impl.Exhausted) {
+      Statuses[I] = RunStatus::resourceExhausted();
+      continue;
+    }
+    // Same guarded path as single runs: the "kernel.run" fault site and
+    // the breaker fire per request, not per dispatch, so a batch of a
+    // slow or poisoned kernel behaves like its requests submitted alone.
+    Statuses[I] = runGuardedSlotsOn(Impl, A.slots().data(), Ctx);
+  }
+}
+
+} // namespace
+
 void Kernel::runBatch(const BoundArgs *const *Args, RunStatus *Statuses,
                       size_t Count) const {
   assert(Impl && "empty kernel handle");
@@ -63,23 +93,28 @@ void Kernel::runBatch(const BoundArgs *const *Args, RunStatus *Statuses,
   // request (transients are still re-zeroed per request — semantics are
   // exactly Count independent run() calls).
   PooledContext Ctx(*Impl);
-  for (size_t I = 0; I < Count; ++I) {
-    const BoundArgs &A = *Args[I];
-    if (!A.ok()) {
-      Statuses[I] = invalidBoundArgsStatus(A);
-      continue;
-    }
-    if (A.Bound.get() != Impl.get()) {
-      Statuses[I] = staleStatus();
-      continue;
-    }
-    if (Impl->Exhausted) {
-      Statuses[I] = RunStatus::resourceExhausted();
-      continue;
-    }
-    // Same guarded path as single runs: the "kernel.run" fault site and
-    // the breaker fire per request, not per dispatch, so a batch of a
-    // slow or poisoned kernel behaves like its requests submitted alone.
-    Statuses[I] = runGuardedSlotsOn(*Impl, A.Slots.data(), *Ctx);
+  runBatchOn(*Impl, Args, Statuses, Count, *Ctx);
+}
+
+void RunContextLease::reset() {
+  if (Owner && Ctx)
+    Owner->release(std::unique_ptr<KernelImpl::RunContext>(
+        static_cast<KernelImpl::RunContext *>(Ctx)));
+  Owner.reset();
+  Ctx = nullptr;
+}
+
+void Kernel::runBatch(const BoundArgs *const *Args, RunStatus *Statuses,
+                      size_t Count, RunContextLease &Lease) const {
+  assert(Impl && "empty kernel handle");
+  // Lane affinity: keep the borrowed context across dispatches while the
+  // lane stays on one kernel; switch kernels by returning it to its
+  // owner's pool and borrowing from the new one.
+  if (Lease.Owner.get() != Impl.get()) {
+    Lease.reset();
+    Lease.Owner = Impl;
+    Lease.Ctx = Impl->acquire().release();
   }
+  runBatchOn(*Impl, Args, Statuses, Count,
+             *static_cast<KernelImpl::RunContext *>(Lease.Ctx));
 }

@@ -84,7 +84,8 @@ Server::Server(ServerOptions Options)
       CStalls(statsCounterCell("Serve.WorkerStalls")),
       CDispatchStalls(statsCounterCell("Serve.DispatchStalls")),
       CBrownouts(statsCounterCell("Serve.Brownouts")),
-      CBrownoutSheds(statsCounterCell("Serve.BrownoutSheds")) {
+      CBrownoutSheds(statsCounterCell("Serve.BrownoutSheds")),
+      CAffinityHits(statsCounterCell("Serve.ContextAffinityHits")) {
   for (auto &Bucket : DepthHist)
     Bucket.store(0, std::memory_order_relaxed);
   for (auto &Bucket : LatencyHist)
@@ -312,6 +313,13 @@ std::future<RunStatus> Server::submit(const Kernel &K, const ArgBinding &Args,
 void Server::workerLane(int Lane) {
   std::vector<Request> Batch;
   std::vector<Request> Expired;
+  // Lane-local context affinity: the pooled RunContext of the kernel this
+  // lane dispatched last stays borrowed in the lease across batches, so a
+  // lane riding one hot kernel (micro-batching groups by kernel token)
+  // reuses a warm context with no pool mutex round-trip
+  // ("Serve.ContextAffinityHits"). Destroyed at lane exit, which returns
+  // the context to its kernel's pool.
+  RunContextLease Lease;
   const size_t NumQ = Queues.size();
   const size_t Home = static_cast<size_t>(Lane) % NumQ;
   const size_t MaxB = std::max<size_t>(Opts.MaxBatch, 1);
@@ -376,7 +384,7 @@ void Server::workerLane(int Lane) {
       // between pop and dispatch — the window in which deadlines lapse
       // and other lanes must pick up the slack.
       (void)DAISY_FAILPOINT("serve.worker");
-      dispatchBatch(Batch);
+      dispatchBatch(Batch, Lease);
       continue;
     }
 
@@ -406,7 +414,7 @@ void Server::workerLane(int Lane) {
       Slot->DispatchStallCounted = false;
       Slot->Epoch.fetch_add(1, std::memory_order_relaxed);
     }
-    dispatchBatch(Batch);
+    dispatchBatch(Batch, Lease);
     {
       std::lock_guard<std::mutex> Lock(Slot->M);
       Slot->Dispatching = false;
@@ -415,7 +423,8 @@ void Server::workerLane(int Lane) {
   }
 }
 
-void Server::dispatchBatch(std::vector<Request> &Batch) {
+void Server::dispatchBatch(std::vector<Request> &Batch,
+                           RunContextLease &Lease) {
   size_t B = Batch.size();
   if (B > 1)
     CBatchedRuns.fetch_add(static_cast<int64_t>(B), std::memory_order_relaxed);
@@ -438,9 +447,13 @@ void Server::dispatchBatch(std::vector<Request> &Batch) {
     }
   }
   if (!Grouped.empty()) {
+    const Kernel &K = Batch[Grouped.front()].K;
+    // Affinity hit: the lease already holds this kernel's context from
+    // the previous dispatch — runBatch reuses it warm, no pool traffic.
+    if (Lease.kernelToken() == K.token())
+      CAffinityHits.fetch_add(1, std::memory_order_relaxed);
     std::vector<RunStatus> GroupStatuses(Grouped.size());
-    Batch[Grouped.front()].K.runBatch(GroupArgs.data(), GroupStatuses.data(),
-                                      Grouped.size());
+    K.runBatch(GroupArgs.data(), GroupStatuses.data(), Grouped.size(), Lease);
     for (size_t J = 0; J < Grouped.size(); ++J)
       Statuses[Grouped[J]] = std::move(GroupStatuses[J]);
   }
@@ -533,8 +546,12 @@ void Server::drain() {
   // Quiescent point: everything admitted has completed, so the databases
   // are as consistent as they get — persist any shard that changed.
   // No-op for shards without a DatabasePath or with unchanged entries.
-  for (auto &Shard : Shards)
+  // Tuning cycles are drained first so a calibration recorded by an
+  // in-flight cycle makes this checkpoint instead of the next one.
+  for (auto &Shard : Shards) {
+    Shard->drainTuning();
     (void)Shard->checkpointNow();
+  }
 }
 
 bool Server::brownoutGate() {
@@ -585,6 +602,14 @@ HealthSnapshot Server::health() {
     Row.BudgetUsedBytes = Shard->memoryBytesUsed();
     Row.BudgetPeakBytes = Shard->memoryBytesPeak();
     Row.BudgetLimitBytes = Shard->options().MemoryBudgetBytes;
+    if (const OnlineTuner *T = Shard->tuner()) {
+      OnlineTuner::Stats S = T->stats();
+      Row.TuningEnabled = S.Enabled;
+      Row.TuneTracked = S.Tracked;
+      Row.TuneProbesInFlight = S.ProbesInFlight;
+      Row.TuneSwaps = S.Swaps;
+      Row.TuneRollbacks = S.Rollbacks;
+    }
     H.Quarantined += Row.Quarantined;
     H.Shards.push_back(Row);
   }

@@ -172,6 +172,12 @@ struct HealthSnapshot {
     size_t BudgetUsedBytes = 0;  ///< Engine-retained memory right now.
     size_t BudgetPeakBytes = 0;  ///< High-water mark.
     size_t BudgetLimitBytes = 0; ///< 0 = unlimited.
+    /// Online tuner view (EngineOptions::OnlineTuning; zeros when off).
+    bool TuningEnabled = false;
+    size_t TuneTracked = 0;       ///< Kernels under measurement.
+    size_t TuneProbesInFlight = 0;///< Candidates awaiting a decision.
+    int64_t TuneSwaps = 0;        ///< Promoted (measured-gain) hot-swaps.
+    int64_t TuneRollbacks = 0;    ///< Probes reverted on regression.
   };
   std::vector<size_t> QueueDepths; ///< Per queue shard, at snapshot time.
   size_t QueueDepth = 0;           ///< Sum of QueueDepths.
@@ -332,7 +338,7 @@ private:
 
   void workerLane(int Lane);
   void watchdogLoop();
-  void dispatchBatch(std::vector<Request> &Batch);
+  void dispatchBatch(std::vector<Request> &Batch, RunContextLease &Lease);
   void finishMany(uint64_t N);
   void recordLatency(TimePoint EnqueuedAt, TimePoint Now);
   TenantCounters &tenantCounters(uint32_t Tenant);
@@ -351,7 +357,7 @@ private:
   /// under the registry mutex per request.
   std::atomic<int64_t> &CSubmitted, &CCompleted, &CRejected, &CExpired,
       &CRetries, &CBatchedRuns, &CDepthMax, &CStolen, &CStalls,
-      &CDispatchStalls, &CBrownouts, &CBrownoutSheds;
+      &CDispatchStalls, &CBrownouts, &CBrownoutSheds, &CAffinityHits;
 
   /// Brownout watermarks resolved to absolute depths at construction
   /// (0 = brownout disabled), and the gate's sticky state.

@@ -1,0 +1,98 @@
+//===- tune/Profile.cpp ---------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tune/Profile.h"
+
+#include <algorithm>
+
+using namespace daisy;
+
+namespace {
+
+constexpr uint64_t NanosMask = (1ull << 48) - 1;
+
+uint64_t packSample(uint32_t Version, uint64_t Nanos) {
+  uint64_t Payload = std::min<uint64_t>(Nanos, NanosMask - 1) + 1;
+  return (static_cast<uint64_t>(Version & 0xFFFF) << 48) | Payload;
+}
+
+/// Rank statistic over a sorted sample vector (nearest-rank; exact for
+/// the small windows the ring holds).
+double quantileUs(const std::vector<uint64_t> &SortedNanos, double Q) {
+  if (SortedNanos.empty())
+    return 0.0;
+  size_t Rank = static_cast<size_t>(Q * static_cast<double>(
+                                            SortedNanos.size() - 1));
+  return static_cast<double>(SortedNanos[Rank]) / 1000.0;
+}
+
+} // namespace
+
+KernelProfile::KernelProfile(ProfileOptions Options)
+    : SampleEvery(std::max<uint32_t>(Options.SampleEvery, 1)),
+      RingSize(std::max<uint32_t>(Options.RingSize, 16)),
+      Ring(new std::atomic<uint64_t>[RingSize]) {
+  for (uint32_t I = 0; I < RingSize; ++I)
+    Ring[I].store(0, std::memory_order_relaxed);
+}
+
+void KernelProfile::record(uint32_t Version, uint64_t Nanos) const {
+  uint64_t Slot = Head.fetch_add(1, std::memory_order_relaxed) % RingSize;
+  Ring[Slot].store(packSample(Version, Nanos), std::memory_order_relaxed);
+  Recorded.fetch_add(1, std::memory_order_relaxed);
+  TotalNanos.fetch_add(Nanos, std::memory_order_relaxed);
+}
+
+KernelProfile::Snapshot KernelProfile::snapshot() const {
+  Snapshot S;
+  S.SampledCount = Recorded.load(std::memory_order_relaxed);
+  S.SampledTotalUs = sampledTotalUs();
+  // Per-version nanosecond samples collected from one ring pass. The
+  // version population is tiny (base + the handful of probes a kernel
+  // ever sees), so a flat search per sample beats a map.
+  std::vector<uint32_t> Ids;
+  std::vector<std::vector<uint64_t>> Samples;
+  for (uint32_t I = 0; I < RingSize; ++I) {
+    uint64_t Cell = Ring[I].load(std::memory_order_relaxed);
+    if (Cell == 0)
+      continue; // Never written.
+    uint32_t Version = static_cast<uint32_t>(Cell >> 48);
+    uint64_t Nanos = (Cell & NanosMask) - 1;
+    size_t Idx = Ids.size();
+    for (size_t J = 0; J < Ids.size(); ++J)
+      if (Ids[J] == Version) {
+        Idx = J;
+        break;
+      }
+    if (Idx == Ids.size()) {
+      Ids.push_back(Version);
+      Samples.emplace_back();
+    }
+    Samples[Idx].push_back(Nanos);
+    ++S.WindowCount;
+    S.WindowTotalUs += static_cast<double>(Nanos) / 1000.0;
+  }
+  for (size_t J = 0; J < Ids.size(); ++J) {
+    std::vector<uint64_t> &Nanos = Samples[J];
+    std::sort(Nanos.begin(), Nanos.end());
+    VersionStats V;
+    V.Version = Ids[J];
+    V.Count = Nanos.size();
+    uint64_t Total = 0;
+    for (uint64_t N : Nanos)
+      Total += N;
+    V.TotalUs = static_cast<double>(Total) / 1000.0;
+    V.MeanUs = V.TotalUs / static_cast<double>(V.Count);
+    V.P50Us = quantileUs(Nanos, 0.5);
+    V.P99Us = quantileUs(Nanos, 0.99);
+    S.Versions.push_back(V);
+  }
+  std::sort(S.Versions.begin(), S.Versions.end(),
+            [](const VersionStats &A, const VersionStats &B) {
+              return A.Version < B.Version;
+            });
+  return S;
+}
