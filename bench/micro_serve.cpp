@@ -47,6 +47,15 @@
 // both sides of the swap is bit-checked against the synchronous
 // reference, and the swap/rollback counts land in the JSON.
 //
+// Observability: the flight recorder's (obs/Trace.h) cost on the gemm
+// sync column, measured three ways per interleaved round — baseline
+// (uninstrumented), recorder off (each run wrapped in a trace site whose
+// disabled gate is one relaxed load), recorder on (each run emits one
+// Complete event into the lock-free ring). Per-request p50/p99 for all
+// three land in the JSON, plus one Prometheus scrape of a served round
+// (Server::metricsText) written next to the JSON as
+// <output>_metrics.prom for CI to upload.
+//
 // Gates: (1) on the binding-bound workload, the prepared-BoundArgs
 // submit path at 1 worker must reach synchronous run(ArgBinding)
 // throughput (>= 1x) — the two paths are sampled interleaved and
@@ -54,7 +63,9 @@
 // cancels; (2) EDF p99 must beat FIFO p99 on the bursty trace;
 // (3) FairShare must keep the flooded light tenant's p99 within 2x its
 // solo baseline; (4) the online-tuning row must promote at least one
-// measured-gain hot-swap. --no-gate records instead of failing (CI
+// measured-gain hot-swap; (5) recorder-on p50 must stay within 5% of
+// recorder-off on the gemm sync column, and recorder-off within 5% of
+// the uninstrumented baseline. --no-gate records instead of failing (CI
 // runners have unpredictable scheduling).
 //
 // Usage: micro_serve [--no-gate] [output.json]   (default BENCH_serve.json)
@@ -64,6 +75,8 @@
 #include "serve/Server.h"
 
 #include "ir/Builder.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
 
@@ -317,7 +330,7 @@ void printWorkload(const WorkloadResult &R) {
 /// One synthetic request class in the trace mix.
 enum class ReqClass { Tiny, Mid, Heavy };
 
-struct TraceEvent {
+struct ReqEvent {
   ReqClass Class = ReqClass::Tiny;
   uint64_t GapUs = 0;    ///< Idle time before this submit.
   bool Tight = false;    ///< Tiny request with a 500us budget.
@@ -347,9 +360,9 @@ uint64_t expGapUs(Rng &R, double MeanUs) {
 /// A seeded bursty trace: Poisson-sized bursts of back-to-back submits
 /// separated by exponential idle gaps, drawing a heavy-tailed class mix
 /// (~85% tiny blends, ~10% mid gemms, ~5% multi-millisecond heavy gemms).
-std::vector<TraceEvent> makeTrace(uint64_t Seed, size_t Count) {
+std::vector<ReqEvent> makeTrace(uint64_t Seed, size_t Count) {
   Rng Bursts(deriveSeed(Seed, 1)), Mix(deriveSeed(Seed, 2));
-  std::vector<TraceEvent> Trace;
+  std::vector<ReqEvent> Trace;
   while (Trace.size() < Count) {
     // Near-critical load: bursts arrive slightly slower than the worker
     // drains them, so the queue empties between bursts and the tail is
@@ -358,7 +371,7 @@ std::vector<TraceEvent> makeTrace(uint64_t Seed, size_t Count) {
     uint64_t Burst = 1 + poisson(Bursts, 7.0);
     uint64_t Gap = 200 + expGapUs(Bursts, 2000.0);
     for (uint64_t I = 0; I < Burst && Trace.size() < Count; ++I) {
-      TraceEvent E;
+      ReqEvent E;
       E.GapUs = I == 0 ? Gap : 0;
       double Draw = Mix.nextDouble();
       E.Class = Draw < 0.85   ? ReqClass::Tiny
@@ -399,7 +412,7 @@ double quantileUs(std::vector<double> &Sojourns, double Q) {
 /// trade, not a ranking), and client-observed sojourn quantiles of the
 /// deadlined tiny class (a poller thread stamps each future as it
 /// becomes ready) — the metric the policies compete on.
-TailRow replayTrace(const std::vector<TraceEvent> &Trace,
+TailRow replayTrace(const std::vector<ReqEvent> &Trace,
                     SchedulerPolicy Policy, const char *Name) {
   ServerOptions Options;
   Options.Workers = 1;
@@ -434,7 +447,7 @@ TailRow replayTrace(const std::vector<TraceEvent> &Trace,
         : Class(Class), Args(Prog), Bound(K.bind(Args.binding())) {}
   };
   std::vector<std::unique_ptr<Slot>> Slots;
-  for (const TraceEvent &E : Trace) {
+  for (const ReqEvent &E : Trace) {
     const Program &Prog = E.Class == ReqClass::Tiny  ? TinyProg
                           : E.Class == ReqClass::Mid ? MidProg
                                                      : HeavyProg;
@@ -471,7 +484,7 @@ TailRow replayTrace(const std::vector<TraceEvent> &Trace,
   });
 
   for (size_t I = 0; I < Trace.size(); ++I) {
-    const TraceEvent &E = Trace[I];
+    const ReqEvent &E = Trace[I];
     if (E.GapUs)
       std::this_thread::sleep_for(std::chrono::microseconds(E.GapUs));
     const Kernel &K = E.Class == ReqClass::Tiny  ? Tiny
@@ -749,6 +762,42 @@ OnlineTuningRow tuningRound(bool Tuning) {
   return Row;
 }
 
+//===----------------------------------------------------------------------===//
+// Observability: flight-recorder overhead on the gemm sync column
+//===----------------------------------------------------------------------===//
+
+/// Per-request sojourns of \p Iters sync gemm runs. With \p Instrument
+/// each run is wrapped in a trace site the way the runtime instruments
+/// its own hot paths — name id pre-resolved, so a disabled recorder
+/// costs one relaxed load per request and an enabled one costs two
+/// timestamps plus a single Complete-event ring write. Uninstrumented
+/// (\p Instrument false) is the baseline the recorder-off rows are
+/// compared against.
+std::vector<double> obsRound(Kernel &K, BoundArgs &Args, bool Instrument,
+                             uint16_t NameId, int Iters) {
+  TraceRecorder &TR = TraceRecorder::instance();
+  std::vector<double> Sojourns;
+  Sojourns.reserve(static_cast<size_t>(Iters));
+  for (int I = 0; I < Iters; ++I) {
+    double T0 = now();
+    if (Instrument) {
+      // One relaxed load is all a disabled site pays.
+      if (TR.enabled()) {
+        uint64_t StartNs = TR.nowNs();
+        K.run(Args);
+        TR.emitComplete(TraceCategory::Bench, NameId, StartNs,
+                        TR.nowNs() - StartNs);
+      } else {
+        K.run(Args);
+      }
+    } else {
+      K.run(Args);
+    }
+    Sojourns.push_back(now() - T0);
+  }
+  return Sojourns;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -804,7 +853,7 @@ int main(int Argc, char **Argv) {
   // rounds per policy, keeping each policy's best round — transient
   // machine noise (the usual CI hazard) inflates a round, never
   // deflates one.
-  std::vector<TraceEvent> Trace = makeTrace(/*Seed=*/42, /*Count=*/400);
+  std::vector<ReqEvent> Trace = makeTrace(/*Seed=*/42, /*Count=*/400);
   constexpr int Rounds = 3;
   TailRow Tails[3];
   const SchedulerPolicy Policies[3] = {SchedulerPolicy::Fifo,
@@ -923,6 +972,75 @@ int main(int Argc, char **Argv) {
                 static_cast<long long>(Row->TuneSwaps),
                 static_cast<long long>(Row->TuneRollbacks));
 
+  // Observability: what the flight recorder costs on the gemm sync
+  // column. Each round samples baseline (uninstrumented), recorder-off
+  // (disabled trace site), and recorder-on (one Complete event per run)
+  // back to back; medians of per-round p50 ratios cancel machine-wide
+  // drift the same way the throughput gate does. Under DAISY_TRACE the
+  // recorder arrived enabled — its state is restored afterwards.
+  TraceRecorder &TR = TraceRecorder::instance();
+  const bool TraceWasOn = TR.enabled();
+  const uint16_t ObsName = traceNameId("bench.gemm_sync");
+  Kernel ObsK = Kernel::compile(Gemm);
+  OwnedArgs ObsArgs(Gemm);
+  BoundArgs ObsBound = ObsK.bind(ObsArgs.binding());
+  if (!ObsBound.ok())
+    fail("observability bind failed");
+  constexpr int ObsIters = 64, ObsRounds = 7;
+  std::vector<double> ObsBase, ObsOff, ObsOn, OnOverOff, OffOverBase;
+  (void)obsRound(ObsK, ObsBound, false, ObsName, ObsIters); // Warm caches.
+  for (int Round = 0; Round < ObsRounds; ++Round) {
+    TR.disable();
+    std::vector<double> Base =
+        obsRound(ObsK, ObsBound, false, ObsName, ObsIters);
+    std::vector<double> Off =
+        obsRound(ObsK, ObsBound, true, ObsName, ObsIters);
+    TR.enable(TR.capacity());
+    std::vector<double> On = obsRound(ObsK, ObsBound, true, ObsName, ObsIters);
+    OnOverOff.push_back(quantileUs(On, 0.50) / quantileUs(Off, 0.50));
+    OffOverBase.push_back(quantileUs(Off, 0.50) / quantileUs(Base, 0.50));
+    ObsBase.insert(ObsBase.end(), Base.begin(), Base.end());
+    ObsOff.insert(ObsOff.end(), Off.begin(), Off.end());
+    ObsOn.insert(ObsOn.end(), On.begin(), On.end());
+  }
+  double ObsOnOverOff = median(OnOverOff);
+  double ObsOffOverBase = median(OffOverBase);
+  std::printf("\nobservability (gemm 64x64x64 sync, %d requests per row; "
+              "us):\n",
+              ObsIters * ObsRounds);
+  struct {
+    const char *Tracing;
+    std::vector<double> *Sojourns;
+  } ObsRows[3] = {{"baseline", &ObsBase}, {"off", &ObsOff}, {"on", &ObsOn}};
+  for (auto &Row : ObsRows)
+    std::printf("  recorder %-8s p50 %7.0f us p99 %7.0f us\n", Row.Tracing,
+                quantileUs(*Row.Sojourns, 0.50),
+                quantileUs(*Row.Sojourns, 0.99));
+  std::printf("  on/off p50 %.3fx, off/baseline p50 %.3fx (medians of %d "
+              "interleaved rounds)\n",
+              ObsOnOverOff, ObsOffOverBase, ObsRounds);
+
+  // One served round with the recorder on: serve-stage spans land in any
+  // DAISY_TRACE capture, and the server's scrape becomes the Prometheus
+  // artifact CI uploads next to the JSON.
+  AsyncHarness ObsServe(Gemm, /*Workers=*/1, /*MaxBatch=*/8);
+  ObsServe.round();
+  std::string MetricsPath = JsonPath;
+  if (MetricsPath.size() >= 5 &&
+      MetricsPath.compare(MetricsPath.size() - 5, 5, ".json") == 0)
+    MetricsPath.erase(MetricsPath.size() - 5);
+  MetricsPath += "_metrics.prom";
+  if (std::FILE *Prom = std::fopen(MetricsPath.c_str(), "w")) {
+    std::string Text = ObsServe.S.metricsText();
+    std::fwrite(Text.data(), 1, Text.size(), Prom);
+    std::fclose(Prom);
+    std::printf("wrote %s\n", MetricsPath.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", MetricsPath.c_str());
+  }
+  if (!TraceWasOn)
+    TR.disable();
+
   if (std::FILE *Json = std::fopen(JsonPath, "w")) {
     std::fprintf(Json, "{\n  \"in_flight\": %d,\n", InFlight);
     std::fprintf(Json, "  \"workloads\": [\n");
@@ -1016,13 +1134,29 @@ int main(int Argc, char **Argv) {
     }
     std::fprintf(Json, "  ],\n");
     std::fprintf(Json,
+                 "  \"observability\": {\"workload\": \"gemm sync\", "
+                 "\"requests_per_row\": %d, \"rows\": [\n",
+                 ObsIters * ObsRounds);
+    for (size_t I = 0; I < 3; ++I)
+      std::fprintf(Json,
+                   "     {\"tracing\": \"%s\", \"p50_us\": %.1f, "
+                   "\"p99_us\": %.1f}%s\n",
+                   ObsRows[I].Tracing, quantileUs(*ObsRows[I].Sojourns, 0.50),
+                   quantileUs(*ObsRows[I].Sojourns, 0.99),
+                   I + 1 < 3 ? "," : "");
+    std::fprintf(Json,
+                 "  ], \"on_p50_over_off_p50\": %.3f, "
+                 "\"off_p50_over_baseline_p50\": %.3f},\n",
+                 ObsOnOverOff, ObsOffOverBase);
+    std::fprintf(Json,
                  "  \"gate\": {\"workload\": \"blend\", "
                  "\"prepared_submit_over_sync\": %.3f, "
                  "\"edf_p99_over_fifo_p99\": %.3f, "
                  "\"fairshare_light_p99_over_solo\": %.3f, "
-                 "\"online_tuning_swaps\": %lld}\n}\n",
+                 "\"online_tuning_swaps\": %lld, "
+                 "\"tracing_on_p50_over_off_p50\": %.3f}\n}\n",
                  GateRatio, TailRatio, FairBlowup,
-                 static_cast<long long>(TuneOn.TuneSwaps));
+                 static_cast<long long>(TuneOn.TuneSwaps), ObsOnOverOff);
     std::fclose(Json);
     std::printf("wrote %s\n", JsonPath);
   } else {
@@ -1072,6 +1206,26 @@ int main(int Argc, char **Argv) {
                 "%.0f -> %.0f us)\n",
                 static_cast<long long>(TuneOn.TuneSwaps), TuneOff.P99Us,
                 TuneOn.P99Us);
+  }
+  if (ObsOnOverOff > 1.05) {
+    std::printf("%s: recorder-on p50 more than 5%% above recorder-off on "
+                "the gemm sync column (%.3fx)\n",
+                Gate ? "FAIL" : "WARN", ObsOnOverOff);
+    Failed = true;
+  } else {
+    std::printf("OK: flight recorder on costs <= 5%% p50 on the gemm sync "
+                "column (%.3fx vs off)\n",
+                ObsOnOverOff);
+  }
+  if (ObsOffOverBase > 1.05) {
+    std::printf("%s: disabled trace site p50 more than 5%% above the "
+                "uninstrumented baseline (%.3fx)\n",
+                Gate ? "FAIL" : "WARN", ObsOffOverBase);
+    Failed = true;
+  } else {
+    std::printf("OK: disabled trace site is free on the gemm sync column "
+                "(%.3fx vs baseline)\n",
+                ObsOffOverBase);
   }
   return Failed && Gate ? 1 : 0;
 }

@@ -8,6 +8,7 @@
 
 #include "api/KernelImpl.h"
 #include "ir/StructuralHash.h"
+#include "obs/Trace.h"
 #include "support/FailPoint.h"
 #include "support/Hashing.h"
 #include "support/Persist.h"
@@ -179,6 +180,10 @@ bool Engine::checkpointNow() {
   // a new calibration alone is reason to checkpoint.
   if (Snap == LastSaved && CalibSnap == LastSavedCalib)
     return false;
+  // Only real checkpoint work is a span — the unchanged-test early-out
+  // above fires every idle checkpoint interval and stays silent.
+  TraceSpan CkptSpan(TraceCategory::Engine, "engine.checkpoint",
+                     CkptGeneration + 1);
   std::vector<uint8_t> Payload = serializeDatabaseEntries(*Snap, *CalibSnap);
   if (!writeCheckpoint(Opts.DatabasePath, Payload.data(), Payload.size(),
                        CkptGeneration + 1, DatabaseFormatVersion))
@@ -329,6 +334,7 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
   };
   if (Opts.PlanCacheCapacity == 0) {
     addStatsCounter("Engine.PlanCompiles");
+    TraceSpan CompileSpan(TraceCategory::Engine, "engine.compile");
     try {
       // Fault site "engine.compile": an armed Throw stands in for any
       // real plan-compilation failure.
@@ -344,6 +350,7 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
       if (!Opts.FallbackOnCompileError)
         throw;
       addStatsCounter("Engine.CompileFallbacks");
+      traceInstant(TraceCategory::Engine, "engine.compile_fallback");
       auto Impl =
           std::make_shared<KernelImpl>(KernelImpl::TreeWalkTag{}, Prog);
       Impl->attachBreaker(std::move(Breaker));
@@ -396,7 +403,14 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
       CompileHere = true;
     }
   }
+  // Cache verdict instants outside the lock: the instant does not extend
+  // the critical section, and a trace filtered to the engine category
+  // reads as a hit/miss stream with compile spans at the misses.
+  traceInstant(TraceCategory::Engine,
+               CompileHere ? "engine.plan_cache_miss" : "engine.plan_cache_hit",
+               Key);
   if (CompileHere) {
+    TraceSpan CompileSpan(TraceCategory::Engine, "engine.compile", Key);
     // A failed compile must not poison the cache either way: erase only
     // this thread's own claim — the entry at Key may meanwhile be a
     // different claimant's (ours evicted, key re-claimed).
@@ -440,6 +454,7 @@ Kernel Engine::compile(const Program &Prog, const PlanOptions &Options) {
         // The fallback is budget-accounted like any kernel and may
         // itself come back exhausted (finishKernel never throws).
         addStatsCounter("Engine.CompileFallbacks");
+        traceInstant(TraceCategory::Engine, "engine.compile_fallback", Key);
         eraseOwnClaim();
         auto Impl =
             std::make_shared<KernelImpl>(KernelImpl::TreeWalkTag{}, Prog);

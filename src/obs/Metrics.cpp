@@ -1,0 +1,145 @@
+//===- obs/Metrics.cpp ----------------------------------------------------==//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Statistics.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace daisy;
+
+MetricsSnapshot daisy::snapshotMetrics() {
+  MetricsSnapshot Snap;
+  Snap.Counters = snapshotStatsCounters();
+  return Snap;
+}
+
+std::string daisy::prometheusMetricName(const std::string &DottedName) {
+  std::string Out = "daisy_";
+  bool PrevLower = false; // Lowercase/digit run in progress: a following
+                          // uppercase letter starts a new word.
+  bool PrevUpper = false; // Uppercase run in progress: an acronym; break
+                          // only when it ends ("EDFQueue" -> edf_queue).
+  for (size_t I = 0; I < DottedName.size(); ++I) {
+    unsigned char Ch = static_cast<unsigned char>(DottedName[I]);
+    if (Ch == '.') {
+      Out += '_';
+      PrevLower = PrevUpper = false;
+    } else if (std::isupper(Ch)) {
+      bool NextIsLower = I + 1 < DottedName.size() &&
+                         std::islower(static_cast<unsigned char>(
+                             DottedName[I + 1]));
+      if ((PrevLower || (PrevUpper && NextIsLower)) && Out.back() != '_')
+        Out += '_';
+      Out += static_cast<char>(std::tolower(Ch));
+      PrevUpper = true;
+      PrevLower = false;
+    } else if (std::islower(Ch) || std::isdigit(Ch)) {
+      Out += static_cast<char>(Ch);
+      PrevLower = true;
+      PrevUpper = false;
+    } else {
+      Out += '_';
+      PrevLower = PrevUpper = false;
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Prometheus "le" label / JSON value for an upper bound: integral bounds
+/// print exactly ("2", "4096"), +inf prints "+Inf".
+std::string formatBound(double Bound) {
+  if (std::isinf(Bound))
+    return "+Inf";
+  char Buf[64];
+  if (Bound == std::floor(Bound) && std::fabs(Bound) < 1e15)
+    std::snprintf(Buf, sizeof(Buf), "%.0f", Bound);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%g", Bound);
+  return Buf;
+}
+
+std::string formatDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string daisy::metricsToPrometheus(const MetricsSnapshot &Snapshot) {
+  std::ostringstream OS;
+  for (const auto &[Name, Value] : Snapshot.Counters) {
+    std::string P = prometheusMetricName(Name);
+    OS << "# HELP " << P << " daisy counter " << Name << "\n";
+    OS << "# TYPE " << P << " gauge\n";
+    OS << P << ' ' << Value << "\n";
+  }
+  for (const MetricHistogramSnapshot &H : Snapshot.Histograms) {
+    std::string P = prometheusMetricName(H.Name);
+    OS << "# HELP " << P << ' ' << (H.Help.empty() ? H.Name : H.Help) << "\n";
+    OS << "# TYPE " << P << " histogram\n";
+    uint64_t Cumulative = 0;
+    bool SawInf = false;
+    for (size_t I = 0; I < H.Counts.size(); ++I) {
+      Cumulative += H.Counts[I];
+      std::string Le = formatBound(H.UpperBounds[I]);
+      SawInf = SawInf || Le == "+Inf";
+      OS << P << "_bucket{le=\"" << Le << "\"} " << Cumulative << "\n";
+    }
+    // The snapshot is trimmed past the last occupied bucket, so the +Inf
+    // closer the format requires is usually not in UpperBounds.
+    if (!SawInf)
+      OS << P << "_bucket{le=\"+Inf\"} " << Cumulative << "\n";
+    OS << P << "_sum " << formatDouble(H.Sum) << "\n";
+    OS << P << "_count " << H.Count << "\n";
+  }
+  return OS.str();
+}
+
+std::string daisy::metricsToJson(const MetricsSnapshot &Snapshot) {
+  std::ostringstream OS;
+  OS << "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, Value] : Snapshot.Counters) {
+    if (!First)
+      OS << ',';
+    First = false;
+    // Counter names come from our own dotted identifiers; none contain
+    // characters that need JSON escaping beyond quoting.
+    OS << '"' << Name << "\":" << Value;
+  }
+  OS << "},\"histograms\":[";
+  First = true;
+  for (const MetricHistogramSnapshot &H : Snapshot.Histograms) {
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << "{\"name\":\"" << H.Name << "\",\"help\":\"" << H.Help
+       << "\",\"buckets\":[";
+    for (size_t I = 0; I < H.Counts.size(); ++I) {
+      if (I)
+        OS << ',';
+      std::string Le = formatBound(H.UpperBounds[I]);
+      OS << "{\"le\":";
+      if (Le == "+Inf")
+        OS << "\"+Inf\"";
+      else
+        OS << Le;
+      OS << ",\"count\":" << H.Counts[I] << '}';
+    }
+    OS << "],\"sum\":" << formatDouble(H.Sum) << ",\"count\":" << H.Count
+       << '}';
+  }
+  OS << "]}";
+  return OS.str();
+}

@@ -1,0 +1,107 @@
+//===- obs/Metrics.h - Metrics snapshot + exposition ------------*- C++ -*-===//
+//
+// Part of the daisy project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns the runtime's live telemetry — the support/Statistics counter
+/// registry plus any set of support/Histogram histograms — into a
+/// point-in-time MetricsSnapshot, and renders a snapshot as either
+/// Prometheus text exposition format or JSON. The serving runtime's
+/// Server::metricsText()/metricsJson() are thin wrappers over this, so an
+/// operator scrapes one string and gets every counter any subsystem ever
+/// registered, without the exporter naming them one by one.
+///
+/// Naming: internal metrics use dotted CamelCase ("Serve.QueueDepthMax").
+/// The JSON rendering keeps those names verbatim; the Prometheus
+/// rendering maps them through prometheusMetricName to the conventional
+/// daisy_serve_queue_depth_max form. Histograms render as the standard
+/// cumulative-bucket triplet (_bucket{le=...}, _sum, _count).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAISY_OBS_METRICS_H
+#define DAISY_OBS_METRICS_H
+
+#include "support/Histogram.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace daisy {
+
+/// One histogram, decoded for exposition: parallel bucket arrays of
+/// exclusive upper bounds and per-bucket (non-cumulative) counts, trimmed
+/// past the last occupied bucket so a mostly-empty 256-bucket latency
+/// histogram does not render 256 lines.
+struct MetricHistogramSnapshot {
+  std::string Name; ///< Dotted CamelCase ("Serve.LatencyUs").
+  std::string Help; ///< One-line description for # HELP.
+  std::vector<double> UpperBounds; ///< Exclusive; last may be +inf.
+  std::vector<uint64_t> Counts;    ///< Per-bucket, same length.
+  double Sum = 0.0;                ///< Midpoint-weighted sample sum.
+  uint64_t Count = 0;              ///< Total samples.
+};
+
+/// Everything a scrape sees: the whole counter registry (name-sorted, the
+/// snapshotStatsCounters contract) plus the histograms the caller chose
+/// to expose.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> Counters;
+  std::vector<MetricHistogramSnapshot> Histograms;
+};
+
+/// Captures the counter half of a snapshot (every registered counter).
+/// Callers append their histograms via snapshotHistogram.
+MetricsSnapshot snapshotMetrics();
+
+/// Decodes \p H into an exposition snapshot, trimming trailing empty
+/// buckets (at least one bucket is always kept so the series renders).
+template <size_t N, typename Bucketing>
+MetricHistogramSnapshot
+snapshotHistogram(const std::string &Name, const std::string &Help,
+                  const AtomicHistogram<N, Bucketing> &H) {
+  MetricHistogramSnapshot Snap;
+  Snap.Name = Name;
+  Snap.Help = Help;
+  std::array<uint64_t, N> Counts = H.snapshot();
+  size_t Last = 0;
+  for (size_t I = 0; I < N; ++I)
+    if (Counts[I] != 0)
+      Last = I;
+  for (size_t I = 0; I <= Last; ++I) {
+    Snap.UpperBounds.push_back(AtomicHistogram<N, Bucketing>::upperBound(I));
+    Snap.Counts.push_back(Counts[I]);
+    Snap.Count += Counts[I];
+    Snap.Sum += static_cast<double>(Counts[I]) *
+                AtomicHistogram<N, Bucketing>::midpoint(I);
+  }
+  return Snap;
+}
+
+/// Maps a dotted CamelCase metric name to Prometheus convention:
+/// "Serve.QueueDepthMax" -> "daisy_serve_queue_depth_max". Dots become
+/// underscores, CamelCase humps become underscore-separated lowercase
+/// words (acronym runs stay one word: "EDF" -> "edf"), and any character
+/// outside [a-zA-Z0-9_] becomes '_'.
+std::string prometheusMetricName(const std::string &DottedName);
+
+/// Renders \p Snapshot as Prometheus text exposition format: counters as
+/// untyped gauge lines ("# TYPE ... counter" is a lie for high-water
+/// marks, so everything numeric is exposed as gauge), histograms as
+/// cumulative _bucket{le="..."} series (ascending le, closed by
+/// le="+Inf") plus _sum and _count.
+std::string metricsToPrometheus(const MetricsSnapshot &Snapshot);
+
+/// Renders \p Snapshot as JSON: {"counters": {name: value, ...},
+/// "histograms": [{"name", "help", "buckets": [{"le", "count"}...],
+/// "sum", "count"}]}. Names stay dotted; le is a number or the string
+/// "+Inf" for the unbounded bucket.
+std::string metricsToJson(const MetricsSnapshot &Snapshot);
+
+} // namespace daisy
+
+#endif // DAISY_OBS_METRICS_H

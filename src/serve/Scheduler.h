@@ -128,6 +128,10 @@ struct Request {
   Priority Prio = Priority::Normal;
   TimePoint Deadline = noDeadline();
   TimePoint EnqueuedAt{}; ///< Submit stamp; sojourn = completion - this.
+  TimePoint ClaimedAt{};  ///< Worker pop stamp; queue wait = this -
+                          ///< EnqueuedAt. Set by the claiming lane, not
+                          ///< the scheduler (a requeued batch is
+                          ///< re-stamped when re-claimed).
   uint64_t Seq = 0;       ///< Admission order, assigned by push().
   uint32_t Tenant = 0;    ///< Fair-share / quota identity (0 = default).
   uint32_t Weight = 1;    ///< FairShare credits per rotation turn (>= 1).

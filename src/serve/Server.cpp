@@ -7,6 +7,8 @@
 #include "serve/Server.h"
 
 #include "exec/ThreadPool.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/FailPoint.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
@@ -22,37 +24,17 @@ using namespace daisy::serve;
 
 namespace {
 
-/// Histogram bucket of a depth sample: floor(log2(Depth)), clamped.
-size_t depthBucket(size_t Depth, size_t Buckets) {
-  size_t B = 0;
-  while (Depth > 1 && B + 1 < Buckets) {
-    Depth >>= 1;
-    ++B;
-  }
-  return B;
-}
+// The depth / latency bucketing that used to be hand-rolled here lives in
+// support/Histogram.h now (Log2Bucketing / LogLinearBucketing), shared
+// with the per-stage histograms and the obs/Metrics exporter.
 
-/// Log-linear latency bucket: exact below 4µs, then four sub-buckets per
-/// octave (resolution ±12.5%) — 256 buckets span past centuries, so the
-/// clamp is theoretical.
-size_t latencyBucket(uint64_t Us) {
-  if (Us < 4)
-    return static_cast<size_t>(Us);
-  size_t E = 63 - static_cast<size_t>(__builtin_clzll(Us));
-  size_t Sub = static_cast<size_t>((Us >> (E - 2)) & 3);
-  size_t Idx = (E - 1) * 4 + Sub;
-  return Idx < 256 ? Idx : 255;
-}
-
-/// Midpoint of a latency bucket's range, the quantile estimate.
-double latencyBucketMidUs(size_t Idx) {
-  if (Idx < 4)
-    return static_cast<double>(Idx);
-  size_t E = Idx / 4 + 1;
-  size_t Sub = Idx % 4;
-  double Lower = static_cast<double>((4ull + Sub) << (E - 2));
-  double Width = static_cast<double>(1ull << (E - 2));
-  return Lower + Width / 2.0;
+/// Microseconds between two stamps, clamped at zero (a watchdog requeue
+/// can re-stamp ClaimedAt after RunStart was conceived; telemetry never
+/// records negative durations).
+uint64_t elapsedUs(TimePoint From, TimePoint To) {
+  auto Us = std::chrono::duration_cast<std::chrono::microseconds>(To - From)
+                .count();
+  return Us < 0 ? 0 : static_cast<uint64_t>(Us);
 }
 
 /// Equal-jittered retry sleep: half the nominal backoff deterministic,
@@ -85,11 +67,14 @@ Server::Server(ServerOptions Options)
       CDispatchStalls(statsCounterCell("Serve.DispatchStalls")),
       CBrownouts(statsCounterCell("Serve.Brownouts")),
       CBrownoutSheds(statsCounterCell("Serve.BrownoutSheds")),
-      CAffinityHits(statsCounterCell("Serve.ContextAffinityHits")) {
-  for (auto &Bucket : DepthHist)
-    Bucket.store(0, std::memory_order_relaxed);
-  for (auto &Bucket : LatencyHist)
-    Bucket.store(0, std::memory_order_relaxed);
+      CAffinityHits(statsCounterCell("Serve.ContextAffinityHits")),
+      // Flight-recorder names interned once here: the dispatch path emits
+      // with resolved ids, never a map lookup.
+      TnSubmit(traceNameId("serve.submit")),
+      TnRequest(traceNameId("serve.request")),
+      TnQueueWait(traceNameId("serve.queue_wait")),
+      TnBatchWait(traceNameId("serve.batch_wait")),
+      TnRun(traceNameId("serve.run")) {
   size_t ShardCount = std::max<size_t>(Opts.Shards, 1);
   Shards.reserve(ShardCount);
   for (size_t I = 0; I < ShardCount; ++I) {
@@ -258,8 +243,13 @@ std::future<RunStatus> Server::submit(const Kernel &K, BoundArgs Args,
                  : Queue.push(R, &DepthAfter);
     if (Pushed == Scheduler::PushResult::Ok) {
       maxStatsCounter(CDepthMax, static_cast<int64_t>(DepthAfter));
-      DepthHist[depthBucket(DepthAfter, DepthHist.size())].fetch_add(
-          1, std::memory_order_relaxed);
+      DepthHist.record(DepthAfter);
+      // Flight recorder: one instant per admission, arg = depth after the
+      // push, so a trace shows the queue growing under load.
+      TraceRecorder &TR = TraceRecorder::instance();
+      if (TR.enabled())
+        TR.emit(TracePhase::Instant, TraceCategory::Serve, TnSubmit,
+                DepthAfter);
       return Result;
     }
     if (Pushed != Scheduler::PushResult::Overloaded ||
@@ -363,6 +353,16 @@ void Server::workerLane(int Lane) {
       }
     }
 
+    // Claim stamp: queue wait ends here for every request in the batch.
+    // A watchdog-reclaimed batch is requeued and re-stamped when a
+    // healthy lane pops it again, so the stages stay a partition of the
+    // final sojourn.
+    if (!Batch.empty()) {
+      TimePoint ClaimStamp = serveNow();
+      for (Request &R : Batch)
+        R.ClaimedAt = ClaimStamp;
+    }
+
     // Shed work first: the futures are already lost causes and cheap to
     // fail, and doing it before the batch keeps the latency of surviving
     // requests honest.
@@ -438,6 +438,7 @@ void Server::dispatchBatch(std::vector<Request> &Batch,
   std::vector<RunStatus> Statuses(B);
   std::vector<size_t> Grouped;
   std::vector<const BoundArgs *> GroupArgs;
+  TimePoint RunStart = serveNow(); // Batch wait ends, execution begins.
   for (size_t I = 0; I < B; ++I) {
     if (Batch[I].K.token() == Batch[I].Args.kernelToken()) {
       Grouped.push_back(I);
@@ -458,11 +459,40 @@ void Server::dispatchBatch(std::vector<Request> &Batch,
       Statuses[Grouped[J]] = std::move(GroupStatuses[J]);
   }
   TimePoint Now = serveNow();
+  TraceRecorder &TR = TraceRecorder::instance();
+  const bool Tracing = TR.enabled();
   for (size_t I = 0; I < B; ++I) {
-    recordLatency(Batch[I].EnqueuedAt, Now);
-    tenantCounters(Batch[I].Tenant)
-        .Completed.fetch_add(1, std::memory_order_relaxed);
-    Batch[I].Done.set_value(std::move(Statuses[I]));
+    Request &R = Batch[I];
+    recordLatency(R.EnqueuedAt, Now);
+    // Stage decomposition of the same sojourn: queue wait ends at the
+    // claim stamp, batch wait at the dispatch stamp, run at completion.
+    uint64_t QueueUs = elapsedUs(R.EnqueuedAt, R.ClaimedAt);
+    uint64_t BatchUs = elapsedUs(R.ClaimedAt, RunStart);
+    uint64_t RunUs = elapsedUs(RunStart, Now);
+    QueueWaitHist.record(QueueUs);
+    BatchWaitHist.record(BatchUs);
+    RunHist.record(RunUs);
+    if (Tracing) {
+      // The request's stage spans, reconstructed post-completion as
+      // Chrome "X" (complete) events — begin/end pairing across the
+      // submitting and dispatching threads would corrupt lane nesting.
+      // Arg carries the admission sequence so one request's spans
+      // correlate across lanes in a trace viewer.
+      uint64_t EnqNs = TR.toNs(R.EnqueuedAt);
+      uint64_t ClaimNs = TR.toNs(R.ClaimedAt);
+      uint64_t RunNs = TR.toNs(RunStart);
+      uint64_t NowNs = TR.toNs(Now);
+      TR.emitComplete(TraceCategory::Serve, TnRequest, EnqNs, NowNs - EnqNs,
+                      R.Seq);
+      TR.emitComplete(TraceCategory::Serve, TnQueueWait, EnqNs,
+                      ClaimNs - EnqNs, R.Seq);
+      TR.emitComplete(TraceCategory::Serve, TnBatchWait, ClaimNs,
+                      RunNs - ClaimNs, R.Seq);
+      TR.emitComplete(TraceCategory::Serve, TnRun, RunNs, NowNs - RunNs,
+                      R.Seq);
+    }
+    tenantCounters(R.Tenant).Completed.fetch_add(1, std::memory_order_relaxed);
+    R.Done.set_value(std::move(Statuses[I]));
   }
   CCompleted.fetch_add(static_cast<int64_t>(B), std::memory_order_relaxed);
   finishMany(B);
@@ -641,45 +671,65 @@ HealthSnapshot Server::health() {
 }
 
 void Server::recordLatency(TimePoint EnqueuedAt, TimePoint Now) {
-  auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
-                Now - EnqueuedAt)
-                .count();
-  if (Us < 0)
-    Us = 0;
-  LatencyHist[latencyBucket(static_cast<uint64_t>(Us))].fetch_add(
-      1, std::memory_order_relaxed);
+  LatencyHist.record(elapsedUs(EnqueuedAt, Now));
 }
 
 double Server::latencyQuantileUs(double Q) const {
-  uint64_t Total = 0;
-  std::array<uint64_t, 256> Counts;
-  for (size_t I = 0; I < LatencyHist.size(); ++I) {
-    Counts[I] = LatencyHist[I].load(std::memory_order_relaxed);
-    Total += Counts[I];
-  }
-  if (Total == 0)
-    return 0.0;
-  Q = std::min(std::max(Q, 0.0), 1.0);
-  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total - 1));
-  uint64_t Seen = 0;
-  for (size_t I = 0; I < Counts.size(); ++I) {
-    Seen += Counts[I];
-    if (Seen > Rank)
-      return latencyBucketMidUs(I);
-  }
-  return latencyBucketMidUs(Counts.size() - 1);
+  return LatencyHist.quantile(Q);
 }
 
-uint64_t Server::latencyCount() const {
-  uint64_t Total = 0;
-  for (const auto &Bucket : LatencyHist)
-    Total += Bucket.load(std::memory_order_relaxed);
-  return Total;
+uint64_t Server::latencyCount() const { return LatencyHist.count(); }
+
+double Server::stageQuantileUs(Stage S, double Q) const {
+  return stageHist(S).quantile(Q);
 }
+
+uint64_t Server::stageCount(Stage S) const { return stageHist(S).count(); }
+
+double Server::stageSumUs(Stage S) const { return stageHist(S).approxSum(); }
 
 std::vector<uint64_t> Server::queueDepthHistogram() const {
-  std::vector<uint64_t> Result(DepthHist.size());
-  for (size_t I = 0; I < DepthHist.size(); ++I)
-    Result[I] = DepthHist[I].load(std::memory_order_relaxed);
-  return Result;
+  auto Counts = DepthHist.snapshot();
+  return std::vector<uint64_t>(Counts.begin(), Counts.end());
+}
+
+namespace {
+
+MetricsSnapshot serverMetricsSnapshot(const DepthHistogram &Depth,
+                                      const LatencyHistogram &Latency,
+                                      const LatencyHistogram &QueueWait,
+                                      const LatencyHistogram &BatchWait,
+                                      const LatencyHistogram &Run) {
+  MetricsSnapshot Snap = snapshotMetrics(); // The whole counter registry.
+  Snap.Histograms.push_back(snapshotHistogram(
+      "Serve.QueueDepth", "queue depth sampled after each admission",
+      Depth));
+  Snap.Histograms.push_back(snapshotHistogram(
+      "Serve.LatencyUs", "end-to-end request sojourn, microseconds",
+      Latency));
+  Snap.Histograms.push_back(snapshotHistogram(
+      "Serve.QueueWaitUs", "submit to worker claim, microseconds",
+      QueueWait));
+  Snap.Histograms.push_back(snapshotHistogram(
+      "Serve.BatchWaitUs", "worker claim to dispatch start, microseconds",
+      BatchWait));
+  Snap.Histograms.push_back(snapshotHistogram(
+      "Serve.RunUs", "dispatch start to completion, microseconds", Run));
+  return Snap;
+}
+
+} // namespace
+
+std::string Server::metricsText() const {
+  return metricsToPrometheus(serverMetricsSnapshot(
+      DepthHist, LatencyHist, QueueWaitHist, BatchWaitHist, RunHist));
+}
+
+std::string Server::metricsJson() const {
+  return metricsToJson(serverMetricsSnapshot(
+      DepthHist, LatencyHist, QueueWaitHist, BatchWaitHist, RunHist));
+}
+
+bool Server::dumpTrace(const std::string &Path) const {
+  return TraceRecorder::instance().dumpTrace(Path);
 }

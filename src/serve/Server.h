@@ -60,6 +60,16 @@
 /// after drain(), globally and per tenant:
 /// Submitted == Completed + Rejected + Expired.
 ///
+/// Observability (obs/): every completed request decomposes its sojourn
+/// into three stage histograms — queue wait (submit → worker claim),
+/// batch wait (claim → kernel dispatch), run (dispatch → completion) —
+/// and, when the flight recorder (obs/Trace.h) is on, emits one Chrome
+/// "X" span per stage plus a whole-request span, reconstructed from the
+/// request's stored timestamps after completion (no cross-thread B/E
+/// pairing). metricsText()/metricsJson() expose the entire counter
+/// registry and all four latency histograms as Prometheus text / JSON;
+/// dumpTrace(path) writes the recorder ring as Chrome trace JSON.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAISY_SERVE_SERVER_H
@@ -68,6 +78,7 @@
 #include "api/Engine.h"
 #include "serve/BoundArgs.h"
 #include "serve/Scheduler.h"
+#include "support/Histogram.h"
 
 #include <array>
 #include <atomic>
@@ -311,6 +322,43 @@ public:
   /// Completed-request latency samples recorded so far.
   uint64_t latencyCount() const;
 
+  /// Midpoint-weighted estimate of the sum of all end-to-end sojourns in
+  /// microseconds (the cross-check target for the per-stage sums).
+  double latencySumUs() const { return LatencyHist.approxSum(); }
+
+  /// The three stages a completed request's sojourn decomposes into.
+  /// QueueWait + BatchWait + Run sums (within bucketing resolution) to
+  /// the end-to-end sojourn latencyQuantileUs measures.
+  enum class Stage {
+    QueueWait, ///< Submit entry → worker claims the request.
+    BatchWait, ///< Claim → the kernel dispatch actually starts.
+    Run,       ///< Dispatch start → completion (batch execution).
+  };
+
+  /// Quantile of one stage's duration in microseconds, on the same
+  /// log-linear buckets as latencyQuantileUs; 0 before any completion.
+  double stageQuantileUs(Stage S, double Q) const;
+
+  /// Samples recorded into one stage histogram (== completions observed
+  /// by that stage).
+  uint64_t stageCount(Stage S) const;
+
+  /// Midpoint-weighted sum of one stage's samples in microseconds — the
+  /// cross-stage accounting check: sum over stages ≈ sum of sojourns.
+  double stageSumUs(Stage S) const;
+
+  /// The whole counter registry (every subsystem's Serve.*, Engine.*,
+  /// Tune.*, ... counters) plus this server's four latency histograms,
+  /// rendered as Prometheus text exposition format (obs/Metrics.h).
+  std::string metricsText() const;
+
+  /// The same snapshot as JSON (dotted metric names preserved).
+  std::string metricsJson() const;
+
+  /// Writes the process flight-recorder ring (obs/Trace.h) as Chrome
+  /// trace JSON to \p Path; false if the file cannot be written.
+  bool dumpTrace(const std::string &Path) const;
+
   const ServerOptions &options() const { return Opts; }
 
 private:
@@ -369,11 +417,27 @@ private:
   std::mutex TenantMutex;
   std::unordered_map<uint32_t, TenantCounters> TenantStats;
 
-  /// Depth-after-push samples, log2 buckets (relaxed: observability).
-  std::array<std::atomic<uint64_t>, 16> DepthHist;
+  /// Depth-after-push samples, log2 buckets (support/Histogram.h).
+  DepthHistogram DepthHist;
 
-  /// Sojourn-time samples, log-linear microsecond buckets (relaxed).
-  std::array<std::atomic<uint64_t>, 256> LatencyHist;
+  /// Sojourn-time samples (submit → completion), log-linear microsecond
+  /// buckets, plus the three per-stage decompositions of the same
+  /// population (indexed by Stage via stageHist).
+  LatencyHistogram LatencyHist;
+  LatencyHistogram QueueWaitHist;
+  LatencyHistogram BatchWaitHist;
+  LatencyHistogram RunHist;
+
+  const LatencyHistogram &stageHist(Stage S) const {
+    return S == Stage::QueueWait ? QueueWaitHist
+           : S == Stage::BatchWait ? BatchWaitHist
+                                   : RunHist;
+  }
+
+  /// Pre-resolved flight-recorder name ids (obs/Trace.h): the dispatch
+  /// path emits trace events with no interning lookup, mirroring the
+  /// statsCounterCell pre-resolution above.
+  uint16_t TnSubmit, TnRequest, TnQueueWait, TnBatchWait, TnRun;
 
   /// Admitted vs finished request counts backing drain(). Admitted is
   /// incremented lock-free on the submit path (an increment can never

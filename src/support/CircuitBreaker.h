@@ -27,13 +27,17 @@
 /// Thread-safe; one mutex per breaker, touched only by kernels that have
 /// a breaker attached (raw Kernel::compile never pays it). Counters:
 /// "Engine.Quarantined" counts closed-to-open transitions,
-/// "Engine.QuarantineProbes" counts probe grants.
+/// "Engine.QuarantineProbes" counts probe grants. Every state transition
+/// also lands an instant in the flight recorder (obs/Trace.h) —
+/// engine.quarantine_{open,half_open,close} — so a trace shows exactly
+/// when a kernel was quarantined and when it healed.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAISY_SUPPORT_CIRCUITBREAKER_H
 #define DAISY_SUPPORT_CIRCUITBREAKER_H
 
+#include "obs/Trace.h"
 #include "support/Statistics.h"
 
 #include <chrono>
@@ -82,6 +86,7 @@ public:
         return Gate::Reroute;
       Current = State::HalfOpen;
       ProbeInFlight = false;
+      traceInstant(TraceCategory::Engine, "engine.quarantine_half_open");
       [[fallthrough]];
     case State::HalfOpen:
       if (ProbeInFlight)
@@ -100,6 +105,7 @@ public:
       Current = State::Closed;
       Failures = 0;
       ProbeInFlight = false;
+      traceInstant(TraceCategory::Engine, "engine.quarantine_close");
     }
   }
 
@@ -135,6 +141,7 @@ private:
     Failures = 0;
     ProbeInFlight = false;
     addStatsCounter("Engine.Quarantined");
+    traceInstant(TraceCategory::Engine, "engine.quarantine_open");
   }
 
   const Options Opts;

@@ -65,6 +65,18 @@ int64_t daisy::statsCounter(const std::string &Name) {
                                 : It->second.load(std::memory_order_relaxed);
 }
 
+std::vector<std::pair<std::string, int64_t>> daisy::snapshotStatsCounters() {
+  CounterRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::vector<std::pair<std::string, int64_t>> Out;
+  Out.reserve(R.Counters.size());
+  // std::map iterates in key order, so the snapshot is sorted by name
+  // without a second pass.
+  for (const auto &[Name, Value] : R.Counters)
+    Out.emplace_back(Name, Value.load(std::memory_order_relaxed));
+  return Out;
+}
+
 void daisy::resetStatsCounters() {
   CounterRegistry &R = registry();
   std::lock_guard<std::mutex> Lock(R.Mutex);

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace daisy {
@@ -61,6 +62,15 @@ std::atomic<int64_t> &statsCounterCell(const std::string &Name);
 
 /// Current value of counter \p Name; 0 if it was never touched.
 int64_t statsCounter(const std::string &Name);
+
+/// Snapshot of every registered counter as (name, value) pairs, stably
+/// sorted by name (the registry is name-ordered, so two snapshots list
+/// surviving counters in the same positions). Zero-valued counters that
+/// were registered appear too — an exporter scrape between resets must
+/// still show the series. This is the enumeration the metrics exposition
+/// layer (obs/Metrics.h) and tests build on instead of re-deriving
+/// exact-name reads.
+std::vector<std::pair<std::string, int64_t>> snapshotStatsCounters();
 
 /// Resets every registered counter to 0 (tests and benches isolate their
 /// measurement windows with this).

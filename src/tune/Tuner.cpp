@@ -10,6 +10,7 @@
 #include "api/KernelImpl.h"
 #include "exec/Interpreter.h"
 #include "machine/Simulator.h"
+#include "obs/Trace.h"
 #include "support/FailPoint.h"
 #include "support/Statistics.h"
 
@@ -140,6 +141,9 @@ void OnlineTuner::registerKernel(uint64_t RoutingKey,
 
 size_t OnlineTuner::runCycle() {
   std::lock_guard<std::mutex> CycleLock(CycleMutex);
+  // The cycle span brackets rank + search + decide, so a flight-recorder
+  // capture shows tuner work as one block per cycle on its own lane.
+  TraceSpan CycleSpan(TraceCategory::Tune, "tune.cycle");
   NCycles.fetch_add(1, std::memory_order_relaxed);
 
   // Phase 1 (under RegMutex, cheap): prune dead kernels, pin the live
@@ -232,7 +236,13 @@ bool OnlineTuner::tryImprove(uint64_t Key,
     Base = It->second.Base.clone();
     CurrentHash = It->second.CurrentHash;
   }
-  Program Cand = Owner.schedule(Base);
+  Program Cand;
+  {
+    // The search (beam search + simulation) dominates a cycle's cost;
+    // span it separately from the cheap bookkeeping around it.
+    TraceSpan SearchSpan(TraceCategory::Tune, "tune.search", Key);
+    Cand = Owner.schedule(Base);
+  }
   uint64_t CandHash = Engine::routingKey(Cand);
   if (CandHash == CurrentHash)
     return false; // The search proposes what is already running.
@@ -306,6 +316,7 @@ bool OnlineTuner::tryImprove(uint64_t Key,
   }
   NProbes.fetch_add(1, std::memory_order_relaxed);
   addStatsCounter("Engine.TuneProbes");
+  traceInstant(TraceCategory::Tune, "tune.probe", Key);
   return true;
 }
 
@@ -369,9 +380,11 @@ bool OnlineTuner::decideProbe(uint64_t Key,
   if (Promote) {
     NSwaps.fetch_add(1, std::memory_order_relaxed);
     addStatsCounter("Engine.TuneSwaps");
+    traceInstant(TraceCategory::Tune, "tune.swap", Key);
   } else {
     NRollbacks.fetch_add(1, std::memory_order_relaxed);
     addStatsCounter("Engine.TuneRollbacks");
+    traceInstant(TraceCategory::Tune, "tune.rollback", Key);
   }
   return true;
 }
